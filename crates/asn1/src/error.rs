@@ -1,0 +1,111 @@
+//! Error types for DER parsing and encoding.
+
+use crate::tag::Tag;
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong while reading or interpreting DER.
+///
+/// The variants are deliberately fine-grained: the linter and the
+/// differential-parsing harness report *why* a certificate field failed to
+/// parse, not merely that it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before the current TLV was complete.
+    UnexpectedEof {
+        /// Bytes still needed to finish the element.
+        needed: usize,
+    },
+    /// A tag number in high form (>= 31) was malformed or overflowed.
+    InvalidTag,
+    /// Length octets were malformed.
+    InvalidLength,
+    /// BER indefinite length (`0x80`) — forbidden in DER.
+    IndefiniteLength,
+    /// A long-form length that would fit in fewer octets (DER requires the
+    /// minimal encoding).
+    NonMinimalLength,
+    /// Extra bytes remained after the expected end of a value.
+    TrailingData {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// Nesting exceeded the reader's depth limit.
+    DepthExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The element's tag did not match what the caller expected.
+    TagMismatch {
+        /// Tag the caller asked for.
+        expected: Tag,
+        /// Tag actually present.
+        found: Tag,
+    },
+    /// An OBJECT IDENTIFIER value was malformed (empty, truncated arc,
+    /// non-minimal arc, or arc overflow).
+    InvalidOid,
+    /// An INTEGER value was empty or non-minimally encoded.
+    InvalidInteger,
+    /// An INTEGER did not fit the requested native width.
+    IntegerOverflow,
+    /// A BOOLEAN was not exactly one octet (or, strictly, not 0x00/0xFF).
+    InvalidBoolean,
+    /// A BIT STRING had a bad unused-bits octet.
+    InvalidBitString,
+    /// A UTCTime or GeneralizedTime string was malformed.
+    InvalidTime,
+    /// A character string's bytes violated its ASN.1 type's rules in a way
+    /// that prevents decoding at all (e.g. odd-length BMPString).
+    MalformedString {
+        /// The string type being decoded.
+        kind: crate::strings::StringKind,
+    },
+    /// A character string decoded, but contains characters outside the
+    /// standard character set for its ASN.1 type. Carries the first
+    /// offending scalar value.
+    CharacterOutOfRange {
+        /// The string type being validated.
+        kind: crate::strings::StringKind,
+        /// First offending Unicode scalar (or raw byte widened) found.
+        ch: u32,
+    },
+    /// An element that must be constructed was primitive, or vice versa.
+    WrongConstruction,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { needed } => {
+                write!(f, "unexpected end of input ({needed} more bytes needed)")
+            }
+            Error::InvalidTag => write!(f, "malformed tag octets"),
+            Error::InvalidLength => write!(f, "malformed length octets"),
+            Error::IndefiniteLength => write!(f, "indefinite length is forbidden in DER"),
+            Error::NonMinimalLength => write!(f, "non-minimal length encoding"),
+            Error::TrailingData { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            Error::DepthExceeded { limit } => write!(f, "nesting depth exceeded {limit}"),
+            Error::TagMismatch { expected, found } => {
+                write!(f, "expected tag {expected}, found {found}")
+            }
+            Error::InvalidOid => write!(f, "malformed OBJECT IDENTIFIER"),
+            Error::InvalidInteger => write!(f, "malformed INTEGER"),
+            Error::IntegerOverflow => write!(f, "INTEGER does not fit requested width"),
+            Error::InvalidBoolean => write!(f, "malformed BOOLEAN"),
+            Error::InvalidBitString => write!(f, "malformed BIT STRING"),
+            Error::InvalidTime => write!(f, "malformed time value"),
+            Error::MalformedString { kind } => write!(f, "undecodable {kind:?} contents"),
+            Error::CharacterOutOfRange { kind, ch } => {
+                write!(f, "character U+{ch:04X} outside {kind:?} character set")
+            }
+            Error::WrongConstruction => write!(f, "primitive/constructed mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

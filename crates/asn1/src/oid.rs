@@ -1,0 +1,324 @@
+//! OBJECT IDENTIFIER values and the X.509 OID dictionary.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// An OBJECT IDENTIFIER, stored as its DER content octets.
+///
+/// Storing the wire form keeps comparisons and re-encoding trivial; the arc
+/// sequence is decoded on demand.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    der: Vec<u8>,
+}
+
+impl Oid {
+    /// Build from an arc sequence, e.g. `&[2, 5, 4, 3]` for `id-at-commonName`.
+    ///
+    /// Returns `None` for sequences that cannot be encoded (fewer than two
+    /// arcs, or first/second arcs out of range).
+    pub fn from_arcs(arcs: &[u64]) -> Option<Oid> {
+        if arcs.len() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39) {
+            return None;
+        }
+        let mut der = Vec::new();
+        let first = arcs[0] * 40 + arcs[1];
+        push_base128(&mut der, first);
+        for &arc in &arcs[2..] {
+            push_base128(&mut der, arc);
+        }
+        Some(Oid { der })
+    }
+
+    /// Parse DER content octets (the V of the OID's TLV).
+    pub fn from_der_value(der: &[u8]) -> Result<Oid> {
+        if der.is_empty() || der.last().map(|b| b & 0x80 != 0) == Some(true) {
+            return Err(Error::InvalidOid);
+        }
+        // Verify each arc is minimally encoded and fits in u64.
+        let mut i = 0;
+        while i < der.len() {
+            if der[i] == 0x80 {
+                return Err(Error::InvalidOid); // non-minimal
+            }
+            let mut len = 0;
+            while der[i] & 0x80 != 0 {
+                i += 1;
+                len += 1;
+                if len > 9 {
+                    return Err(Error::InvalidOid);
+                }
+            }
+            i += 1;
+        }
+        Ok(Oid { der: der.to_vec() })
+    }
+
+    /// Parse a dotted-decimal string like `"2.5.4.3"`.
+    pub fn from_dotted(s: &str) -> Option<Oid> {
+        let arcs: Option<Vec<u64>> = s.split('.').map(|p| p.parse().ok()).collect();
+        Oid::from_arcs(&arcs?)
+    }
+
+    /// The DER content octets.
+    pub fn as_der_value(&self) -> &[u8] {
+        &self.der
+    }
+
+    /// Decode the arc sequence.
+    pub fn arcs(&self) -> Vec<u64> {
+        let mut arcs = Vec::new();
+        let mut iter = self.der.iter();
+        let mut cur: u64 = 0;
+        let mut first = true;
+        for &b in iter.by_ref() {
+            cur = (cur << 7) | (b & 0x7F) as u64;
+            if b & 0x80 == 0 {
+                if first {
+                    if cur < 40 {
+                        arcs.push(0);
+                        arcs.push(cur);
+                    } else if cur < 80 {
+                        arcs.push(1);
+                        arcs.push(cur - 40);
+                    } else {
+                        arcs.push(2);
+                        arcs.push(cur - 80);
+                    }
+                    first = false;
+                } else {
+                    arcs.push(cur);
+                }
+                cur = 0;
+            }
+        }
+        arcs
+    }
+
+    /// Dotted-decimal form.
+    pub fn to_dotted(&self) -> String {
+        self.arcs().iter().map(|a| a.to_string()).collect::<Vec<_>>().join(".")
+    }
+
+    /// Short name from the X.509 dictionary (e.g. `CN`), if known.
+    pub fn short_name(&self) -> Option<&'static str> {
+        known::lookup(self).map(|(short, _)| short)
+    }
+
+    /// Long name from the X.509 dictionary (e.g. `commonName`), if known.
+    pub fn long_name(&self) -> Option<&'static str> {
+        known::lookup(self).map(|(_, long)| long)
+    }
+}
+
+fn push_base128(out: &mut Vec<u8>, v: u64) {
+    let mut stack = [0u8; 10];
+    let mut n = v;
+    let mut i = 0;
+    loop {
+        stack[i] = (n & 0x7F) as u8;
+        n >>= 7;
+        i += 1;
+        if n == 0 {
+            break;
+        }
+    }
+    while i > 1 {
+        i -= 1;
+        out.push(stack[i] | 0x80);
+    }
+    out.push(stack[0]);
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.short_name() {
+            Some(name) => write!(f, "Oid({} /{}/)", self.to_dotted(), name),
+            None => write!(f, "Oid({})", self.to_dotted()),
+        }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dotted())
+    }
+}
+
+/// The OID dictionary used throughout the workspace: DN attribute types
+/// (Table 9 of the paper, plus App. E's tested attribute OIDs), extension
+/// OIDs (Fig. 1), and algorithm identifiers for the simulated signer.
+pub mod known {
+    use super::Oid;
+
+    macro_rules! oids {
+        ($($(#[$doc:meta])* $name:ident = [$($arc:expr),+], $short:literal, $long:literal;)+) => {
+            $(
+                $(#[$doc])*
+                pub fn $name() -> Oid {
+                    Oid::from_arcs(&[$($arc),+]).expect("static OID is valid")
+                }
+            )+
+
+            /// Look up `(short_name, long_name)` for a known OID.
+            pub fn lookup(oid: &Oid) -> Option<(&'static str, &'static str)> {
+                $(
+                    if oid == &$name() {
+                        return Some(($short, $long));
+                    }
+                )+
+                None
+            }
+        };
+    }
+
+    oids! {
+        /// `id-at-commonName` — 2.5.4.3.
+        common_name = [2, 5, 4, 3], "CN", "commonName";
+        /// `id-at-surname` — 2.5.4.4.
+        surname = [2, 5, 4, 4], "SN", "surname";
+        /// `id-at-serialNumber` — 2.5.4.5.
+        serial_number = [2, 5, 4, 5], "serialNumber", "serialNumber";
+        /// `id-at-countryName` — 2.5.4.6.
+        country_name = [2, 5, 4, 6], "C", "countryName";
+        /// `id-at-localityName` — 2.5.4.7.
+        locality_name = [2, 5, 4, 7], "L", "localityName";
+        /// `id-at-stateOrProvinceName` — 2.5.4.8.
+        state_or_province = [2, 5, 4, 8], "ST", "stateOrProvinceName";
+        /// `id-at-streetAddress` — 2.5.4.9.
+        street_address = [2, 5, 4, 9], "STREET", "streetAddress";
+        /// `id-at-organizationName` — 2.5.4.10.
+        organization_name = [2, 5, 4, 10], "O", "organizationName";
+        /// `id-at-organizationalUnitName` — 2.5.4.11.
+        organizational_unit = [2, 5, 4, 11], "OU", "organizationalUnitName";
+        /// `id-at-title` — 2.5.4.12.
+        title = [2, 5, 4, 12], "title", "title";
+        /// `id-at-businessCategory` — 2.5.4.15.
+        business_category = [2, 5, 4, 15], "businessCategory", "businessCategory";
+        /// `id-at-postalCode` — 2.5.4.17.
+        postal_code = [2, 5, 4, 17], "postalCode", "postalCode";
+        /// `id-at-givenName` — 2.5.4.42.
+        given_name = [2, 5, 4, 42], "GN", "givenName";
+        /// `id-at-pseudonym` — 2.5.4.65.
+        pseudonym = [2, 5, 4, 65], "pseudonym", "pseudonym";
+        /// EV jurisdictionLocalityName — 1.3.6.1.4.1.311.60.2.1.1.
+        jurisdiction_locality = [1, 3, 6, 1, 4, 1, 311, 60, 2, 1, 1], "jurisdictionL", "jurisdictionLocalityName";
+        /// EV jurisdictionStateOrProvinceName — 1.3.6.1.4.1.311.60.2.1.2.
+        jurisdiction_state = [1, 3, 6, 1, 4, 1, 311, 60, 2, 1, 2], "jurisdictionST", "jurisdictionStateOrProvinceName";
+        /// EV jurisdictionCountryName — 1.3.6.1.4.1.311.60.2.1.3.
+        jurisdiction_country = [1, 3, 6, 1, 4, 1, 311, 60, 2, 1, 3], "jurisdictionC", "jurisdictionCountryName";
+        /// `domainComponent` — 0.9.2342.19200300.100.1.25.
+        domain_component = [0, 9, 2342, 19200300, 100, 1, 25], "DC", "domainComponent";
+        /// `userId` — 0.9.2342.19200300.100.1.1.
+        user_id = [0, 9, 2342, 19200300, 100, 1, 1], "UID", "userId";
+        /// PKCS#9 `emailAddress` — 1.2.840.113549.1.9.1.
+        email_address = [1, 2, 840, 113549, 1, 9, 1], "emailAddress", "emailAddress";
+        /// `id-ce-subjectAltName` — 2.5.29.17.
+        subject_alt_name = [2, 5, 29, 17], "SAN", "subjectAltName";
+        /// `id-ce-issuerAltName` — 2.5.29.18.
+        issuer_alt_name = [2, 5, 29, 18], "IAN", "issuerAltName";
+        /// `id-ce-basicConstraints` — 2.5.29.19.
+        basic_constraints = [2, 5, 29, 19], "BC", "basicConstraints";
+        /// `id-ce-keyUsage` — 2.5.29.15.
+        key_usage = [2, 5, 29, 15], "KU", "keyUsage";
+        /// `id-ce-extKeyUsage` — 2.5.29.37.
+        ext_key_usage = [2, 5, 29, 37], "EKU", "extKeyUsage";
+        /// `id-ce-certificatePolicies` — 2.5.29.32.
+        certificate_policies = [2, 5, 29, 32], "CP", "certificatePolicies";
+        /// `id-ce-cRLDistributionPoints` — 2.5.29.31.
+        crl_distribution_points = [2, 5, 29, 31], "CRLDP", "cRLDistributionPoints";
+        /// `id-ce-subjectKeyIdentifier` — 2.5.29.14.
+        subject_key_identifier = [2, 5, 29, 14], "SKI", "subjectKeyIdentifier";
+        /// `id-ce-authorityKeyIdentifier` — 2.5.29.35.
+        authority_key_identifier = [2, 5, 29, 35], "AKI", "authorityKeyIdentifier";
+        /// `id-ce-nameConstraints` — 2.5.29.30.
+        name_constraints = [2, 5, 29, 30], "NC", "nameConstraints";
+        /// `id-pe-authorityInfoAccess` — 1.3.6.1.5.5.7.1.1.
+        authority_info_access = [1, 3, 6, 1, 5, 5, 7, 1, 1], "AIA", "authorityInfoAccess";
+        /// `id-pe-subjectInfoAccess` — 1.3.6.1.5.5.7.1.11.
+        subject_info_access = [1, 3, 6, 1, 5, 5, 7, 1, 11], "SIA", "subjectInfoAccess";
+        /// CT precertificate poison — 1.3.6.1.4.1.11129.2.4.3.
+        ct_poison = [1, 3, 6, 1, 4, 1, 11129, 2, 4, 3], "CTPoison", "ctPrecertificatePoison";
+        /// CT SCT list — 1.3.6.1.4.1.11129.2.4.2.
+        ct_sct_list = [1, 3, 6, 1, 4, 1, 11129, 2, 4, 2], "SCTList", "signedCertificateTimestampList";
+        /// `id-ad-ocsp` — 1.3.6.1.5.5.7.48.1.
+        ad_ocsp = [1, 3, 6, 1, 5, 5, 7, 48, 1], "OCSP", "id-ad-ocsp";
+        /// `id-ad-caIssuers` — 1.3.6.1.5.5.7.48.2.
+        ad_ca_issuers = [1, 3, 6, 1, 5, 5, 7, 48, 2], "caIssuers", "id-ad-caIssuers";
+        /// `id-ad-caRepository` — 1.3.6.1.5.5.7.48.5.
+        ad_ca_repository = [1, 3, 6, 1, 5, 5, 7, 48, 5], "caRepository", "id-ad-caRepository";
+        /// `id-on-SmtpUTF8Mailbox` — 1.3.6.1.5.5.7.8.9 (RFC 9598).
+        smtp_utf8_mailbox = [1, 3, 6, 1, 5, 5, 7, 8, 9], "SmtpUTF8Mailbox", "id-on-SmtpUTF8Mailbox";
+        /// `id-qt-cps` — 1.3.6.1.5.5.7.2.1.
+        qt_cps = [1, 3, 6, 1, 5, 5, 7, 2, 1], "CPS", "id-qt-cps";
+        /// `id-qt-unotice` — 1.3.6.1.5.5.7.2.2.
+        qt_unotice = [1, 3, 6, 1, 5, 5, 7, 2, 2], "userNotice", "id-qt-unotice";
+        /// `anyPolicy` — 2.5.29.32.0.
+        any_policy = [2, 5, 29, 32, 0], "anyPolicy", "anyPolicy";
+        /// Simulated signature algorithm ("sha256-with-simsig"): a private
+        /// arc standing in for sha256WithRSAEncryption — see x509::sign.
+        sim_signature = [1, 3, 6, 1, 4, 1, 99999, 1], "simSig", "sha256WithSimulatedSignature";
+        /// Simulated public key algorithm.
+        sim_public_key = [1, 3, 6, 1, 4, 1, 99999, 2], "simKey", "simulatedPublicKey";
+        /// `extendedKeyUsage` serverAuth — 1.3.6.1.5.5.7.3.1.
+        eku_server_auth = [1, 3, 6, 1, 5, 5, 7, 3, 1], "serverAuth", "id-kp-serverAuth";
+        /// `extendedKeyUsage` clientAuth — 1.3.6.1.5.5.7.3.2.
+        eku_client_auth = [1, 3, 6, 1, 5, 5, 7, 3, 2], "clientAuth", "id-kp-clientAuth";
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_round_trip() {
+        for arcs in [
+            vec![2u64, 5, 4, 3],
+            vec![1, 2, 840, 113549, 1, 9, 1],
+            vec![0, 9, 2342, 19200300, 100, 1, 25],
+            vec![1, 3, 6, 1, 4, 1, 11129, 2, 4, 3],
+            vec![2, 999, 3],
+        ] {
+            let oid = Oid::from_arcs(&arcs).unwrap();
+            assert_eq!(oid.arcs(), arcs);
+            let reparsed = Oid::from_der_value(oid.as_der_value()).unwrap();
+            assert_eq!(reparsed, oid);
+        }
+    }
+
+    #[test]
+    fn known_wire_forms() {
+        // commonName = 06 03 55 04 03 (value part).
+        assert_eq!(known::common_name().as_der_value(), &[0x55, 0x04, 0x03]);
+        // emailAddress = 2A 86 48 86 F7 0D 01 09 01.
+        assert_eq!(
+            known::email_address().as_der_value(),
+            &[0x2A, 0x86, 0x48, 0x86, 0xF7, 0x0D, 0x01, 0x09, 0x01]
+        );
+    }
+
+    #[test]
+    fn dotted_parsing() {
+        let oid = Oid::from_dotted("2.5.4.3").unwrap();
+        assert_eq!(oid, known::common_name());
+        assert_eq!(oid.to_dotted(), "2.5.4.3");
+        assert!(Oid::from_dotted("").is_none());
+        assert!(Oid::from_dotted("3.1").is_none());
+        assert!(Oid::from_dotted("1.40").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_der() {
+        assert!(Oid::from_der_value(&[]).is_err());
+        assert!(Oid::from_der_value(&[0x80, 0x01]).is_err()); // non-minimal
+        assert!(Oid::from_der_value(&[0x55, 0x84]).is_err()); // truncated arc
+    }
+
+    #[test]
+    fn dictionary_lookup() {
+        assert_eq!(known::common_name().short_name(), Some("CN"));
+        assert_eq!(known::organization_name().long_name(), Some("organizationName"));
+        assert_eq!(Oid::from_dotted("1.2.3.4").unwrap().short_name(), None);
+    }
+}

@@ -1,0 +1,352 @@
+//! Zero-copy DER reader.
+//!
+//! [`Reader`] walks a byte slice as a stream of TLV triplets. It enforces the
+//! DER rules that matter for security: definite lengths only, minimal length
+//! encodings, bounded nesting depth, and exact consumption.
+
+use crate::error::{Error, Result};
+use crate::tag::{tags, Class, Tag};
+
+/// Maximum nesting depth accepted by [`Reader::read_nested`] helpers.
+///
+/// Real certificates nest about 10 deep; 64 leaves generous headroom while
+/// stopping pathological inputs (the "deep nesting" failure-injection tests
+/// exercise this limit).
+pub const MAX_DEPTH: usize = 64;
+
+/// One decoded TLV element, borrowing the input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tlv<'a> {
+    /// The element's tag.
+    pub tag: Tag,
+    /// The value octets (content only).
+    pub value: &'a [u8],
+    /// The complete element: identifier + length + content octets.
+    ///
+    /// Lints and the signature simulator need access to the raw bytes that
+    /// were actually on the wire.
+    pub raw: &'a [u8],
+}
+
+impl<'a> Tlv<'a> {
+    /// A reader over this element's contents (for constructed types).
+    pub fn contents(&self) -> Reader<'a> {
+        Reader::new(self.value)
+    }
+
+    /// Require this element to carry `expected`, else [`Error::TagMismatch`].
+    pub fn expect(&self, expected: Tag) -> Result<&Tlv<'a>> {
+        if self.tag == expected {
+            Ok(self)
+        } else {
+            Err(Error::TagMismatch { expected, found: self.tag })
+        }
+    }
+}
+
+/// A cursor over DER bytes.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `input`.
+    pub fn new(input: &'a [u8]) -> Reader<'a> {
+        Reader { input, pos: 0, depth: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail with [`Error::TrailingData`] unless the input is exhausted.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingData { remaining: self.remaining() })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::UnexpectedEof { needed: n - self.remaining() });
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_byte(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Peek the tag of the next element without consuming anything.
+    ///
+    /// Returns `None` at end of input. Used for OPTIONAL fields.
+    pub fn peek_tag(&self) -> Option<Tag> {
+        let mut clone = self.clone();
+        clone.read_tag().ok()
+    }
+
+    fn read_tag(&mut self) -> Result<Tag> {
+        let first = self.take_byte()?;
+        let (class, constructed, low) = Tag::from_first_octet(first);
+        let number = if low < 31 {
+            low as u32
+        } else {
+            // High tag number form: base-128, MSB continuation.
+            let mut n: u32 = 0;
+            let mut count = 0;
+            loop {
+                let b = self.take_byte()?;
+                if count == 0 && b == 0x80 {
+                    return Err(Error::InvalidTag); // non-minimal
+                }
+                n = n.checked_mul(128).ok_or(Error::InvalidTag)?;
+                n += (b & 0x7F) as u32;
+                count += 1;
+                if count > 4 {
+                    return Err(Error::InvalidTag);
+                }
+                if b & 0x80 == 0 {
+                    break;
+                }
+            }
+            if n < 31 {
+                return Err(Error::InvalidTag); // should have used low form
+            }
+            n
+        };
+        Ok(Tag { class, constructed, number })
+    }
+
+    fn read_length(&mut self) -> Result<usize> {
+        let first = self.take_byte()?;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        if first == 0x80 {
+            return Err(Error::IndefiniteLength);
+        }
+        let n_octets = (first & 0x7F) as usize;
+        if n_octets > 8 {
+            return Err(Error::InvalidLength);
+        }
+        let bytes = self.take(n_octets)?;
+        if bytes[0] == 0 {
+            return Err(Error::NonMinimalLength);
+        }
+        let mut len: u64 = 0;
+        for &b in bytes {
+            len = (len << 8) | b as u64;
+        }
+        if len < 0x80 {
+            return Err(Error::NonMinimalLength);
+        }
+        usize::try_from(len).map_err(|_| Error::InvalidLength)
+    }
+
+    /// Read the next complete TLV element.
+    pub fn read_tlv(&mut self) -> Result<Tlv<'a>> {
+        let start = self.pos;
+        let tag = self.read_tag()?;
+        let len = self.read_length()?;
+        let value = self.take(len)?;
+        let raw = &self.input[start..self.pos];
+        Ok(Tlv { tag, value, raw })
+    }
+
+    /// Read the next element and require tag `expected`.
+    pub fn read_expected(&mut self, expected: Tag) -> Result<Tlv<'a>> {
+        let tlv = self.read_tlv()?;
+        tlv.expect(expected)?;
+        Ok(tlv)
+    }
+
+    /// Read an element only if its tag matches (OPTIONAL fields).
+    pub fn read_optional(&mut self, tag: Tag) -> Result<Option<Tlv<'a>>> {
+        match self.peek_tag() {
+            Some(t) if t == tag => Ok(Some(self.read_tlv()?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Read an element whose tag is context-specific `[n]` regardless of the
+    /// constructed bit (OPTIONAL fields that implementations encode loosely).
+    pub fn read_optional_context(&mut self, number: u32) -> Result<Option<Tlv<'a>>> {
+        match self.peek_tag() {
+            Some(t) if t.class == Class::ContextSpecific && t.number == number => {
+                Ok(Some(self.read_tlv()?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Read a SEQUENCE and hand its contents to `f`; `f` must consume it
+    /// entirely.
+    pub fn read_sequence<T>(&mut self, f: impl FnOnce(&mut Reader<'a>) -> Result<T>) -> Result<T> {
+        self.read_nested(tags::SEQUENCE, f)
+    }
+
+    /// Read a SET and hand its contents to `f`; `f` must consume it entirely.
+    pub fn read_set<T>(&mut self, f: impl FnOnce(&mut Reader<'a>) -> Result<T>) -> Result<T> {
+        self.read_nested(tags::SET, f)
+    }
+
+    /// Read an element with tag `tag` and parse its contents with `f`,
+    /// enforcing complete consumption and the depth limit.
+    pub fn read_nested<T>(
+        &mut self,
+        tag: Tag,
+        f: impl FnOnce(&mut Reader<'a>) -> Result<T>,
+    ) -> Result<T> {
+        if self.depth + 1 > MAX_DEPTH {
+            return Err(Error::DepthExceeded { limit: MAX_DEPTH });
+        }
+        let tlv = self.read_expected(tag)?;
+        let mut inner = Reader { input: tlv.value, pos: 0, depth: self.depth + 1 };
+        let out = f(&mut inner)?;
+        inner.finish()?;
+        Ok(out)
+    }
+
+    /// Collect every remaining element at this level.
+    pub fn read_all(&mut self) -> Result<Vec<Tlv<'a>>> {
+        let mut out = Vec::new();
+        while !self.is_empty() {
+            out.push(self.read_tlv()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parse `input` as exactly one TLV element with no trailing bytes.
+pub fn parse_single(input: &[u8]) -> Result<Tlv<'_>> {
+    let mut r = Reader::new(input);
+    let tlv = r.read_tlv()?;
+    r.finish()?;
+    Ok(tlv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::tags;
+
+    #[test]
+    fn reads_short_form() {
+        let der = [0x02, 0x01, 0x05];
+        let tlv = parse_single(&der).unwrap();
+        assert_eq!(tlv.tag, tags::INTEGER);
+        assert_eq!(tlv.value, &[0x05]);
+        assert_eq!(tlv.raw, &der);
+    }
+
+    #[test]
+    fn reads_long_form() {
+        let mut der = vec![0x04, 0x81, 0x80];
+        der.extend(std::iter::repeat(0xAB).take(0x80));
+        let tlv = parse_single(&der).unwrap();
+        assert_eq!(tlv.value.len(), 0x80);
+    }
+
+    #[test]
+    fn rejects_non_minimal_long_form() {
+        // 0x7F encoded in long form.
+        let mut der = vec![0x04, 0x81, 0x7F];
+        der.extend(std::iter::repeat(0).take(0x7F));
+        assert_eq!(parse_single(&der).unwrap_err(), Error::NonMinimalLength);
+        // Leading zero length octet.
+        let der = [0x04, 0x82, 0x00, 0x81, 0x00];
+        assert_eq!(parse_single(&der).unwrap_err(), Error::NonMinimalLength);
+    }
+
+    #[test]
+    fn rejects_indefinite_length() {
+        let der = [0x30, 0x80, 0x00, 0x00];
+        assert_eq!(parse_single(&der).unwrap_err(), Error::IndefiniteLength);
+    }
+
+    #[test]
+    fn rejects_truncated_value() {
+        let der = [0x04, 0x05, 0x01, 0x02];
+        assert_eq!(parse_single(&der).unwrap_err(), Error::UnexpectedEof { needed: 3 });
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let der = [0x05, 0x00, 0xFF];
+        assert_eq!(parse_single(&der).unwrap_err(), Error::TrailingData { remaining: 1 });
+    }
+
+    #[test]
+    fn high_tag_number_round_trip() {
+        // [100] primitive, empty — 100 needs high-tag form.
+        let der = [0x9F, 0x64, 0x00];
+        let tlv = parse_single(&der).unwrap();
+        assert_eq!(tlv.tag, Tag::context(100));
+    }
+
+    #[test]
+    fn rejects_non_minimal_high_tag() {
+        let der = [0x9F, 0x80, 0x64, 0x00];
+        assert!(parse_single(&der).is_err());
+        // High form used for a number < 31.
+        let der = [0x9F, 0x05, 0x00];
+        assert_eq!(parse_single(&der).unwrap_err(), Error::InvalidTag);
+    }
+
+    #[test]
+    fn nested_sequences_respect_depth_limit() {
+        // Build MAX_DEPTH + 2 nested sequences with the writer (it emits
+        // long-form lengths correctly as the payload grows).
+        let mut der = vec![0x05, 0x00]; // NULL core
+        for _ in 0..MAX_DEPTH + 2 {
+            let mut w = crate::writer::Writer::new();
+            w.write_tlv(tags::SEQUENCE, &der);
+            der = w.into_bytes();
+        }
+        fn recurse(r: &mut Reader<'_>) -> Result<()> {
+            if r.peek_tag() == Some(tags::SEQUENCE) {
+                r.read_sequence(recurse)
+            } else {
+                r.read_tlv().map(|_| ())
+            }
+        }
+        let mut r = Reader::new(&der);
+        assert_eq!(recurse(&mut r).unwrap_err(), Error::DepthExceeded { limit: MAX_DEPTH });
+    }
+
+    #[test]
+    fn optional_context_reads_only_matching() {
+        // [0] 0x01 then INTEGER 2
+        let der = [0xA0, 0x03, 0x02, 0x01, 0x01, 0x02, 0x01, 0x02];
+        let mut r = Reader::new(&der);
+        assert!(r.read_optional_context(1).unwrap().is_none());
+        assert!(r.read_optional_context(0).unwrap().is_some());
+        assert!(r.read_optional_context(0).unwrap().is_none());
+        let tlv = r.read_expected(tags::INTEGER).unwrap();
+        assert_eq!(tlv.value, &[0x02]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn sequence_contents_must_be_fully_consumed() {
+        let der = [0x30, 0x03, 0x02, 0x01, 0x07];
+        let mut r = Reader::new(&der);
+        let err = r
+            .read_sequence(|_inner| Ok(())) // consume nothing
+            .unwrap_err();
+        assert_eq!(err, Error::TrailingData { remaining: 3 });
+    }
+}

@@ -1,0 +1,234 @@
+//! DER writer producing canonical encodings.
+
+use crate::oid::Oid;
+use crate::strings::StringKind;
+use crate::tag::{tags, Tag};
+use crate::time::DateTime;
+
+/// An append-only DER encoder.
+///
+/// Nested structures are written with [`Writer::write_constructed`], which
+/// buffers the child encoding and emits the correct definite length — DER
+/// forbids indefinite lengths, so lengths must be known before the header is
+/// written.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consume the writer and return the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    fn write_tag(&mut self, tag: Tag) {
+        if tag.number < 31 {
+            self.out.push(tag.first_octet());
+        } else {
+            self.out.push(tag.first_octet()); // low bits all-ones marker
+            let mut n = tag.number;
+            let mut stack = [0u8; 5];
+            let mut i = 0;
+            loop {
+                stack[i] = (n & 0x7F) as u8;
+                n >>= 7;
+                i += 1;
+                if n == 0 {
+                    break;
+                }
+            }
+            while i > 1 {
+                i -= 1;
+                self.out.push(stack[i] | 0x80);
+            }
+            self.out.push(stack[0]);
+        }
+    }
+
+    fn write_length(&mut self, len: usize) {
+        if len < 0x80 {
+            self.out.push(len as u8);
+        } else {
+            let bytes = (len as u64).to_be_bytes();
+            let skip = bytes.iter().take_while(|&&b| b == 0).count();
+            let significant = &bytes[skip..];
+            self.out.push(0x80 | significant.len() as u8);
+            self.out.extend_from_slice(significant);
+        }
+    }
+
+    /// Write a complete TLV with the given tag and content octets.
+    pub fn write_tlv(&mut self, tag: Tag, value: &[u8]) {
+        self.write_tag(tag);
+        self.write_length(value.len());
+        self.out.extend_from_slice(value);
+    }
+
+    /// Append pre-encoded DER verbatim (already a complete TLV).
+    pub fn write_raw(&mut self, der: &[u8]) {
+        self.out.extend_from_slice(der);
+    }
+
+    /// Write a constructed element whose contents are produced by `f`.
+    pub fn write_constructed(&mut self, tag: Tag, f: impl FnOnce(&mut Writer)) {
+        let mut inner = Writer::new();
+        f(&mut inner);
+        self.write_tlv(tag, &inner.out);
+    }
+
+    /// Write a SEQUENCE whose contents are produced by `f`.
+    pub fn write_sequence(&mut self, f: impl FnOnce(&mut Writer)) {
+        self.write_constructed(tags::SEQUENCE, f);
+    }
+
+    /// Write a SET whose contents are produced by `f`.
+    ///
+    /// Note: DER requires SET OF contents sorted by encoding; X.509 RDN SETs
+    /// almost always hold a single element, so sorting is the caller's
+    /// responsibility when it matters.
+    pub fn write_set(&mut self, f: impl FnOnce(&mut Writer)) {
+        self.write_constructed(tags::SET, f);
+    }
+
+    /// Write `NULL`.
+    pub fn write_null(&mut self) {
+        self.write_tlv(tags::NULL, &[]);
+    }
+
+    /// Write a BOOLEAN (DER: `0xFF` for true).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_tlv(tags::BOOLEAN, &[if v { 0xFF } else { 0x00 }]);
+    }
+
+    /// Write a non-negative INTEGER from a u64.
+    pub fn write_u64(&mut self, v: u64) {
+        let body = crate::integer::encode_u64(v);
+        self.write_tlv(tags::INTEGER, &body);
+    }
+
+    /// Write an INTEGER from raw big-endian unsigned magnitude bytes
+    /// (a leading zero is added if needed to keep the value non-negative).
+    pub fn write_unsigned_integer(&mut self, magnitude: &[u8]) {
+        let body = crate::integer::encode_unsigned(magnitude);
+        self.write_tlv(tags::INTEGER, &body);
+    }
+
+    /// Write an OBJECT IDENTIFIER.
+    pub fn write_oid(&mut self, oid: &Oid) {
+        self.write_tlv(tags::OBJECT_IDENTIFIER, oid.as_der_value());
+    }
+
+    /// Write an OCTET STRING.
+    pub fn write_octet_string(&mut self, bytes: &[u8]) {
+        self.write_tlv(tags::OCTET_STRING, bytes);
+    }
+
+    /// Write a BIT STRING with no unused bits.
+    pub fn write_bit_string(&mut self, bytes: &[u8]) {
+        let mut body = Vec::with_capacity(bytes.len() + 1);
+        body.push(0);
+        body.extend_from_slice(bytes);
+        self.write_tlv(tags::BIT_STRING, &body);
+    }
+
+    /// Write a character string of the given ASN.1 kind.
+    ///
+    /// The text is encoded per the kind's wire format (UTF-8, UCS-2, …) but
+    /// **not validated** against the kind's character set — see the crate
+    /// docs for why the generator needs to emit noncompliant strings.
+    pub fn write_string(&mut self, kind: StringKind, text: &str) {
+        let body = kind.encode_lossy(text);
+        self.write_tlv(kind.tag(), &body);
+    }
+
+    /// Write raw bytes under a string kind's tag (arbitrary, possibly
+    /// malformed contents — the §3.2 mutation path).
+    pub fn write_string_raw(&mut self, kind: StringKind, bytes: &[u8]) {
+        self.write_tlv(kind.tag(), bytes);
+    }
+
+    /// Write a time value, choosing UTCTime for 1950..=2049 and
+    /// GeneralizedTime otherwise, as RFC 5280 §4.1.2.5 requires.
+    pub fn write_time(&mut self, dt: &DateTime) {
+        if (1950..=2049).contains(&dt.year) {
+            self.write_tlv(tags::UTC_TIME, dt.to_utc_time_string().as_bytes());
+        } else {
+            self.write_tlv(tags::GENERALIZED_TIME, dt.to_generalized_string().as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_single;
+
+    #[test]
+    fn short_and_long_lengths() {
+        let mut w = Writer::new();
+        w.write_octet_string(&[0u8; 127]);
+        assert_eq!(&w.as_bytes()[..2], &[0x04, 0x7F]);
+
+        let mut w = Writer::new();
+        w.write_octet_string(&[0u8; 128]);
+        assert_eq!(&w.as_bytes()[..3], &[0x04, 0x81, 0x80]);
+
+        let mut w = Writer::new();
+        w.write_octet_string(&[0u8; 300]);
+        assert_eq!(&w.as_bytes()[..4], &[0x04, 0x82, 0x01, 0x2C]);
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = Writer::new();
+        w.write_sequence(|w| {
+            w.write_u64(42);
+            w.write_bool(true);
+            w.write_null();
+        });
+        let der = w.into_bytes();
+        let tlv = parse_single(&der).unwrap();
+        let mut inner = tlv.contents();
+        assert_eq!(inner.read_tlv().unwrap().value, &[42]);
+        assert_eq!(inner.read_tlv().unwrap().value, &[0xFF]);
+        assert_eq!(inner.read_tlv().unwrap().value, &[]);
+        inner.finish().unwrap();
+    }
+
+    #[test]
+    fn high_tag_number_writing() {
+        let mut w = Writer::new();
+        w.write_tlv(Tag::context(100), &[]);
+        assert_eq!(w.as_bytes(), &[0x9F, 0x64, 0x00]);
+        let tlv = parse_single(w.as_bytes()).unwrap();
+        assert_eq!(tlv.tag, Tag::context(100));
+    }
+
+    #[test]
+    fn bit_string_prepends_unused_bits() {
+        let mut w = Writer::new();
+        w.write_bit_string(&[0xDE, 0xAD]);
+        assert_eq!(w.as_bytes(), &[0x03, 0x03, 0x00, 0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn time_tag_selection() {
+        let mut w = Writer::new();
+        w.write_time(&DateTime::new(2024, 5, 1, 0, 0, 0).unwrap());
+        assert_eq!(w.as_bytes()[0], 0x17); // UTCTime
+        let mut w = Writer::new();
+        w.write_time(&DateTime::new(2050, 1, 1, 0, 0, 0).unwrap());
+        assert_eq!(w.as_bytes()[0], 0x18); // GeneralizedTime
+    }
+}

@@ -1,0 +1,121 @@
+//! Criterion performance benches for the pipeline's hot paths: DER
+//! parsing, linting, corpus generation, Punycode, NFC, and the
+//! differential inference engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unicert::asn1::{DateTime, StringKind};
+use unicert::corpus::{CorpusConfig, CorpusGenerator};
+use unicert::lint::RunOptions;
+use unicert::parsers::{all_profiles, infer, Field};
+use unicert::x509::{Certificate, CertificateBuilder, SimKey};
+
+fn sample_cert() -> Certificate {
+    CertificateBuilder::new()
+        .subject_cn("bench.example.com")
+        .subject_org("Müller GmbH")
+        .add_dns_san("bench.example.com")
+        .add_dns_san("xn--mnchen-3ya.example.com")
+        .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+        .build_signed(&SimKey::from_seed("bench-ca"))
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let cert = sample_cert();
+    let mut g = c.benchmark_group("x509");
+    g.throughput(Throughput::Bytes(cert.raw.len() as u64));
+    g.bench_function("parse_der", |b| {
+        b.iter(|| Certificate::parse_der(black_box(&cert.raw)).unwrap())
+    });
+    g.bench_function("to_der", |b| {
+        let parsed = Certificate::parse_der(&cert.raw).unwrap();
+        b.iter(|| black_box(&parsed).to_der())
+    });
+    g.finish();
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let registry = unicert::corpus::lint_registry();
+    let clean = sample_cert();
+    let dirty = CertificateBuilder::new()
+        .subject_attr_raw(
+            unicert::asn1::oid::known::organization_name(),
+            StringKind::Utf8,
+            b"Evil\x00Org",
+        )
+        .subject_attr(unicert::asn1::oid::known::common_name(), StringKind::Bmp, "bmp.example")
+        .add_dns_san("xn--www-hn0a.example")
+        .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+        .build_signed(&SimKey::from_seed("bench-ca"));
+    let mut g = c.benchmark_group("lint");
+    g.bench_function("registry_95_lints_clean", |b| {
+        b.iter(|| registry.run(black_box(&clean), RunOptions::default()))
+    });
+    g.bench_function("registry_95_lints_noncompliant", |b| {
+        b.iter(|| registry.run(black_box(&dirty), RunOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    for size in [100usize, 1_000] {
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_with_input(BenchmarkId::new("generate", size), &size, |b, &size| {
+            b.iter(|| {
+                CorpusGenerator::new(CorpusConfig {
+                    size,
+                    seed: 42,
+                    precert_fraction: 0.0,
+                    latent_defects: false,
+                })
+                .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_unicode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unicode");
+    g.bench_function("punycode_encode", |b| {
+        b.iter(|| unicert::idna::punycode::encode(black_box("bücher-und-kaffee-münchen")))
+    });
+    g.bench_function("punycode_decode", |b| {
+        b.iter(|| unicert::idna::punycode::decode(black_box("bcher-und-kaffee-mnchen-9ocb5e")))
+    });
+    g.bench_function("nfc_mixed", |b| {
+        b.iter(|| unicert::unicode::nfc::nfc(black_box("I\u{302}le-de-France — cafe\u{301} au lait")))
+    });
+    g.bench_function("idn_validate_dns", |b| {
+        b.iter(|| {
+            unicert::idna::validate_dns_name(
+                black_box("xn--mnchen-3ya.example.com"),
+                Default::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let profiles = all_profiles();
+    c.bench_function("inference/table4_full_matrix", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                for kind in [StringKind::Printable, StringKind::Ia5, StringKind::Bmp, StringKind::Utf8] {
+                    let _ = infer(p.as_ref(), kind, Field::SubjectDn);
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_lint,
+    bench_corpus,
+    bench_unicode,
+    bench_inference
+);
+criterion_main!(benches);

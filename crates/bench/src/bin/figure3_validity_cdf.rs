@@ -1,0 +1,43 @@
+//! E-F3 — regenerate **Figure 3**: CDF of Unicert validity period by
+//! certificate class (IDNCert / other Unicert / noncompliant), printed as
+//! CDF values at the paper's notable day marks.
+
+use unicert_bench::table;
+
+fn cdf_at(samples: &[i64], day: i64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&d| d <= day).count() as f64 / samples.len() as f64
+}
+
+fn main() {
+    let config = unicert_bench::corpus_args(100_000);
+    eprintln!("corpus: {} Unicerts (seed {})", config.size, config.seed);
+    let report = unicert_bench::standard_survey(config);
+    let v = &report.validity;
+
+    let marks = [90i64, 180, 365, 398, 700, 1000];
+    let mut rows = Vec::new();
+    for day in marks {
+        rows.push(vec![
+            format!("≤ {day} days"),
+            format!("{:.3}", cdf_at(&v.idn, day)),
+            format!("{:.3}", cdf_at(&v.other, day)),
+            format!("{:.3}", cdf_at(&v.noncompliant, day)),
+        ]);
+    }
+    println!("Figure 3 — CDF of Unicert validity period (by class)");
+    println!(
+        "{}",
+        table::render(&["Mark", "IDNCert", "Other Unicert", "Noncompliant"], &rows)
+    );
+    println!(
+        "samples: idn={} other={} noncompliant={}",
+        v.idn.len(),
+        v.other.len(),
+        v.noncompliant.len()
+    );
+    println!("paper anchors: 89.6% of IDNCerts on the 90-day trend; >10.7% of other");
+    println!("Unicerts exceed 398 days; ~50% of NC certs last ≥1 year, >20% beyond 700 days.");
+}

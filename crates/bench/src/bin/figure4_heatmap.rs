@@ -1,0 +1,52 @@
+//! E-F4 — regenerate **Figure 4**: fields containing internationalized
+//! contents per issuer, with the deviation (noncompliance) overlay, as a
+//! text heat map (`·` = Unicode present, `+` = deviating from standards).
+
+use std::collections::BTreeSet;
+use unicert_bench::table;
+
+fn main() {
+    let config = unicert_bench::corpus_args(60_000);
+    eprintln!("corpus: {} Unicerts (seed {})", config.size, config.seed);
+    let report = unicert_bench::standard_survey(config);
+
+    let fields: Vec<&'static str> =
+        vec!["CN", "O", "OU", "L", "ST", "STREET", "serialNumber", "SAN", "CP"];
+    let issuers: BTreeSet<String> = report
+        .field_matrix
+        .keys()
+        .map(|(issuer, _)| issuer.clone())
+        .collect();
+
+    let mut headers: Vec<&str> = vec!["Issuer"];
+    headers.extend(fields.iter().copied());
+    let mut rows = Vec::new();
+    for issuer in &issuers {
+        // Only issuers with enough signal, as the paper plots CAs > 5K.
+        let total: usize = fields
+            .iter()
+            .filter_map(|f| report.field_matrix.get(&(issuer.clone(), *f)))
+            .map(|(u, _)| *u)
+            .sum();
+        if total < 20 {
+            continue;
+        }
+        let mut row = vec![issuer.clone()];
+        for f in &fields {
+            let cell = match report.field_matrix.get(&(issuer.clone(), *f)) {
+                None | Some((0, _)) => " ".to_string(),
+                Some((_, 0)) => "·".to_string(),
+                Some((_, _)) => "+".to_string(),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    println!("Figure 4 — Fields containing internationalized contents per issuer");
+    println!("(· = Unicode present · + = Unicode present with standard deviations)");
+    println!("{}", table::render(&headers, &rows));
+    println!("paper anchors: most issuers use Unicode in Subject fields; automated DV");
+    println!("issuers (Let's Encrypt et al.) show IDNs only in SAN; regional CAs carry");
+    println!("localized scripts across many fields, with deviations concentrated there.");
+}

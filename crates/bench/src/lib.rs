@@ -1,0 +1,37 @@
+//! Experiment-harness support: argument handling, table rendering, and the
+//! shared survey runner used by the per-table/per-figure binaries in
+//! `src/bin/`.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation (see
+//! DESIGN.md §4 for the index):
+//!
+//! ```text
+//! cargo run --release -p unicert-bench --bin table1_taxonomy  [-- size seed]
+//! ```
+
+pub mod table;
+
+use unicert::corpus::{CorpusConfig, CorpusGenerator};
+use unicert::survey::{self, SurveyOptions, SurveyReport};
+
+/// Parse `[size] [seed]` from argv with experiment defaults.
+pub fn corpus_args(default_size: usize) -> CorpusConfig {
+    let mut args = std::env::args().skip(1);
+    let size = args.next().and_then(|s| s.parse().ok()).unwrap_or(default_size);
+    let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    CorpusConfig { size, seed, precert_fraction: 0.0, latent_defects: true }
+}
+
+/// Run the standard survey over a fresh corpus.
+pub fn standard_survey(config: CorpusConfig) -> SurveyReport {
+    survey::run(CorpusGenerator::new(config), SurveyOptions::default())
+}
+
+/// Format a rate as `x.xx%`.
+pub fn pct(part: usize, whole: usize) -> String {
+    if whole == 0 {
+        "0.00%".into()
+    } else {
+        format!("{:.2}%", 100.0 * part as f64 / whole as f64)
+    }
+}

@@ -1,0 +1,77 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render rows as an aligned plain-text table with a header rule.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a count with a percentage of a total, like the paper's tables
+/// ("43.2K (17.3%)").
+pub fn count_pct(count: usize, total: usize) -> String {
+    let pct = if total == 0 { 0.0 } else { 100.0 * count as f64 / total as f64 };
+    format!("{} ({:.1}%)", human(count), pct)
+}
+
+/// Human-compact count ("43.2K", "1.3M").
+pub fn human(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(
+            &["name", "n"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "name    n");
+        assert_eq!(lines[2], "a       1");
+        assert_eq!(lines[3], "longer  22");
+    }
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(43_240), "43.2K");
+        assert_eq!(human(1_300_000), "1.3M");
+        assert_eq!(count_pct(5, 0), "5 (0.0%)");
+        assert_eq!(count_pct(1, 4), "1 (25.0%)");
+    }
+}

@@ -1,0 +1,102 @@
+//! `unicertlint` — lint certificates from files against the 95-rule
+//! Unicert registry (the Zlint-style CLI the paper's recommendations
+//! propose releasing).
+//!
+//! ```text
+//! unicertlint [--ungated] [--quiet] <cert.pem|cert.der>...
+//! unicertlint --demo            # lint a built-in noncompliant example
+//! ```
+//!
+//! Exit status: 0 = all compliant, 1 = findings, 2 = usage/parse error.
+
+use unicert::lint::{RunOptions, Severity};
+use unicert::x509::{pem, Certificate};
+
+fn load_certificate(path: &str) -> Result<Certificate, String> {
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let der = if data.starts_with(b"-----BEGIN") || data.windows(10).take(200).any(|w| w == b"-----BEGIN") {
+        let text = String::from_utf8_lossy(&data);
+        let (label, der) = pem::decode(&text).map_err(|e| format!("{path}: PEM: {e}"))?;
+        if label != "CERTIFICATE" {
+            return Err(format!("{path}: unexpected PEM label {label:?}"));
+        }
+        der
+    } else {
+        data
+    };
+    Certificate::parse_der(&der).map_err(|e| format!("{path}: DER: {e}"))
+}
+
+fn demo_certificate() -> Certificate {
+    use unicert::asn1::oid::known;
+    use unicert::asn1::{DateTime, StringKind};
+    use unicert::x509::{CertificateBuilder, SimKey};
+    CertificateBuilder::new()
+        .subject_attr(known::common_name(), StringKind::Bmp, "demo.example")
+        .subject_attr_raw(known::organization_name(), StringKind::Utf8, b"Demo\x00Org")
+        .add_dns_san("demo.example")
+        .add_dns_san("xn--www-hn0a.demo.example")
+        .validity_days(DateTime::date(2024, 6, 1).expect("static"), 90)
+        .build_signed(&SimKey::from_seed("demo-ca"))
+}
+
+fn lint_one(name: &str, cert: &Certificate, opts: RunOptions, quiet: bool) -> usize {
+    let registry = unicert::corpus::lint_registry();
+    let report = registry.run(cert, opts);
+    let class = unicert::classify::classify(cert);
+    println!(
+        "{name}: subject={:?} unicert={} idn={} findings={}",
+        cert.tbs.subject.common_name().unwrap_or_default(),
+        class.is_unicert(),
+        class.is_idn_cert(),
+        report.findings.len()
+    );
+    if !quiet {
+        for f in &report.findings {
+            let sev = match f.severity {
+                Severity::Error => "ERROR",
+                Severity::Warning => "WARN ",
+            };
+            println!("  {sev} [{}] {}", f.nc_type.label(), f.lint);
+        }
+    }
+    report.findings.len()
+}
+
+fn main() {
+    let mut opts = RunOptions::default();
+    let mut quiet = false;
+    let mut demo = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--ungated" => opts.enforce_effective_dates = false,
+            "--quiet" => quiet = true,
+            "--demo" => demo = true,
+            "--help" | "-h" => {
+                eprintln!("usage: unicertlint [--ungated] [--quiet] <cert.pem|cert.der>... | --demo");
+                std::process::exit(0);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if !demo && paths.is_empty() {
+        eprintln!("usage: unicertlint [--ungated] [--quiet] <cert.pem|cert.der>... | --demo");
+        std::process::exit(2);
+    }
+
+    let mut findings = 0usize;
+    if demo {
+        findings += lint_one("demo", &demo_certificate(), opts, quiet);
+    }
+    for path in &paths {
+        match load_certificate(path) {
+            Ok(cert) => findings += lint_one(path, &cert, opts, quiet),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(if findings == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,166 @@
+//! Unicert classification (§2.3 / §4.1).
+//!
+//! A certificate is a *Unicert* when it contains characters beyond
+//! printable ASCII (U+0020–U+007E) in any field, or IDNs in its
+//! DNSName-related fields. An *IDNCert* is the IDN-carrying subset.
+
+use unicert_asn1::oid::known;
+
+use unicert_x509::{Certificate, GeneralName};
+
+/// Classification of one certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnicertClass {
+    /// Any field carries non-printable-ASCII content.
+    pub has_unicode: bool,
+    /// DNS-related fields carry IDNs (A-labels or raw U-labels).
+    pub has_idn: bool,
+}
+
+impl UnicertClass {
+    /// Is this certificate a Unicert at all?
+    pub fn is_unicert(&self) -> bool {
+        self.has_unicode || self.has_idn
+    }
+
+    /// Is it an IDNCert?
+    pub fn is_idn_cert(&self) -> bool {
+        self.has_idn
+    }
+}
+
+fn value_has_unicode(bytes: &[u8]) -> bool {
+    // Raw byte view: anything outside 0x20..=0x7E counts (§2.3 applies to
+    // contents regardless of decodability).
+    bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b))
+}
+
+/// Classify a certificate.
+pub fn classify(cert: &Certificate) -> UnicertClass {
+    let mut has_unicode = false;
+    let mut has_idn = false;
+
+    for attr in cert.tbs.subject.attributes().chain(cert.tbs.issuer.attributes()) {
+        if value_has_unicode(&attr.value.bytes) {
+            has_unicode = true;
+        }
+        // CN may carry a domain: IDN check applies to it too (§4.1 —
+        // "containing IDNs in the DNSName-related fields (e.g. CommonName
+        // and the extensions)").
+        if attr.oid == known::common_name() {
+            if let Ok(text) = attr.value.decode_wire() {
+                if unicert_idna::is_idn_domain(&text) {
+                    has_idn = true;
+                }
+            }
+        }
+    }
+    for ext in &cert.tbs.extensions {
+        if let Ok(parsed) = ext.parse() {
+            use unicert_x509::ParsedExtension::*;
+            let names: Vec<GeneralName> = match parsed {
+                SubjectAltName(n) | IssuerAltName(n) => n,
+                CrlDistributionPoints(dps) => dps.into_iter().flat_map(|d| d.full_names).collect(),
+                AuthorityInfoAccess(ads) | SubjectInfoAccess(ads) => {
+                    ads.into_iter().map(|a| a.location).collect()
+                }
+                CertificatePolicies(ps) => {
+                    for p in &ps {
+                        for q in &p.qualifiers {
+                            if let unicert_x509::extensions::PolicyQualifier::UserNotice {
+                                explicit_text: Some(t),
+                            } = q
+                            {
+                                if value_has_unicode(&t.bytes) {
+                                    has_unicode = true;
+                                }
+                            }
+                        }
+                    }
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            };
+            for n in names {
+                match n {
+                    GeneralName::DnsName(v) => {
+                        if value_has_unicode(&v.bytes) {
+                            has_unicode = true;
+                        }
+                        if let Ok(text) = v.decode_wire() {
+                            if unicert_idna::is_idn_domain(&text) {
+                                has_idn = true;
+                            }
+                        }
+                    }
+                    GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
+                        if value_has_unicode(&v.bytes) {
+                            has_unicode = true;
+                        }
+                        if let Ok(text) = v.decode_wire() {
+                            if text.split(['@', '/']).any(unicert_idna::is_idn_domain) {
+                                has_idn = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    UnicertClass { has_unicode, has_idn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::DateTime;
+    use unicert_x509::{CertificateBuilder, SimKey};
+
+    fn build(f: impl FnOnce(CertificateBuilder) -> CertificateBuilder) -> Certificate {
+        f(CertificateBuilder::new().validity_days(DateTime::date(2024, 6, 1).unwrap(), 90))
+            .build_signed(&SimKey::from_seed("classify-ca"))
+    }
+
+    #[test]
+    fn ascii_cert_is_not_a_unicert() {
+        let cert = build(|b| b.subject_cn("plain.example").add_dns_san("plain.example"));
+        // Issuer has ASCII defaults too.
+        let c = classify(&cert);
+        assert!(!c.is_unicert());
+    }
+
+    #[test]
+    fn unicode_org_is_a_unicert() {
+        let cert = build(|b| b.subject_org("Müller GmbH"));
+        assert!(classify(&cert).is_unicert());
+        assert!(!classify(&cert).is_idn_cert());
+    }
+
+    #[test]
+    fn ace_san_is_an_idncert() {
+        let cert = build(|b| b.add_dns_san("xn--mnchen-3ya.de"));
+        let c = classify(&cert);
+        assert!(c.is_idn_cert());
+        assert!(c.is_unicert());
+        assert!(!c.has_unicode); // pure ASCII bytes, still an IDNCert
+    }
+
+    #[test]
+    fn idn_in_cn_counts() {
+        let cert = build(|b| b.subject_cn("xn--fiqs8s.cn"));
+        assert!(classify(&cert).is_idn_cert());
+    }
+
+    #[test]
+    fn control_bytes_count_as_unicode() {
+        let cert = build(|b| {
+            b.subject_attr_raw(
+                unicert_asn1::oid::known::organization_name(),
+                unicert_asn1::StringKind::Utf8,
+                b"Evil\x00Org",
+            )
+        });
+        assert!(classify(&cert).has_unicode);
+    }
+}

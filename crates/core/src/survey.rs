@@ -1,0 +1,409 @@
+//! The end-to-end compliance survey pipeline (§4): corpus → precertificate
+//! filter → Unicert classification → linting → aggregation.
+//!
+//! One [`SurveyReport`] carries everything Tables 1, 2 and 11 and Figures
+//! 2, 3 and 4 need.
+
+use crate::classify;
+use std::collections::BTreeMap;
+use unicert_asn1::DateTime;
+use unicert_corpus::{CorpusEntry, TrustStatus};
+use unicert_lint::{NoncomplianceType, RunOptions, Severity};
+
+/// Per-taxonomy-type aggregation (one Table 1 row).
+#[derive(Debug, Clone, Default)]
+pub struct TypeStats {
+    /// Unicerts with at least one finding of this type.
+    pub certs: usize,
+    /// …of which detected (also) by new lints.
+    pub by_new_lints: usize,
+    /// …with an Error-level finding of this type.
+    pub errors: usize,
+    /// …with a Warning-level finding of this type.
+    pub warnings: usize,
+    /// …from publicly trusted issuers.
+    pub trusted: usize,
+    /// …issued in 2024–2025.
+    pub recent: usize,
+    /// …still valid in 2024–2025.
+    pub alive: usize,
+}
+
+/// Per-issuer aggregation (one Table 2 row).
+#[derive(Debug, Clone)]
+pub struct IssuerStats {
+    /// Trust status.
+    pub trust: TrustStatus,
+    /// Total Unicerts.
+    pub total: usize,
+    /// Noncompliant Unicerts.
+    pub noncompliant: usize,
+    /// Noncompliant Unicerts issued 2024–2025.
+    pub recent_noncompliant: usize,
+}
+
+/// Per-year aggregation (the Figure 2 series).
+#[derive(Debug, Clone, Default)]
+pub struct YearStats {
+    /// Unicerts issued this year.
+    pub issued: usize,
+    /// …from trusted issuers.
+    pub trusted: usize,
+    /// …noncompliant.
+    pub noncompliant: usize,
+    /// Unicerts *valid during* this year (the "alive" lines).
+    pub alive: usize,
+    /// Noncompliant Unicerts valid during this year.
+    pub alive_noncompliant: usize,
+}
+
+/// Validity-period samples per certificate class (Figure 3's CDFs).
+#[derive(Debug, Clone, Default)]
+pub struct ValiditySamples {
+    /// IDNCerts.
+    pub idn: Vec<i64>,
+    /// Non-IDN Unicerts.
+    pub other: Vec<i64>,
+    /// Noncompliant Unicerts.
+    pub noncompliant: Vec<i64>,
+}
+
+/// The survey result.
+#[derive(Debug, Clone, Default)]
+pub struct SurveyReport {
+    /// CT entries inspected (including precertificates).
+    pub entries: usize,
+    /// Precertificates filtered out (§4.1).
+    pub precerts_filtered: usize,
+    /// Leaf Unicerts analyzed.
+    pub total: usize,
+    /// IDNCerts among them.
+    pub idn_certs: usize,
+    /// Unicerts from publicly trusted issuers.
+    pub trusted_total: usize,
+    /// Noncompliant Unicerts (≥ 1 finding).
+    pub noncompliant: usize,
+    /// …from publicly trusted issuers.
+    pub noncompliant_trusted: usize,
+    /// …detected by at least one of the 50 new lints.
+    pub noncompliant_by_new_lints: usize,
+    /// Per-type stats (Table 1).
+    pub by_type: BTreeMap<NoncomplianceType, TypeStats>,
+    /// Per-lint firing counts (Table 11).
+    pub by_lint: BTreeMap<&'static str, usize>,
+    /// Per-issuer stats (Table 2).
+    pub by_issuer: BTreeMap<String, IssuerStats>,
+    /// Per-year stats (Figure 2).
+    pub by_year: BTreeMap<i32, YearStats>,
+    /// Validity samples (Figure 3).
+    pub validity: ValiditySamples,
+    /// (issuer, field) → certificates whose field carries
+    /// internationalized content (Figure 4's heat map), alongside how many
+    /// of those deviate from the standards.
+    pub field_matrix: BTreeMap<(String, &'static str), (usize, usize)>,
+}
+
+/// Survey options.
+#[derive(Debug, Clone, Copy)]
+pub struct SurveyOptions {
+    /// Lint run options (effective-date gating).
+    pub lint: RunOptions,
+    /// Collect the Figure 4 field matrix (touches every attribute; off for
+    /// speed-sensitive callers).
+    pub field_matrix: bool,
+}
+
+impl Default for SurveyOptions {
+    fn default() -> Self {
+        SurveyOptions { lint: RunOptions::default(), field_matrix: true }
+    }
+}
+
+const ALIVE_FROM: i32 = 2024;
+const RECENT_FROM: i32 = 2024;
+
+/// Run the survey over a corpus stream.
+pub fn run(entries: impl Iterator<Item = CorpusEntry>, opts: SurveyOptions) -> SurveyReport {
+    let registry = unicert_corpus::lint_registry();
+    let mut report = SurveyReport::default();
+
+    for entry in entries {
+        report.entries += 1;
+        // §4.1: precertificates are filtered out by the poison extension.
+        if entry.cert.tbs.is_precertificate() {
+            report.precerts_filtered += 1;
+            continue;
+        }
+        report.total += 1;
+
+        let class = classify::classify(&entry.cert);
+        if class.is_idn_cert() {
+            report.idn_certs += 1;
+        }
+        let trusted = entry.meta.trust == TrustStatus::Public;
+        if trusted {
+            report.trusted_total += 1;
+        }
+
+        let issued = entry.cert.tbs.validity.not_before;
+        let expires = entry.cert.tbs.validity.not_after;
+        let recent = issued.year >= RECENT_FROM;
+        let alive_now = expires.year >= ALIVE_FROM
+            && issued <= DateTime::date(2025, 4, 30).expect("static date");
+        let validity_days = entry.cert.tbs.validity.period_days();
+
+        let lint_report = registry.run(&entry.cert, opts.lint);
+        let nc = lint_report.is_noncompliant();
+
+        // Figure 3 samples.
+        if nc {
+            report.validity.noncompliant.push(validity_days);
+        }
+        if class.is_idn_cert() {
+            report.validity.idn.push(validity_days);
+        } else {
+            report.validity.other.push(validity_days);
+        }
+
+        // Figure 2 series.
+        for year in issued.year..=expires.year.min(2025) {
+            let ys = report.by_year.entry(year).or_default();
+            ys.alive += 1;
+            if nc {
+                ys.alive_noncompliant += 1;
+            }
+        }
+        let ys = report.by_year.entry(issued.year).or_default();
+        ys.issued += 1;
+        if trusted {
+            ys.trusted += 1;
+        }
+        if nc {
+            ys.noncompliant += 1;
+        }
+
+        // Table 2.
+        let is_ = report
+            .by_issuer
+            .entry(entry.meta.issuer_org.clone())
+            .or_insert_with(|| IssuerStats {
+                trust: entry.meta.trust,
+                total: 0,
+                noncompliant: 0,
+                recent_noncompliant: 0,
+            });
+        is_.total += 1;
+        if nc {
+            is_.noncompliant += 1;
+            if recent {
+                is_.recent_noncompliant += 1;
+            }
+        }
+
+        // Tables 1 and 11.
+        if nc {
+            report.noncompliant += 1;
+            if trusted {
+                report.noncompliant_trusted += 1;
+            }
+            if lint_report.hit_new_lint() {
+                report.noncompliant_by_new_lints += 1;
+            }
+            for nc_type in lint_report.nc_types() {
+                let ts = report.by_type.entry(nc_type).or_default();
+                ts.certs += 1;
+                if trusted {
+                    ts.trusted += 1;
+                }
+                if recent {
+                    ts.recent += 1;
+                }
+                if alive_now {
+                    ts.alive += 1;
+                }
+                let findings = lint_report.findings.iter().filter(|f| f.nc_type == nc_type);
+                let mut has_err = false;
+                let mut has_warn = false;
+                let mut has_new = false;
+                for f in findings {
+                    match f.severity {
+                        Severity::Error => has_err = true,
+                        Severity::Warning => has_warn = true,
+                    }
+                    if f.new_lint {
+                        has_new = true;
+                    }
+                }
+                if has_err {
+                    ts.errors += 1;
+                }
+                if has_warn {
+                    ts.warnings += 1;
+                }
+                if has_new {
+                    ts.by_new_lints += 1;
+                }
+            }
+            for f in &lint_report.findings {
+                *report.by_lint.entry(f.lint).or_default() += 1;
+            }
+        }
+
+        // Figure 4 matrix.
+        if opts.field_matrix {
+            collect_field_matrix(&mut report, &entry, nc);
+        }
+    }
+    report
+}
+
+fn collect_field_matrix(report: &mut SurveyReport, entry: &CorpusEntry, nc: bool) {
+    use unicert_asn1::oid::known;
+    let issuer = entry.meta.issuer_org.clone();
+    let mut mark = |field: &'static str, unicode: bool| {
+        if unicode {
+            let cell = report.field_matrix.entry((issuer.clone(), field)).or_default();
+            cell.0 += 1;
+            if nc {
+                cell.1 += 1;
+            }
+        }
+    };
+    let field_label = |oid: &unicert_asn1::Oid| -> Option<&'static str> {
+        if *oid == known::common_name() {
+            Some("CN")
+        } else if *oid == known::organization_name() {
+            Some("O")
+        } else if *oid == known::organizational_unit() {
+            Some("OU")
+        } else if *oid == known::locality_name() {
+            Some("L")
+        } else if *oid == known::state_or_province() {
+            Some("ST")
+        } else if *oid == known::street_address() {
+            Some("STREET")
+        } else if *oid == known::serial_number() {
+            Some("serialNumber")
+        } else {
+            None
+        }
+    };
+    for attr in entry.cert.tbs.subject.attributes() {
+        if let Some(label) = field_label(&attr.oid) {
+            let unicode = attr.value.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b));
+            mark(label, unicode);
+        }
+    }
+    let sans = entry.cert.tbs.san_dns_names();
+    let san_idn = sans
+        .iter()
+        .any(|h| unicert_idna::is_idn_domain(h) || !h.is_ascii());
+    mark("SAN", san_idn);
+    if entry
+        .cert
+        .tbs
+        .extension(&known::certificate_policies())
+        .is_some()
+    {
+        // explicitText with non-ASCII or non-UTF8 encodings.
+        let texts = unicert_lint::helpers::explicit_texts(&entry.cert);
+        let unicode = texts
+            .iter()
+            .any(|t| t.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b)));
+        mark("CP", unicode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_corpus::{CorpusConfig, CorpusGenerator};
+
+    fn survey(size: usize) -> SurveyReport {
+        let gen = CorpusGenerator::new(CorpusConfig {
+            size,
+            seed: 42,
+            precert_fraction: 0.3,
+            latent_defects: true,
+        });
+        run(gen, SurveyOptions::default())
+    }
+
+    #[test]
+    fn precerts_are_filtered() {
+        let r = survey(2_000);
+        assert!(r.precerts_filtered > 300);
+        assert_eq!(r.total + r.precerts_filtered, r.entries);
+    }
+
+    #[test]
+    fn headline_rates_in_paper_bands() {
+        let r = survey(20_000);
+        let nc_rate = r.noncompliant as f64 / r.total as f64;
+        assert!((0.003..0.02).contains(&nc_rate), "{nc_rate}");
+        // Trusted share of all Unicerts: paper reports 90.1% historically
+        // and ≥97.2% for every CT-era year; our corpus is CT-era only, so
+        // it sits at the high end.
+        let trusted_share = r.trusted_total as f64 / r.total as f64;
+        assert!((0.85..0.995).contains(&trusted_share), "{trusted_share}");
+        // Trusted share of noncompliant ≈ 65% (paper: 65.3%).
+        if r.noncompliant > 50 {
+            let nc_trusted = r.noncompliant_trusted as f64 / r.noncompliant as f64;
+            assert!((0.3..0.9).contains(&nc_trusted), "{nc_trusted}");
+        }
+    }
+
+    #[test]
+    fn invalid_encoding_dominates_types() {
+        let r = survey(30_000);
+        let enc = r.by_type.get(&NoncomplianceType::InvalidEncoding).map(|t| t.certs).unwrap_or(0);
+        let chr = r.by_type.get(&NoncomplianceType::InvalidCharacter).map(|t| t.certs).unwrap_or(0);
+        let fmt = r.by_type.get(&NoncomplianceType::IllegalFormat).map(|t| t.certs).unwrap_or(0);
+        assert!(enc > chr, "encoding {enc} vs character {chr}");
+        assert!(enc > fmt, "encoding {enc} vs format {fmt}");
+    }
+
+    #[test]
+    fn issuer_table_shape() {
+        let r = survey(30_000);
+        // Let's Encrypt dominates volume with a tiny NC rate.
+        let le = &r.by_issuer["Let's Encrypt"];
+        assert!(le.total > r.total / 2);
+        assert!((le.noncompliant as f64) / (le.total as f64) < 0.02);
+        // High-NC issuers show high rates when present.
+        if let Some(cp) = r.by_issuer.get("Česká pošta, s.p.") {
+            if cp.total >= 10 {
+                assert!(cp.noncompliant as f64 / cp.total as f64 > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn trend_is_upward() {
+        let r = survey(20_000);
+        let y2016 = r.by_year.get(&2016).map(|y| y.issued).unwrap_or(0);
+        let y2024 = r.by_year.get(&2024).map(|y| y.issued).unwrap_or(0);
+        assert!(y2024 > y2016 * 3, "{y2016} vs {y2024}");
+    }
+
+    #[test]
+    fn validity_cdf_shapes() {
+        let r = survey(20_000);
+        let frac = |v: &[i64], p: &dyn Fn(i64) -> bool| {
+            if v.is_empty() {
+                return 0.0;
+            }
+            v.iter().filter(|&&d| p(d)).count() as f64 / v.len() as f64
+        };
+        assert!(frac(&r.validity.idn, &|d| d <= 90) > 0.8);
+        assert!(frac(&r.validity.noncompliant, &|d| d >= 365) > 0.4);
+    }
+
+    #[test]
+    fn field_matrix_collects_scripts() {
+        let r = survey(5_000);
+        // Some issuer must show Unicode in O.
+        assert!(r.field_matrix.keys().any(|(_, f)| *f == "O"));
+        assert!(r.field_matrix.keys().any(|(_, f)| *f == "SAN"));
+    }
+}

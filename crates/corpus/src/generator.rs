@@ -1,0 +1,476 @@
+//! The corpus generator: a deterministic stream of synthetic CT entries
+//! whose population statistics reproduce the paper's aggregates (§4,
+//! Tables 1–3, Figures 2–4). See DESIGN.md's substitution table.
+
+use crate::defects::{self, Defect};
+use crate::issuers::{self, IssuancePolicy, IssuerProfile, TrustStatus};
+use crate::subjects;
+use crate::trend::{self, CertClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use unicert_asn1::oid::known;
+use unicert_asn1::{DateTime, StringKind};
+use unicert_x509::extensions::{authority_info_access, AccessDescription};
+use unicert_x509::{Certificate, CertificateBuilder, GeneralName, SimKey};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of leaf Unicerts to produce.
+    pub size: usize,
+    /// RNG seed (corpora are fully deterministic given the seed).
+    pub seed: u64,
+    /// Emit a CT-poisoned precertificate twin for this fraction of entries
+    /// (the paper's CT dataset is 54.7% precertificates before filtering).
+    pub precert_fraction: f64,
+    /// Inject "latent" defects — violations of rules whose effective dates
+    /// postdate the certificate — reproducing the footnote-4 ablation
+    /// (findings inflate ~7× with date gating off).
+    pub latent_defects: bool,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { size: 10_000, seed: 42, precert_fraction: 0.0, latent_defects: true }
+    }
+}
+
+/// Metadata the generator knows about each certificate (ground truth for
+/// evaluating the analysis pipeline).
+#[derive(Debug, Clone)]
+pub struct CertMeta {
+    /// IssuerOrganizationName.
+    pub issuer_org: String,
+    /// Trust status at issuance.
+    pub trust: TrustStatus,
+    /// Issuance date.
+    pub issued: DateTime,
+    /// Validity period in days.
+    pub validity_days: i64,
+    /// Does the certificate carry IDNs in DNS fields?
+    pub is_idn_cert: bool,
+    /// The injected defect, if any.
+    pub injected: Option<Defect>,
+    /// True when the defect is latent (only visible with date gating off).
+    pub latent: bool,
+    /// Is this entry a CT precertificate twin?
+    pub is_precert: bool,
+}
+
+/// One corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The certificate (parsed model + raw DER).
+    pub cert: Certificate,
+    /// Ground-truth metadata.
+    pub meta: CertMeta,
+}
+
+/// Streaming corpus generator.
+pub struct CorpusGenerator {
+    config: CorpusConfig,
+    rng: SmallRng,
+    population: Vec<IssuerProfile>,
+    share_total: f64,
+    keys: HashMap<&'static str, SimKey>,
+    produced: usize,
+    pending_precert: Option<CorpusEntry>,
+}
+
+impl CorpusGenerator {
+    /// Create a generator for the given configuration.
+    pub fn new(config: CorpusConfig) -> CorpusGenerator {
+        let population = issuers::population();
+        let share_total = population.iter().map(|p| p.share).sum();
+        CorpusGenerator {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            population,
+            share_total,
+            keys: HashMap::new(),
+            produced: 0,
+            pending_precert: None,
+        }
+    }
+
+    /// Generate the whole corpus into a vector (prefer iterating for large
+    /// sizes).
+    pub fn collect_all(config: CorpusConfig) -> Vec<CorpusEntry> {
+        CorpusGenerator::new(config).collect()
+    }
+
+    fn pick_issuer(&mut self) -> IssuerProfile {
+        let mut pick = self.rng.gen_range(0.0..self.share_total);
+        for p in &self.population {
+            if pick < p.share {
+                return p.clone();
+            }
+            pick -= p.share;
+        }
+        self.population.last().expect("population non-empty").clone()
+    }
+
+    fn issuer_key(&mut self, org: &'static str) -> SimKey {
+        self.keys
+            .entry(org)
+            .or_insert_with(|| SimKey::from_seed(org))
+            .clone()
+    }
+
+    fn issuer_dn(profile: &IssuerProfile) -> unicert_x509::DistinguishedName {
+        let ca_cn = format!("{} Unicert CA", profile.org_name);
+        unicert_x509::DistinguishedName::from_attributes(&[
+            (known::country_name(), StringKind::Printable, profile.region),
+            (known::organization_name(), StringKind::Utf8, profile.org_name),
+            (known::common_name(), StringKind::Utf8, ca_cn.as_str()),
+        ])
+    }
+
+    fn next_entry(&mut self) -> CorpusEntry {
+        let profile = self.pick_issuer();
+        let year = trend::sample_year(&mut self.rng, profile.active.0, profile.active.1);
+        let issued = trend::sample_date(&mut self.rng, year);
+
+        // Decide noncompliance. The Fig. 2 decline factor is normalized by
+        // the issuer's expected factor over its active years, so each
+        // issuer's *overall* rate still matches its Table 2 value while the
+        // yearly trend slopes downward.
+        let norm = expected_nc_factor(profile.active.0, profile.active.1);
+        let nc_rate = (profile.nc_rate * trend::nc_year_factor(year) / norm).min(0.985);
+        let is_nc = self.rng.gen_bool(nc_rate);
+
+        // Content.
+        let idn_host = profile.policy == IssuancePolicy::IdnOnly
+            || (profile.script != "latin" && self.rng.gen_bool(0.7))
+            || self.rng.gen_bool(0.3);
+        let host = if idn_host {
+            subjects::idn_hostname(&mut self.rng, profile.script)
+        } else {
+            subjects::ascii_hostname(&mut self.rng)
+        };
+        // Certificates with ASCII hostnames must carry non-ASCII subject
+        // text to be Unicerts at all (§2.3); IDN-hosted ones may use any org.
+        let org = if idn_host {
+            subjects::org_name(&mut self.rng, profile.script)
+        } else {
+            subjects::non_ascii_org(&mut self.rng, profile.script)
+        };
+
+        // Defect choice.
+        let (defect, latent) = if is_nc {
+            let table = match profile.policy {
+                IssuancePolicy::IdnOnly => defects::DNS_ONLY_WEIGHTS,
+                IssuancePolicy::FullSubject => defects::GENERAL_WEIGHTS,
+            };
+            (Some(defects::sample(&mut self.rng, table)), false)
+        } else if self.config.latent_defects {
+            self.latent_defect(&profile, issued)
+        } else {
+            (None, false)
+        };
+
+        // Validity class.
+        let class = if defect.is_some() && !latent {
+            CertClass::Noncompliant
+        } else if idn_host {
+            CertClass::IdnCert
+        } else {
+            CertClass::OtherUnicert
+        };
+        let validity_days = trend::sample_validity_days(&mut self.rng, class);
+
+        // Build.
+        let mut serial = [0u8; 10];
+        self.rng.fill(&mut serial);
+        serial[0] |= 0x01; // never zero
+        let mut builder = CertificateBuilder::new()
+            .serial(&serial)
+            .issuer(Self::issuer_dn(&profile))
+            .validity_days(issued, validity_days)
+            .add_dns_san(&host)
+            .add_extension(authority_info_access(&[AccessDescription {
+                method: known::ad_ca_issuers(),
+                location: GeneralName::uri(&format!(
+                    "http://ca.{}.example/issuer.crt",
+                    profile.org_name.to_lowercase().replace([' ', ',', '.', '\''], "-")
+                )),
+            }]));
+
+        match profile.policy {
+            IssuancePolicy::IdnOnly => {
+                // DV automation: CN mirrors the SAN, no other subject info.
+                builder = builder.subject_cn(&host);
+            }
+            IssuancePolicy::FullSubject => {
+                // Defects that inject their own C/O/CN own those attributes;
+                // the base must not duplicate them.
+                if !defect.is_some_and(Defect::provides_country) {
+                    builder = builder.subject_attr(
+                        known::country_name(),
+                        StringKind::Printable,
+                        profile.region,
+                    );
+                }
+                if !defect.is_some_and(Defect::provides_org) {
+                    builder = builder.subject_org(org);
+                }
+                if !defect.is_some_and(Defect::provides_cn) {
+                    builder = builder.subject_cn(&host);
+                }
+            }
+        }
+
+        if let Some(d) = defect {
+            builder = defects::apply(d, builder, org, &host, &mut self.rng);
+        }
+
+        let key = self.issuer_key(profile.org_name);
+        let cert = builder.build_signed(&key);
+        let is_idn_cert = cert
+            .tbs
+            .san_dns_names()
+            .iter()
+            .any(|h| subjects::is_idn(h));
+
+        CorpusEntry {
+            cert,
+            meta: CertMeta {
+                issuer_org: profile.org_name.to_string(),
+                trust: profile.trust,
+                issued,
+                validity_days,
+                is_idn_cert,
+                injected: defect,
+                latent,
+                is_precert: false,
+            },
+        }
+    }
+
+    /// Pick a latent defect: one whose *only* violated lint has an
+    /// effective date after the issuance date. Rates are tuned so that
+    /// disabling date gating inflates total findings by roughly the
+    /// paper's 7× (the footnote-4 ablation).
+    fn latent_defect(&mut self, profile: &IssuerProfile, issued: DateTime) -> (Option<Defect>, bool) {
+        if profile.policy == IssuancePolicy::IdnOnly {
+            // Automated DV issuers have no free-form subject fields to
+            // carry latent text defects.
+            return (None, false);
+        }
+        // Calibrated against the footnote-4 ablation target (≈7× inflation).
+        let rate = match issued.year {
+            ..=2017 => 0.30,
+            2018..=2023 => 0.17,
+            _ => 0.0,
+        };
+        if rate == 0.0 || !self.rng.gen_bool(rate) {
+            return (None, false);
+        }
+        let registry = crate::lint_registry();
+        let latent_table: Vec<(Defect, u32)> = defects::LATENT_WEIGHTS
+            .iter()
+            .copied()
+            .filter(|(d, _)| {
+                registry
+                    .get(d.expected_lint())
+                    .map(|l| issued < l.effective_date())
+                    .unwrap_or(false)
+            })
+            .collect();
+        if latent_table.is_empty() {
+            return (None, false);
+        }
+        (Some(defects::sample(&mut self.rng, &latent_table)), true)
+    }
+}
+
+impl Iterator for CorpusGenerator {
+    type Item = CorpusEntry;
+
+    fn next(&mut self) -> Option<CorpusEntry> {
+        if let Some(pre) = self.pending_precert.take() {
+            return Some(pre);
+        }
+        if self.produced >= self.config.size {
+            return None;
+        }
+        self.produced += 1;
+        let entry = self.next_entry();
+        if self.config.precert_fraction > 0.0 && self.rng.gen_bool(self.config.precert_fraction) {
+            self.pending_precert = Some(make_precert_twin(&entry));
+        }
+        Some(entry)
+    }
+}
+
+/// The issuance-weighted average decline factor over an active range —
+/// the normalizer that keeps per-issuer overall rates at their Table 2
+/// values.
+fn expected_nc_factor(lo: i32, hi: i32) -> f64 {
+    let lo = lo.max(trend::FIRST_YEAR);
+    let hi = hi.min(trend::LAST_YEAR);
+    let mut weight_sum = 0.0;
+    let mut acc = 0.0;
+    for y in lo..=hi {
+        let w = trend::year_weight(y);
+        weight_sum += w;
+        acc += w * trend::nc_year_factor(y);
+    }
+    if weight_sum <= 0.0 {
+        1.0
+    } else {
+        acc / weight_sum
+    }
+}
+
+/// Build the CT-poisoned precertificate twin of an entry (§4.1: filtered
+/// out of analysis by the poison extension).
+fn make_precert_twin(entry: &CorpusEntry) -> CorpusEntry {
+    let mut tbs = entry.cert.tbs.clone();
+    tbs.extensions.insert(0, unicert_x509::extensions::ct_poison());
+    let raw_tbs = tbs.to_der();
+    let key = SimKey::from_seed(&entry.meta.issuer_org);
+    let signature = key.sign(&raw_tbs);
+    let cert = Certificate {
+        tbs,
+        signature_algorithm: entry.cert.signature_algorithm.clone(),
+        signature: unicert_asn1::BitString::from_bytes(&signature),
+        raw_tbs,
+        raw: Vec::new(),
+    };
+    let raw = cert.to_der();
+    CorpusEntry {
+        cert: Certificate { raw, ..cert },
+        meta: CertMeta { is_precert: true, ..entry.meta.clone() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_lint::{RunOptions, Severity};
+
+    fn small_corpus(size: usize, seed: u64) -> Vec<CorpusEntry> {
+        CorpusGenerator::collect_all(CorpusConfig { size, seed, ..Default::default() })
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_corpus(50, 7);
+        let b = small_corpus(50, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cert.raw, y.cert.raw);
+        }
+        let c = small_corpus(50, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.cert.raw != y.cert.raw));
+    }
+
+    #[test]
+    fn all_entries_are_unicerts() {
+        for e in small_corpus(300, 1) {
+            let subject_unicode = e
+                .cert
+                .tbs
+                .subject
+                .attributes()
+                .chain(e.cert.tbs.issuer.attributes())
+                .any(|a| {
+                    a.value
+                        .decode_wire()
+                        .map(|t| unicert_unicode::classify::has_non_printable_ascii(&t))
+                        .unwrap_or(true)
+                });
+            let idn = e.meta.is_idn_cert;
+            assert!(subject_unicode || idn, "not a Unicert: {:?}", e.cert.tbs.subject);
+        }
+    }
+
+    #[test]
+    fn signatures_verify_with_issuer_keys() {
+        for e in small_corpus(100, 2) {
+            let key = SimKey::from_seed(&e.meta.issuer_org);
+            assert!(key.verify(&e.cert.raw_tbs, &e.cert.signature.bytes), "{}", e.meta.issuer_org);
+        }
+    }
+
+    #[test]
+    fn injected_defects_are_detected_and_clean_certs_pass() {
+        let reg = crate::lint_registry();
+        let mut nc_found = 0;
+        let mut clean_violations = 0;
+        for e in small_corpus(800, 3) {
+            let report = reg.run(&e.cert, RunOptions::default());
+            match (&e.meta.injected, e.meta.latent) {
+                (Some(d), false) => {
+                    assert!(
+                        report.findings.iter().any(|f| f.lint == d.expected_lint()),
+                        "{d:?} not detected: {:?}",
+                        report.findings
+                    );
+                    nc_found += 1;
+                }
+                (Some(_), true) => {
+                    // Latent: invisible when gated...
+                    assert!(report.findings.is_empty(), "latent visible: {:?}", report.findings);
+                    // ...but visible ungated.
+                    let ungated = reg.run(&e.cert, RunOptions { enforce_effective_dates: false });
+                    assert!(!ungated.findings.is_empty());
+                }
+                (None, _) => {
+                    if !report.findings.is_empty() {
+                        clean_violations += 1;
+                    }
+                }
+            }
+        }
+        assert!(nc_found > 0, "no NC certs in an 800-cert sample");
+        assert_eq!(clean_violations, 0, "clean certs must lint clean");
+    }
+
+    #[test]
+    fn overall_nc_rate_near_paper() {
+        let reg = crate::lint_registry();
+        let corpus = small_corpus(20_000, 42);
+        let nc = corpus
+            .iter()
+            .filter(|e| reg.run(&e.cert, RunOptions::default()).is_noncompliant())
+            .count();
+        let rate = nc as f64 / corpus.len() as f64;
+        // Paper: 0.72%. Allow a band.
+        assert!((0.003..0.02).contains(&rate), "nc rate {rate}");
+    }
+
+    #[test]
+    fn precert_twins_carry_poison() {
+        let corpus = CorpusGenerator::collect_all(CorpusConfig {
+            size: 200,
+            seed: 9,
+            precert_fraction: 0.5,
+            latent_defects: false,
+        });
+        let pre = corpus.iter().filter(|e| e.meta.is_precert).count();
+        assert!(pre > 30, "{pre}");
+        for e in &corpus {
+            assert_eq!(e.meta.is_precert, e.cert.tbs.is_precertificate());
+        }
+    }
+
+    #[test]
+    fn severity_mix_includes_warnings_and_errors() {
+        let reg = crate::lint_registry();
+        let mut warnings = 0;
+        let mut errors = 0;
+        for e in small_corpus(5_000, 11) {
+            let report = reg.run(&e.cert, RunOptions::default());
+            for f in report.findings {
+                match f.severity {
+                    Severity::Warning => warnings += 1,
+                    Severity::Error => errors += 1,
+                }
+            }
+        }
+        assert!(warnings > 0);
+        assert!(errors > 0);
+    }
+}

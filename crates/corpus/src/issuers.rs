@@ -1,0 +1,138 @@
+//! The issuer population model, calibrated to §4.2 and Table 2.
+//!
+//! Volume shares reproduce the oligopoly ("Let's Encrypt" 25.1M of 34.8M
+//! Unicerts, COMODO 4.8M, cPanel 1.3M — 89.4% of issuance from three
+//! organizations) and the per-issuer noncompliance rates of Table 2
+//! (Česká pošta 96.39%, Symantec 51.47%, …, Let's Encrypt 0.06%).
+
+/// Trust status, as rendered in Table 2 (●/◐/○).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrustStatus {
+    /// Publicly trusted (●).
+    Public,
+    /// Trusted in specific regions or scenarios (◐).
+    Regional,
+    /// Not trusted (○).
+    Untrusted,
+}
+
+/// What kind of content an issuer puts in Unicerts, constraining which
+/// defects it can produce (§4.3.2: automated DV issuers like Let's Encrypt
+/// permit only DNSNames, so their noncompliance is all IDN-related).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssuancePolicy {
+    /// Only IDN DNSNames; no customizable subject fields.
+    IdnOnly,
+    /// Full subject customization (multilingual O/CN/L/…).
+    FullSubject,
+}
+
+/// One issuer organization.
+#[derive(Debug, Clone)]
+pub struct IssuerProfile {
+    /// IssuerOrganizationName.
+    pub org_name: &'static str,
+    /// ISO region code as in Table 2.
+    pub region: &'static str,
+    /// Trust status.
+    pub trust: TrustStatus,
+    /// Share of total Unicert issuance (normalized over the table).
+    pub share: f64,
+    /// Fraction of this issuer's Unicerts that are noncompliant
+    /// (Table 2's "Noncompliant" percentage).
+    pub nc_rate: f64,
+    /// Issuance policy.
+    pub policy: IssuancePolicy,
+    /// First and last year of activity (inclusive), bounding the Fig. 2
+    /// trend contribution.
+    pub active: (i32, i32),
+    /// The subject-script pool this issuer serves (indexes into
+    /// `subjects::SCRIPT_POOLS`), reproducing the Fig. 4 issuer×field
+    /// pattern of region-specific scripts.
+    pub script: &'static str,
+}
+
+/// The issuer population. Shares are relative weights (they need not sum
+/// to 1; the generator normalizes).
+pub fn population() -> Vec<IssuerProfile> {
+    use IssuancePolicy::*;
+    use TrustStatus::*;
+    vec![
+        // The top-3 oligopoly (89.4% of issuance).
+        IssuerProfile { org_name: "Let's Encrypt", region: "US", trust: Public, share: 0.721, nc_rate: 0.0006, policy: IdnOnly, active: (2015, 2025), script: "latin" },
+        IssuerProfile { org_name: "COMODO CA Limited", region: "GB", trust: Public, share: 0.138, nc_rate: 0.0025, policy: FullSubject, active: (2013, 2018), script: "latin" },
+        IssuerProfile { org_name: "cPanel, Inc.", region: "US", trust: Public, share: 0.037, nc_rate: 0.0008, policy: IdnOnly, active: (2016, 2025), script: "latin" },
+        // Mid-size trusted issuers.
+        IssuerProfile { org_name: "DigiCert Inc", region: "US", trust: Public, share: 0.0146, nc_rate: 0.034, policy: FullSubject, active: (2013, 2025), script: "latin" },
+        IssuerProfile { org_name: "ZeroSSL", region: "AT", trust: Public, share: 0.0127, nc_rate: 0.0253, policy: IdnOnly, active: (2020, 2025), script: "latin" },
+        IssuerProfile { org_name: "GEANT Vereniging", region: "NL", trust: Public, share: 0.0062, nc_rate: 0.004, policy: FullSubject, active: (2015, 2025), script: "latin" },
+        IssuerProfile { org_name: "Cloudflare, Inc.", region: "US", trust: Public, share: 0.006, nc_rate: 0.0004, policy: IdnOnly, active: (2014, 2025), script: "latin" },
+        IssuerProfile { org_name: "Amazon", region: "US", trust: Public, share: 0.006, nc_rate: 0.0004, policy: IdnOnly, active: (2015, 2025), script: "latin" },
+        // Table 2's high-noncompliance issuers.
+        IssuerProfile { org_name: "Česká pošta, s.p.", region: "CZ", trust: Untrusted, share: 0.00068, nc_rate: 0.9639, policy: FullSubject, active: (2013, 2020), script: "czech" },
+        IssuerProfile { org_name: "Symantec Corporation", region: "US", trust: Public, share: 0.00101, nc_rate: 0.5147, policy: FullSubject, active: (2013, 2018), script: "latin" },
+        IssuerProfile { org_name: "Dreamcommerce S.A.", region: "PL", trust: Regional, share: 0.00111, nc_rate: 0.4483, policy: FullSubject, active: (2014, 2022), script: "polish" },
+        IssuerProfile { org_name: "StartCom Ltd.", region: "IL", trust: Public, share: 0.00056, nc_rate: 0.7297, policy: FullSubject, active: (2013, 2017), script: "latin" },
+        IssuerProfile { org_name: "Government of Korea", region: "KR", trust: Untrusted, share: 0.00034, nc_rate: 0.8733, policy: FullSubject, active: (2013, 2019), script: "korean" },
+        IssuerProfile { org_name: "VeriSign, Inc.", region: "US", trust: Public, share: 0.00037, nc_rate: 0.5912, policy: FullSubject, active: (2013, 2015), script: "latin" },
+        // Regional issuers with localized scripts (Fig. 4's long tail).
+        IssuerProfile { org_name: "DOMENY.PL sp. z o.o.", region: "PL", trust: Regional, share: 0.0014, nc_rate: 0.012, policy: FullSubject, active: (2014, 2023), script: "polish" },
+        IssuerProfile { org_name: "IPS CA", region: "ES", trust: Untrusted, share: 0.0002, nc_rate: 0.41, policy: FullSubject, active: (2013, 2016), script: "latin" },
+        IssuerProfile { org_name: "Thawte Consulting", region: "ZA", trust: Public, share: 0.0003, nc_rate: 0.33, policy: FullSubject, active: (2013, 2017), script: "latin" },
+        IssuerProfile { org_name: "SECOM Trust Systems", region: "JP", trust: Public, share: 0.0018, nc_rate: 0.02, policy: FullSubject, active: (2013, 2025), script: "japanese" },
+        IssuerProfile { org_name: "Beijing CA", region: "CN", trust: Regional, share: 0.0012, nc_rate: 0.06, policy: FullSubject, active: (2014, 2025), script: "chinese" },
+        IssuerProfile { org_name: "TurkTrust", region: "TR", trust: Regional, share: 0.0008, nc_rate: 0.05, policy: FullSubject, active: (2013, 2022), script: "turkish" },
+        IssuerProfile { org_name: "Russian Federal CA", region: "RU", trust: Untrusted, share: 0.0009, nc_rate: 0.09, policy: FullSubject, active: (2015, 2025), script: "cyrillic" },
+        IssuerProfile { org_name: "Sectigo Limited", region: "GB", trust: Public, share: 0.02, nc_rate: 0.002, policy: FullSubject, active: (2018, 2025), script: "latin" },
+        IssuerProfile { org_name: "GlobalSign nv-sa", region: "BE", trust: Public, share: 0.008, nc_rate: 0.003, policy: FullSubject, active: (2013, 2025), script: "latin" },
+        IssuerProfile { org_name: "GoDaddy.com, Inc.", region: "US", trust: Public, share: 0.007, nc_rate: 0.002, policy: FullSubject, active: (2013, 2025), script: "latin" },
+        IssuerProfile { org_name: "Telekom Security", region: "DE", trust: Public, share: 0.003, nc_rate: 0.008, policy: FullSubject, active: (2013, 2025), script: "german" },
+        // Aggregates standing in for the long tail of 698 organizations
+        // (§4.3: 65.3% of noncompliant Unicerts came from publicly trusted
+        // CAs and 21.1% from limited-trust providers — most of that mass
+        // lives in Table 2's "Other" row, 103K NC certs at 0.29%).
+        IssuerProfile { org_name: "Other trusted CAs (aggregate)", region: "EU", trust: Public, share: 0.060, nc_rate: 0.028, policy: FullSubject, active: (2013, 2025), script: "german" },
+        IssuerProfile { org_name: "Regional CAs (aggregate)", region: "AP", trust: Regional, share: 0.008, nc_rate: 0.11, policy: FullSubject, active: (2013, 2025), script: "japanese" },
+    ]
+}
+
+/// Is the issuer a "trusted" issuer for the §4.2 trusted-share statistic
+/// (public or regional trust at issuance time)?
+pub fn counts_as_trusted(trust: TrustStatus) -> bool {
+    trust == TrustStatus::Public
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oligopoly_shape() {
+        let pop = population();
+        let total: f64 = pop.iter().map(|p| p.share).sum();
+        let top3: f64 = pop.iter().take(3).map(|p| p.share).sum();
+        // Paper: 89.4%. The long-tail aggregates (which stand for hundreds
+        // of distinct organizations) dilute the normalized number slightly.
+        assert!(top3 / total > 0.80, "top3 share {}", top3 / total);
+        // Let's Encrypt dominates.
+        assert!(pop[0].share / total > 0.65);
+    }
+
+    #[test]
+    fn table_2_rates_present() {
+        let pop = population();
+        let get = |name: &str| pop.iter().find(|p| p.org_name == name).unwrap();
+        assert!((get("Česká pošta, s.p.").nc_rate - 0.9639).abs() < 1e-9);
+        assert!((get("Let's Encrypt").nc_rate - 0.0006).abs() < 1e-9);
+        assert!(get("Government of Korea").nc_rate > 0.8);
+    }
+
+    #[test]
+    fn idn_only_issuers_marked() {
+        let pop = population();
+        for name in ["Let's Encrypt", "Cloudflare, Inc.", "Amazon"] {
+            let p = pop.iter().find(|p| p.org_name == name).unwrap();
+            assert_eq!(p.policy, IssuancePolicy::IdnOnly, "{name}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic Certificate Transparency corpus, calibrated to the paper's
+//! published aggregates (§4.1–§4.4).
+//!
+//! The paper analyzed 34.8 million Unicerts drawn from a 70-billion-entry
+//! proprietary CT dataset. This crate substitutes a deterministic generator
+//! whose population statistics reproduce everything the paper reports about
+//! that dataset — issuer oligopoly and per-issuer noncompliance rates
+//! (Table 2), the taxonomy mix (Table 1), issuance trend (Fig. 2), validity
+//! distributions (Fig. 3), per-script field usage (Fig. 4), and Subject
+//! variant strategies (Table 3) — so the downstream analysis pipeline runs
+//! unchanged. See DESIGN.md §3 for the substitution argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defects;
+pub mod generator;
+pub mod issuers;
+pub mod subjects;
+pub mod trend;
+pub mod trust;
+pub mod variants;
+
+pub use defects::Defect;
+pub use generator::{CertMeta, CorpusConfig, CorpusEntry, CorpusGenerator};
+pub use issuers::{IssuancePolicy, IssuerProfile, TrustStatus};
+pub use variants::{VariantPair, VariantStrategy};
+
+use std::sync::OnceLock;
+
+/// The shared default lint registry (building 95 boxed lints is cheap but
+/// not free; callers across the workspace reuse one instance).
+pub fn lint_registry() -> &'static unicert_lint::Registry {
+    static REGISTRY: OnceLock<unicert_lint::Registry> = OnceLock::new();
+    REGISTRY.get_or_init(unicert_lint::default_registry)
+}

@@ -1,0 +1,185 @@
+//! Multilingual subject-content pools, echoing the scripts and examples
+//! the paper observes (German, Polish, Czech, Japanese, Korean, Chinese,
+//! Cyrillic, Turkish organization names; IDN domain stems).
+
+use rand::Rng;
+
+/// One script pool: organization names and IDN domain stems.
+pub struct ScriptPool {
+    /// Pool key (matches `IssuerProfile::script`).
+    pub key: &'static str,
+    /// Organization names in the script.
+    pub orgs: &'static [&'static str],
+    /// Unicode domain stems (U-label material).
+    pub domain_stems: &'static [&'static str],
+    /// ccTLD-ish suffix.
+    pub tld: &'static str,
+}
+
+/// All pools.
+pub static SCRIPT_POOLS: &[ScriptPool] = &[
+    ScriptPool {
+        key: "latin",
+        orgs: &[
+            "Example Corp", "Acme Industries", "Global Services Ltd", "Northwind Traders",
+            "Contoso GmbH", "Fabrikam, Inc.", "Vegas.XXX (VegasLLC)", "crossmedia:team GmbH",
+        ],
+        // Stems feed *IDN* generation, so even the Latin pool uses
+        // diacritics (münchen-style Latin-script IDNs).
+        domain_stems: &["münchen", "bücher", "café", "señoría", "crème", "smørrebrød"],
+        tld: "com",
+    },
+    ScriptPool {
+        key: "german",
+        orgs: &[
+            "Müller GmbH", "Störi AG", "Samco Autotechnik GmbH", "Bäckerei Schäfer",
+            "Günther & Söhne KG", "Straßenbau Köln AG",
+        ],
+        domain_stems: &["müller", "bäckerei", "straßenbau", "köln", "günther"],
+        tld: "de",
+    },
+    ScriptPool {
+        key: "polish",
+        orgs: &[
+            "NOWOCZESNASTODOŁA.PL SP. Z O.O.", "Łódź Software Sp. z o.o.",
+            "Księgarnia Żak", "Poczta Południe S.A.",
+        ],
+        domain_stems: &["stodoła", "łódź", "książki", "żabka"],
+        tld: "pl",
+    },
+    ScriptPool {
+        key: "czech",
+        orgs: &[
+            "Česká pošta, s.p.", "Pražské služby a.s.", "RWE Energie, s.r.o.",
+            "Železnice Čech s.r.o.",
+        ],
+        domain_stems: &["pošta", "praha-služby", "železnice", "čeština"],
+        tld: "cz",
+    },
+    ScriptPool {
+        key: "japanese",
+        orgs: &["株式会社 中国銀行", "日本電気株式会社", "東京システム株式会社"],
+        domain_stems: &["日本", "東京", "銀行"],
+        tld: "jp",
+    },
+    ScriptPool {
+        key: "korean",
+        orgs: &["대한민국 정부", "한국전자통신연구원", "서울특별시청"],
+        domain_stems: &["한국", "서울", "정부"],
+        tld: "kr",
+    },
+    ScriptPool {
+        key: "chinese",
+        orgs: &["北京数字认证股份有限公司", "中国工商银行", "上海市信息中心"],
+        domain_stems: &["中国", "北京", "银行"],
+        tld: "cn",
+    },
+    ScriptPool {
+        key: "cyrillic",
+        orgs: &["ООО СКАТ Электроникс", "Федеральная служба", "Банк Москвы"],
+        domain_stems: &["москва", "банк", "почта"],
+        tld: "ru",
+    },
+    ScriptPool {
+        key: "turkish",
+        orgs: &["Türk Telekomünikasyon A.Ş.", "İstanbul Büyükşehir Belediyesi"],
+        domain_stems: &["türkiye", "i̇stanbul", "şirket"],
+        tld: "tr",
+    },
+];
+
+/// Look up a pool by key (falls back to Latin).
+pub fn pool(key: &str) -> &'static ScriptPool {
+    SCRIPT_POOLS
+        .iter()
+        .find(|p| p.key == key)
+        .unwrap_or(&SCRIPT_POOLS[0])
+}
+
+/// Pick an organization name from a pool.
+pub fn org_name(rng: &mut impl Rng, key: &str) -> &'static str {
+    let p = pool(key);
+    p.orgs[rng.gen_range(0..p.orgs.len())]
+}
+
+/// Pick an organization name guaranteed to contain non-ASCII (so a
+/// certificate with an ASCII hostname still qualifies as a Unicert).
+/// Falls back to the German pool when the issuer's own pool is all-ASCII.
+pub fn non_ascii_org(rng: &mut impl Rng, key: &str) -> &'static str {
+    let p = pool(key);
+    let mut candidates: Vec<&'static str> =
+        p.orgs.iter().copied().filter(|o| !o.is_ascii()).collect();
+    if candidates.is_empty() {
+        candidates = pool("german")
+            .orgs
+            .iter()
+            .copied()
+            .filter(|o| !o.is_ascii())
+            .collect();
+    }
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+/// Build an ASCII hostname (the compliant default).
+pub fn ascii_hostname(rng: &mut impl Rng) -> String {
+    let stems = ["www", "mail", "shop", "api", "login", "portal", "cdn", "app"];
+    let stem = stems[rng.gen_range(0..stems.len())];
+    format!("{stem}{}.example{}.com", rng.gen_range(0..100_000), rng.gen_range(0..100))
+}
+
+/// Build a compliant IDN hostname: a valid A-label + ASCII labels.
+pub fn idn_hostname(rng: &mut impl Rng, key: &str) -> String {
+    let p = pool(key);
+    let stem = p.domain_stems[rng.gen_range(0..p.domain_stems.len())];
+    // Vary with a numeric suffix in the Unicode label to diversify.
+    let unicode_label = format!("{stem}{}", rng.gen_range(0..10_000));
+    match unicert_idna::label::u_to_a(&unicode_label.to_lowercase()) {
+        Ok(a) => format!("{a}.{}", p.tld),
+        Err(_) => format!("xn--fallback{}.{}", rng.gen_range(0..1000), p.tld),
+    }
+}
+
+/// Is this hostname (in ACE or Unicode form) an IDN?
+pub fn is_idn(host: &str) -> bool {
+    unicert_idna::is_idn_domain(host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idn_hostnames_are_valid_a_labels() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for p in SCRIPT_POOLS.iter().skip(1) {
+            for _ in 0..20 {
+                let host = idn_hostname(&mut rng, p.key);
+                assert!(host.starts_with("xn--"), "{host}");
+                assert!(
+                    unicert_idna::validate_dns_name(&host, Default::default()).is_ok(),
+                    "{host}"
+                );
+                assert!(is_idn(&host));
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_hostnames_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let host = ascii_hostname(&mut rng);
+            assert!(unicert_idna::validate_dns_name(&host, Default::default()).is_ok(), "{host}");
+            assert!(!is_idn(&host));
+        }
+    }
+
+    #[test]
+    fn org_pools_contain_non_ascii() {
+        for p in SCRIPT_POOLS.iter().skip(1) {
+            assert!(p.orgs.iter().any(|o| !o.is_ascii()), "{}", p.key);
+        }
+    }
+}

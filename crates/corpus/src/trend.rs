@@ -1,0 +1,189 @@
+//! Temporal models: the Fig. 2 issuance trend, the Fig. 3 validity-period
+//! distributions, and the declining noncompliance-rate factor.
+
+use rand::Rng;
+use unicert_asn1::DateTime;
+
+/// First year the corpus covers (CT-era; §4.1 notes pre-2015 certificates
+/// are underrepresented but present).
+pub const FIRST_YEAR: i32 = 2013;
+/// Final analysis year (April 2025 snapshot).
+pub const LAST_YEAR: i32 = 2025;
+
+/// Relative issuance weight per year — exponential growth flattening in
+/// 2025 (partial year), shaping Figure 2's upward trend.
+pub fn year_weight(year: i32) -> f64 {
+    match year {
+        2013 => 0.1,
+        2014 => 0.3,
+        2015 => 0.8,
+        2016 => 1.8,
+        2017 => 3.5,
+        2018 => 5.5,
+        2019 => 7.5,
+        2020 => 9.5,
+        2021 => 11.5,
+        2022 => 13.5,
+        2023 => 16.0,
+        2024 => 20.0,
+        2025 => 10.0, // data ends April 2025
+        _ => 0.0,
+    }
+}
+
+/// Noncompliance declines over time (Fig. 2's widening gap between all and
+/// noncompliant issuance): a multiplicative factor applied to each
+/// issuer's base rate.
+pub fn nc_year_factor(year: i32) -> f64 {
+    match year {
+        ..=2014 => 5.0,
+        2015 => 4.0,
+        2016 => 3.2,
+        2017 => 2.5,
+        2018 => 2.0,
+        2019 => 1.5,
+        2020 => 1.1,
+        2021 => 0.8,
+        2022 => 0.6,
+        2023 => 0.45,
+        2024 => 0.35,
+        _ => 0.3,
+    }
+}
+
+/// Sample an issuance year within `[lo, hi]` following the global trend.
+pub fn sample_year(rng: &mut impl Rng, lo: i32, hi: i32) -> i32 {
+    let lo = lo.max(FIRST_YEAR);
+    let hi = hi.min(LAST_YEAR);
+    let total: f64 = (lo..=hi).map(year_weight).sum();
+    if total <= 0.0 {
+        return hi;
+    }
+    let mut pick = rng.gen_range(0.0..total);
+    for y in lo..=hi {
+        let w = year_weight(y);
+        if pick < w {
+            return y;
+        }
+        pick -= w;
+    }
+    hi
+}
+
+/// Sample an issuance date within a year (month truncated for 2025 to
+/// match the April snapshot).
+pub fn sample_date(rng: &mut impl Rng, year: i32) -> DateTime {
+    let max_month = if year >= LAST_YEAR { 4 } else { 12 };
+    let month = rng.gen_range(1..=max_month) as u8;
+    let day = rng.gen_range(1..=28) as u8;
+    DateTime::date(year, month, day).expect("day <= 28 is always valid")
+}
+
+/// Certificate class for validity sampling (Fig. 3's three CDFs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertClass {
+    /// IDN-only automated issuance: 89.6% on the 90-day trend.
+    IdnCert,
+    /// Other (subject-customized) Unicerts: >10.7% exceed 398 days.
+    OtherUnicert,
+    /// Noncompliant Unicerts: ~50% ≥ 1 year, >20% > 700 days.
+    Noncompliant,
+}
+
+/// Sample a validity period in days for a class.
+pub fn sample_validity_days(rng: &mut impl Rng, class: CertClass) -> i64 {
+    let r: f64 = rng.gen();
+    match class {
+        CertClass::IdnCert => {
+            if r < 0.896 {
+                90
+            } else if r < 0.96 {
+                365
+            } else {
+                398
+            }
+        }
+        CertClass::OtherUnicert => {
+            if r < 0.35 {
+                90
+            } else if r < 0.55 {
+                365
+            } else if r < 0.893 {
+                398
+            } else if r < 0.95 {
+                730
+            } else {
+                rng.gen_range(800..1500)
+            }
+        }
+        CertClass::Noncompliant => {
+            if r < 0.30 {
+                90
+            } else if r < 0.50 {
+                365
+            } else if r < 0.78 {
+                rng.gen_range(366..700)
+            } else {
+                rng.gen_range(701..3000)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trend_is_increasing_through_2024() {
+        for y in FIRST_YEAR..2024 {
+            assert!(year_weight(y + 1) > year_weight(y), "{y}");
+        }
+    }
+
+    #[test]
+    fn nc_factor_declines() {
+        for y in FIRST_YEAR..LAST_YEAR {
+            assert!(nc_year_factor(y + 1) <= nc_year_factor(y), "{y}");
+        }
+    }
+
+    #[test]
+    fn sampled_years_respect_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let y = sample_year(&mut rng, 2015, 2018);
+            assert!((2015..=2018).contains(&y));
+        }
+    }
+
+    #[test]
+    fn validity_distributions_have_paper_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 10_000;
+        let idn: Vec<i64> = (0..n).map(|_| sample_validity_days(&mut rng, CertClass::IdnCert)).collect();
+        let other: Vec<i64> = (0..n).map(|_| sample_validity_days(&mut rng, CertClass::OtherUnicert)).collect();
+        let nc: Vec<i64> = (0..n).map(|_| sample_validity_days(&mut rng, CertClass::Noncompliant)).collect();
+        let frac = |v: &[i64], p: &dyn Fn(i64) -> bool| {
+            v.iter().filter(|&&d| p(d)).count() as f64 / v.len() as f64
+        };
+        // ~89.6% of IDNCerts are 90-day.
+        assert!((frac(&idn, &|d| d <= 90) - 0.896).abs() < 0.02);
+        // >10.7% of other Unicerts exceed 398 days.
+        assert!(frac(&other, &|d| d > 398) > 0.10);
+        // ~50% of NC certs last >= a year; >20% exceed 700 days.
+        assert!(frac(&nc, &|d| d >= 365) > 0.45);
+        assert!(frac(&nc, &|d| d > 700) > 0.20);
+    }
+
+    #[test]
+    fn dates_respect_2025_cutoff() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let d = sample_date(&mut rng, 2025);
+            assert!(d.month <= 4);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Subject-value variant strategies (Table 3): the six ways CT logs show
+//! identity-equivalent Subjects with mismatched DNs, which §6.2 turns into
+//! traffic-obfuscation probes.
+
+use rand::Rng;
+
+/// The six variant strategies of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VariantStrategy {
+    /// `Samco Autotechnik GmbH` ↔ `SAMCO Autotechnik GmbH`.
+    CaseConversion,
+    /// `RWE Energie, s.r.o.` ↔ `RWE Energie, a.s.`.
+    AbbreviationVariation,
+    /// `PEDDY[U+00A0]SHIELD` ↔ `Peddy Shield`.
+    NonPrintableInsertion,
+    /// `株式会社[U+0020]中国銀行` ↔ `株式会社[U+3000]中国銀行`.
+    WhitespaceVariant,
+    /// `Vegas.XXX®™` ↔ `Vegas.XXX™®`; `-` ↔ `–`.
+    ResemblingSubstitution,
+    /// `St[U+FFFD]ri AG` (TeletexString) ↔ `Störi AG` (UTF8String).
+    IllegalCharReplacement,
+}
+
+impl VariantStrategy {
+    /// All six, in Table 3 order.
+    pub const ALL: [VariantStrategy; 6] = [
+        VariantStrategy::CaseConversion,
+        VariantStrategy::AbbreviationVariation,
+        VariantStrategy::NonPrintableInsertion,
+        VariantStrategy::WhitespaceVariant,
+        VariantStrategy::ResemblingSubstitution,
+        VariantStrategy::IllegalCharReplacement,
+    ];
+
+    /// Label as printed in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            VariantStrategy::CaseConversion => "Character case conversion",
+            VariantStrategy::AbbreviationVariation => "Abbreviation variations",
+            VariantStrategy::NonPrintableInsertion => "Addition of non-printable characters",
+            VariantStrategy::WhitespaceVariant => "Use of different whitespace characters",
+            VariantStrategy::ResemblingSubstitution => "Substitution of resembling characters",
+            VariantStrategy::IllegalCharReplacement => "Replacement of illegal characters",
+        }
+    }
+
+    /// Produce a variant of `base` under this strategy. The result is
+    /// intended to *look* equivalent to a human or fuzzy matcher while
+    /// differing byte-for-byte.
+    pub fn apply(self, base: &str, rng: &mut impl Rng) -> String {
+        match self {
+            VariantStrategy::CaseConversion => {
+                if rng.gen_bool(0.5) {
+                    base.to_uppercase()
+                } else {
+                    base.to_lowercase()
+                }
+            }
+            VariantStrategy::AbbreviationVariation => {
+                for (from, to) in [
+                    (", s.r.o.", ", a.s."),
+                    (" GmbH", " Ltd."),
+                    (", Inc.", " Incorporated"),
+                    (" S.A.", " SA"),
+                    (" Ltd.", " Limited"),
+                ] {
+                    if base.contains(from) {
+                        return base.replace(from, to);
+                    }
+                }
+                format!("{base} Ltd.")
+            }
+            VariantStrategy::NonPrintableInsertion => {
+                let mut out = String::new();
+                let insert_at = base.chars().count() / 2;
+                for (i, c) in base.chars().enumerate() {
+                    if i == insert_at {
+                        out.push('\u{A0}');
+                    }
+                    out.push(c);
+                }
+                out
+            }
+            VariantStrategy::WhitespaceVariant => {
+                if base.contains(' ') {
+                    let repl = ['\u{3000}', '\u{2009}', '\u{2002}'][rng.gen_range(0..3)];
+                    base.replacen(' ', &repl.to_string(), 1)
+                } else {
+                    format!("{base}\u{3000}")
+                }
+            }
+            VariantStrategy::ResemblingSubstitution => {
+                let subs = [('-', '\u{2013}'), ('\'', '\u{2019}'), ('.', '\u{2024}'), ('o', '\u{43E}')];
+                for (from, to) in subs {
+                    if base.contains(from) {
+                        return base.replacen(from, &to.to_string(), 1);
+                    }
+                }
+                format!("{base}\u{2122}")
+            }
+            VariantStrategy::IllegalCharReplacement => {
+                // Replace the first non-ASCII character with U+FFFD, as a
+                // mis-transcoding Teletex pipeline would.
+                match base.chars().position(|c| !c.is_ascii()) {
+                    Some(i) => base
+                        .chars()
+                        .enumerate()
+                        .map(|(j, c)| if j == i { '\u{FFFD}' } else { c })
+                        .collect(),
+                    None => base.replacen('a', "\u{FFFD}", 1),
+                }
+            }
+        }
+    }
+}
+
+/// A generated variant pair.
+#[derive(Debug, Clone)]
+pub struct VariantPair {
+    /// The strategy used.
+    pub strategy: VariantStrategy,
+    /// The base value.
+    pub base: String,
+    /// The variant.
+    pub variant: String,
+}
+
+/// Generate `n` variant pairs per strategy over a pool of base values.
+pub fn generate_pairs(rng: &mut impl Rng, bases: &[&str], n: usize) -> Vec<VariantPair> {
+    let mut out = Vec::new();
+    for strategy in VariantStrategy::ALL {
+        for _ in 0..n {
+            let base = bases[rng.gen_range(0..bases.len())];
+            let variant = strategy.apply(base, rng);
+            out.push(VariantPair { strategy, base: base.to_string(), variant });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variants_differ_from_base() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let bases = ["Samco Autotechnik GmbH", "Störi AG", "株式会社 中国銀行", "EDP - Energias"];
+        for pair in generate_pairs(&mut rng, &bases, 5) {
+            assert_ne!(pair.base, pair.variant, "{:?}", pair.strategy);
+        }
+    }
+
+    #[test]
+    fn case_variants_casefold_equal() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let v = VariantStrategy::CaseConversion.apply("Samco Autotechnik GmbH", &mut rng);
+        assert_eq!(v.to_lowercase(), "samco autotechnik gmbh");
+    }
+
+    #[test]
+    fn paper_examples_reproduce() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        // Peddy Shield + NBSP.
+        let v = VariantStrategy::NonPrintableInsertion.apply("Peddy Shield", &mut rng);
+        assert!(v.contains('\u{A0}'));
+        // 株式会社 中国銀行 with ideographic space.
+        let v = VariantStrategy::WhitespaceVariant.apply("株式会社 中国銀行", &mut rng);
+        assert!(!v.contains(' ') || v.contains('\u{3000}') || v.contains('\u{2009}') || v.contains('\u{2002}'));
+        // Störi AG → St�ri AG.
+        let v = VariantStrategy::IllegalCharReplacement.apply("Störi AG", &mut rng);
+        assert_eq!(v, "St\u{FFFD}ri AG");
+    }
+
+    #[test]
+    fn strategies_cover_table_3() {
+        assert_eq!(VariantStrategy::ALL.len(), 6);
+        let labels: Vec<_> = VariantStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"Character case conversion"));
+        assert!(labels.contains(&"Replacement of illegal characters"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based tests for Punycode and IDNA label handling.
+
+use proptest::prelude::*;
+use unicert_idna::punycode;
+
+proptest! {
+    /// Punycode encode ∘ decode is the identity on arbitrary Unicode input.
+    #[test]
+    fn punycode_round_trip(s in "\\PC{0,30}") {
+        if let Some(encoded) = punycode::encode(&s) {
+            let decoded = punycode::decode(&encoded).unwrap();
+            prop_assert_eq!(decoded, s);
+        }
+    }
+
+    /// Encoded output is always ASCII.
+    #[test]
+    fn punycode_output_is_ascii(s in "\\PC{0,30}") {
+        if let Some(encoded) = punycode::encode(&s) {
+            prop_assert!(encoded.is_ascii());
+        }
+    }
+
+    /// Decode never panics on arbitrary ASCII-ish input.
+    #[test]
+    fn punycode_decode_never_panics(s in "[a-z0-9-]{0,40}") {
+        let _ = punycode::decode(&s);
+    }
+
+    /// a_to_u/u_to_a round trip for valid lowercase IDN labels.
+    #[test]
+    fn label_round_trip(s in "[a-z]{1,5}[\u{E0}-\u{F6}]{1,4}[a-z]{0,5}") {
+        // lowercase Latin letters with Latin-1 lowercase accents: PVALID,
+        // NFC-stable, never begins with a mark.
+        let a = unicert_idna::u_to_a(&s).unwrap();
+        prop_assert!(a.starts_with("xn--"));
+        let u = unicert_idna::a_to_u(&a).unwrap();
+        prop_assert_eq!(u, s);
+    }
+
+    /// classify_a_label never panics on arbitrary LDH-ish labels.
+    #[test]
+    fn classify_total(s in "xn--[a-z0-9-]{0,30}") {
+        let _ = unicert_idna::label::classify_a_label(&s);
+    }
+
+    /// validate_dns_name never panics on arbitrary short strings.
+    #[test]
+    fn dns_validate_total(s in ".{0,60}") {
+        let _ = unicert_idna::validate_dns_name(&s, Default::default());
+        let _ = unicert_idna::domain::to_unicode(&s);
+    }
+}

@@ -1,0 +1,297 @@
+//! The lint framework: metadata, registry, execution, and reports.
+//!
+//! Mirrors the structure the paper adopted from Zlint (§3.1.2): each lint has
+//! a severity derived from the standard's requirement level (MUST → Error,
+//! SHOULD → Warning), a source standard, an **effective date** (a lint only
+//! applies to certificates issued on/after that date — the paper's
+//! no-retroactivity rule), and a taxonomy type from Table 1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use unicert_asn1::DateTime;
+use unicert_x509::Certificate;
+
+/// Requirement level → finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// SHOULD-level violation.
+    Warning,
+    /// MUST-level violation.
+    Error,
+}
+
+/// The standard a lint is derived from (§3.1's document set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Source {
+    Rfc5280,
+    Rfc6818,
+    Rfc8399,
+    Rfc9549,
+    Rfc9598,
+    Rfc1034,
+    Rfc5890,
+    Idna2008,
+    CabfBr,
+    Community,
+}
+
+impl Source {
+    /// The date from which lints citing this source apply to new issuance.
+    pub fn effective_date(self) -> DateTime {
+        let d = |y, m, day| DateTime::date(y, m, day).expect("static date");
+        match self {
+            Source::Rfc5280 => d(2008, 5, 1),
+            Source::Rfc6818 => d(2013, 1, 1),
+            Source::Rfc8399 => d(2018, 5, 1),
+            Source::Rfc9549 => d(2024, 1, 1),
+            Source::Rfc9598 => d(2024, 6, 1),
+            Source::Rfc1034 => d(2008, 5, 1), // enforced via RFC 5280's profile
+            Source::Rfc5890 => d(2010, 8, 1),
+            Source::Idna2008 => d(2010, 8, 1),
+            Source::CabfBr => d(2012, 7, 1),
+            Source::Community => d(2015, 1, 1),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::Rfc5280 => "RFC5280",
+            Source::Rfc6818 => "RFC6818",
+            Source::Rfc8399 => "RFC8399",
+            Source::Rfc9549 => "RFC9549",
+            Source::Rfc9598 => "RFC9598",
+            Source::Rfc1034 => "RFC1034",
+            Source::Rfc5890 => "RFC5890",
+            Source::Idna2008 => "IDNA2008",
+            Source::CabfBr => "CABF-BR",
+            Source::Community => "Community",
+        }
+    }
+}
+
+/// The Table 1 noncompliance taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NoncomplianceType {
+    /// T1: invalid characters for the field's character range.
+    InvalidCharacter,
+    /// T2: missing or wrong value normalization (NFC, Punycode forms).
+    BadNormalization,
+    /// T3a: basic format errors (lengths, cases).
+    IllegalFormat,
+    /// T3b: wrong ASN.1 encoding type for the field.
+    InvalidEncoding,
+    /// T3c: structural rule violations (duplicates, required inclusion).
+    InvalidStructure,
+    /// T3d: non-recommended fields.
+    DiscouragedField,
+}
+
+impl NoncomplianceType {
+    /// Label as printed in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            NoncomplianceType::InvalidCharacter => "Invalid Character",
+            NoncomplianceType::BadNormalization => "Bad Normalization",
+            NoncomplianceType::IllegalFormat => "Illegal Format",
+            NoncomplianceType::InvalidEncoding => "Invalid Encoding",
+            NoncomplianceType::InvalidStructure => "Invalid Structure",
+            NoncomplianceType::DiscouragedField => "Discouraged Field",
+        }
+    }
+
+    /// All six, in Table 1 order.
+    pub const ALL: [NoncomplianceType; 6] = [
+        NoncomplianceType::InvalidCharacter,
+        NoncomplianceType::BadNormalization,
+        NoncomplianceType::IllegalFormat,
+        NoncomplianceType::InvalidEncoding,
+        NoncomplianceType::InvalidStructure,
+        NoncomplianceType::DiscouragedField,
+    ];
+}
+
+/// Result of running one lint against one certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintStatus {
+    /// The checked condition holds.
+    Pass,
+    /// The certificate doesn't contain the field this lint checks.
+    NotApplicable,
+    /// Violation found (severity comes from the lint's metadata).
+    Violation,
+    /// The lint's effective date postdates the certificate's issuance
+    /// (only produced by the runner, not by check functions).
+    NotEffective,
+}
+
+/// Static description of one lint.
+pub struct Lint {
+    /// Zlint-style name, e.g. `e_subject_organization_not_printable_or_utf8`.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Citation, e.g. `RFC 5280 §4.1.2.4`.
+    pub citation: &'static str,
+    /// Source standard.
+    pub source: Source,
+    /// MUST → Error, SHOULD → Warning.
+    pub severity: Severity,
+    /// Table 1 taxonomy type.
+    pub nc_type: NoncomplianceType,
+    /// Is this one of the paper's 50 newly derived lints (not covered by
+    /// existing linters)?
+    pub new_lint: bool,
+    /// The check itself.
+    pub check: Box<dyn Fn(&Certificate) -> LintStatus + Send + Sync>,
+}
+
+impl fmt::Debug for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lint")
+            .field("name", &self.name)
+            .field("severity", &self.severity)
+            .field("nc_type", &self.nc_type)
+            .field("new", &self.new_lint)
+            .finish()
+    }
+}
+
+impl Lint {
+    /// The date from which this lint applies to newly issued certificates.
+    pub fn effective_date(&self) -> DateTime {
+        self.source.effective_date()
+    }
+}
+
+/// One finding: a lint that fired on a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name.
+    pub lint: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Taxonomy type.
+    pub nc_type: NoncomplianceType,
+    /// Was the lint one of the 50 new ones?
+    pub new_lint: bool,
+}
+
+/// Per-certificate lint report.
+#[derive(Debug, Clone, Default)]
+pub struct CertReport {
+    /// All findings.
+    pub findings: Vec<Finding>,
+}
+
+impl CertReport {
+    /// Any finding at all?
+    pub fn is_noncompliant(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Any Error-level finding?
+    pub fn has_error(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Any Warning-level finding?
+    pub fn has_warning(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Warning)
+    }
+
+    /// Taxonomy types present.
+    pub fn nc_types(&self) -> Vec<NoncomplianceType> {
+        let mut types: Vec<_> = self.findings.iter().map(|f| f.nc_type).collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+
+    /// Did any of the 50 new lints fire?
+    pub fn hit_new_lint(&self) -> bool {
+        self.findings.iter().any(|f| f.new_lint)
+    }
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Apply effective-date gating (§3.1.2). Turning this off reproduces
+    /// the paper's footnote-4 ablation (249K → 1.8M findings).
+    pub enforce_effective_dates: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { enforce_effective_dates: true }
+    }
+}
+
+/// The lint registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    lints: Vec<Lint>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a lint; names must be unique.
+    pub fn register(&mut self, lint: Lint) {
+        debug_assert!(
+            !self.lints.iter().any(|l| l.name == lint.name),
+            "duplicate lint name {}",
+            lint.name
+        );
+        self.lints.push(lint);
+    }
+
+    /// All registered lints.
+    pub fn lints(&self) -> &[Lint] {
+        &self.lints
+    }
+
+    /// Look up a lint by name.
+    pub fn get(&self, name: &str) -> Option<&Lint> {
+        self.lints.iter().find(|l| l.name == name)
+    }
+
+    /// Run every applicable lint against a certificate.
+    pub fn run(&self, cert: &Certificate, opts: RunOptions) -> CertReport {
+        let mut report = CertReport::default();
+        let issued = cert.tbs.validity.not_before;
+        for lint in &self.lints {
+            if opts.enforce_effective_dates && issued < lint.effective_date() {
+                continue;
+            }
+            if (lint.check)(cert) == LintStatus::Violation {
+                report.findings.push(Finding {
+                    lint: lint.name,
+                    severity: lint.severity,
+                    nc_type: lint.nc_type,
+                    new_lint: lint.new_lint,
+                });
+            }
+        }
+        report
+    }
+
+    /// Count lints per taxonomy type as `(all, new)` — the "#Lints" columns
+    /// of Table 1.
+    pub fn lint_counts_by_type(&self) -> BTreeMap<NoncomplianceType, (usize, usize)> {
+        let mut map = BTreeMap::new();
+        for l in &self.lints {
+            let e = map.entry(l.nc_type).or_insert((0usize, 0usize));
+            e.0 += 1;
+            if l.new_lint {
+                e.1 += 1;
+            }
+        }
+        map
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared predicates and field extractors used across the lint catalog.
+
+use crate::framework::LintStatus;
+use unicert_asn1::oid::known;
+use unicert_asn1::{Oid, StringKind};
+use unicert_unicode::classify;
+use unicert_x509::extensions::{ParsedExtension, PolicyQualifier};
+use unicert_x509::{Certificate, DistinguishedName, GeneralName, RawValue};
+
+/// Which DN a lint inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// The Subject DN.
+    Subject,
+    /// The Issuer DN.
+    Issuer,
+}
+
+/// Select a DN.
+pub fn dn(cert: &Certificate, which: Which) -> &DistinguishedName {
+    match which {
+        Which::Subject => &cert.tbs.subject,
+        Which::Issuer => &cert.tbs.issuer,
+    }
+}
+
+/// Values of one attribute type in a DN.
+pub fn attr_values<'a>(cert: &'a Certificate, which: Which, oid: &Oid) -> Vec<&'a RawValue> {
+    dn(cert, which).all_values(oid)
+}
+
+/// Lift a per-value predicate over an attribute: `NotApplicable` when the
+/// attribute is absent, `Violation` when any value fails.
+pub fn check_attr(
+    cert: &Certificate,
+    which: Which,
+    oid: &Oid,
+    ok: impl Fn(&RawValue) -> bool,
+) -> LintStatus {
+    let values = attr_values(cert, which, oid);
+    if values.is_empty() {
+        return LintStatus::NotApplicable;
+    }
+    if values.iter().all(|v| ok(v)) {
+        LintStatus::Pass
+    } else {
+        LintStatus::Violation
+    }
+}
+
+/// DirectoryString attributes must be PrintableString or UTF8String, fully
+/// conformant to the chosen type (RFC 5280 §4.1.2.4 / CABF BR 7.1.4.2).
+pub fn is_printable_or_utf8(v: &RawValue) -> bool {
+    matches!(v.kind(), Some(StringKind::Printable) | Some(StringKind::Utf8))
+        && v.decode_strict().is_ok()
+}
+
+/// PrintableString-only attributes (countryName, serialNumber, DNQualifier).
+pub fn is_printable(v: &RawValue) -> bool {
+    v.kind() == Some(StringKind::Printable) && v.decode_strict().is_ok()
+}
+
+/// IA5String-only values (emailAddress, domainComponent, GN strings).
+pub fn is_ia5(v: &RawValue) -> bool {
+    v.kind() == Some(StringKind::Ia5) && v.decode_strict().is_ok()
+}
+
+/// Decodable text, via whatever the tag claims (used by character-range
+/// checks, which want to inspect content even when the *type* is wrong).
+pub fn lenient_text(v: &RawValue) -> Option<String> {
+    v.decode_wire().ok()
+}
+
+/// Does the value's text contain a character matching `pred`?
+pub fn text_contains(v: &RawValue, pred: impl Fn(char) -> bool) -> bool {
+    lenient_text(v).is_some_and(|t| t.chars().any(&pred))
+}
+
+/// All DN string values in a DN (subject or issuer).
+pub fn all_dn_values(cert: &Certificate, which: Which) -> Vec<&RawValue> {
+    dn(cert, which).attributes().map(|a| &a.value).collect()
+}
+
+/// Lift a per-value predicate over *all* DN values.
+pub fn check_all_dn(
+    cert: &Certificate,
+    which: Which,
+    ok: impl Fn(&RawValue) -> bool,
+) -> LintStatus {
+    let values = all_dn_values(cert, which);
+    if values.is_empty() {
+        return LintStatus::NotApplicable;
+    }
+    if values.iter().all(|v| ok(v)) {
+        LintStatus::Pass
+    } else {
+        LintStatus::Violation
+    }
+}
+
+/// The SAN GeneralNames, or empty.
+pub fn san(cert: &Certificate) -> Vec<GeneralName> {
+    cert.tbs.subject_alt_names().unwrap_or_default()
+}
+
+/// The IAN GeneralNames, or empty.
+pub fn ian(cert: &Certificate) -> Vec<GeneralName> {
+    match cert
+        .tbs
+        .extension(&known::issuer_alt_name())
+        .and_then(|e| e.parse().ok())
+    {
+        Some(ParsedExtension::IssuerAltName(names)) => names,
+        _ => Vec::new(),
+    }
+}
+
+/// SAN DNSName raw values.
+pub fn san_dns_values(cert: &Certificate) -> Vec<RawValue> {
+    san(cert)
+        .into_iter()
+        .filter_map(|n| match n {
+            GeneralName::DnsName(v) => Some(v),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Lift a predicate over a list of values with the usual NA/Pass/Violation
+/// semantics.
+pub fn check_values(values: &[RawValue], ok: impl Fn(&RawValue) -> bool) -> LintStatus {
+    if values.is_empty() {
+        return LintStatus::NotApplicable;
+    }
+    if values.iter().all(ok) {
+        LintStatus::Pass
+    } else {
+        LintStatus::Violation
+    }
+}
+
+/// GeneralName string values from SAN by selector.
+pub fn san_values(cert: &Certificate, select: impl Fn(&GeneralName) -> Option<RawValue>) -> Vec<RawValue> {
+    san(cert).iter().filter_map(select).collect()
+}
+
+/// URIs from AIA / SIA access descriptions.
+pub fn access_uris(cert: &Certificate, oid: &Oid) -> Vec<RawValue> {
+    let parsed = cert.tbs.extension(oid).and_then(|e| e.parse().ok());
+    let descs = match parsed {
+        Some(ParsedExtension::AuthorityInfoAccess(d)) | Some(ParsedExtension::SubjectInfoAccess(d)) => d,
+        _ => return Vec::new(),
+    };
+    descs
+        .into_iter()
+        .filter_map(|d| match d.location {
+            GeneralName::Uri(v) => Some(v),
+            _ => None,
+        })
+        .collect()
+}
+
+/// URIs from CRLDistributionPoints fullNames.
+pub fn crldp_uris(cert: &Certificate) -> Vec<RawValue> {
+    let parsed = cert
+        .tbs
+        .extension(&known::crl_distribution_points())
+        .and_then(|e| e.parse().ok());
+    let dps = match parsed {
+        Some(ParsedExtension::CrlDistributionPoints(d)) => d,
+        _ => return Vec::new(),
+    };
+    dps.into_iter()
+        .flat_map(|dp| dp.full_names)
+        .filter_map(|n| match n {
+            GeneralName::Uri(v) => Some(v),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `explicitText` values from CertificatePolicies user notices.
+pub fn explicit_texts(cert: &Certificate) -> Vec<RawValue> {
+    let parsed = cert
+        .tbs
+        .extension(&known::certificate_policies())
+        .and_then(|e| e.parse().ok());
+    let policies = match parsed {
+        Some(ParsedExtension::CertificatePolicies(p)) => p,
+        _ => return Vec::new(),
+    };
+    policies
+        .into_iter()
+        .flat_map(|p| p.qualifiers)
+        .filter_map(|q| match q {
+            PolicyQualifier::UserNotice { explicit_text: Some(t) } => Some(t),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Is the text free of the given character class?
+pub fn free_of(v: &RawValue, bad: impl Fn(char) -> bool) -> bool {
+    match lenient_text(v) {
+        Some(t) => !t.chars().any(&bad),
+        // Undecodable bytes are not this lint's concern (encoding lints
+        // catch them).
+        None => true,
+    }
+}
+
+/// The paper's printable-characters requirement for Subject DNs: every
+/// character must be outside C0/C1/DEL.
+pub fn has_no_control_chars(v: &RawValue) -> bool {
+    free_of(v, classify::is_control)
+}
+
+/// DNSName repertoire: `[a-zA-Z0-9.*-]` only.
+pub fn is_dns_repertoire(text: &str) -> bool {
+    text.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '*'))
+}

@@ -1,0 +1,194 @@
+//! The §6.1 *misleading CT monitors* experiment.
+//!
+//! The adversary (a malicious or compromised CA) issues certificates for a
+//! victim domain, crafted so that monitors fail to surface them when the
+//! domain owner searches for their own name. Each [`EvasionCase`] is one
+//! crafting technique; the experiment reports, per monitor, whether the
+//! forged certificate is **hidden** from the owner's query.
+
+use crate::profile::all_monitors;
+use unicert_asn1::DateTime;
+use unicert_x509::{Certificate, CertificateBuilder, SimKey};
+
+/// One crafted-certificate technique.
+#[derive(Debug, Clone)]
+pub struct EvasionCase {
+    /// Technique label.
+    pub technique: &'static str,
+    /// The victim domain the owner queries for.
+    pub victim_query: &'static str,
+    /// The forged certificate.
+    pub cert: Certificate,
+}
+
+/// Outcome per monitor.
+#[derive(Debug, Clone)]
+pub struct EvasionOutcome {
+    /// Technique label.
+    pub technique: &'static str,
+    /// Monitor name.
+    pub monitor: &'static str,
+    /// Did the owner's query return the forged certificate?
+    pub found: bool,
+    /// Did the query itself error (rejected input)?
+    pub query_rejected: bool,
+}
+
+fn forged(cn: &str, san: &str) -> Certificate {
+    CertificateBuilder::new()
+        .subject_cn(cn)
+        .add_dns_san(san)
+        .validity_days(DateTime::date(2024, 8, 1).expect("static"), 90)
+        .build_signed(&SimKey::from_seed("compromised-ca"))
+}
+
+/// The crafted-certificate suite (P1.2–P1.4 techniques).
+pub fn evasion_cases() -> Vec<EvasionCase> {
+    vec![
+        EvasionCase {
+            technique: "baseline (honest forgery, exact name)",
+            victim_query: "victim.example",
+            cert: forged("victim.example", "victim.example"),
+        },
+        EvasionCase {
+            technique: "NUL byte appended to CN/SAN",
+            victim_query: "victim.example",
+            cert: forged("victim.example\u{0}.evil", "victim.example\u{0}.evil"),
+        },
+        EvasionCase {
+            technique: "zero-width space inside CN/SAN",
+            victim_query: "victim.example",
+            cert: forged("victim\u{200B}.example", "victim\u{200B}.example"),
+        },
+        EvasionCase {
+            technique: "slash-truncated CN (P1.4)",
+            victim_query: "victim.example",
+            cert: forged("evil.example/victim.example", "evil.example"),
+        },
+        EvasionCase {
+            technique: "whitespace variant in CN (P1.2)",
+            victim_query: "victim.example",
+            cert: forged("victim .example", "evil.example"),
+        },
+        EvasionCase {
+            technique: "subdomain-prefixed forgery",
+            victim_query: "victim.example",
+            cert: forged("login.victim.example", "login.victim.example"),
+        },
+    ]
+}
+
+/// Run the full experiment: every case against every monitor.
+pub fn run_misleading_experiment() -> Vec<EvasionOutcome> {
+    let cases = evasion_cases();
+    let mut outcomes = Vec::new();
+    for case in &cases {
+        let mut monitors = all_monitors();
+        for m in &mut monitors {
+            m.ingest(0, &case.cert);
+        }
+        for m in &monitors {
+            let (found, query_rejected) = match m.query(case.victim_query) {
+                Ok(hits) => (!hits.is_empty(), false),
+                Err(_) => (false, true),
+            };
+            outcomes.push(EvasionOutcome {
+                technique: case.technique,
+                monitor: m.name,
+                found,
+                query_rejected,
+            });
+        }
+    }
+    outcomes
+}
+
+/// Convenience: how many monitors miss each technique.
+pub fn missed_counts(outcomes: &[EvasionOutcome]) -> Vec<(&'static str, usize)> {
+    let mut cases: Vec<&'static str> = outcomes.iter().map(|o| o.technique).collect();
+    cases.dedup();
+    cases
+        .into_iter()
+        .map(|t| {
+            let missed = outcomes
+                .iter()
+                .filter(|o| o.technique == t && !o.found)
+                .count();
+            (t, missed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome<'a>(
+        outcomes: &'a [EvasionOutcome],
+        technique: &str,
+        monitor: &str,
+    ) -> &'a EvasionOutcome {
+        outcomes
+            .iter()
+            .find(|o| o.technique.contains(technique) && o.monitor == monitor)
+            .unwrap()
+    }
+
+    #[test]
+    fn baseline_forgery_is_visible_everywhere() {
+        let outcomes = run_misleading_experiment();
+        for m in ["Crt.sh", "SSLMate Spotter", "Facebook Monitor", "Entrust Search", "MerkleMap"] {
+            assert!(outcome(&outcomes, "baseline", m).found, "{m}");
+        }
+    }
+
+    #[test]
+    fn nul_byte_hides_from_exact_monitors() {
+        let outcomes = run_misleading_experiment();
+        // Exact-match monitors never see the decorated name under the clean
+        // query; fuzzy monitors still substring-match.
+        assert!(!outcome(&outcomes, "NUL byte", "Facebook Monitor").found);
+        assert!(!outcome(&outcomes, "NUL byte", "Entrust Search").found);
+        assert!(!outcome(&outcomes, "NUL byte", "SSLMate Spotter").found);
+        assert!(outcome(&outcomes, "NUL byte", "Crt.sh").found);
+        assert!(outcome(&outcomes, "NUL byte", "MerkleMap").found);
+    }
+
+    #[test]
+    fn zero_width_space_evades_even_fuzzy_monitors() {
+        let outcomes = run_misleading_experiment();
+        // "victim<ZWSP>.example" does not contain "victim.example" as a
+        // substring, so even fuzzy search misses it (P1.2/P1.3).
+        for m in ["Crt.sh", "MerkleMap", "Facebook Monitor", "SSLMate Spotter", "Entrust Search"] {
+            assert!(!outcome(&outcomes, "zero-width", m).found, "{m}");
+        }
+    }
+
+    #[test]
+    fn subdomain_forgery_found_only_by_fuzzy_monitors() {
+        let outcomes = run_misleading_experiment();
+        assert!(outcome(&outcomes, "subdomain", "Crt.sh").found);
+        assert!(outcome(&outcomes, "subdomain", "MerkleMap").found);
+        assert!(!outcome(&outcomes, "subdomain", "Facebook Monitor").found);
+    }
+
+    #[test]
+    fn slash_quirk_makes_sslmate_report_the_victim_prefix() {
+        // The inverted P1.4 effect: SSLMate indexes "evil.example" from
+        // "evil.example/victim.example"; querying the victim name misses it.
+        let outcomes = run_misleading_experiment();
+        assert!(!outcome(&outcomes, "slash-truncated", "SSLMate Spotter").found);
+        // Crt.sh substring-matches the full CN.
+        assert!(outcome(&outcomes, "slash-truncated", "Crt.sh").found);
+    }
+
+    #[test]
+    fn missed_counts_shape() {
+        let outcomes = run_misleading_experiment();
+        let counts = missed_counts(&outcomes);
+        let get = |t: &str| counts.iter().find(|(name, _)| name.contains(t)).unwrap().1;
+        assert_eq!(get("baseline"), 0);
+        assert_eq!(get("zero-width"), 5);
+        assert!(get("NUL byte") >= 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! Certificate Transparency monitor simulators (§6.1, Table 6).
+//!
+//! Five public monitors — Crt.sh, SSLMate Spotter, Facebook Monitor,
+//! Entrust Search, MerkleMap — modelled as capability profiles over a
+//! shared in-memory index. The §6.1 experiments (P1.1–P1.4) craft
+//! Unicerts with special characters and measure which monitors fail to
+//! surface them for the domain owner's queries — the *CT monitor
+//! misleading* threat.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod profile;
+
+pub use experiment::{run_misleading_experiment, EvasionCase, EvasionOutcome};
+pub use profile::{all_monitors, Monitor, MonitorCapabilities, QueryError};

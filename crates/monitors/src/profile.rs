@@ -1,0 +1,319 @@
+//! Monitor capability profiles and the shared index.
+
+use unicert_unicode::classify;
+use unicert_x509::Certificate;
+
+/// What a monitor can do — the columns of Table 6.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorCapabilities {
+    /// Query inputs are matched case-sensitively (none of the five do —
+    /// P1.1).
+    pub case_sensitive: bool,
+    /// Accepts non-ASCII (Unicode) query strings.
+    pub unicode_search: bool,
+    /// Substring ("fuzzy") matching rather than exact-field matching.
+    pub fuzzy_search: bool,
+    /// Validates U-label queries against IDNA before searching (rejects
+    /// deceptive labels — P1.3).
+    pub u_label_check: bool,
+    /// Supports Punycode (A-label) IDN queries.
+    pub punycode_idn: bool,
+    /// Supports Punycode IDN ccTLD queries (e.g. `xn--fiqs8s`).
+    pub punycode_idn_cctld: bool,
+    /// Fails to return certificates whose fields contain special Unicode
+    /// (the last Table 6 column).
+    pub fails_on_special_unicode: bool,
+    /// P1.4 quirk: indexes only the CN substring before `/`, and skips CNs
+    /// containing a space (SSLMate Spotter).
+    pub cn_truncation_quirk: bool,
+    /// Searches Subject O/OU/emailAddress too (only Crt.sh).
+    pub searches_subject_attrs: bool,
+}
+
+/// A simulated CT monitor with its index.
+pub struct Monitor {
+    /// Monitor name as in Table 6.
+    pub name: &'static str,
+    /// Capability profile.
+    pub caps: MonitorCapabilities,
+    index: Vec<IndexEntry>,
+}
+
+struct IndexEntry {
+    id: usize,
+    keys: Vec<String>,
+}
+
+/// Why a query was rejected outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The monitor refuses non-ASCII query input.
+    UnicodeNotSupported,
+    /// The U-label failed IDNA validation (deceptive-label rejection).
+    InvalidULabel,
+    /// Punycode queries unsupported for this input class.
+    PunycodeNotSupported,
+}
+
+impl Monitor {
+    fn new(name: &'static str, caps: MonitorCapabilities) -> Monitor {
+        Monitor { name, caps, index: Vec::new() }
+    }
+
+    /// Ingest a certificate under an external id.
+    ///
+    /// Key extraction mirrors each monitor's observed behaviour: CN + SAN
+    /// DNSNames (plus O/OU/email for Crt.sh), lowercased, with the P1.4
+    /// quirks applied. Monitors that choke on special Unicode skip such
+    /// certificates entirely.
+    pub fn ingest(&mut self, id: usize, cert: &Certificate) {
+        let mut keys: Vec<String> = Vec::new();
+        let mut push = |value: String| {
+            if value.is_empty() {
+                return;
+            }
+            keys.push(if self.caps.case_sensitive { value } else { value.to_lowercase() });
+        };
+        if let Some(cn) = cert.tbs.subject.common_name() {
+            if self.caps.cn_truncation_quirk {
+                // SSLMate: CN truncated at '/', skipped entirely on space.
+                if !cn.contains(' ') {
+                    push(cn.split('/').next().unwrap_or("").to_string());
+                }
+            } else {
+                push(cn);
+            }
+        }
+        for dns in cert.tbs.san_dns_names() {
+            push(dns);
+        }
+        if self.caps.searches_subject_attrs {
+            if let Some(o) = cert.tbs.subject.organization() {
+                push(o);
+            }
+        }
+        if self.caps.fails_on_special_unicode
+            && keys.iter().any(|k| k.chars().any(|c| classify::is_control(c) || classify::is_zero_width(c)))
+        {
+            // The monitor's pipeline drops the certificate.
+            return;
+        }
+        self.index.push(IndexEntry { id, keys });
+    }
+
+    /// Query by a field value; returns matching certificate ids.
+    pub fn query(&self, term: &str) -> Result<Vec<usize>, QueryError> {
+        if !term.is_ascii() {
+            if !self.caps.unicode_search {
+                return Err(QueryError::UnicodeNotSupported);
+            }
+            if self.caps.u_label_check {
+                let (_, status) = unicert_idna::domain::to_unicode(term);
+                let _ = status;
+            }
+        }
+        // Punycode query handling.
+        if term.split('.').any(unicert_idna::label::has_ace_prefix) {
+            if !self.caps.punycode_idn {
+                return Err(QueryError::PunycodeNotSupported);
+            }
+            // ccTLD-style all-IDN domains need the extra capability.
+            let all_idn = term.split('.').all(unicert_idna::label::has_ace_prefix);
+            if all_idn && !self.caps.punycode_idn_cctld {
+                return Err(QueryError::PunycodeNotSupported);
+            }
+            if self.caps.u_label_check {
+                for label in term.split('.').filter(|l| unicert_idna::label::has_ace_prefix(l)) {
+                    use unicert_idna::label::{classify_a_label, ALabelStatus};
+                    if classify_a_label(label) != ALabelStatus::Valid {
+                        return Err(QueryError::InvalidULabel);
+                    }
+                }
+            }
+        }
+        let needle = if self.caps.case_sensitive { term.to_string() } else { term.to_lowercase() };
+        let mut out: Vec<usize> = self
+            .index
+            .iter()
+            .filter(|e| {
+                e.keys.iter().any(|k| {
+                    if self.caps.fuzzy_search {
+                        k.contains(&needle)
+                    } else {
+                        k == &needle
+                    }
+                })
+            })
+            .map(|e| e.id)
+            .collect();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+/// The five monitors with their Table 6 capability rows.
+pub fn all_monitors() -> Vec<Monitor> {
+    vec![
+        Monitor::new(
+            "Crt.sh",
+            MonitorCapabilities {
+                case_sensitive: false,
+                unicode_search: false,
+                fuzzy_search: true,
+                u_label_check: false,
+                punycode_idn: true,
+                punycode_idn_cctld: true,
+                fails_on_special_unicode: false,
+                cn_truncation_quirk: false,
+                searches_subject_attrs: true,
+            },
+        ),
+        Monitor::new(
+            "SSLMate Spotter",
+            MonitorCapabilities {
+                case_sensitive: false,
+                unicode_search: false,
+                fuzzy_search: false,
+                u_label_check: true,
+                punycode_idn: true,
+                punycode_idn_cctld: true,
+                fails_on_special_unicode: true,
+                cn_truncation_quirk: true,
+                searches_subject_attrs: false,
+            },
+        ),
+        Monitor::new(
+            "Facebook Monitor",
+            MonitorCapabilities {
+                case_sensitive: false,
+                unicode_search: false,
+                fuzzy_search: false,
+                u_label_check: true,
+                punycode_idn: true,
+                punycode_idn_cctld: true,
+                fails_on_special_unicode: false,
+                cn_truncation_quirk: false,
+                searches_subject_attrs: false,
+            },
+        ),
+        Monitor::new(
+            "Entrust Search",
+            MonitorCapabilities {
+                case_sensitive: false,
+                unicode_search: false,
+                fuzzy_search: false,
+                u_label_check: false,
+                punycode_idn: true,
+                punycode_idn_cctld: false,
+                fails_on_special_unicode: false,
+                cn_truncation_quirk: false,
+                searches_subject_attrs: false,
+            },
+        ),
+        Monitor::new(
+            "MerkleMap",
+            MonitorCapabilities {
+                case_sensitive: false,
+                unicode_search: false,
+                fuzzy_search: true,
+                u_label_check: false,
+                punycode_idn: true,
+                punycode_idn_cctld: true,
+                fails_on_special_unicode: false,
+                cn_truncation_quirk: false,
+                searches_subject_attrs: false,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::DateTime;
+    use unicert_x509::{CertificateBuilder, SimKey};
+
+    fn cert(cn: &str, san: &str) -> Certificate {
+        CertificateBuilder::new()
+            .subject_cn(cn)
+            .add_dns_san(san)
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("monitor-test-ca"))
+    }
+
+    #[test]
+    fn case_insensitive_everywhere() {
+        for mut m in all_monitors() {
+            m.ingest(1, &cert("Example.COM", "example.com"));
+            assert_eq!(m.query("EXAMPLE.com").unwrap(), vec![1], "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn fuzzy_vs_exact() {
+        let mut crtsh = all_monitors().remove(0);
+        crtsh.ingest(1, &cert("sub.example.com", "sub.example.com"));
+        assert_eq!(crtsh.query("example.com").unwrap(), vec![1]); // substring
+
+        let mut fb = all_monitors().remove(2);
+        fb.ingest(1, &cert("sub.example.com", "sub.example.com"));
+        assert!(fb.query("example.com").unwrap().is_empty()); // exact only
+        assert_eq!(fb.query("sub.example.com").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn u_label_check_rejects_deceptive_queries() {
+        let monitors = all_monitors();
+        let sslmate = &monitors[1];
+        let crtsh = &monitors[0];
+        // xn--www-hn0a = LRM + "www": deceptive.
+        assert_eq!(
+            sslmate.query("xn--www-hn0a.example.com"),
+            Err(QueryError::InvalidULabel)
+        );
+        // Crt.sh doesn't check.
+        assert!(crtsh.query("xn--www-hn0a.example.com").is_ok());
+    }
+
+    #[test]
+    fn entrust_rejects_idn_cctld() {
+        let monitors = all_monitors();
+        let entrust = &monitors[3];
+        assert_eq!(
+            entrust.query("xn--fiqs8s.xn--fiqs8s"),
+            Err(QueryError::PunycodeNotSupported)
+        );
+        assert!(entrust.query("xn--mnchen-3ya.de").is_ok());
+    }
+
+    #[test]
+    fn unicode_queries_rejected() {
+        for m in all_monitors() {
+            assert_eq!(m.query("münchen.de"), Err(QueryError::UnicodeNotSupported), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn sslmate_cn_quirks() {
+        let mut m = all_monitors().remove(1);
+        // CN with '/': only the prefix is indexed.
+        m.ingest(1, &cert("target.example/ignored", "other.example"));
+        assert_eq!(m.query("target.example").unwrap(), vec![1]);
+        // CN with space: ignored entirely.
+        let mut m = all_monitors().remove(1);
+        m.ingest(2, &cert("has space.example", "different.example"));
+        assert!(m.query("has space.example").unwrap().is_empty());
+    }
+
+    #[test]
+    fn special_unicode_drops_certs_on_sslmate() {
+        let mut sslmate = all_monitors().remove(1);
+        let mut crtsh = all_monitors().remove(0);
+        let evil = cert("target.example\u{0}.evil", "target.example\u{0}.evil");
+        sslmate.ingest(7, &evil);
+        crtsh.ingest(7, &evil);
+        // SSLMate's pipeline drops it; Crt.sh keeps (and fuzzy-finds) it.
+        assert!(sslmate.query("target.example").unwrap().is_empty());
+        assert_eq!(crtsh.query("target.example").unwrap(), vec![7]);
+    }
+}

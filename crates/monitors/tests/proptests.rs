@@ -1,0 +1,63 @@
+//! Property tests: monitor ingest/query never panics and behaves sanely
+//! for arbitrary certificate contents and query strings.
+
+use proptest::prelude::*;
+use unicert_asn1::{DateTime, StringKind};
+use unicert_monitors::all_monitors;
+use unicert_x509::{CertificateBuilder, RawValue, SimKey};
+
+proptest! {
+    /// Ingesting certificates with arbitrary CN/SAN bytes and querying with
+    /// arbitrary strings never panics, and exact self-queries on clean
+    /// ASCII names always succeed for every monitor.
+    #[test]
+    fn ingest_query_total(
+        cn_bytes in proptest::collection::vec(any::<u8>(), 0..40),
+        san in "[a-z0-9-]{1,12}\\.[a-z]{2,5}",
+        query in ".{0,40}",
+    ) {
+        let cert = CertificateBuilder::new()
+            .subject(unicert_x509::DistinguishedName {
+                rdns: vec![unicert_x509::Rdn {
+                    attributes: vec![unicert_x509::AttributeTypeAndValue {
+                        oid: unicert_asn1::oid::known::common_name(),
+                        value: RawValue::from_raw(StringKind::Utf8, &cn_bytes),
+                    }],
+                }],
+            })
+            .add_dns_san(&san)
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("prop-monitor-ca"));
+        for mut m in all_monitors() {
+            m.ingest(0, &cert);
+            let _ = m.query(&query);
+            // A clean ASCII SAN is always retrievable by exact query —
+            // unless the monitor dropped the cert for special Unicode in
+            // its *other* keys (SSLMate's behaviour).
+            let hits = m.query(&san);
+            if let Ok(hits) = hits {
+                if !m.caps.fails_on_special_unicode {
+                    prop_assert!(hits.contains(&0), "{} missed {}", m.name, san);
+                }
+            }
+        }
+    }
+
+    /// Case-insensitivity holds for arbitrary ASCII names on every monitor.
+    #[test]
+    fn case_insensitive(host in "[a-z0-9]{1,10}\\.[a-z]{2,4}") {
+        let cert = CertificateBuilder::new()
+            .subject_cn(&host)
+            .add_dns_san(&host)
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("prop-monitor-ca"));
+        for mut m in all_monitors() {
+            m.ingest(3, &cert);
+            prop_assert_eq!(
+                m.query(&host.to_uppercase()).unwrap(),
+                vec![3],
+                "{}", m.name
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared vocabulary for the TLS-library behaviour profiles.
+
+use unicert_unicode::{DecodingMethod, HandlingMode};
+
+/// Where a string value sits in the certificate — the two "encoding
+/// scenario" families of Table 4 (Name vs GeneralName), refined by the
+/// concrete field for API-coverage checks (Tables 12/13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// Subject DN attribute.
+    SubjectDn,
+    /// Issuer DN attribute.
+    IssuerDn,
+    /// SAN dNSName.
+    SanDns,
+    /// SAN rfc822Name.
+    SanEmail,
+    /// SAN URI.
+    SanUri,
+    /// IssuerAltName (any string form).
+    Ian,
+    /// AuthorityInfoAccess URI.
+    AiaUri,
+    /// SubjectInfoAccess URI.
+    SiaUri,
+    /// CRLDistributionPoints URI.
+    CrldpUri,
+}
+
+impl Field {
+    /// Is this a DN context (vs a GeneralName context)?
+    pub fn is_name(self) -> bool {
+        matches!(self, Field::SubjectDn | Field::IssuerDn)
+    }
+
+    /// All fields the study exercises.
+    pub const ALL: [Field; 9] = [
+        Field::SubjectDn,
+        Field::IssuerDn,
+        Field::SanDns,
+        Field::SanEmail,
+        Field::SanUri,
+        Field::Ian,
+        Field::AiaUri,
+        Field::SiaUri,
+        Field::CrldpUri,
+    ];
+}
+
+/// What an API call returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The decoded text the library hands the application.
+    Text(String),
+    /// A parse error (message mimics the library's real diagnostics).
+    Error(String),
+}
+
+impl ParseOutcome {
+    /// The text, if any.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            ParseOutcome::Text(t) => Some(t),
+            ParseOutcome::Error(_) => None,
+        }
+    }
+}
+
+/// Which duplicated Subject attribute an API surfaces (§4.3.1: PyOpenSSL
+/// takes the first CN, Go Crypto the last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DupChoice {
+    /// First occurrence wins.
+    First,
+    /// Last occurrence wins.
+    Last,
+    /// All occurrences are surfaced.
+    All,
+}
+
+/// A decoding rule: the method a library applies plus how it treats
+/// undecodable units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeRule {
+    /// The decoding method.
+    pub method: DecodingMethod,
+    /// The handling mode for bad units.
+    pub mode: HandlingMode,
+}
+
+impl DecodeRule {
+    /// Strict rule.
+    pub const fn strict(method: DecodingMethod) -> DecodeRule {
+        DecodeRule { method, mode: HandlingMode::Strict }
+    }
+
+    /// Apply the rule to bytes.
+    pub fn apply(&self, bytes: &[u8], error_label: &str) -> ParseOutcome {
+        match self.method.decode_with(bytes, self.mode) {
+            Ok(t) => ParseOutcome::Text(t),
+            Err(e) => ParseOutcome::Error(format!("{error_label}: {e}")),
+        }
+    }
+}

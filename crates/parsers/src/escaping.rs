@@ -1,0 +1,375 @@
+//! Character-checking and escaping analysis (§5.2) — the engine behind
+//! Table 5.
+//!
+//! Two question families:
+//!
+//! 1. **Illegal characters**: does the library surface characters outside a
+//!    string type's standard set without erroring or escaping them?
+//! 2. **Non-standard escaping**: when the library renders DNs or
+//!    GeneralNames to text, does the output match the RFC 1779 / 2253 /
+//!    4514 reference forms, and — worse — can a crafted single value render
+//!    identically to a multi-element structure (the *exploited* case:
+//!    subfield forgery)?
+
+use crate::context::{Field, ParseOutcome};
+use crate::profiles::LibraryProfile;
+use unicert_asn1::oid::known;
+use unicert_asn1::StringKind;
+use unicert_x509::display::{dn_to_string, EscapingStandard};
+use unicert_x509::{AttributeTypeAndValue, DistinguishedName, GeneralName, RawValue, Rdn};
+
+/// Verdict for one Table 5 cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `-` — the combination is out of scope for this library (no API, no
+    /// text rendering, or incompatible decoding makes the check moot).
+    NotConsidered,
+    /// ○ — no violation observed.
+    Compliant,
+    /// ⊙ — violations observed, not exploitable.
+    Violated,
+    /// ⊗ — violations enabling subfield forgery.
+    Exploited,
+}
+
+impl Verdict {
+    /// Table symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Verdict::NotConsidered => "-",
+            Verdict::Compliant => "○",
+            Verdict::Violated => "⊙",
+            Verdict::Exploited => "⊗",
+        }
+    }
+}
+
+/// Illegal-character probes per string kind: `(bytes, offending char)`.
+fn illegal_char_probes(kind: StringKind) -> Vec<(Vec<u8>, char)> {
+    match kind {
+        StringKind::Printable => vec![
+            (b"te@st".to_vec(), '@'),
+            (b"te&st".to_vec(), '&'),
+            (b"te_st".to_vec(), '_'),
+        ],
+        StringKind::Ia5 => vec![
+            (vec![b't', 0xE9, b's', b't'], 'é'),
+            (vec![b't', 0xFF], 'ÿ'),
+        ],
+        StringKind::Bmp => vec![
+            // Surrogate code units are not UCS-2 characters.
+            (vec![0xD8, 0x3D, 0xDE, 0x00], '\u{1F600}'),
+        ],
+        StringKind::Utf8 => vec![
+            // C0 controls are legal UTF-8 but outside sane DN content;
+            // RFC-series escaping is expected downstream, not here, so this
+            // is only used for the GN checks.
+            (vec![b'a', 0x01, b'b'], '\u{1}'),
+        ],
+        _ => vec![],
+    }
+}
+
+/// Does the library accept illegal characters for `kind` in `field`?
+///
+/// Accepting means returning text that still contains the offending
+/// character *or* silently substitutes it; erroring or visibly escaping it
+/// counts as conforming handling.
+pub fn illegal_char_verdict(
+    profile: &dyn LibraryProfile,
+    kind: StringKind,
+    field: Field,
+) -> Verdict {
+    if !profile.supports(field) || !profile.supports_kind(kind, field) {
+        return Verdict::NotConsidered;
+    }
+    // Incompatible decoders misidentify the characters entirely, so the
+    // check is not meaningful (Appendix E, exclusion iv).
+    if let crate::inference::Inference::Inferred { flags, .. } =
+        crate::inference::infer(profile, kind, field)
+    {
+        if flags.incompatible {
+            return Verdict::NotConsidered;
+        }
+    }
+    let mut violated = false;
+    for (bytes, offending) in illegal_char_probes(kind) {
+        match profile.parse_value(kind, &bytes, field) {
+            ParseOutcome::Error(_) => {}
+            ParseOutcome::Text(t) => {
+                let escaped_form = format!("\\x{:02X}", offending as u32 & 0xFF);
+                if t.contains(offending) {
+                    violated = true; // illegal char surfaced untouched
+                } else if !t.contains(&escaped_form) && t != kindless_strip(&bytes, offending) {
+                    // Silent substitution (e.g. U+FFFD or '.') — still a
+                    // deviation from "reject or escape".
+                    violated = true;
+                }
+            }
+        }
+    }
+    if violated {
+        Verdict::Violated
+    } else {
+        Verdict::Compliant
+    }
+}
+
+/// The string with the offending character dropped — tolerated "truncation"
+/// handling.
+fn kindless_strip(bytes: &[u8], offending: char) -> String {
+    bytes
+        .iter()
+        .map(|&b| b as char)
+        .filter(|&c| c != offending)
+        .collect()
+}
+
+/// DN escaping probes: values that the reference forms escape differently.
+fn dn_probe_values() -> Vec<&'static str> {
+    vec![
+        "Acme, Inc.",
+        "a+b=c",
+        " leading",
+        "trailing ",
+        "#hash",
+        "q\"uote",
+        "semi;colon",
+        "back\\slash",
+    ]
+}
+
+fn dn_with(value: &str) -> DistinguishedName {
+    DistinguishedName::from_attributes(&[
+        (known::organization_name(), StringKind::Utf8, value),
+        (known::common_name(), StringKind::Utf8, "host.example"),
+    ])
+}
+
+/// NUL probe: decides RFC 4514 (which mandates `\00`) vs RFC 2253 (where
+/// hex-escaping was optional).
+fn nul_dn() -> DistinguishedName {
+    dn_with("a\u{0}b")
+}
+
+/// Compare a library's DN rendering against one reference standard.
+pub fn dn_escaping_verdict(profile: &dyn LibraryProfile, standard: EscapingStandard) -> Verdict {
+    let render = |dn: &DistinguishedName| profile.render_dn(dn);
+    if render(&dn_with("plain")).is_none() {
+        return Verdict::NotConsidered; // structured access only
+    }
+    // Exploitation check is standard-independent: can one crafted value
+    // render identically to a two-attribute DN?
+    let forged = DistinguishedName::from_attributes(&[(
+        known::common_name(),
+        StringKind::Utf8,
+        "a/O=Evil Org",
+    )]);
+    let legit = DistinguishedName::from_attributes(&[
+        (known::common_name(), StringKind::Utf8, "a"),
+        (known::organization_name(), StringKind::Utf8, "Evil Org"),
+    ]);
+    let forged2 = DistinguishedName::from_attributes(&[(
+        known::common_name(),
+        StringKind::Utf8,
+        "a,O=Evil Org",
+    )]);
+    let legit2 = DistinguishedName::from_attributes(&[
+        (known::organization_name(), StringKind::Utf8, "Evil Org"),
+        (known::common_name(), StringKind::Utf8, "a"),
+    ]);
+    let exploited = (render(&forged).is_some() && render(&forged) == render(&legit))
+        || (render(&forged2).is_some() && render(&forged2) == render(&legit2));
+
+    let mut violated = false;
+    for value in dn_probe_values() {
+        let dn = dn_with(value);
+        let reference = dn_to_string(&dn, standard);
+        if render(&dn) != Some(reference) {
+            violated = true;
+        }
+    }
+    // The NUL probe only separates RFC 4514 (2253 allowed optional hex
+    // escapes, so either form conforms there).
+    if standard == EscapingStandard::Rfc4514 {
+        let dn = nul_dn();
+        if render(&dn) != Some(dn_to_string(&dn, standard)) {
+            violated = true;
+        }
+    }
+    match (exploited, violated) {
+        (true, _) => Verdict::Exploited,
+        (false, true) => Verdict::Violated,
+        (false, false) => Verdict::Compliant,
+    }
+}
+
+/// GN escaping verdict: does the X.509-text rendering of GeneralNames
+/// match the standard form, and is it forgeable?
+pub fn gn_escaping_verdict(profile: &dyn LibraryProfile) -> Verdict {
+    let render = |names: &[GeneralName]| profile.render_general_names(names);
+    if render(&[GeneralName::dns("plain.example")]).is_none() {
+        return Verdict::NotConsidered;
+    }
+    let forged = vec![GeneralName::dns("a.com, DNS:b.com")];
+    let legit = vec![GeneralName::dns("a.com"), GeneralName::dns("b.com")];
+    if render(&forged) == render(&legit) {
+        return Verdict::Exploited;
+    }
+    // Violation: deviating from the plain X.509-text form for ordinary
+    // names.
+    let plain = vec![GeneralName::dns("a.com"), GeneralName::email("x@y.example")];
+    let reference = unicert_x509::display::general_names_to_text(&plain);
+    if render(&plain) != Some(reference) {
+        return Verdict::Violated;
+    }
+    // Deviating on names that need escaping is also a (non-exploitable)
+    // violation.
+    let tricky = vec![GeneralName::dns("a.com, DNS:b.com")];
+    let reference = unicert_x509::display::general_names_to_text(&tricky);
+    if render(&tricky) != Some(reference) {
+        return Verdict::Violated;
+    }
+    Verdict::Compliant
+}
+
+/// Duplicate-attribute surfacing (§4.3.1): which CN does the library's
+/// convenience accessor return?
+pub fn duplicate_cn_result(profile: &dyn LibraryProfile, dn: &DistinguishedName) -> Vec<String> {
+    let values: Vec<String> = dn
+        .all_values(&known::common_name())
+        .iter()
+        .map(|v| v.display_lossy())
+        .collect();
+    match profile.duplicate_cn_choice() {
+        crate::context::DupChoice::First => values.first().cloned().into_iter().collect(),
+        crate::context::DupChoice::Last => values.last().cloned().into_iter().collect(),
+        crate::context::DupChoice::All => values,
+    }
+}
+
+/// Build a DN with duplicated CNs for the duplicate-surfacing probe.
+pub fn duplicated_cn_dn(first: &str, last: &str) -> DistinguishedName {
+    DistinguishedName {
+        rdns: vec![
+            Rdn {
+                attributes: vec![AttributeTypeAndValue {
+                    oid: known::common_name(),
+                    value: RawValue::from_text(StringKind::Utf8, first),
+                }],
+            },
+            Rdn {
+                attributes: vec![AttributeTypeAndValue {
+                    oid: known::common_name(),
+                    value: RawValue::from_text(StringKind::Utf8, last),
+                }],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::*;
+
+    #[test]
+    fn openssl_dn_escaping_is_exploited() {
+        for std in [EscapingStandard::Rfc1779, EscapingStandard::Rfc2253, EscapingStandard::Rfc4514] {
+            assert_eq!(dn_escaping_verdict(&OpenSsl, std), Verdict::Exploited, "{std:?}");
+        }
+    }
+
+    #[test]
+    fn pyopenssl_gn_escaping_is_exploited() {
+        assert_eq!(gn_escaping_verdict(&PyOpenSsl), Verdict::Exploited);
+    }
+
+    #[test]
+    fn node_gn_escaping_violates_without_exploit() {
+        assert_eq!(gn_escaping_verdict(&NodeCrypto), Verdict::Violated);
+    }
+
+    #[test]
+    fn structured_libraries_not_considered() {
+        assert_eq!(gn_escaping_verdict(&GoCrypto), Verdict::NotConsidered);
+        assert_eq!(
+            dn_escaping_verdict(&GoCrypto, EscapingStandard::Rfc4514),
+            Verdict::NotConsidered
+        );
+        assert_eq!(gn_escaping_verdict(&Cryptography), Verdict::NotConsidered);
+    }
+
+    #[test]
+    fn java_matches_2253_but_not_4514_or_1779() {
+        assert_eq!(
+            dn_escaping_verdict(&JavaSecurity, EscapingStandard::Rfc2253),
+            Verdict::Compliant
+        );
+        assert_eq!(
+            dn_escaping_verdict(&JavaSecurity, EscapingStandard::Rfc4514),
+            Verdict::Violated
+        );
+        assert_eq!(
+            dn_escaping_verdict(&JavaSecurity, EscapingStandard::Rfc1779),
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn gnutls_and_cryptography_match_4514() {
+        assert_eq!(
+            dn_escaping_verdict(&GnuTls, EscapingStandard::Rfc4514),
+            Verdict::Compliant
+        );
+        assert_eq!(
+            dn_escaping_verdict(&Cryptography, EscapingStandard::Rfc4514),
+            Verdict::Compliant
+        );
+    }
+
+    #[test]
+    fn illegal_chars_pattern() {
+        use crate::context::Field::*;
+        // GnuTLS and PyOpenSSL surface '@' in PrintableString untouched.
+        assert_eq!(
+            illegal_char_verdict(&GnuTls, StringKind::Printable, SubjectDn),
+            Verdict::Violated
+        );
+        assert_eq!(
+            illegal_char_verdict(&PyOpenSsl, StringKind::Printable, SubjectDn),
+            Verdict::Violated
+        );
+        // Go errors — compliant.
+        assert_eq!(
+            illegal_char_verdict(&GoCrypto, StringKind::Printable, SubjectDn),
+            Verdict::Compliant
+        );
+        // OpenSSL escapes the IA5 high bytes — conforming handling.
+        assert_eq!(
+            illegal_char_verdict(&OpenSsl, StringKind::Ia5, SubjectDn),
+            Verdict::Compliant
+        );
+        // Java silently replaces — a violation.
+        assert_eq!(
+            illegal_char_verdict(&JavaSecurity, StringKind::Ia5, SubjectDn),
+            Verdict::Violated
+        );
+        // BouncyCastle has no GN APIs.
+        assert_eq!(
+            illegal_char_verdict(&BouncyCastle, StringKind::Ia5, SanDns),
+            Verdict::NotConsidered
+        );
+    }
+
+    #[test]
+    fn duplicate_cn_selection() {
+        let dn = duplicated_cn_dn("first.example", "last.example");
+        assert_eq!(duplicate_cn_result(&PyOpenSsl, &dn), vec!["first.example"]);
+        assert_eq!(duplicate_cn_result(&GoCrypto, &dn), vec!["last.example"]);
+        assert_eq!(
+            duplicate_cn_result(&OpenSsl, &dn),
+            vec!["first.example", "last.example"]
+        );
+    }
+}

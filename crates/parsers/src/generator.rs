@@ -1,0 +1,215 @@
+//! The §3.2 test-Unicert generator.
+//!
+//! Rules, verbatim from the paper: (i) one RDN per DN and one attribute per
+//! RDN; (ii) random attribute values built by inserting special Unicode
+//! characters; (iii) mutate only one field per certificate, keeping every
+//! other required field at standard-compliant defaults ("test.com" for
+//! DNSName). The character sample covers all of U+0000–U+00FF plus one
+//! character per Unicode block (surrogates excluded), across the ASN.1
+//! string types of Appendix E.
+
+use crate::context::Field;
+use unicert_asn1::oid::known;
+use unicert_asn1::{DateTime, Oid, StringKind};
+use unicert_unicode::blocks;
+use unicert_x509::{Certificate, CertificateBuilder, GeneralName, RawValue, SimKey};
+
+/// The attribute-type OIDs exercised (Appendix E's list).
+pub fn test_attribute_oids() -> Vec<Oid> {
+    vec![
+        known::common_name(),          // 2.5.4.3
+        known::serial_number(),        // 2.5.4.5
+        known::locality_name(),        // 2.5.4.7
+        known::state_or_province(),    // 2.5.4.8
+        known::organization_name(),    // 2.5.4.10
+        known::organizational_unit(),  // 2.5.4.11
+        known::business_category(),    // 2.5.4.15
+        known::domain_component(),     // 0.9.2342.19200300.100.1.25
+        known::email_address(),        // 1.2.840.113549.1.9.1
+    ]
+}
+
+/// The ASN.1 string types exercised (Appendix E).
+pub const TEST_KINDS: [StringKind; 4] = [
+    StringKind::Printable,
+    StringKind::Utf8,
+    StringKind::Ia5,
+    StringKind::Bmp,
+];
+
+/// The §3.2 character sample: all of U+0000–U+00FF, plus one character per
+/// Unicode block.
+pub fn character_sample() -> Vec<char> {
+    let mut chars: Vec<char> = (0u32..=0xFF).filter_map(char::from_u32).collect();
+    chars.extend(blocks::sample_chars_per_block().into_iter().filter(|&c| (c as u32) > 0xFF));
+    chars
+}
+
+/// One generated test case.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// The mutated field.
+    pub field: Field,
+    /// The string kind the value was tagged with.
+    pub kind: StringKind,
+    /// The special character embedded in the value.
+    pub ch: char,
+    /// The raw bytes actually placed on the wire.
+    pub value_bytes: Vec<u8>,
+    /// The full certificate.
+    pub cert: Certificate,
+}
+
+/// The compliant default the mutation is embedded into.
+pub const PRESET: &str = "test.com";
+
+/// Embed `ch` into the preset value and encode under `kind`'s wire format.
+///
+/// The wire format must be able to carry the character (a single-byte type
+/// cannot carry U+4E2D losslessly — those combinations are skipped by
+/// [`generate`]).
+pub fn mutated_value(kind: StringKind, ch: char) -> Vec<u8> {
+    let text = format!("te{ch}st.com");
+    kind.encode_lossy(&text)
+}
+
+fn builder_base() -> CertificateBuilder {
+    CertificateBuilder::new()
+        .subject_cn(PRESET)
+        .add_dns_san(PRESET)
+        .validity_days(DateTime::date(2024, 6, 1).expect("static date"), 90)
+}
+
+fn signer() -> SimKey {
+    SimKey::from_seed("unicert-test-generator")
+}
+
+/// Generate one certificate with a single mutated field.
+pub fn generate_one(field: Field, kind: StringKind, ch: char) -> TestCase {
+    let value_bytes = mutated_value(kind, ch);
+    let builder = match field {
+        Field::SubjectDn => builder_base().subject_attr_raw(
+            known::organization_name(),
+            kind,
+            &value_bytes,
+        ),
+        Field::IssuerDn => {
+            let dn = unicert_x509::DistinguishedName {
+                rdns: vec![unicert_x509::Rdn {
+                    attributes: vec![unicert_x509::AttributeTypeAndValue {
+                        oid: known::organization_name(),
+                        value: RawValue::from_raw(kind, &value_bytes),
+                    }],
+                }],
+            };
+            builder_base().issuer(dn)
+        }
+        Field::SanDns => builder_base()
+            .add_san(GeneralName::DnsName(RawValue::from_raw(StringKind::Ia5, &value_bytes))),
+        Field::SanEmail => builder_base()
+            .add_san(GeneralName::Rfc822Name(RawValue::from_raw(StringKind::Ia5, &value_bytes))),
+        Field::SanUri => builder_base()
+            .add_san(GeneralName::Uri(RawValue::from_raw(StringKind::Ia5, &value_bytes))),
+        Field::Ian => builder_base().add_extension(unicert_x509::extensions::issuer_alt_name(&[
+            GeneralName::DnsName(RawValue::from_raw(StringKind::Ia5, &value_bytes)),
+        ])),
+        Field::AiaUri => builder_base().add_extension(unicert_x509::extensions::authority_info_access(
+            &[unicert_x509::extensions::AccessDescription {
+                method: known::ad_ocsp(),
+                location: GeneralName::Uri(RawValue::from_raw(StringKind::Ia5, &value_bytes)),
+            }],
+        )),
+        Field::SiaUri => builder_base().add_extension(unicert_x509::extensions::subject_info_access(
+            &[unicert_x509::extensions::AccessDescription {
+                method: known::ad_ca_repository(),
+                location: GeneralName::Uri(RawValue::from_raw(StringKind::Ia5, &value_bytes)),
+            }],
+        )),
+        Field::CrldpUri => builder_base().add_extension(
+            unicert_x509::extensions::crl_distribution_points(&[vec![GeneralName::Uri(
+                RawValue::from_raw(StringKind::Ia5, &value_bytes),
+            )]]),
+        ),
+    };
+    TestCase { field, kind, ch, value_bytes, cert: builder.build_signed(&signer()) }
+}
+
+/// Generate the full §3.2 sweep for one field: every string kind × every
+/// sampled character the kind's wire format can carry.
+pub fn generate(field: Field) -> Vec<TestCase> {
+    let mut cases = Vec::new();
+    for kind in TEST_KINDS {
+        for &ch in &character_sample() {
+            if !kind.can_carry(&format!("te{ch}st.com")) {
+                continue;
+            }
+            cases.push(generate_one(field, kind, ch));
+        }
+    }
+    cases
+}
+
+/// A reduced sweep for the decoding-inference probes: a handful of
+/// decisive characters rather than the full block sample.
+pub fn probe_characters() -> Vec<char> {
+    vec![
+        'A',        // plain ASCII
+        '@',        // ASCII but outside PrintableString
+        '\u{1}',    // C0 control
+        '\u{7F}',   // DEL
+        '\u{E9}',   // Latin-1 é
+        '\u{142}',  // ł — two UTF-8 bytes, beyond Latin-1
+        '\u{4E2D}', // 中 — CJK, BMP
+        '\u{1F600}',// 😀 — astral (needs surrogates in UTF-16)
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_covers_low_range_and_blocks() {
+        let sample = character_sample();
+        // 256 low code points (minus the surrogate-free guarantee).
+        assert!(sample.iter().filter(|&&c| (c as u32) <= 0xFF).count() == 256);
+        // Plus a character from (nearly) every block.
+        assert!(sample.len() > 256 + 250, "{}", sample.len());
+    }
+
+    #[test]
+    fn one_mutation_per_certificate() {
+        let case = generate_one(Field::SubjectDn, StringKind::Printable, '@');
+        // SAN/CN defaults intact.
+        assert_eq!(case.cert.tbs.san_dns_names(), vec![PRESET]);
+        assert_eq!(case.cert.tbs.subject.common_name().unwrap(), PRESET);
+        // The mutated O carries the '@'.
+        let org = case.cert.tbs.subject.first_value(&known::organization_name()).unwrap();
+        assert_eq!(org.bytes, b"te@st.com");
+    }
+
+    #[test]
+    fn wire_kind_constraints_respected() {
+        // BMP can carry CJK; Printable's wire cannot.
+        let cases = generate(Field::SubjectDn);
+        let is_cjk = |c: char| (0x4E00..0xA000).contains(&(c as u32));
+        assert!(cases.iter().any(|c| c.kind == StringKind::Bmp && is_cjk(c.ch)));
+        assert!(!cases.iter().any(|c| c.kind == StringKind::Printable && is_cjk(c.ch)));
+        // All four kinds appear.
+        for kind in TEST_KINDS {
+            assert!(cases.iter().any(|c| c.kind == kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn generated_certs_parse() {
+        for case in [
+            generate_one(Field::SanDns, StringKind::Ia5, '\u{0}'),
+            generate_one(Field::CrldpUri, StringKind::Ia5, '\u{1}'),
+            generate_one(Field::SubjectDn, StringKind::Bmp, '中'),
+        ] {
+            let reparsed = unicert_x509::Certificate::parse_der(&case.cert.raw).unwrap();
+            assert_eq!(reparsed.tbs, case.cert.tbs);
+        }
+    }
+}

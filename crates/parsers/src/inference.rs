@@ -1,0 +1,350 @@
+//! Decoding-method inference (§3.2 "Inferring decoding methods" /
+//! "Inferring character checking methods") — the engine behind Table 4.
+//!
+//! Each library profile is treated as a black box: we feed it byte strings
+//! under every string type and compare its outputs against candidate
+//! decoders — the five common decoding methods, optionally post-processed
+//! by the three special-character handling modes, plus the quirk decoders
+//! identified by manual inspection in the paper (hex-escaping, dot
+//! sanitisation, per-unit ASCII compatibility).
+
+use crate::context::{Field, ParseOutcome};
+use crate::generator::probe_characters;
+use crate::profiles::LibraryProfile;
+use unicert_asn1::StringKind;
+use unicert_unicode::{DecodingMethod, HandlingMode};
+
+/// A candidate decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Candidate {
+    /// A decoding method with a handling mode.
+    Method(DecodingMethod, HandlingMode),
+    /// Full per-kind strict decoding (wire format + character set).
+    KindStrict,
+    /// OpenSSL-style byte-wise rendering with `\xHH` escapes for anything
+    /// outside printable ASCII.
+    BytewiseEscape,
+    /// PyOpenSSL-style GN sanitisation: controls and 8-bit bytes → `.`.
+    AsciiDotSanitize,
+    /// Java-style BMP handling: 16-bit units ≤ 0x7F as ASCII, else U+FFFD.
+    Ucs2AsciiCompat,
+}
+
+impl Candidate {
+    fn decode(&self, kind: StringKind, bytes: &[u8]) -> Option<String> {
+        match *self {
+            Candidate::Method(m, h) => m.decode_with(bytes, h).ok(),
+            Candidate::KindStrict => kind.decode_strict(bytes).ok(),
+            Candidate::BytewiseEscape => {
+                Some(crate::profiles::openssl_bytewise_escaped(bytes))
+            }
+            Candidate::AsciiDotSanitize => Some(
+                bytes
+                    .iter()
+                    .map(|&b| {
+                        if matches!(b, 0x00..=0x09 | 0x0B | 0x0C | 0x0E..=0x1F | 0x7F) || b >= 0x80
+                        {
+                            '.'
+                        } else {
+                            b as char
+                        }
+                    })
+                    .collect(),
+            ),
+            Candidate::Ucs2AsciiCompat => {
+                if bytes.len() % 2 != 0 {
+                    return None;
+                }
+                Some(
+                    bytes
+                        .chunks_exact(2)
+                        .map(|c| {
+                            let u = u16::from_be_bytes([c[0], c[1]]);
+                            if u <= 0x7F {
+                                (u as u8) as char
+                            } else {
+                                '\u{FFFD}'
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// The judgment flags of Table 4's legend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodingFlags {
+    /// ◐ — accepts characters beyond the standard range.
+    pub over_tolerant: bool,
+    /// ⊗ — the decoding method mismatches the declared wire format.
+    pub incompatible: bool,
+    /// ⊙ — undecodable content is substituted/escaped rather than rejected.
+    pub modified: bool,
+}
+
+impl DecodingFlags {
+    /// The single symbol the paper prints for a cell.
+    pub fn symbol(&self) -> &'static str {
+        if self.incompatible {
+            "⊗"
+        } else if self.over_tolerant {
+            "◐"
+        } else if self.modified {
+            "⊙"
+        } else {
+            "○"
+        }
+    }
+}
+
+/// Inference result for one `(library, kind, context)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inference {
+    /// The library's API does not reach this combination (`-`).
+    Unsupported,
+    /// A candidate decoder explains every observation.
+    Inferred {
+        /// The matched candidate.
+        candidate: Candidate,
+        /// Human-readable method name for the report.
+        method_name: &'static str,
+        /// Compliance flags.
+        flags: DecodingFlags,
+    },
+    /// No candidate matched (the paper's "analyzed separately via manual
+    /// inspection" bucket).
+    Unexplained,
+}
+
+/// The wire-standard decoding method for a string kind.
+pub fn standard_method(kind: StringKind) -> DecodingMethod {
+    match kind {
+        StringKind::Utf8 => DecodingMethod::Utf8,
+        StringKind::Bmp => DecodingMethod::Ucs2,
+        StringKind::Teletex => DecodingMethod::Iso8859_1,
+        StringKind::Universal => DecodingMethod::Utf16, // nearest of the five
+        _ => DecodingMethod::Ascii,
+    }
+}
+
+fn is_broader(method: DecodingMethod, standard: DecodingMethod) -> bool {
+    use DecodingMethod::*;
+    matches!(
+        (standard, method),
+        (Ascii, Iso8859_1) | (Ascii, Utf8) | (Ucs2, Utf16)
+    )
+}
+
+fn probe_inputs(kind: StringKind) -> Vec<Vec<u8>> {
+    let mut inputs: Vec<Vec<u8>> = probe_characters()
+        .into_iter()
+        .filter(|&c| kind.can_carry(&c.to_string()))
+        .map(|c| kind.encode_lossy(&format!("te{c}st")))
+        .collect();
+    // Raw high bytes (invalid UTF-8, valid Latin-1).
+    inputs.push(vec![b't', 0xE9, 0xFC, b'x']);
+    // A well-formed UTF-8 multibyte sequence.
+    inputs.push("të".as_bytes().to_vec());
+    if kind == StringKind::Bmp {
+        inputs.push(vec![0xD8, 0x3D, 0xDE, 0x00]); // surrogate pair
+        inputs.push(vec![0xD8, 0x00]); // lone surrogate
+    }
+    inputs
+}
+
+fn candidates() -> Vec<Candidate> {
+    let mut list = vec![Candidate::KindStrict];
+    for m in unicert_unicode::encodings::ALL_METHODS {
+        list.push(Candidate::Method(m, HandlingMode::Strict));
+    }
+    for m in unicert_unicode::encodings::ALL_METHODS {
+        for h in [
+            HandlingMode::Replace('\u{FFFD}'),
+            HandlingMode::Replace('.'),
+            HandlingMode::Replace('?'),
+            HandlingMode::Truncate,
+            HandlingMode::Escape,
+        ] {
+            list.push(Candidate::Method(m, h));
+        }
+    }
+    list.push(Candidate::BytewiseEscape);
+    list.push(Candidate::AsciiDotSanitize);
+    list.push(Candidate::Ucs2AsciiCompat);
+    list
+}
+
+/// Infer the decoder a library applies to `kind` in `field` context.
+pub fn infer(profile: &dyn LibraryProfile, kind: StringKind, field: Field) -> Inference {
+    if !profile.supports(field) || !profile.supports_kind(kind, field) {
+        return Inference::Unsupported;
+    }
+    let inputs = probe_inputs(kind);
+    let observations: Vec<(Vec<u8>, ParseOutcome)> = inputs
+        .into_iter()
+        .map(|bytes| {
+            let out = profile.parse_value(kind, &bytes, field);
+            (bytes, out)
+        })
+        .collect();
+
+    'candidates: for candidate in candidates() {
+        for (bytes, outcome) in &observations {
+            match (candidate.decode(kind, bytes), outcome) {
+                (Some(decoded), ParseOutcome::Text(t)) if &decoded == t => {}
+                (None, ParseOutcome::Error(_)) => {}
+                _ => continue 'candidates,
+            }
+        }
+        return Inference::Inferred {
+            candidate,
+            method_name: candidate_name(candidate),
+            flags: judge(candidate, kind),
+        };
+    }
+    Inference::Unexplained
+}
+
+fn candidate_name(c: Candidate) -> &'static str {
+    match c {
+        Candidate::KindStrict => "standard (strict)",
+        Candidate::Method(m, HandlingMode::Strict) => m.name(),
+        Candidate::Method(DecodingMethod::Ascii, _) => "Modified ASCII",
+        Candidate::Method(DecodingMethod::Iso8859_1, _) => "Modified ISO-8859-1",
+        Candidate::Method(DecodingMethod::Utf8, _) => "Modified UTF-8",
+        Candidate::Method(DecodingMethod::Ucs2, _) => "Modified UCS-2",
+        Candidate::Method(DecodingMethod::Utf16, _) => "Modified UTF-16",
+        Candidate::BytewiseEscape => "Modified ASCII",
+        Candidate::AsciiDotSanitize => "Modified ASCII",
+        Candidate::Ucs2AsciiCompat => "Modified ASCII (per-unit)",
+    }
+}
+
+fn judge(candidate: Candidate, kind: StringKind) -> DecodingFlags {
+    let standard = standard_method(kind);
+    let multibyte_wire = matches!(kind, StringKind::Utf8 | StringKind::Bmp | StringKind::Universal);
+    match candidate {
+        Candidate::KindStrict => DecodingFlags::default(),
+        Candidate::Method(m, mode) => {
+            let mut flags = DecodingFlags {
+                modified: mode != HandlingMode::Strict,
+                ..Default::default()
+            };
+            if m == standard {
+                // Matching the wire method; PrintableString-style charset
+                // subsets are Table 5's concern, not Table 4's.
+            } else if is_broader(m, standard) {
+                flags.over_tolerant = true;
+            } else {
+                flags.incompatible = true;
+            }
+            flags
+        }
+        Candidate::BytewiseEscape | Candidate::AsciiDotSanitize => DecodingFlags {
+            modified: true,
+            incompatible: multibyte_wire,
+            over_tolerant: false,
+        },
+        Candidate::Ucs2AsciiCompat => DecodingFlags {
+            modified: true,
+            incompatible: true,
+            over_tolerant: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{all_profiles, Forge, GnuTls, GoCrypto, JavaSecurity, OpenSsl, PyOpenSsl};
+
+    fn infer_sym(p: &dyn LibraryProfile, kind: StringKind, field: Field) -> String {
+        match infer(p, kind, field) {
+            Inference::Unsupported => "-".into(),
+            Inference::Unexplained => "?".into(),
+            Inference::Inferred { flags, method_name, .. } => {
+                format!("{} {}", method_name, flags.symbol())
+            }
+        }
+    }
+
+    #[test]
+    fn gnutls_is_over_tolerant_utf8() {
+        let s = infer_sym(&GnuTls, StringKind::Printable, Field::SubjectDn);
+        assert_eq!(s, "UTF-8 ◐");
+    }
+
+    #[test]
+    fn forge_utf8_is_incompatible_latin1() {
+        let s = infer_sym(&Forge, StringKind::Utf8, Field::SubjectDn);
+        assert_eq!(s, "ISO-8859-1 ⊗");
+    }
+
+    #[test]
+    fn openssl_bmp_is_incompatible_modified() {
+        match infer(&OpenSsl, StringKind::Bmp, Field::SubjectDn) {
+            Inference::Inferred { flags, .. } => {
+                assert!(flags.incompatible);
+                assert!(flags.modified);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn go_names_are_compliant() {
+        match infer(&GoCrypto, StringKind::Printable, Field::SubjectDn) {
+            Inference::Inferred { candidate, flags, .. } => {
+                assert_eq!(candidate, Candidate::KindStrict);
+                assert_eq!(flags, DecodingFlags::default());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn java_replaces_with_fffd() {
+        match infer(&JavaSecurity, StringKind::Ia5, Field::SubjectDn) {
+            Inference::Inferred { flags, .. } => assert!(flags.modified),
+            other => panic!("{other:?}"),
+        }
+        // Java's BMP handling: the per-unit ASCII-compat quirk.
+        match infer(&JavaSecurity, StringKind::Bmp, Field::SubjectDn) {
+            Inference::Inferred { candidate, flags, .. } => {
+                assert_eq!(candidate, Candidate::Ucs2AsciiCompat);
+                assert!(flags.incompatible);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pyopenssl_gn_is_dot_sanitized() {
+        match infer(&PyOpenSsl, StringKind::Ia5, Field::CrldpUri) {
+            Inference::Inferred { candidate, flags, .. } => {
+                assert_eq!(candidate, Candidate::AsciiDotSanitize);
+                assert!(flags.modified);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_profile_yields_a_verdict_for_every_cell() {
+        for p in all_profiles() {
+            for kind in [StringKind::Printable, StringKind::Ia5, StringKind::Bmp, StringKind::Utf8] {
+                for field in [Field::SubjectDn, Field::SanDns, Field::CrldpUri] {
+                    let inf = infer(p.as_ref(), kind, field);
+                    assert_ne!(
+                        inf,
+                        Inference::Unexplained,
+                        "{} {kind:?} {field:?}",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
+}

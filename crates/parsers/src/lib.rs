@@ -1,0 +1,24 @@
+//! TLS-library behaviour profiles and the differential parsing harness
+//! (§3.2 / §5 of the paper).
+//!
+//! * [`profiles`] — nine library profiles (OpenSSL, GnuTLS, PyOpenSSL,
+//!   pyca/cryptography, Go crypto/x509, java.security.cert, BouncyCastle,
+//!   Node.js crypto, node-forge) reimplementing each library's observable
+//!   certificate-parsing behaviour;
+//! * [`generator`] — the single-mutation test-Unicert generator;
+//! * [`inference`] — decoding-method inference (Table 4);
+//! * [`escaping`] — character-checking and escaping analysis (Table 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod escaping;
+pub mod generator;
+pub mod inference;
+pub mod profiles;
+
+pub use context::{DupChoice, Field, ParseOutcome};
+pub use escaping::Verdict;
+pub use inference::{infer, DecodingFlags, Inference};
+pub use profiles::{all_profiles, LibraryProfile};

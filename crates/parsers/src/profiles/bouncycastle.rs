@@ -1,0 +1,70 @@
+//! BouncyCastle (`X509CertificateHolder.getSubject().toString()`) behaviour.
+//!
+//! Observed behaviour: name attributes decode leniently (Latin-1 for the
+//! single-byte types, UTF-16 for BMPString — both over-tolerant); the
+//! tested APIs expose no extension accessors (Table 13 row all `-`).
+//! `toString()` follows RFC 2253 ordering/escaping but not the RFC 4514
+//! NUL rule or RFC 1779 quoting.
+
+use super::LibraryProfile;
+use crate::context::{Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::DecodingMethod;
+use unicert_x509::display::{dn_to_string, EscapingStandard};
+use unicert_x509::DistinguishedName;
+
+/// The BouncyCastle profile.
+pub struct BouncyCastle;
+
+impl LibraryProfile for BouncyCastle {
+    fn name(&self) -> &'static str {
+        "BouncyCastle"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        field.is_name()
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], _field: Field) -> ParseOutcome {
+        // DERPrintableString validates its charset; the laxness lives in
+        // IA5/Teletex (Latin-1) and BMPString (UTF-16).
+        if kind == StringKind::Printable {
+            return match kind.decode_strict(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(e) => ParseOutcome::Error(format!("org.bouncycastle: {e}")),
+            };
+        }
+        let method = match kind {
+            StringKind::Utf8 => DecodingMethod::Utf8,
+            StringKind::Bmp => DecodingMethod::Utf16,
+            _ => DecodingMethod::Iso8859_1,
+        };
+        match method.decode(bytes) {
+            Ok(t) => ParseOutcome::Text(t),
+            Err(e) => ParseOutcome::Error(format!("org.bouncycastle: {e}")),
+        }
+    }
+
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        Some(dn_to_string(dn, EscapingStandard::Rfc2253))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenient_decodes() {
+        let out = BouncyCastle.parse_value(StringKind::Ia5, &[b'x', 0xDF], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("xß".into()));
+        let out = BouncyCastle.parse_value(StringKind::Bmp, &[0xD8, 0x3D, 0xDE, 0x00], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("\u{1F600}".into()));
+    }
+
+    #[test]
+    fn no_extension_support() {
+        assert!(!BouncyCastle.supports(Field::SanDns));
+        assert!(!BouncyCastle.supports(Field::CrldpUri));
+    }
+}

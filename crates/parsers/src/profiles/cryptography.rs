@@ -1,0 +1,78 @@
+//! pyca/cryptography (`rfc4514_string()`, `get_extension_for_oid()`)
+//! behaviour.
+//!
+//! Observed behaviour: the maintainers confirmed "lax handling of certain
+//! ASN.1 string types for compatibility" (Table 7): Printable/IA5 values
+//! decode as ISO-8859-1 and BMPString as UTF-16 — over-tolerant but never
+//! failing. UTF8String is strict. DN rendering is literally
+//! `rfc4514_string()` (other DN-string RFCs are out of scope — the `-`
+//! cells of Table 5).
+
+use super::LibraryProfile;
+use crate::context::{Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::DecodingMethod;
+use unicert_x509::display::{dn_to_string, EscapingStandard};
+use unicert_x509::DistinguishedName;
+
+/// The pyca/cryptography profile.
+pub struct Cryptography;
+
+impl LibraryProfile for Cryptography {
+    fn name(&self) -> &'static str {
+        "Cryptography"
+    }
+
+    fn supports(&self, _field: Field) -> bool {
+        true // get_extension_for_oid covers every tested extension
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], _field: Field) -> ParseOutcome {
+        // PrintableString is charset-validated; the laxness is confined to
+        // IA5String/TeletexString (Latin-1 view) and BMPString (UTF-16).
+        if kind == StringKind::Printable {
+            return match kind.decode_strict(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(e) => ParseOutcome::Error(format!("cryptography: {e}")),
+            };
+        }
+        let method = match kind {
+            StringKind::Utf8 => DecodingMethod::Utf8,
+            StringKind::Bmp => DecodingMethod::Utf16,
+            _ => DecodingMethod::Iso8859_1,
+        };
+        match method.decode(bytes) {
+            Ok(t) => ParseOutcome::Text(t),
+            Err(e) => ParseOutcome::Error(format!("cryptography: {e}")),
+        }
+    }
+
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        Some(dn_to_string(dn, EscapingStandard::Rfc4514))
+    }
+
+    // No GeneralNames text rendering: extension values are surfaced as
+    // structured objects (the `-` GN-escaping cells of Table 5).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bmp_decoded_as_utf16_accepts_astral() {
+        // Surrogate pair in a BMPString: standard UCS-2 forbids it; UTF-16
+        // decoding accepts it — over-tolerant.
+        let bytes = [0xD8, 0x3D, 0xDE, 0x00];
+        let out = Cryptography.parse_value(StringKind::Bmp, &bytes, Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("\u{1F600}".into()));
+    }
+
+    #[test]
+    fn printable_is_validated_but_ia5_is_lax() {
+        let out = Cryptography.parse_value(StringKind::Printable, b"a@b", Field::SubjectDn);
+        assert!(matches!(out, ParseOutcome::Error(_)));
+        let out = Cryptography.parse_value(StringKind::Ia5, &[b'x', 0xFC], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("xü".into()));
+    }
+}

@@ -1,0 +1,78 @@
+//! node-forge (`X509Certificate`, `subject.getField()`) behaviour.
+//!
+//! Observed behaviour (§5.1): "Forge decodes UTF8String with ISO-8859-1" —
+//! the canonical *incompatible* decode, turning UTF-8 multibyte sequences
+//! into mojibake (`tëst` → `tÃ«st`). The single-byte types also decode as
+//! Latin-1 (over-tolerant); BMPString and UniversalString have no decode
+//! path at all (Table 4 `-`). Field access is structured; there is no DN
+//! or GN string rendering in the tested API set.
+
+use super::LibraryProfile;
+use crate::context::{Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::DecodingMethod;
+
+/// The node-forge profile.
+pub struct Forge;
+
+impl LibraryProfile for Forge {
+    fn name(&self) -> &'static str {
+        "Forge"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        // getExtension() covers SAN/IAN (Table 13).
+        matches!(
+            field,
+            Field::SubjectDn | Field::IssuerDn | Field::SanDns | Field::SanEmail
+                | Field::SanUri | Field::Ian
+        )
+    }
+
+    fn supports_kind(&self, kind: StringKind, _field: Field) -> bool {
+        !matches!(kind, StringKind::Bmp | StringKind::Universal)
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], field: Field) -> ParseOutcome {
+        if !self.supports_kind(kind, field) {
+            return ParseOutcome::Error("forge: unsupported string type".into());
+        }
+        // PrintableString contents are charset-checked on decode.
+        if kind == StringKind::Printable {
+            return match kind.decode_strict(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(_) => ParseOutcome::Error("forge: invalid PrintableString".into()),
+            };
+        }
+        // altNames (GN context) reject non-ASCII bytes…
+        if !field.is_name() {
+            return match unicert_unicode::DecodingMethod::Ascii.decode(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(e) => ParseOutcome::Error(format!("forge: {e}")),
+            };
+        }
+        // …while DN fields — including UTF8String — go through a Latin-1
+        // view (the §5.1 incompatible-decoding finding).
+        ParseOutcome::Text(
+            DecodingMethod::Iso8859_1.decode(bytes).expect("latin-1 is total"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utf8_becomes_mojibake() {
+        let out = Forge.parse_value(StringKind::Utf8, "tëst".as_bytes(), Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("tÃ«st".into()));
+        let out = Forge.parse_value(StringKind::Utf8, "Störi".as_bytes(), Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("StÃ¶ri".into()));
+    }
+
+    #[test]
+    fn bmp_unsupported() {
+        assert!(!Forge.supports_kind(StringKind::Bmp, Field::SubjectDn));
+    }
+}

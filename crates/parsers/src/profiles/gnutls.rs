@@ -1,0 +1,79 @@
+//! GnuTLS (`gnutls_x509_crt_get_*_dn`, `*_get_subject_alt_name`) behaviour.
+//!
+//! Observed behaviour (§5.1): "GnuTLS uses UTF-8 to decode all ASN.1
+//! string types (except BMPString) in DN and GN" — over-tolerant for
+//! PrintableString/IA5String (out-of-set characters are accepted as long
+//! as the bytes are valid UTF-8). BMPString is decoded as UCS-2. DN
+//! rendering follows RFC 4514.
+
+use super::LibraryProfile;
+use crate::context::{DecodeRule, Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::{DecodingMethod, HandlingMode};
+use unicert_x509::display::{dn_to_string, EscapingStandard};
+use unicert_x509::DistinguishedName;
+
+/// The GnuTLS profile.
+pub struct GnuTls;
+
+impl LibraryProfile for GnuTls {
+    fn name(&self) -> &'static str {
+        "GnuTLS"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        // get_subject_alt_name / get_issuer_alt_name / get_crl_dist_points;
+        // no AIA/SIA API in the tested set (Table 13).
+        !matches!(field, Field::AiaUri | Field::SiaUri)
+    }
+
+    fn supports_kind(&self, kind: StringKind, field: Field) -> bool {
+        // The tested DN API rejects IA5String-tagged DN attributes
+        // (Table 4's "-" cell for IA5String in Name).
+        !(field.is_name() && kind == StringKind::Ia5)
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], _field: Field) -> ParseOutcome {
+        let rule = match kind {
+            // BMPString is the one type not routed through UTF-8; the
+            // UTF-16 path accepts surrogate pairs beyond UCS-2
+            // (over-tolerant).
+            StringKind::Bmp => DecodeRule::strict(DecodingMethod::Utf16),
+            // Everything else: UTF-8, tolerating any decodable character.
+            _ => DecodeRule { method: DecodingMethod::Utf8, mode: HandlingMode::Strict },
+        };
+        rule.apply(bytes, "gnutls: ASN1 parser")
+    }
+
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        Some(dn_to_string(dn, EscapingStandard::Rfc4514))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_decoded_as_utf8_is_over_tolerant() {
+        // 'é' as UTF-8 inside a PrintableString: out of the standard set,
+        // yet decoded without complaint.
+        let out = GnuTls.parse_value(StringKind::Printable, "caf\u{E9}".as_bytes(), Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("café".into()));
+        // '@' (legal ASCII, illegal PrintableString) also accepted.
+        let out = GnuTls.parse_value(StringKind::Printable, b"a@b", Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("a@b".into()));
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let out = GnuTls.parse_value(StringKind::Utf8, &[0xFF, 0xFE], Field::SubjectDn);
+        assert!(matches!(out, ParseOutcome::Error(_)));
+    }
+
+    #[test]
+    fn bmp_is_ucs2() {
+        let out = GnuTls.parse_value(StringKind::Bmp, &[0x4E, 0x2D], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("中".into()));
+    }
+}

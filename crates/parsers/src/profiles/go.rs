@@ -1,0 +1,86 @@
+//! Go `crypto/x509` behaviour.
+//!
+//! Observed behaviour: the strictest of the nine for DN types — the asn1
+//! package enforces each string type's character set and fails the whole
+//! parse otherwise (`asn1: syntax error: PrintableString contains invalid
+//! character`, quoted in §5.1's parsing-failure discussion). Values are
+//! surfaced as *structured data* (`pkix.Name`), so no DN escaping step
+//! exists (the `-` escaping cells in Table 5). The exception: SAN/CRLDP
+//! string contents are not re-checked against the IA5 range (Table 5's GN
+//! IA5String violation), and for duplicated Subject attributes the
+//! convenience fields keep the *last* value (§4.3.1).
+
+use super::LibraryProfile;
+use crate::context::{DupChoice, Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::DecodingMethod;
+
+/// The Go crypto/x509 profile.
+pub struct GoCrypto;
+
+impl LibraryProfile for GoCrypto {
+    fn name(&self) -> &'static str {
+        "Golang Crypto"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        // pkix.Name + SubjectAlternativeName + CRLDistributionPoints
+        // (Table 12/13); no IAN/AIA/SIA convenience accessors in the
+        // tested set.
+        matches!(
+            field,
+            Field::SubjectDn | Field::IssuerDn | Field::SanDns | Field::SanEmail
+                | Field::SanUri | Field::CrldpUri
+        )
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], field: Field) -> ParseOutcome {
+        if field.is_name() {
+            // Strict: wire format AND character set enforced.
+            return match kind.decode_strict(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(_) => ParseOutcome::Error(format!(
+                    "x509: malformed certificate (asn1: syntax error: {} contains invalid character)",
+                    kind.name()
+                )),
+            };
+        }
+        // GeneralName strings: decoded as raw bytes widened (historic
+        // cryptobyte path) — no IA5-range check.
+        match DecodingMethod::Iso8859_1.decode(bytes) {
+            Ok(t) => ParseOutcome::Text(t),
+            Err(_) => unreachable!("latin-1 decoding is total"),
+        }
+    }
+
+    fn duplicate_cn_choice(&self) -> DupChoice {
+        DupChoice::Last // §4.3.1: "Go Crypto uses the last"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dn_is_strict() {
+        let out = GoCrypto.parse_value(StringKind::Printable, b"ok name", Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("ok name".into()));
+        let out = GoCrypto.parse_value(StringKind::Printable, b"bad@name", Field::SubjectDn);
+        assert!(matches!(out, ParseOutcome::Error(ref e) if e.contains("PrintableString")));
+        let out = GoCrypto.parse_value(StringKind::Utf8, &[0xFF], Field::SubjectDn);
+        assert!(matches!(out, ParseOutcome::Error(_)));
+    }
+
+    #[test]
+    fn gn_skips_ia5_range_check() {
+        let out = GoCrypto.parse_value(StringKind::Ia5, &[b'a', 0xFC, b'b'], Field::SanDns);
+        assert_eq!(out, ParseOutcome::Text("aüb".into()));
+    }
+
+    #[test]
+    fn no_dn_string_rendering() {
+        use unicert_x509::DistinguishedName;
+        assert!(GoCrypto.render_dn(&DistinguishedName::empty()).is_none());
+    }
+}

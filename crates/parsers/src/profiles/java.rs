@@ -1,0 +1,116 @@
+//! Java `java.security.cert` (`getSubjectX500Principal().getName()`,
+//! `getSubjectAlternativeNames()`) behaviour.
+//!
+//! Observed behaviour: non-ASCII bytes in single-byte string types are
+//! replaced with U+FFFD in both DN and GN (modified decoding); BMPString
+//! handling is "ASCII-compatible, though its decoding behavior is unclear"
+//! (Table 4 footnote) — modelled as per-unit: units ≤ 0x7F become ASCII,
+//! anything else U+FFFD (incompatible with UCS-2). DN rendering follows
+//! RFC 2253 but not the RFC 4514 NUL rule or RFC 1779 quoting (the ⊙
+//! cells of Table 5).
+
+use super::LibraryProfile;
+use crate::context::{Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::{DecodingMethod, HandlingMode};
+use unicert_x509::display::{dn_to_string, EscapingStandard};
+use unicert_x509::DistinguishedName;
+
+/// The java.security.cert profile.
+pub struct JavaSecurity;
+
+impl LibraryProfile for JavaSecurity {
+    fn name(&self) -> &'static str {
+        "Java.security.cert"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        // getSubjectAlternativeNames / getIssuerAlternativeNames only
+        // (Table 13: no AIA/SIA/CRLDP accessors).
+        matches!(
+            field,
+            Field::SubjectDn | Field::IssuerDn | Field::SanDns | Field::SanEmail
+                | Field::SanUri | Field::Ian
+        )
+    }
+
+    fn supports_kind(&self, kind: StringKind, field: Field) -> bool {
+        // sun.security rejects BMPString-tagged values in GN contexts.
+        !matches!(kind, StringKind::Bmp) || field.is_name()
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], _field: Field) -> ParseOutcome {
+        match kind {
+            StringKind::Utf8 => {
+                match DecodingMethod::Utf8.decode_with(bytes, HandlingMode::Replace('\u{FFFD}')) {
+                    Ok(t) => ParseOutcome::Text(t),
+                    Err(_) => unreachable!("replacement decoding is total"),
+                }
+            }
+            StringKind::Bmp => {
+                // Per-unit ASCII compatibility.
+                if bytes.len() % 2 != 0 {
+                    return ParseOutcome::Error("java: IOException: BMPString parse".into());
+                }
+                let text: String = bytes
+                    .chunks_exact(2)
+                    .map(|c| {
+                        let u = u16::from_be_bytes([c[0], c[1]]);
+                        if u <= 0x7F {
+                            (u as u8) as char
+                        } else {
+                            '\u{FFFD}'
+                        }
+                    })
+                    .collect();
+                ParseOutcome::Text(text)
+            }
+            _ => {
+                // ASCII with U+FFFD replacement for 0x80+.
+                match DecodingMethod::Ascii.decode_with(bytes, HandlingMode::Replace('\u{FFFD}')) {
+                    Ok(t) => ParseOutcome::Text(t),
+                    Err(_) => unreachable!("replacement decoding is total"),
+                }
+            }
+        }
+    }
+
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        // getName() ≈ RFC 2253 (no 4514 NUL escaping, no 1779 quoting).
+        Some(dn_to_string(dn, EscapingStandard::Rfc2253))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_ascii_becomes_replacement_char() {
+        let out = JavaSecurity.parse_value(StringKind::Printable, &[b'a', 0xE9], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("a\u{FFFD}".into()));
+    }
+
+    #[test]
+    fn bmp_ascii_compatibility() {
+        // ASCII text in BMP decodes fine…
+        let bytes = [0x00, 0x48, 0x00, 0x69];
+        let out = JavaSecurity.parse_value(StringKind::Bmp, &bytes, Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("Hi".into()));
+        // …CJK does not (incompatible with UCS-2).
+        let out = JavaSecurity.parse_value(StringKind::Bmp, &[0x4E, 0x2D], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("\u{FFFD}".into()));
+    }
+
+    #[test]
+    fn nul_not_escaped_in_dn_string() {
+        use unicert_asn1::oid::known;
+        let dn = DistinguishedName::from_attributes(&[(
+            known::common_name(),
+            StringKind::Utf8,
+            "a\u{0}b",
+        )]);
+        let s = JavaSecurity.render_dn(&dn).unwrap();
+        assert!(s.contains('\u{0}'), "{s:?}"); // RFC 4514 would say \00
+    }
+}

@@ -1,0 +1,147 @@
+//! Behaviour profiles of the nine TLS libraries the paper tests (§3.2,
+//! §5, Appendix E).
+//!
+//! Each profile reimplements, in Rust, the *observable parsing behaviour*
+//! of a library's developer-facing certificate APIs: which fields those
+//! APIs can surface at all (Tables 12/13), how each ASN.1 string type is
+//! decoded in Name vs GeneralName contexts (Table 4), how special
+//! characters are handled, and how DNs / GeneralNames are rendered to text
+//! (Table 5). The differential engine ([`crate::inference`]) treats
+//! profiles as black boxes, exactly as the paper treated the libraries.
+
+use crate::context::{DupChoice, Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_x509::{DistinguishedName, GeneralName};
+
+mod bouncycastle;
+mod cryptography;
+mod forge;
+mod gnutls;
+mod go;
+mod java;
+mod nodejs;
+mod openssl;
+mod pyopenssl;
+
+pub(crate) use openssl::bytewise_escaped as openssl_bytewise_escaped;
+
+pub use bouncycastle::BouncyCastle;
+pub use cryptography::Cryptography;
+pub use forge::Forge;
+pub use gnutls::GnuTls;
+pub use go::GoCrypto;
+pub use java::JavaSecurity;
+pub use nodejs::NodeCrypto;
+pub use openssl::OpenSsl;
+pub use pyopenssl::PyOpenSsl;
+
+/// A TLS library's certificate-parsing behaviour.
+pub trait LibraryProfile: Send + Sync {
+    /// Library name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Does a developer-facing API surface this field? (`-` cells in
+    /// Tables 12/13.)
+    fn supports(&self, field: Field) -> bool;
+
+    /// Does the library's API stack decode this string kind in this
+    /// context at all? (`-` cells in Table 4, e.g. Forge has no BMPString
+    /// path.)
+    fn supports_kind(&self, kind: StringKind, field: Field) -> bool {
+        let _ = (kind, field);
+        true
+    }
+
+    /// What the library's API returns for one attribute value.
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], field: Field) -> ParseOutcome;
+
+    /// The library's DN-to-string rendering (None = structured access only,
+    /// the `-` escaping cells of Table 5).
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        let _ = dn;
+        None
+    }
+
+    /// The library's GeneralNames-to-text rendering (the
+    /// `DNS:a.com, DNS:b.com` form), if it has one.
+    fn render_general_names(&self, names: &[GeneralName]) -> Option<String> {
+        let _ = names;
+        None
+    }
+
+    /// Which of several duplicated CNs the convenience accessor returns.
+    fn duplicate_cn_choice(&self) -> DupChoice {
+        DupChoice::All
+    }
+}
+
+/// All nine profiles, in the column order of Table 4.
+pub fn all_profiles() -> Vec<Box<dyn LibraryProfile>> {
+    vec![
+        Box::new(OpenSsl),
+        Box::new(GnuTls),
+        Box::new(PyOpenSsl),
+        Box::new(Cryptography),
+        Box::new(GoCrypto),
+        Box::new(JavaSecurity),
+        Box::new(BouncyCastle),
+        Box::new(NodeCrypto),
+        Box::new(Forge),
+    ]
+}
+
+/// Helper: the default GN text rendering without any escaping — the unsafe
+/// pattern several libraries share.
+pub(crate) fn naive_gn_text(names: &[GeneralName]) -> String {
+    names
+        .iter()
+        .map(|n| match n {
+            GeneralName::DnsName(v) | GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
+                format!("{}:{}", n.text_label(), v.display_lossy())
+            }
+            other => format!("{}:<non-string>", other.text_label()),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_profiles_with_unique_names() {
+        let profiles = all_profiles();
+        assert_eq!(profiles.len(), 9);
+        let mut names: Vec<_> = profiles.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn coverage_matches_appendix_e() {
+        let profiles = all_profiles();
+        let find = |n: &str| {
+            profiles
+                .iter()
+                .find(|p| p.name() == n)
+                .unwrap_or_else(|| panic!("{n}"))
+        };
+        // OpenSSL's tested APIs only parse names (Table 13 row all '-').
+        assert!(find("OpenSSL").supports(Field::SubjectDn));
+        assert!(!find("OpenSSL").supports(Field::SanDns));
+        // GnuTLS parses SAN/IAN/CRLDP but not AIA/SIA.
+        assert!(find("GnuTLS").supports(Field::SanDns));
+        assert!(find("GnuTLS").supports(Field::CrldpUri));
+        assert!(!find("GnuTLS").supports(Field::AiaUri));
+        // BouncyCastle's tested APIs parse no extensions.
+        assert!(!find("BouncyCastle").supports(Field::SanDns));
+        // Node parses SAN + AIA but not CRLDP.
+        assert!(find("Node.js Crypto").supports(Field::AiaUri));
+        assert!(!find("Node.js Crypto").supports(Field::CrldpUri));
+        // Go parses SAN + CRLDP but not AIA/IAN.
+        assert!(find("Golang Crypto").supports(Field::CrldpUri));
+        assert!(!find("Golang Crypto").supports(Field::Ian));
+    }
+}

@@ -1,0 +1,125 @@
+//! Node.js `crypto.X509Certificate` (`subject`, `subjectAltName`,
+//! `infoAccess`) behaviour.
+//!
+//! Observed behaviour: DN types decode strictly for PrintableString (the
+//! charset is enforced) but IA5String contents are taken as Latin-1
+//! (Table 5's IA5 violation). Since CVE-2021-44533, Node *quotes* SAN
+//! members containing ambiguous characters — its text form deviates from
+//! the plain X.509 text convention (an unexploited escaping deviation:
+//! unambiguous, but nonstandard).
+
+use super::LibraryProfile;
+use crate::context::{Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::DecodingMethod;
+use unicert_x509::{DistinguishedName, GeneralName};
+
+/// The Node.js crypto profile.
+pub struct NodeCrypto;
+
+impl LibraryProfile for NodeCrypto {
+    fn name(&self) -> &'static str {
+        "Node.js Crypto"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        matches!(
+            field,
+            Field::SubjectDn | Field::IssuerDn | Field::SanDns | Field::SanEmail
+                | Field::SanUri | Field::AiaUri
+        )
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], _field: Field) -> ParseOutcome {
+        match kind {
+            StringKind::Printable | StringKind::Numeric | StringKind::Visible => {
+                match kind.decode_strict(bytes) {
+                    Ok(t) => ParseOutcome::Text(t),
+                    Err(_) => ParseOutcome::Error(format!(
+                        "node: ERR_INVALID_ARG_VALUE: invalid {}",
+                        kind.name()
+                    )),
+                }
+            }
+            StringKind::Utf8 => match DecodingMethod::Utf8.decode(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(e) => ParseOutcome::Error(format!("node: {e}")),
+            },
+            StringKind::Bmp => match DecodingMethod::Ucs2.decode(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(e) => ParseOutcome::Error(format!("node: {e}")),
+            },
+            // IA5/Teletex/Universal in *names*: Latin-1 view
+            // (over-tolerant). SAN strings are ASCII-validated.
+            _ => {
+                if _field.is_name() {
+                    ParseOutcome::Text(
+                        DecodingMethod::Iso8859_1.decode(bytes).expect("latin-1 is total"),
+                    )
+                } else {
+                    match DecodingMethod::Ascii.decode(bytes) {
+                        Ok(t) => ParseOutcome::Text(t),
+                        Err(e) => ParseOutcome::Error(format!("node: {e}")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        // The legacy `subject` string follows the RFC 2253/4514 escaping
+        // conventions (hex-escaping NULs) but never the RFC 1779 quoting.
+        Some(unicert_x509::display::dn_to_string(
+            dn,
+            unicert_x509::display::EscapingStandard::Rfc4514,
+        ))
+    }
+
+    fn render_general_names(&self, names: &[GeneralName]) -> Option<String> {
+        // Post-CVE-2021-44533 quoting of ambiguous members.
+        Some(
+            names
+                .iter()
+                .map(|n| match n {
+                    GeneralName::DnsName(v) | GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
+                        let text = v.display_lossy();
+                        if text.contains(',') || text.contains('"') || text.contains(' ') {
+                            format!("{}:\"{}\"", n.text_label(), text.replace('"', "\\\""))
+                        } else {
+                            format!("{}:{}", n.text_label(), text)
+                        }
+                    }
+                    other => format!("{}:<unsupported>", other.text_label()),
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_is_strict_but_ia5_is_not() {
+        let out = NodeCrypto.parse_value(StringKind::Printable, b"x@y", Field::SubjectDn);
+        assert!(matches!(out, ParseOutcome::Error(_)));
+        let out = NodeCrypto.parse_value(StringKind::Ia5, &[b'x', 0xF8], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("xø".into()));
+    }
+
+    #[test]
+    fn san_quoting_prevents_forgery() {
+        let forged = vec![GeneralName::dns("a.com, DNS:b.com")];
+        let legit = vec![GeneralName::dns("a.com"), GeneralName::dns("b.com")];
+        assert_ne!(
+            NodeCrypto.render_general_names(&forged),
+            NodeCrypto.render_general_names(&legit)
+        );
+        assert_eq!(
+            NodeCrypto.render_general_names(&forged).unwrap(),
+            "DNS:\"a.com, DNS:b.com\""
+        );
+    }
+}

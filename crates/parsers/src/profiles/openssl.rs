@@ -1,0 +1,106 @@
+//! OpenSSL (`X509_NAME_oneline` / `X509_NAME_print_ex`) behaviour.
+//!
+//! Observed behaviour (§5.1, Table 4): name attributes are processed
+//! byte-wise regardless of the declared string type — printable ASCII
+//! bytes pass through and everything else is hex-escaped (`\xE9`), the
+//! "modified ASCII" pattern. This makes BMPString decoding *incompatible*
+//! (the UCS-2 bytes are read as individual octets: the §5.1
+//! BMPString-to-hostname attack) while avoiding parse failures. The
+//! oneline DN form (`/CN=a/O=b`) performs no escaping at all, which the
+//! Table 5 analysis classifies as an exploited escaping violation.
+
+use super::LibraryProfile;
+use crate::context::{DupChoice, Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_x509::DistinguishedName;
+
+/// The OpenSSL profile.
+pub struct OpenSsl;
+
+/// Byte-wise rendering with `\xHH` escapes — OpenSSL's modified-ASCII.
+pub(crate) fn bytewise_escaped(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    for &b in bytes {
+        if (0x20..=0x7E).contains(&b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("\\x{b:02X}"));
+        }
+    }
+    out
+}
+
+impl LibraryProfile for OpenSsl {
+    fn name(&self) -> &'static str {
+        "OpenSSL"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        // The tested APIs (X509_NAME_*) only expose names (Table 13).
+        field.is_name()
+    }
+
+    fn parse_value(&self, _kind: StringKind, bytes: &[u8], _field: Field) -> ParseOutcome {
+        // Declared type ignored; bytes processed directly.
+        ParseOutcome::Text(bytewise_escaped(bytes))
+    }
+
+    fn render_dn(&self, dn: &DistinguishedName) -> Option<String> {
+        // X509_NAME_oneline: '/'-joined, unescaped.
+        let mut out = String::new();
+        for a in dn.attributes() {
+            out.push('/');
+            out.push_str(&a.type_name());
+            out.push('=');
+            out.push_str(&bytewise_escaped(&a.value.bytes));
+        }
+        Some(out)
+    }
+
+    fn duplicate_cn_choice(&self) -> DupChoice {
+        DupChoice::All // oneline prints every attribute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bmpstring_read_bytewise_spells_hostname() {
+        // §5.1: UCS-2 CJK whose bytes spell an ASCII hostname.
+        let ucs2: Vec<u8> = [0x6769u16, 0x7468, 0x7562, 0x792e, 0x636e]
+            .iter()
+            .flat_map(|u| u.to_be_bytes())
+            .collect();
+        let out = OpenSsl.parse_value(StringKind::Bmp, &ucs2, Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("githuby.cn".into()));
+    }
+
+    #[test]
+    fn non_ascii_bytes_hex_escaped() {
+        let out = OpenSsl.parse_value(StringKind::Utf8, "tëst".as_bytes(), Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("t\\xC3\\xABst".into()));
+        // The paper's example escape shape: "\x2e\x4d"-style pairs.
+        let out = OpenSsl.parse_value(StringKind::Printable, &[0x01, 0xFF], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("\\x01\\xFF".into()));
+    }
+
+    #[test]
+    fn oneline_is_injectable() {
+        use unicert_asn1::oid::known;
+        let forged = DistinguishedName::from_attributes(&[(
+            known::common_name(),
+            StringKind::Utf8,
+            "a/O=Forged Org",
+        )]);
+        let legit = DistinguishedName::from_attributes(&[
+            (known::common_name(), StringKind::Utf8, "a"),
+            (known::organization_name(), StringKind::Utf8, "Forged Org"),
+        ]);
+        assert_eq!(
+            OpenSsl.render_dn(&forged).unwrap(),
+            OpenSsl.render_dn(&legit).unwrap()
+        );
+    }
+}

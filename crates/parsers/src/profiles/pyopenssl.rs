@@ -1,0 +1,104 @@
+//! PyOpenSSL (`get_subject()` / `str(get_extension())`) behaviour.
+//!
+//! Observed behaviour: DN attributes decode with ISO-8859-1 (over-tolerant
+//! for Printable/IA5); GeneralName strings are handled with the modified-
+//! ASCII pattern, and — the §5.2 finding — control characters in
+//! CRLDistributionPoints GeneralNames are *replaced with U+002E*, which can
+//! redirect revocation URLs (`http://ssl\x01test.com` → `http://ssl.test.com`).
+//! Extension stringification performs no escaping, enabling the SAN
+//! subfield-forgery of §5.2 (an exploited violation in Table 5).
+
+use super::{naive_gn_text, LibraryProfile};
+use crate::context::{DupChoice, Field, ParseOutcome};
+use unicert_asn1::StringKind;
+use unicert_unicode::DecodingMethod;
+use unicert_x509::GeneralName;
+
+/// The PyOpenSSL profile.
+pub struct PyOpenSsl;
+
+impl LibraryProfile for PyOpenSsl {
+    fn name(&self) -> &'static str {
+        "PyOpenSSL"
+    }
+
+    fn supports(&self, field: Field) -> bool {
+        // str(get_extension()) covers SAN/IAN/AIA/CRLDP; no SIA (Table 13).
+        field != Field::SiaUri
+    }
+
+    fn parse_value(&self, kind: StringKind, bytes: &[u8], field: Field) -> ParseOutcome {
+        if field.is_name() {
+            // X509Name components: ISO-8859-1 view of the raw bytes for the
+            // single-byte types; UTF-8 for UTF8String; UCS-2 for BMP.
+            let method = match kind {
+                StringKind::Utf8 => DecodingMethod::Utf8,
+                StringKind::Bmp => DecodingMethod::Ucs2,
+                _ => DecodingMethod::Iso8859_1,
+            };
+            return match method.decode(bytes) {
+                Ok(t) => ParseOutcome::Text(t),
+                Err(e) => ParseOutcome::Error(format!("pyopenssl: {e}")),
+            };
+        }
+        // GeneralName strings: ASCII with control characters replaced by
+        // '.' — the CRL-spoofing primitive (§5.2 impact 2).
+        let text: String = bytes
+            .iter()
+            .map(|&b| {
+                let replace = matches!(b, 0x00..=0x09 | 0x0B | 0x0C | 0x0E..=0x1F | 0x7F)
+                    || b >= 0x80;
+                if replace {
+                    '.'
+                } else {
+                    b as char
+                }
+            })
+            .collect();
+        ParseOutcome::Text(text)
+    }
+
+    // get_subject() exposes an X509Name with per-component access, not a
+    // DN string — DN escaping is out of scope for this API set (Table 5's
+    // `-` cells).
+
+    fn render_general_names(&self, names: &[GeneralName]) -> Option<String> {
+        // str(extension) — unescaped text join: forgeable.
+        Some(naive_gn_text(names))
+    }
+
+    fn duplicate_cn_choice(&self) -> DupChoice {
+        DupChoice::First // §4.3.1: "PyOpenSSL selects the first CN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crldp_control_characters_become_dots() {
+        let out = PyOpenSsl.parse_value(
+            StringKind::Ia5,
+            b"http://ssl\x01test.com/c.crl",
+            Field::CrldpUri,
+        );
+        assert_eq!(out, ParseOutcome::Text("http://ssl.test.com/c.crl".into()));
+    }
+
+    #[test]
+    fn dn_is_latin1_over_tolerant() {
+        let out = PyOpenSsl.parse_value(StringKind::Printable, &[b'a', 0xE9], Field::SubjectDn);
+        assert_eq!(out, ParseOutcome::Text("aé".into()));
+    }
+
+    #[test]
+    fn san_text_is_forgeable() {
+        let forged = vec![GeneralName::dns("a.com, DNS:b.com")];
+        let legit = vec![GeneralName::dns("a.com"), GeneralName::dns("b.com")];
+        assert_eq!(
+            PyOpenSsl.render_general_names(&forged),
+            PyOpenSsl.render_general_names(&legit)
+        );
+    }
+}

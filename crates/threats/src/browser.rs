@@ -1,0 +1,266 @@
+//! Browser certificate-rendering profiles (Appendix F.1, Table 14):
+//! Firefox (Gecko), Safari (WebKit), and the Chromium family (Blink).
+//!
+//! Each profile models how the browser's certificate UI transforms a field
+//! value for display — control-character marking, layout-control
+//! invisibility, homograph (non-)detection, equivalence substitutions —
+//! and which certificate fields feed its TLS warning page. The G1.1–G1.3
+//! experiments (including the Fig. 7 RLO "www.paypal.com" spoof) run on
+//! top of these.
+
+use unicert_asn1::oid::known;
+use unicert_unicode::{classify, confusables};
+use unicert_x509::Certificate;
+
+/// How a browser displays C0/C1 control characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlRendering {
+    /// Replaced with visible markers / URL-encoding (`%00`).
+    VisibleMarkers,
+    /// Passed to the text stack untouched ("robust but potentially
+    /// insecure" — Firefox).
+    Raw,
+}
+
+/// Which certificate fields a browser's warning page quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarningIdentitySource {
+    /// Subject CN/O/OU (Chromium family).
+    SubjectFields,
+    /// SAN DNSNames (Firefox).
+    SanDnsNames,
+}
+
+/// A browser rendering profile (one row of Table 14).
+#[derive(Debug, Clone, Copy)]
+pub struct BrowserProfile {
+    /// Browser name.
+    pub name: &'static str,
+    /// Engine name.
+    pub engine: &'static str,
+    /// C0/C1 handling in certificate viewers.
+    pub control_rendering: ControlRendering,
+    /// Layout controls (bidi, zero-width) are rendered invisibly — true
+    /// for every tested browser (G1.1).
+    pub layout_controls_invisible: bool,
+    /// Detects Cyrillic/Latin homographs in certificate fields — false for
+    /// every tested browser (G1.2).
+    pub detects_homographs: bool,
+    /// Applies the (incorrect) Greek-question-mark → semicolon
+    /// substitution (G1.2).
+    pub incorrect_substitution: bool,
+    /// Validates ASN.1 character ranges before display (Table 14's
+    /// "Flawed ASN.1 range checking" is the negation).
+    pub flawed_range_checking: bool,
+    /// Warning-page identity source (G1.3).
+    pub warning_source: WarningIdentitySource,
+    /// Warning pages render control characters raw (spoofable — G1.3).
+    pub warning_renders_controls: bool,
+}
+
+/// The three profiles of Table 14.
+pub fn all_browsers() -> Vec<BrowserProfile> {
+    vec![
+        BrowserProfile {
+            name: "Firefox",
+            engine: "Gecko",
+            control_rendering: ControlRendering::Raw,
+            layout_controls_invisible: true,
+            detects_homographs: false,
+            incorrect_substitution: true,
+            flawed_range_checking: true,
+            warning_source: WarningIdentitySource::SanDnsNames,
+            warning_renders_controls: true,
+        },
+        BrowserProfile {
+            name: "Safari",
+            engine: "WebKit",
+            control_rendering: ControlRendering::VisibleMarkers,
+            layout_controls_invisible: true,
+            detects_homographs: false,
+            incorrect_substitution: true,
+            flawed_range_checking: true,
+            warning_source: WarningIdentitySource::SubjectFields,
+            warning_renders_controls: false,
+        },
+        BrowserProfile {
+            name: "Chromium",
+            engine: "Blink",
+            control_rendering: ControlRendering::VisibleMarkers,
+            layout_controls_invisible: true,
+            detects_homographs: false,
+            incorrect_substitution: true,
+            flawed_range_checking: false,
+            warning_source: WarningIdentitySource::SubjectFields,
+            warning_renders_controls: true,
+        },
+    ]
+}
+
+impl BrowserProfile {
+    /// Transform a certificate field value the way this browser's
+    /// certificate viewer displays it (before text layout).
+    pub fn render_field(&self, value: &str) -> String {
+        let mut out = String::new();
+        for c in value.chars() {
+            if classify::is_control(c) {
+                match self.control_rendering {
+                    ControlRendering::VisibleMarkers => {
+                        out.push_str(&format!("%{:02X}", c as u32));
+                    }
+                    ControlRendering::Raw => out.push(c),
+                }
+            } else if self.incorrect_substitution && c == '\u{37E}' {
+                out.push(';'); // Greek question mark → semicolon (G1.2)
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// What the user *sees* after text layout: layout controls vanish and
+    /// bidi overrides reorder the visual run. This is a deliberately
+    /// simplified bidi model — RLO…PDF spans render reversed — sufficient
+    /// for the Fig. 7 experiment.
+    pub fn visual_text(&self, value: &str) -> String {
+        let rendered = self.render_field(value);
+        let mut out = String::new();
+        let mut chars = rendered.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '\u{202E}' => {
+                    // RLO: collect until PDF (U+202C) and reverse.
+                    let mut span = String::new();
+                    for d in chars.by_ref() {
+                        if d == '\u{202C}' {
+                            break;
+                        }
+                        span.push(d);
+                    }
+                    out.extend(span.chars().rev());
+                }
+                c if self.layout_controls_invisible
+                    && (classify::is_bidi_control(c) || classify::is_zero_width(c)) => {}
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Can a crafted `value` be displayed identically to `target` without
+    /// being byte-equal? (The spoof predicate.)
+    pub fn spoofable_as(&self, value: &str, target: &str) -> bool {
+        value != target && self.visual_text(value) == target
+    }
+
+    /// Does the browser flag `value` as a homograph of an ASCII name?
+    pub fn flags_homograph(&self, value: &str) -> bool {
+        self.detects_homographs && confusables::is_mixed_script_confusable(value)
+    }
+
+    /// The identity string the TLS warning page quotes for a certificate.
+    pub fn warning_identity(&self, cert: &Certificate) -> String {
+        let raw = match self.warning_source {
+            WarningIdentitySource::SubjectFields => cert
+                .tbs
+                .subject
+                .first_value(&known::common_name())
+                .map(|v| v.display_lossy())
+                .or_else(|| cert.tbs.subject.organization())
+                .unwrap_or_default(),
+            WarningIdentitySource::SanDnsNames => {
+                cert.tbs.san_dns_names().first().cloned().unwrap_or_default()
+            }
+        };
+        if self.warning_renders_controls {
+            self.visual_text(&raw)
+        } else {
+            // Controls stripped/marked; layout still applies.
+            let marked: String = raw
+                .chars()
+                .map(|c| if classify::is_control(c) { '\u{FFFD}' } else { c })
+                .collect();
+            self.visual_text(&marked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::DateTime;
+    use unicert_x509::{CertificateBuilder, SimKey};
+
+    fn chromium() -> BrowserProfile {
+        all_browsers().into_iter().find(|b| b.name == "Chromium").unwrap()
+    }
+    fn firefox() -> BrowserProfile {
+        all_browsers().into_iter().find(|b| b.name == "Firefox").unwrap()
+    }
+    fn safari() -> BrowserProfile {
+        all_browsers().into_iter().find(|b| b.name == "Safari").unwrap()
+    }
+
+    #[test]
+    fn fig7_rlo_paypal_spoof_on_chromium() {
+        // CN "www.[RLO]lapyap[PDF].com" displays as "www.paypal.com".
+        let crafted = "www.\u{202E}lapyap\u{202C}.com";
+        assert!(chromium().spoofable_as(crafted, "www.paypal.com"));
+        let cert = CertificateBuilder::new()
+            .subject_cn(crafted)
+            .validity_days(DateTime::date(2024, 8, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("spoof-ca"));
+        assert_eq!(chromium().warning_identity(&cert), "www.paypal.com");
+    }
+
+    #[test]
+    fn zero_width_is_invisible_everywhere() {
+        for b in all_browsers() {
+            assert_eq!(b.visual_text("pay\u{200B}pal.com"), "paypal.com", "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn control_marking_differs() {
+        assert_eq!(safari().render_field("a\u{0}b"), "a%00b");
+        assert_eq!(firefox().render_field("a\u{0}b"), "a\u{0}b"); // raw
+    }
+
+    #[test]
+    fn greek_question_mark_substitution() {
+        for b in all_browsers() {
+            assert_eq!(b.render_field("what\u{37E}"), "what;", "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn no_browser_detects_homographs() {
+        for b in all_browsers() {
+            assert!(!b.flags_homograph("аpple.com"), "{}", b.name); // Cyrillic а
+        }
+    }
+
+    #[test]
+    fn firefox_warning_quotes_san() {
+        let cert = CertificateBuilder::new()
+            .subject_cn("port 8443. But they're the same site, so it's fine to proceed")
+            .add_dns_san("actual.example")
+            .validity_days(DateTime::date(2024, 8, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("spoof-ca"));
+        assert_eq!(firefox().warning_identity(&cert), "actual.example");
+        // Chromium quotes the (attacker-controlled descriptive) CN.
+        assert!(chromium().warning_identity(&cert).contains("same site"));
+    }
+
+    #[test]
+    fn safari_warning_not_spoofable_via_controls() {
+        let cert = CertificateBuilder::new()
+            .subject_cn("bank\u{0}.example")
+            .validity_days(DateTime::date(2024, 8, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("spoof-ca"));
+        // Safari marks the control; the spoof string never appears clean.
+        assert_ne!(safari().warning_identity(&cert), "bank.example");
+        assert!(safari().warning_identity(&cert).contains('\u{FFFD}'));
+    }
+}

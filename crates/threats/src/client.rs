@@ -1,0 +1,196 @@
+//! HTTP client SAN-format checking profiles (§6.2, P2.2): libcurl,
+//! urllib3, requests, HttpClient.
+//!
+//! Clients differ in how strictly they validate SAN DNSNames before
+//! hostname matching: urllib3 "over-tolerantly restricts SAN fields to
+//! Latin-1 without checking whether IDNs are valid Punycode", so a
+//! noncompliant certificate carrying U-labels passes validation there
+//! while stricter clients reject it.
+
+use unicert_x509::Certificate;
+
+/// How a client treats SAN DNSName contents.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientProfile {
+    /// Client name.
+    pub name: &'static str,
+    /// Accepts any Latin-1 byte in SAN strings (no ASCII restriction).
+    pub accepts_latin1_san: bool,
+    /// Validates that `xn--` labels are well-formed Punycode/IDNA.
+    pub validates_punycode: bool,
+    /// Converts the query hostname to A-label form before matching
+    /// (correct IDN handling).
+    pub converts_hostname_to_ace: bool,
+}
+
+/// The four clients of the §6.2 experiment.
+pub fn all_clients() -> Vec<ClientProfile> {
+    vec![
+        ClientProfile {
+            name: "libcurl",
+            accepts_latin1_san: false,
+            validates_punycode: false,
+            converts_hostname_to_ace: true,
+        },
+        ClientProfile {
+            name: "urllib3",
+            accepts_latin1_san: true, // the P2.2 finding
+            validates_punycode: false,
+            converts_hostname_to_ace: true,
+        },
+        ClientProfile {
+            name: "requests",
+            accepts_latin1_san: true, // wraps urllib3
+            validates_punycode: false,
+            converts_hostname_to_ace: true,
+        },
+        ClientProfile {
+            name: "HttpClient",
+            accepts_latin1_san: false,
+            validates_punycode: true,
+            converts_hostname_to_ace: true,
+        },
+    ]
+}
+
+/// Validation outcome for a certificate+hostname pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// Certificate accepted for the hostname.
+    Accepted,
+    /// Rejected: hostname mismatch.
+    HostnameMismatch,
+    /// Rejected: SAN format invalid for this client.
+    InvalidSanFormat,
+}
+
+impl ClientProfile {
+    /// Simulate SAN-based hostname validation.
+    pub fn validate(&self, cert: &Certificate, hostname: &str) -> ClientOutcome {
+        let raw_sans: Vec<Vec<u8>> = cert
+            .tbs
+            .subject_alt_names()
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|n| match n {
+                unicert_x509::GeneralName::DnsName(v) => Some(v.bytes),
+                _ => None,
+            })
+            .collect();
+        let sans: Vec<String> = raw_sans
+            .iter()
+            .map(|b| b.iter().map(|&x| x as char).collect())
+            .collect();
+        // Format checks first.
+        for san in &sans {
+            if !san.is_ascii() && !self.accepts_latin1_san {
+                return ClientOutcome::InvalidSanFormat;
+            }
+            if self.validates_punycode {
+                for label in san.split('.') {
+                    use unicert_idna::label::{classify_a_label, ALabelStatus};
+                    if unicert_idna::label::has_ace_prefix(label)
+                        && classify_a_label(label) != ALabelStatus::Valid
+                    {
+                        return ClientOutcome::InvalidSanFormat;
+                    }
+                }
+            }
+        }
+        // Hostname matching (IDN hostnames converted to ACE when the
+        // client does that).
+        let target = if self.converts_hostname_to_ace && !hostname.is_ascii() {
+            match unicert_idna::domain::to_ascii(hostname) {
+                Ok(a) => a,
+                Err(_) => hostname.to_lowercase(),
+            }
+        } else {
+            hostname.to_lowercase()
+        };
+        let matched = sans.iter().zip(&raw_sans).any(|(san, raw)| {
+            let san = san.to_lowercase();
+            san == target
+                || (san.starts_with("*.")
+                    && target.split_once('.').is_some_and(|(_, rest)| rest == &san[2..]))
+                // The P2.2 laxness: a client that accepts 8-bit SANs
+                // compares the raw U-label bytes against the hostname's
+                // bytes without any Punycode conversion.
+                || (self.accepts_latin1_san && raw.as_slice() == hostname.to_lowercase().as_bytes())
+        });
+        if matched {
+            ClientOutcome::Accepted
+        } else {
+            ClientOutcome::HostnameMismatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::{DateTime, StringKind};
+    use unicert_x509::{CertificateBuilder, GeneralName, RawValue, SimKey};
+
+    fn cert_with_raw_san(san_bytes: &[u8]) -> Certificate {
+        CertificateBuilder::new()
+            .add_san(GeneralName::DnsName(RawValue::from_raw(StringKind::Ia5, san_bytes)))
+            .validity_days(DateTime::date(2024, 8, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("client-test-ca"))
+    }
+
+    #[test]
+    fn compliant_ace_san_accepted_everywhere() {
+        let cert = cert_with_raw_san(b"xn--mnchen-3ya.de");
+        for c in all_clients() {
+            assert_eq!(c.validate(&cert, "münchen.de"), ClientOutcome::Accepted, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn u_label_san_splits_clients() {
+        // Noncompliant: raw U-label in the SAN.
+        let cert = cert_with_raw_san("münchen.de".as_bytes());
+        let by_name = |n: &str| all_clients().into_iter().find(|c| c.name == n).unwrap();
+        // urllib3/requests accept it (P2.2).
+        assert_eq!(by_name("urllib3").validate(&cert, "münchen.de"), ClientOutcome::Accepted);
+        assert_eq!(by_name("requests").validate(&cert, "münchen.de"), ClientOutcome::Accepted);
+        // libcurl and HttpClient reject the format.
+        assert_eq!(
+            by_name("libcurl").validate(&cert, "münchen.de"),
+            ClientOutcome::InvalidSanFormat
+        );
+        assert_eq!(
+            by_name("HttpClient").validate(&cert, "münchen.de"),
+            ClientOutcome::InvalidSanFormat
+        );
+    }
+
+    #[test]
+    fn invalid_punycode_rejected_only_by_validators() {
+        let cert = cert_with_raw_san(b"xn--99999999999.example");
+        let by_name = |n: &str| all_clients().into_iter().find(|c| c.name == n).unwrap();
+        assert_eq!(
+            by_name("HttpClient").validate(&cert, "other.example"),
+            ClientOutcome::InvalidSanFormat
+        );
+        // The others just fail the hostname match (format passes).
+        assert_eq!(
+            by_name("libcurl").validate(&cert, "other.example"),
+            ClientOutcome::HostnameMismatch
+        );
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let cert = cert_with_raw_san(b"*.example.com");
+        for c in all_clients() {
+            assert_eq!(c.validate(&cert, "api.example.com"), ClientOutcome::Accepted, "{}", c.name);
+            assert_eq!(
+                c.validate(&cert, "deep.api.example.com"),
+                ClientOutcome::HostnameMismatch,
+                "{}",
+                c.name
+            );
+        }
+    }
+}

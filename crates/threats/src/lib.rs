@@ -1,0 +1,27 @@
+//! Threat-surface simulators (§6, Appendix F).
+//!
+//! * [`middlebox`] — Snort/Suricata/Zeek entity extraction and the
+//!   traffic-obfuscation experiment (§6.2 P2.1);
+//! * [`client`] — libcurl/urllib3/requests/HttpClient SAN format checking
+//!   (§6.2 P2.2);
+//! * [`browser`] — Firefox/Safari/Chromium certificate rendering, warning
+//!   pages, and the user-spoofing experiments (Appendix F.1, Table 14);
+//! * [`revocation`] — the §5.2 CRL-spoofing attack over a simulated CRL
+//!   fetch surface;
+//! * [`tls`] — TLS 1.2/1.3 record framing showing where the §6.2
+//!   middlebox threat model applies (certificates cleartext in ≤1.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod client;
+pub mod middlebox;
+pub mod revocation;
+pub mod tls;
+
+pub use browser::{all_browsers, BrowserProfile};
+pub use client::{all_clients, ClientOutcome, ClientProfile};
+pub use middlebox::{all_middleboxes, run_obfuscation_experiment, MiddleboxProfile};
+pub use revocation::{check_revocation, CrlNetwork, RevocationOutcome, UriExtraction};
+pub use tls::{middlebox_extract_certificates, server_flight, TlsVersion};

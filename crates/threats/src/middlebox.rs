@@ -1,0 +1,251 @@
+//! Network-detection middlebox profiles (§6.2, P2.1): Snort, Suricata,
+//! Zeek — how each extracts peer-entity information from TLS certificates
+//! and how an in-path attacker's crafted Unicert slips past string-based
+//! rules.
+
+use unicert_asn1::oid::known;
+use unicert_asn1::StringKind;
+use unicert_x509::{Certificate, GeneralName};
+
+/// Which duplicated-attribute occurrence an engine keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// First occurrence (Snort).
+    First,
+    /// Last occurrence (Zeek).
+    Last,
+}
+
+/// A middlebox engine's certificate-entity extraction behaviour.
+#[derive(Debug, Clone)]
+pub struct MiddleboxProfile {
+    /// Engine name.
+    pub name: &'static str,
+    /// Which duplicated CN/OU the engine reports (P2.1: Snort takes the
+    /// first, Zeek the last).
+    pub cn_pick: Pick,
+    /// Rule matching is case-sensitive (Suricata — P2.1).
+    pub case_sensitive_match: bool,
+    /// SAN entries not encoded as IA5String-clean ASCII are ignored
+    /// (Zeek — P2.1).
+    pub ignores_non_ia5_san: bool,
+    /// Entity matching is an exact string comparison (all three: the
+    /// "naive string comparison" premise of the threat model).
+    pub exact_match: bool,
+}
+
+/// The three engines.
+pub fn all_middleboxes() -> Vec<MiddleboxProfile> {
+    vec![
+        MiddleboxProfile {
+            name: "Snort",
+            cn_pick: Pick::First,
+            case_sensitive_match: false,
+            ignores_non_ia5_san: false,
+            exact_match: true,
+        },
+        MiddleboxProfile {
+            name: "Suricata",
+            cn_pick: Pick::First,
+            case_sensitive_match: true,
+            ignores_non_ia5_san: false,
+            exact_match: true,
+        },
+        MiddleboxProfile {
+            name: "Zeek",
+            cn_pick: Pick::Last,
+            case_sensitive_match: false,
+            ignores_non_ia5_san: true,
+            exact_match: true,
+        },
+    ]
+}
+
+impl MiddleboxProfile {
+    /// The CN the engine extracts for rule matching.
+    pub fn extracted_cn(&self, cert: &Certificate) -> Option<String> {
+        let values = cert.tbs.subject.all_values(&known::common_name());
+        let v = match self.cn_pick {
+            Pick::First => values.first(),
+            Pick::Last => values.last(),
+        }?;
+        Some(v.display_lossy())
+    }
+
+    /// The SAN DNSNames the engine logs/matches.
+    pub fn extracted_sans(&self, cert: &Certificate) -> Vec<String> {
+        cert.tbs
+            .subject_alt_names()
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|n| match n {
+                GeneralName::DnsName(v) => {
+                    if self.ignores_non_ia5_san && !v.bytes.iter().all(|&b| b < 0x80) {
+                        None
+                    } else {
+                        Some(v.display_lossy())
+                    }
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Does a blocklist rule for a subject CN hit this certificate?
+    pub fn blocklist_hit(&self, cert: &Certificate, rule_cn: &str) -> bool {
+        let mut candidates: Vec<String> = Vec::new();
+        if let Some(cn) = self.extracted_cn(cert) {
+            candidates.push(cn);
+        }
+        candidates.extend(self.extracted_sans(cert));
+        candidates.iter().any(|c| {
+            if self.case_sensitive_match {
+                c == rule_cn
+            } else {
+                c.eq_ignore_ascii_case(rule_cn)
+            }
+        })
+    }
+}
+
+/// One traffic-obfuscation probe: a crafting technique and the rule it is
+/// meant to evade.
+#[derive(Debug)]
+pub struct ObfuscationCase {
+    /// Technique label.
+    pub technique: &'static str,
+    /// The blocklist rule (subject CN) the defender deploys.
+    pub rule: &'static str,
+    /// The attacker's crafted certificate.
+    pub cert: Certificate,
+}
+
+/// Build the §6.2 probe suite against the blocklist entry `Evil Entity`.
+pub fn obfuscation_cases() -> Vec<ObfuscationCase> {
+    use unicert_asn1::DateTime;
+    use unicert_x509::{CertificateBuilder, SimKey};
+    let key = SimKey::from_seed("evil-in-path-ca");
+    let base = || {
+        CertificateBuilder::new().validity_days(DateTime::date(2024, 8, 1).expect("static"), 90)
+    };
+    vec![
+        ObfuscationCase {
+            technique: "honest (control)",
+            rule: "Evil Entity",
+            cert: base().subject_cn("Evil Entity").build_signed(&key),
+        },
+        ObfuscationCase {
+            technique: "NUL byte inside CN",
+            rule: "Evil Entity",
+            cert: base()
+                .subject_attr_raw(known::common_name(), StringKind::Utf8, b"Evil\x00 Entity")
+                .build_signed(&key),
+        },
+        ObfuscationCase {
+            technique: "trailing dot/whitespace",
+            rule: "Evil Entity",
+            cert: base().subject_cn("Evil Entity.").build_signed(&key),
+        },
+        ObfuscationCase {
+            technique: "case variant",
+            rule: "Evil Entity",
+            cert: base().subject_cn("EVIL ENTITY").build_signed(&key),
+        },
+        ObfuscationCase {
+            technique: "benign first CN, evil second CN",
+            rule: "Evil Entity",
+            cert: base()
+                .subject_cn("Harmless Corp")
+                .subject_cn("Evil Entity")
+                .build_signed(&key),
+        },
+        ObfuscationCase {
+            technique: "evil name only in non-IA5 SAN",
+            rule: "evil-entity.example",
+            cert: base()
+                .subject_cn("Harmless Corp")
+                .add_san(GeneralName::DnsName(unicert_x509::RawValue::from_raw(
+                    StringKind::Ia5,
+                    "evil-entity.example\u{AD}".as_bytes(), // soft hyphen: non-IA5 bytes
+                )))
+                .build_signed(&key),
+        },
+    ]
+}
+
+/// Run every probe against every engine; `true` = the rule caught it.
+pub fn run_obfuscation_experiment() -> Vec<(&'static str, &'static str, bool)> {
+    let mut out = Vec::new();
+    for case in obfuscation_cases() {
+        for mb in all_middleboxes() {
+            out.push((case.technique, mb.name, mb.blocklist_hit(&case.cert, case.rule)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(results: &[(&str, &str, bool)], technique: &str, engine: &str) -> bool {
+        results
+            .iter()
+            .find(|(t, e, _)| t.contains(technique) && *e == engine)
+            .unwrap()
+            .2
+    }
+
+    #[test]
+    fn control_case_is_caught_by_everyone() {
+        let r = run_obfuscation_experiment();
+        for e in ["Snort", "Suricata", "Zeek"] {
+            assert!(hit(&r, "honest", e), "{e}");
+        }
+    }
+
+    #[test]
+    fn nul_byte_evades_exact_matching() {
+        let r = run_obfuscation_experiment();
+        for e in ["Snort", "Suricata", "Zeek"] {
+            assert!(!hit(&r, "NUL byte", e), "{e}");
+        }
+    }
+
+    #[test]
+    fn case_variant_evades_only_suricata() {
+        let r = run_obfuscation_experiment();
+        assert!(!hit(&r, "case variant", "Suricata"));
+        assert!(hit(&r, "case variant", "Snort"));
+        assert!(hit(&r, "case variant", "Zeek"));
+    }
+
+    #[test]
+    fn duplicate_cn_position_splits_engines() {
+        let r = run_obfuscation_experiment();
+        // Benign first CN: Snort (first) sees "Harmless Corp" → miss;
+        // Zeek (last) sees "Evil Entity" → hit.
+        assert!(!hit(&r, "benign first CN", "Snort"));
+        assert!(!hit(&r, "benign first CN", "Suricata"));
+        assert!(hit(&r, "benign first CN", "Zeek"));
+    }
+
+    #[test]
+    fn non_ia5_san_hides_from_zeek() {
+        let r = run_obfuscation_experiment();
+        assert!(!hit(&r, "non-IA5 SAN", "Zeek"));
+        // Snort/Suricata inspect the raw SAN string; the soft hyphen makes
+        // the exact match fail for them too — the deeper point of P2.1:
+        // naive string rules lose either way.
+        assert!(!hit(&r, "non-IA5 SAN", "Snort"));
+    }
+
+    #[test]
+    fn extraction_choices() {
+        let cert = obfuscation_cases().remove(4).cert;
+        let snort = &all_middleboxes()[0];
+        let zeek = &all_middleboxes()[2];
+        assert_eq!(snort.extracted_cn(&cert).unwrap(), "Harmless Corp");
+        assert_eq!(zeek.extracted_cn(&cert).unwrap(), "Evil Entity");
+    }
+}

@@ -1,0 +1,217 @@
+//! The §5.2 CRL-spoofing threat, end to end.
+//!
+//! Threat model (impact 2 of §5.2): a malicious entity that has compromised
+//! a CA's *issuing* infrastructure (but not its revocation system) embeds
+//! control characters in the CRLDistributionPoints location —
+//! `http://ssl\x01test.com/ca.crl`. A client whose parser replaces control
+//! characters with `.` (PyOpenSSL's behaviour) fetches
+//! `http://ssl.test.com/ca.crl`, a domain the attacker registered and
+//! serves a clean CRL from — revocation is silently disabled, with no
+//! in-path position required.
+
+use std::collections::HashMap;
+use unicert_x509::crl::CertificateList;
+use unicert_x509::Certificate;
+
+/// A tiny simulated HTTP fetch surface: URI → CRL body.
+#[derive(Default)]
+pub struct CrlNetwork {
+    hosts: HashMap<String, Vec<u8>>,
+}
+
+/// Fetch failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// Nothing serves this URI (NXDOMAIN / connection refused).
+    Unreachable,
+    /// The URI contains bytes a real URL fetcher cannot even send.
+    MalformedUri,
+}
+
+impl CrlNetwork {
+    /// Empty network.
+    pub fn new() -> CrlNetwork {
+        CrlNetwork::default()
+    }
+
+    /// Serve a CRL at a URI.
+    pub fn publish(&mut self, uri: &str, crl: &CertificateList) {
+        self.hosts.insert(uri.to_string(), crl.raw.clone());
+    }
+
+    /// Fetch a URI. Control characters make the URI unsendable — the
+    /// behaviour a strict HTTP stack exhibits.
+    pub fn fetch(&self, uri: &str) -> Result<Vec<u8>, FetchError> {
+        if uri.chars().any(|c| (c as u32) < 0x20 || c == '\u{7F}') {
+            return Err(FetchError::MalformedUri);
+        }
+        self.hosts.get(uri).cloned().ok_or(FetchError::Unreachable)
+    }
+}
+
+/// How a client turns the certificate's CRLDP bytes into the URI it
+/// fetches — the vulnerable step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UriExtraction {
+    /// Use the raw bytes as-is (strict clients).
+    Literal,
+    /// Replace control characters with `.` first (the PyOpenSSL quirk).
+    ControlsToDots,
+}
+
+/// Outcome of a client revocation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RevocationOutcome {
+    /// CRL fetched and the certificate is listed: rejected.
+    Revoked,
+    /// CRL fetched and the certificate is absent: treated as good.
+    NotRevoked,
+    /// The CRL could not be retrieved (client policy then decides
+    /// hard-fail vs soft-fail).
+    FetchFailed(FetchError),
+    /// Certificate carries no CRLDP.
+    NoCrldp,
+}
+
+/// Run a client-side CRL check for `cert` over `network`.
+pub fn check_revocation(
+    cert: &Certificate,
+    network: &CrlNetwork,
+    extraction: UriExtraction,
+) -> RevocationOutcome {
+    let uris = unicert_lint::helpers::crldp_uris(cert);
+    let Some(raw) = uris.first() else {
+        return RevocationOutcome::NoCrldp;
+    };
+    let literal: String = raw.bytes.iter().map(|&b| b as char).collect();
+    let uri = match extraction {
+        UriExtraction::Literal => literal,
+        UriExtraction::ControlsToDots => literal
+            .chars()
+            .map(|c| if (c as u32) < 0x20 || c == '\u{7F}' { '.' } else { c })
+            .collect(),
+    };
+    match network.fetch(&uri) {
+        Err(e) => RevocationOutcome::FetchFailed(e),
+        Ok(der) => match CertificateList::parse_der(&der) {
+            Err(_) => RevocationOutcome::FetchFailed(FetchError::Unreachable),
+            Ok(crl) => {
+                if crl.is_revoked(&cert.tbs.serial) {
+                    RevocationOutcome::Revoked
+                } else {
+                    RevocationOutcome::NotRevoked
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::oid::known;
+    use unicert_asn1::{DateTime, StringKind};
+    use unicert_x509::crl::{RevokedCert, TbsCertList};
+    use unicert_x509::{CertificateBuilder, DistinguishedName, GeneralName, RawValue, SimKey};
+
+    fn scenario() -> (Certificate, CrlNetwork) {
+        let ca_key = SimKey::from_seed("compromised-issuing-ca");
+        let attacker_key = SimKey::from_seed("attacker");
+        let ca_dn = DistinguishedName::from_attributes(&[(
+            known::organization_name(),
+            StringKind::Utf8,
+            "Compromised CA",
+        )]);
+
+        // The attacker-issued certificate, serial 0x66, pointing its CRLDP
+        // at "http://ssl\x01test.com/ca.crl".
+        let cert = CertificateBuilder::new()
+            .serial(&[0x66])
+            .subject_cn("victim.example")
+            .add_dns_san("victim.example")
+            .issuer(ca_dn.clone())
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 365)
+            .add_extension(unicert_x509::extensions::crl_distribution_points(&[vec![
+                GeneralName::Uri(RawValue::from_raw(
+                    StringKind::Ia5,
+                    b"http://ssl\x01test.com/ca.crl",
+                )),
+            ]]))
+            .build_signed(&ca_key);
+
+        let mut network = CrlNetwork::new();
+        // The CA's revocation system works fine: it revokes serial 0x66 on
+        // its real CRL.
+        let real_crl = CertificateList::build(
+            TbsCertList {
+                issuer: ca_dn.clone(),
+                this_update: DateTime::date(2024, 6, 10).unwrap(),
+                next_update: DateTime::date(2024, 7, 10).unwrap(),
+                revoked: vec![RevokedCert {
+                    serial: vec![0x66],
+                    revocation_date: DateTime::date(2024, 6, 9).unwrap(),
+                }],
+            },
+            &ca_key,
+        );
+        network.publish("http://crl.compromised-ca.example/ca.crl", &real_crl);
+        // The attacker registered ssl.test.com and serves a *clean* CRL.
+        let clean_crl = CertificateList::build(
+            TbsCertList {
+                issuer: ca_dn,
+                this_update: DateTime::date(2024, 6, 10).unwrap(),
+                next_update: DateTime::date(2099, 1, 1).unwrap(),
+                revoked: vec![],
+            },
+            &attacker_key,
+        );
+        network.publish("http://ssl.test.com/ca.crl", &clean_crl);
+        (cert, network)
+    }
+
+    #[test]
+    fn vulnerable_client_is_redirected_to_the_clean_crl() {
+        let (cert, network) = scenario();
+        // PyOpenSSL-style extraction: fetch succeeds at the attacker's
+        // domain and reports "not revoked" — revocation disabled.
+        assert_eq!(
+            check_revocation(&cert, &network, UriExtraction::ControlsToDots),
+            RevocationOutcome::NotRevoked
+        );
+    }
+
+    #[test]
+    fn strict_client_cannot_even_send_the_uri() {
+        let (cert, network) = scenario();
+        assert_eq!(
+            check_revocation(&cert, &network, UriExtraction::Literal),
+            RevocationOutcome::FetchFailed(FetchError::MalformedUri)
+        );
+    }
+
+    #[test]
+    fn honest_crldp_still_works_for_everyone() {
+        let (_, network) = scenario();
+        let ca_key = SimKey::from_seed("compromised-issuing-ca");
+        let honest = CertificateBuilder::new()
+            .serial(&[0x66])
+            .subject_cn("victim.example")
+            .issuer(DistinguishedName::from_attributes(&[(
+                known::organization_name(),
+                StringKind::Utf8,
+                "Compromised CA",
+            )]))
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 365)
+            .add_extension(unicert_x509::extensions::crl_distribution_points(&[vec![
+                GeneralName::uri("http://crl.compromised-ca.example/ca.crl"),
+            ]]))
+            .build_signed(&ca_key);
+        for mode in [UriExtraction::Literal, UriExtraction::ControlsToDots] {
+            assert_eq!(
+                check_revocation(&honest, &network, mode),
+                RevocationOutcome::Revoked,
+                "{mode:?}"
+            );
+        }
+    }
+}

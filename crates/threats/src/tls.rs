@@ -1,0 +1,292 @@
+//! A minimal TLS record/handshake wire model — enough to demonstrate the
+//! §6.2 threat-model boundary: middleboxes can read server certificates
+//! from **TLS 1.2 and earlier** handshakes (the Certificate message is
+//! cleartext), but not from TLS 1.3, where it is encrypted under the
+//! handshake keys. The paper's traffic-obfuscation scenario explicitly
+//! targets "TLS (e.g., TLS 1.2 or older)".
+//!
+//! Record framing and the Certificate handshake message follow the real
+//! wire formats (RFC 5246 §6.2/§7.4.2, RFC 8446 §5.1/§4.4.2); encryption
+//! is simulated by an XOR keystream — confidentiality strength is not the
+//! point, *visibility* is.
+
+use unicert_x509::Certificate;
+
+/// TLS protocol versions the simulation distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsVersion {
+    /// TLS 1.2 (0x0303) — certificates in cleartext.
+    Tls12,
+    /// TLS 1.3 (0x0304) — certificates encrypted.
+    Tls13,
+}
+
+impl TlsVersion {
+    fn wire(self) -> [u8; 2] {
+        match self {
+            TlsVersion::Tls12 => [0x03, 0x03],
+            // TLS 1.3 records carry the 1.2 legacy version on the wire.
+            TlsVersion::Tls13 => [0x03, 0x03],
+        }
+    }
+}
+
+/// TLS record content types.
+pub const CONTENT_HANDSHAKE: u8 = 22;
+/// Application data (and TLS 1.3's disguised encrypted handshake).
+pub const CONTENT_APPLICATION_DATA: u8 = 23;
+
+/// Handshake message types.
+pub const HS_CLIENT_HELLO: u8 = 1;
+/// ServerHello.
+pub const HS_SERVER_HELLO: u8 = 2;
+/// Certificate.
+pub const HS_CERTIFICATE: u8 = 11;
+
+/// One TLS record as it appears on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type octet.
+    pub content_type: u8,
+    /// Legacy record version.
+    pub version: [u8; 2],
+    /// Payload (fragment).
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.content_type);
+        out.extend_from_slice(&self.version);
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse one record from the front of `input`; returns the record and
+    /// the remaining bytes.
+    pub fn parse(input: &[u8]) -> Option<(Record, &[u8])> {
+        if input.len() < 5 {
+            return None;
+        }
+        let len = u16::from_be_bytes([input[3], input[4]]) as usize;
+        if input.len() < 5 + len {
+            return None;
+        }
+        Some((
+            Record {
+                content_type: input[0],
+                version: [input[1], input[2]],
+                payload: input[5..5 + len].to_vec(),
+            },
+            &input[5 + len..],
+        ))
+    }
+}
+
+fn handshake_message(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.push(msg_type);
+    let len = (body.len() as u32).to_be_bytes();
+    out.extend_from_slice(&len[1..]); // 24-bit length
+    out.extend_from_slice(body);
+    out
+}
+
+/// The TLS 1.2 Certificate message body: 3-byte list length, then each
+/// certificate with a 3-byte length prefix (RFC 5246 §7.4.2).
+pub fn certificate_message_tls12(chain: &[&Certificate]) -> Vec<u8> {
+    let mut list = Vec::new();
+    for cert in chain {
+        let len = (cert.raw.len() as u32).to_be_bytes();
+        list.extend_from_slice(&len[1..]);
+        list.extend_from_slice(&cert.raw);
+    }
+    let mut body = Vec::with_capacity(3 + list.len());
+    let total = (list.len() as u32).to_be_bytes();
+    body.extend_from_slice(&total[1..]);
+    body.extend_from_slice(&list);
+    handshake_message(HS_CERTIFICATE, &body)
+}
+
+fn xor_keystream(data: &[u8], seed: u8) -> Vec<u8> {
+    // Simulated handshake-traffic encryption. Deliberately trivial: the
+    // middlebox in this model does not hold the keys either way.
+    data.iter()
+        .enumerate()
+        .map(|(i, &b)| b ^ seed.wrapping_add(i as u8).wrapping_mul(31) ^ 0x5A)
+        .collect()
+}
+
+/// Simulate the server's handshake flight carrying `chain`.
+///
+/// TLS 1.2: ServerHello and Certificate as cleartext handshake records.
+/// TLS 1.3: ServerHello cleartext, then the Certificate inside an
+/// "application data" record encrypted under the handshake keys (the
+/// RFC 8446 disguise).
+pub fn server_flight(version: TlsVersion, chain: &[&Certificate]) -> Vec<Record> {
+    let server_hello = handshake_message(HS_SERVER_HELLO, &[0u8; 38]);
+    let cert_msg = certificate_message_tls12(chain);
+    match version {
+        TlsVersion::Tls12 => vec![
+            Record {
+                content_type: CONTENT_HANDSHAKE,
+                version: version.wire(),
+                payload: server_hello,
+            },
+            Record {
+                content_type: CONTENT_HANDSHAKE,
+                version: version.wire(),
+                payload: cert_msg,
+            },
+        ],
+        TlsVersion::Tls13 => vec![
+            Record {
+                content_type: CONTENT_HANDSHAKE,
+                version: version.wire(),
+                payload: server_hello,
+            },
+            Record {
+                content_type: CONTENT_APPLICATION_DATA,
+                version: version.wire(),
+                payload: xor_keystream(&cert_msg, 0x42),
+            },
+        ],
+    }
+}
+
+/// What a passive middlebox extracts from the wire: every certificate it
+/// can see in cleartext handshake records.
+pub fn middlebox_extract_certificates(wire: &[u8]) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    let mut rest = wire;
+    while let Some((record, tail)) = Record::parse(rest) {
+        rest = tail;
+        if record.content_type != CONTENT_HANDSHAKE {
+            continue; // encrypted or non-handshake traffic: opaque
+        }
+        let mut p = record.payload.as_slice();
+        while p.len() >= 4 {
+            let msg_type = p[0];
+            let len = u32::from_be_bytes([0, p[1], p[2], p[3]]) as usize;
+            if p.len() < 4 + len {
+                break;
+            }
+            let body = &p[4..4 + len];
+            if msg_type == HS_CERTIFICATE && body.len() >= 3 {
+                let list_len = u32::from_be_bytes([0, body[0], body[1], body[2]]) as usize;
+                let mut list = &body[3..(3 + list_len).min(body.len())];
+                while list.len() >= 3 {
+                    let cert_len = u32::from_be_bytes([0, list[0], list[1], list[2]]) as usize;
+                    if list.len() < 3 + cert_len {
+                        break;
+                    }
+                    if let Ok(cert) = Certificate::parse_der(&list[3..3 + cert_len]) {
+                        out.push(cert);
+                    }
+                    list = &list[3 + cert_len..];
+                }
+            }
+            p = &p[4 + len..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::DateTime;
+    use unicert_x509::{CertificateBuilder, SimKey};
+
+    fn leaf() -> Certificate {
+        CertificateBuilder::new()
+            .subject_cn("tls.example")
+            .add_dns_san("tls.example")
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("tls-ca"))
+    }
+
+    fn wire(version: TlsVersion, chain: &[&Certificate]) -> Vec<u8> {
+        server_flight(version, chain)
+            .iter()
+            .flat_map(Record::to_bytes)
+            .collect()
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let r = Record { content_type: 22, version: [3, 3], payload: vec![1, 2, 3] };
+        let bytes = r.to_bytes();
+        let (parsed, rest) = Record::parse(&bytes).unwrap();
+        assert_eq!(parsed, r);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn middlebox_sees_certificates_in_tls12() {
+        let cert = leaf();
+        let wire = wire(TlsVersion::Tls12, &[&cert]);
+        let seen = middlebox_extract_certificates(&wire);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].tbs.subject.common_name().unwrap(), "tls.example");
+    }
+
+    #[test]
+    fn middlebox_sees_nothing_in_tls13() {
+        let cert = leaf();
+        let wire = wire(TlsVersion::Tls13, &[&cert]);
+        let seen = middlebox_extract_certificates(&wire);
+        assert!(seen.is_empty(), "TLS 1.3 certificate must be opaque to the middlebox");
+    }
+
+    #[test]
+    fn full_chain_is_visible_in_tls12() {
+        let key = SimKey::from_seed("tls-ca");
+        let ca = unicert_x509::chain::self_signed_ca(
+            unicert_x509::DistinguishedName::from_attributes(&[(
+                unicert_asn1::oid::known::organization_name(),
+                unicert_asn1::StringKind::Utf8,
+                "TLS CA",
+            )]),
+            &key,
+            DateTime::date(2020, 1, 1).unwrap(),
+            3650,
+        );
+        let cert = leaf();
+        let wire = wire(TlsVersion::Tls12, &[&cert, &ca]);
+        let seen = middlebox_extract_certificates(&wire);
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn obfuscated_cert_travels_the_wire_intact() {
+        // The §6.2 premise end to end: the NUL-bearing CN survives record
+        // framing and re-parsing, and still evades a naive blocklist.
+        let evil = CertificateBuilder::new()
+            .subject_attr_raw(
+                unicert_asn1::oid::known::common_name(),
+                unicert_asn1::StringKind::Utf8,
+                b"Evil\x00 Entity",
+            )
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("tls-ca"));
+        let wire = wire(TlsVersion::Tls12, &[&evil]);
+        let seen = middlebox_extract_certificates(&wire);
+        assert_eq!(seen.len(), 1);
+        for mb in crate::middlebox::all_middleboxes() {
+            assert!(!mb.blocklist_hit(&seen[0], "Evil Entity"), "{}", mb.name);
+        }
+    }
+
+    #[test]
+    fn truncated_wire_is_handled() {
+        let cert = leaf();
+        let full = wire(TlsVersion::Tls12, &[&cert]);
+        for cut in [0, 3, 7, full.len() / 2] {
+            let _ = middlebox_extract_certificates(&full[..cut]); // no panic
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: TLS wire handling and threat components never panic on
+//! hostile input.
+
+use proptest::prelude::*;
+use unicert_asn1::{DateTime, StringKind};
+use unicert_threats::tls::{middlebox_extract_certificates, server_flight, Record, TlsVersion};
+use unicert_threats::{all_browsers, all_clients, all_middleboxes};
+use unicert_x509::{CertificateBuilder, SimKey};
+
+fn sample_cert(cn_bytes: &[u8]) -> unicert_x509::Certificate {
+    CertificateBuilder::new()
+        .subject_attr_raw(unicert_asn1::oid::known::common_name(), StringKind::Utf8, cn_bytes)
+        .add_dns_san("prop.example")
+        .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+        .build_signed(&SimKey::from_seed("prop-threats-ca"))
+}
+
+proptest! {
+    /// The middlebox extractor never panics on arbitrary wire bytes and
+    /// never invents certificates from noise.
+    #[test]
+    fn extractor_total(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = middlebox_extract_certificates(&bytes);
+    }
+
+    /// Record framing round-trips arbitrary payloads.
+    #[test]
+    fn record_round_trip(ct in any::<u8>(), payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let r = Record { content_type: ct, version: [3, 3], payload };
+        let bytes = r.to_bytes();
+        let (parsed, rest) = Record::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed, r);
+        prop_assert!(rest.is_empty());
+    }
+
+    /// TLS 1.2 flights always expose the certificate; TLS 1.3 never does —
+    /// for any certificate contents.
+    #[test]
+    fn visibility_boundary(cn_bytes in proptest::collection::vec(any::<u8>(), 0..30)) {
+        let cert = sample_cert(&cn_bytes);
+        let wire12: Vec<u8> = server_flight(TlsVersion::Tls12, &[&cert])
+            .iter().flat_map(Record::to_bytes).collect();
+        let wire13: Vec<u8> = server_flight(TlsVersion::Tls13, &[&cert])
+            .iter().flat_map(Record::to_bytes).collect();
+        prop_assert_eq!(middlebox_extract_certificates(&wire12).len(), 1);
+        prop_assert_eq!(middlebox_extract_certificates(&wire13).len(), 0);
+    }
+
+    /// Every middlebox/client/browser component is total over arbitrary
+    /// certificate contents.
+    #[test]
+    fn threat_components_total(cn_bytes in proptest::collection::vec(any::<u8>(), 0..40),
+                               rule in ".{0,30}", host in ".{0,30}") {
+        let cert = sample_cert(&cn_bytes);
+        for mb in all_middleboxes() {
+            let _ = mb.extracted_cn(&cert);
+            let _ = mb.extracted_sans(&cert);
+            let _ = mb.blocklist_hit(&cert, &rule);
+        }
+        for c in all_clients() {
+            let _ = c.validate(&cert, &host);
+        }
+        for b in all_browsers() {
+            let _ = b.warning_identity(&cert);
+            let _ = b.visual_text(&host);
+            let _ = b.render_field(&rule);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Character classification used throughout the paper's analyses.
+//!
+//! Terminology follows §2.3: *Non-PrintableASCII* means everything outside
+//! U+0020–U+007E — control codes, multilingual scripts, and all other
+//! Unicode blocks.
+
+/// Printable ASCII: U+0020–U+007E inclusive.
+pub fn is_printable_ascii(ch: char) -> bool {
+    matches!(ch, '\u{20}'..='\u{7E}')
+}
+
+/// The paper's "Non-PrintableASCII" predicate (§2.3).
+pub fn is_non_printable_ascii(ch: char) -> bool {
+    !is_printable_ascii(ch)
+}
+
+/// Does the string contain any character beyond printable ASCII?
+///
+/// This is the core test for classifying a certificate as a *Unicert*.
+pub fn has_non_printable_ascii(s: &str) -> bool {
+    s.chars().any(is_non_printable_ascii)
+}
+
+/// C0 control codes (U+0000–U+001F) and DEL (U+007F).
+pub fn is_c0_control(ch: char) -> bool {
+    matches!(ch, '\u{0}'..='\u{1F}' | '\u{7F}')
+}
+
+/// C1 control codes (U+0080–U+009F).
+pub fn is_c1_control(ch: char) -> bool {
+    matches!(ch, '\u{80}'..='\u{9F}')
+}
+
+/// Any control code (C0, DEL, or C1).
+pub fn is_control(ch: char) -> bool {
+    is_c0_control(ch) || is_c1_control(ch)
+}
+
+/// Bidirectional control characters (LRM/RLM, LRE/RLE/PDF/LRO/RLO,
+/// LRI/RLI/FSI/PDI, ALM). The F1 finding and the Chrome warning-page
+/// spoof (Fig. 7) hinge on these.
+pub fn is_bidi_control(ch: char) -> bool {
+    matches!(
+        ch,
+        '\u{061C}' | '\u{200E}' | '\u{200F}' | '\u{202A}'..='\u{202E}' | '\u{2066}'..='\u{2069}'
+    )
+}
+
+/// Zero-width and invisible joiner/space characters.
+pub fn is_zero_width(ch: char) -> bool {
+    matches!(ch, '\u{200B}' | '\u{200C}' | '\u{200D}' | '\u{2060}' | '\u{FEFF}' | '\u{180E}')
+}
+
+/// The "layout controls" range the browser analysis tests (U+2000–U+206F,
+/// General Punctuation: spaces, zero-width, bidi, invisible operators).
+pub fn is_layout_control(ch: char) -> bool {
+    matches!(ch, '\u{2000}'..='\u{206F}')
+        && (is_bidi_control(ch) || is_zero_width(ch) || matches!(ch, '\u{2000}'..='\u{200A}' | '\u{2028}' | '\u{2029}' | '\u{205F}' | '\u{2061}'..='\u{2064}'))
+}
+
+/// Whitespace variants beyond U+0020 that the Table 3 variant analysis
+/// tracks (NBSP, ideographic space, en/em spaces, …).
+pub fn is_nonstandard_whitespace(ch: char) -> bool {
+    matches!(
+        ch,
+        '\u{A0}' | '\u{1680}' | '\u{2000}'..='\u{200A}' | '\u{202F}' | '\u{205F}' | '\u{3000}'
+    )
+}
+
+/// Short display name for notable characters, as the paper renders them
+/// (`[NUL]`, `[DEL]`, `[U+202E]`, …).
+pub fn display_name(ch: char) -> String {
+    match ch {
+        '\u{0}' => "[NUL]".into(),
+        '\u{9}' => "[TAB]".into(),
+        '\u{A}' => "[LF]".into(),
+        '\u{D}' => "[CR]".into(),
+        '\u{1B}' => "[ESC]".into(),
+        '\u{7F}' => "[DEL]".into(),
+        c if is_printable_ascii(c) => c.to_string(),
+        c => format!("[U+{:04X}]", c as u32),
+    }
+}
+
+/// Render a string with control/invisible characters made visible, the way
+/// the paper prints examples like `"Prepard[DEL][DEL]id Serc[DEL]vices"`.
+pub fn visualize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if is_control(c) || is_bidi_control(c) || is_zero_width(c) {
+                display_name(c)
+            } else {
+                c.to_string()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_bounds() {
+        assert!(is_printable_ascii(' '));
+        assert!(is_printable_ascii('~'));
+        assert!(!is_printable_ascii('\u{1F}'));
+        assert!(!is_printable_ascii('\u{7F}'));
+        assert!(!is_printable_ascii('é'));
+    }
+
+    #[test]
+    fn unicert_trigger() {
+        assert!(!has_non_printable_ascii("example.com"));
+        assert!(has_non_printable_ascii("müller.de"));
+        assert!(has_non_printable_ascii("evil\u{0}entity"));
+        assert!(has_non_printable_ascii("株式会社"));
+    }
+
+    #[test]
+    fn control_classes() {
+        assert!(is_c0_control('\u{0}'));
+        assert!(is_c0_control('\u{7F}'));
+        assert!(!is_c0_control('\u{80}'));
+        assert!(is_c1_control('\u{85}'));
+        assert!(is_control('\u{9F}'));
+        assert!(!is_control('A'));
+    }
+
+    #[test]
+    fn bidi_and_zero_width() {
+        assert!(is_bidi_control('\u{202E}')); // RLO — the paypal spoof
+        assert!(is_bidi_control('\u{200E}')); // LRM — the xn--www-hn0a label
+        assert!(is_zero_width('\u{200B}'));
+        assert!(is_zero_width('\u{FEFF}'));
+        assert!(!is_bidi_control('-'));
+    }
+
+    #[test]
+    fn whitespace_variants() {
+        assert!(is_nonstandard_whitespace('\u{A0}')); // Peddy[U+00A0]Shield
+        assert!(is_nonstandard_whitespace('\u{3000}')); // 株式会社[U+3000]中国銀行
+        assert!(!is_nonstandard_whitespace(' '));
+    }
+
+    #[test]
+    fn visualization_matches_paper_style() {
+        assert_eq!(visualize("C\u{0}&\u{0}IS"), "C[NUL]&[NUL]IS");
+        assert_eq!(visualize("www.\u{202E}lapyap\u{202C}.com"), "www.[U+202E]lapyap[U+202C].com");
+        assert_eq!(visualize("Prepard\u{7F}\u{7F}id"), "Prepard[DEL][DEL]id");
+    }
+}

@@ -1,0 +1,146 @@
+//! Homograph (confusable) detection for the browser-spoofing experiments
+//! (Appendix F.1, G1.2).
+//!
+//! This is a documented **subset** of Unicode TR39's confusables data:
+//! the Cyrillic and Greek letters that are pixel-identical or near-identical
+//! to Latin in common UI fonts, plus fullwidth forms and a few notorious
+//! punctuation lookalikes. It is sufficient to reproduce every experiment in
+//! the paper (which itself only exercises Cyrillic–Latin homographs and the
+//! Greek-question-mark substitution); it is not a complete TR39 table.
+
+/// Map a confusable character to its Latin/ASCII skeleton character, if it
+/// has one in our table. Identity for ASCII.
+pub fn skeleton_char(ch: char) -> Option<char> {
+    if ch.is_ascii() {
+        return Some(ch);
+    }
+    let mapped = match ch {
+        // Cyrillic lookalikes (lowercase).
+        'а' => 'a', // U+0430
+        'е' => 'e', // U+0435
+        'о' => 'o', // U+043E
+        'р' => 'p', // U+0440
+        'с' => 'c', // U+0441
+        'у' => 'y', // U+0443
+        'х' => 'x', // U+0445
+        'і' => 'i', // U+0456 (Ukrainian)
+        'ј' => 'j', // U+0458
+        'ѕ' => 's', // U+0455
+        'һ' => 'h', // U+04BB
+        'ԁ' => 'd', // U+0501
+        'ԛ' => 'q', // U+051B
+        'ԝ' => 'w', // U+051D
+        // Cyrillic lookalikes (uppercase).
+        'А' => 'A',
+        'В' => 'B',
+        'Е' => 'E',
+        'К' => 'K',
+        'М' => 'M',
+        'Н' => 'H',
+        'О' => 'O',
+        'Р' => 'P',
+        'С' => 'C',
+        'Т' => 'T',
+        'Х' => 'X',
+        'Ѕ' => 'S',
+        'І' => 'I',
+        'Ј' => 'J',
+        // Greek lookalikes.
+        'ο' => 'o', // omicron
+        'ν' => 'v', // nu
+        'Α' => 'A',
+        'Β' => 'B',
+        'Ε' => 'E',
+        'Ζ' => 'Z',
+        'Η' => 'H',
+        'Ι' => 'I',
+        'Κ' => 'K',
+        'Μ' => 'M',
+        'Ν' => 'N',
+        'Ο' => 'O',
+        'Ρ' => 'P',
+        'Τ' => 'T',
+        'Υ' => 'Y',
+        'Χ' => 'X',
+        // The G1.2 substitution bug: Greek question mark looks like ';' but
+        // per Unicode its correct compatibility mapping is to U+003B — the
+        // paper notes browsers should treat it as '?'-like for safety; the
+        // Unicode-mandated equivalence is ';'.
+        '\u{37E}' => ';',
+        // Fullwidth forms map to their ASCII originals.
+        c @ '\u{FF01}'..='\u{FF5E}' => {
+            char::from_u32(c as u32 - 0xFF01 + 0x21).unwrap_or(c)
+        }
+        // Common punctuation lookalikes.
+        '\u{2010}' | '\u{2011}' | '\u{2012}' | '\u{2013}' | '\u{2014}' => '-',
+        '\u{2018}' | '\u{2019}' => '\'',
+        '\u{2024}' => '.', // (U+FF0E is covered by the fullwidth range above)
+        _ => return None,
+    };
+    Some(mapped)
+}
+
+/// Compute the skeleton of `s`: every confusable replaced by its Latin
+/// counterpart; characters without a mapping pass through unchanged.
+pub fn skeleton(s: &str) -> String {
+    s.chars().map(|c| skeleton_char(c).unwrap_or(c)).collect()
+}
+
+/// Do two strings look alike (same skeleton) while being distinct?
+///
+/// `is_homograph_pair("apple.com", "аpple.com")` is true — the second uses
+/// Cyrillic U+0430.
+pub fn is_homograph_pair(a: &str, b: &str) -> bool {
+    a != b && skeleton(a) == skeleton(b)
+}
+
+/// Does `s` mix Latin with confusable non-Latin letters — the classic
+/// homograph-attack signature browsers are expected to flag?
+pub fn is_mixed_script_confusable(s: &str) -> bool {
+    let has_ascii_letter = s.chars().any(|c| c.is_ascii_alphabetic());
+    let has_mapped_nonascii = s.chars().any(|c| !c.is_ascii() && skeleton_char(c).is_some());
+    let all_skeletonizable = s
+        .chars()
+        .all(|c| c.is_ascii() || skeleton_char(c).is_some());
+    (has_ascii_letter || all_skeletonizable) && has_mapped_nonascii
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyrillic_apple() {
+        assert_eq!(skeleton("аpple.com"), "apple.com");
+        assert!(is_homograph_pair("apple.com", "аpple.com"));
+        assert!(!is_homograph_pair("apple.com", "apple.com"));
+    }
+
+    #[test]
+    fn full_cyrillic_domain() {
+        // "раура1" — fully Cyrillic 'paypal' shape.
+        assert_eq!(skeleton("рaурal"), "paypal");
+    }
+
+    #[test]
+    fn greek_question_mark_substitution() {
+        assert_eq!(skeleton_char('\u{37E}'), Some(';'));
+    }
+
+    #[test]
+    fn fullwidth_forms() {
+        assert_eq!(skeleton("ｇｏｏｇｌｅ"), "google");
+    }
+
+    #[test]
+    fn mixed_script_detection() {
+        assert!(is_mixed_script_confusable("gооgle")); // Cyrillic о
+        assert!(!is_mixed_script_confusable("google"));
+        assert!(!is_mixed_script_confusable("中国银行")); // CJK, no confusables
+    }
+
+    #[test]
+    fn unmapped_chars_pass_through() {
+        assert_eq!(skeleton("中х"), "中x");
+    }
+}

@@ -1,0 +1,412 @@
+//! The five decoding methods and three special-character handling modes of
+//! the paper's parsing analysis (§3.2).
+//!
+//! The TLS-library study inferred each library's behaviour by decoding test
+//! fields with **ASCII, ISO-8859-1, UTF-8, UCS-2, and UTF-16**, optionally
+//! post-processed by **truncation, replacement, or escaping** of undecodable
+//! units. This module is that machinery, factored out so both the library
+//! profiles and the inference engine share one implementation.
+
+use std::fmt;
+
+/// A decoding failure at a specific position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the offending unit.
+    pub offset: usize,
+    /// The offending unit, widened (a byte for byte-oriented methods, a
+    /// 16-bit code unit for UCS-2/UTF-16).
+    pub value: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undecodable unit 0x{:X} at offset {}", self.value, self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The five decoding methods observed across TLS libraries (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DecodingMethod {
+    /// 7-bit ASCII; bytes ≥ 0x80 are errors.
+    Ascii,
+    /// ISO-8859-1 (Latin-1); every byte maps to U+0000–U+00FF.
+    Iso8859_1,
+    /// UTF-8 with standard well-formedness rules.
+    Utf8,
+    /// UCS-2: each big-endian 16-bit unit is a scalar; surrogates are errors.
+    Ucs2,
+    /// UTF-16 (big-endian) with surrogate-pair handling.
+    Utf16,
+}
+
+/// All methods, in the order the paper lists them.
+pub const ALL_METHODS: [DecodingMethod; 5] = [
+    DecodingMethod::Ascii,
+    DecodingMethod::Iso8859_1,
+    DecodingMethod::Utf8,
+    DecodingMethod::Ucs2,
+    DecodingMethod::Utf16,
+];
+
+/// How a decoder deals with units it cannot decode — the paper's three
+/// "special character handling modes" plus strict failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandlingMode {
+    /// Fail on the first bad unit.
+    Strict,
+    /// Stop at the first bad unit, keeping the prefix ("character
+    /// truncation").
+    Truncate,
+    /// Substitute each bad unit with the given character (e.g. U+FFFD in
+    /// Java, U+002E in PyOpenSSL's CRLDP handling).
+    Replace(char),
+    /// Hex-escape each bad unit (`\xE9` for bytes, `\uD800` for 16-bit
+    /// units), as OpenSSL does.
+    Escape,
+}
+
+impl DecodingMethod {
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecodingMethod::Ascii => "ASCII",
+            DecodingMethod::Iso8859_1 => "ISO-8859-1",
+            DecodingMethod::Utf8 => "UTF-8",
+            DecodingMethod::Ucs2 => "UCS-2",
+            DecodingMethod::Utf16 => "UTF-16",
+        }
+    }
+
+    /// Strict decode: any bad unit is an error.
+    pub fn decode(self, bytes: &[u8]) -> Result<String, DecodeError> {
+        let mut out = String::new();
+        let mut push = |_: usize, c: char| {
+            out.push(c);
+            Ok(())
+        };
+        self.drive(bytes, &mut push)?;
+        Ok(out)
+    }
+
+    /// Decode with a handling mode applied to undecodable units.
+    ///
+    /// `Strict` behaves like [`DecodingMethod::decode`] but returns the error
+    /// as `Err`; the other modes always succeed.
+    pub fn decode_with(self, bytes: &[u8], mode: HandlingMode) -> Result<String, DecodeError> {
+        match mode {
+            HandlingMode::Strict => self.decode(bytes),
+            _ => Ok(self.decode_lossy(bytes, mode)),
+        }
+    }
+
+    fn decode_lossy(self, bytes: &[u8], mode: HandlingMode) -> String {
+        let mut out = String::new();
+        let mut rest = bytes;
+        let mut base = 0;
+        loop {
+            let mut chunk = String::new();
+            let err = {
+                let mut push = |_: usize, c: char| {
+                    chunk.push(c);
+                    Ok(())
+                };
+                self.drive(rest, &mut push)
+            };
+            out.push_str(&chunk);
+            match err {
+                Ok(()) => return out,
+                Err(e) => {
+                    match mode {
+                        HandlingMode::Truncate => return out,
+                        HandlingMode::Replace(r) => out.push(r),
+                        HandlingMode::Escape => {
+                            if self.is_wide() {
+                                out.push_str(&format!("\\u{:04X}", e.value));
+                            } else {
+                                out.push_str(&format!("\\x{:02X}", e.value));
+                            }
+                        }
+                        HandlingMode::Strict => unreachable!(),
+                    }
+                    // Skip past the offending unit and continue.
+                    let skip = e.offset + self.unit_len();
+                    if skip >= rest.len() {
+                        return out;
+                    }
+                    base += skip;
+                    let _ = base;
+                    rest = &rest[skip..];
+                }
+            }
+        }
+    }
+
+    fn is_wide(self) -> bool {
+        matches!(self, DecodingMethod::Ucs2 | DecodingMethod::Utf16)
+    }
+
+    fn unit_len(self) -> usize {
+        if self.is_wide() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Drive decoding, pushing `(offset, char)` until done or error.
+    ///
+    /// The chunked structure lets `decode_lossy` resume after errors without
+    /// duplicating per-method logic.
+    fn drive(
+        self,
+        bytes: &[u8],
+        push: &mut dyn FnMut(usize, char) -> Result<(), DecodeError>,
+    ) -> Result<(), DecodeError> {
+        match self {
+            DecodingMethod::Ascii => {
+                for (i, &b) in bytes.iter().enumerate() {
+                    if b >= 0x80 {
+                        return Err(DecodeError { offset: i, value: b as u32 });
+                    }
+                    push(i, b as char)?;
+                }
+                Ok(())
+            }
+            DecodingMethod::Iso8859_1 => {
+                for (i, &b) in bytes.iter().enumerate() {
+                    push(i, b as char)?;
+                }
+                Ok(())
+            }
+            DecodingMethod::Utf8 => {
+                let i = 0;
+                if i < bytes.len() {
+                    match std::str::from_utf8(&bytes[i..]) {
+                        Ok(s) => {
+                            for (j, c) in s.char_indices() {
+                                push(i + j, c)?;
+                            }
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            let valid = e.valid_up_to();
+                            let s = std::str::from_utf8(&bytes[i..i + valid]).expect("validated");
+                            for (j, c) in s.char_indices() {
+                                push(i + j, c)?;
+                            }
+                            return Err(DecodeError {
+                                offset: i + valid,
+                                value: bytes[i + valid] as u32,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            DecodingMethod::Ucs2 => {
+                if bytes.len() % 2 != 0 {
+                    return decode_units_odd_tail(bytes, push, |u, i| {
+                        char::from_u32(u as u32).ok_or(DecodeError { offset: i, value: u as u32 })
+                    });
+                }
+                decode_units(bytes, push, |u, i| {
+                    char::from_u32(u as u32).ok_or(DecodeError { offset: i, value: u as u32 })
+                })
+            }
+            DecodingMethod::Utf16 => {
+                let mut i = 0;
+                while i + 1 < bytes.len() {
+                    let u = u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+                    if (0xD800..0xDC00).contains(&u) {
+                        // High surrogate: need a low surrogate next.
+                        if i + 3 < bytes.len() {
+                            let v = u16::from_be_bytes([bytes[i + 2], bytes[i + 3]]);
+                            if (0xDC00..0xE000).contains(&v) {
+                                let cp = 0x10000
+                                    + (((u as u32 - 0xD800) << 10) | (v as u32 - 0xDC00));
+                                let c = char::from_u32(cp)
+                                    .ok_or(DecodeError { offset: i, value: u as u32 })?;
+                                push(i, c)?;
+                                i += 4;
+                                continue;
+                            }
+                        }
+                        return Err(DecodeError { offset: i, value: u as u32 });
+                    }
+                    if (0xDC00..0xE000).contains(&u) {
+                        return Err(DecodeError { offset: i, value: u as u32 });
+                    }
+                    push(i, char::from_u32(u as u32).expect("non-surrogate BMP"))?;
+                    i += 2;
+                }
+                if i < bytes.len() {
+                    return Err(DecodeError { offset: i, value: bytes[i] as u32 });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn decode_units(
+    bytes: &[u8],
+    push: &mut dyn FnMut(usize, char) -> Result<(), DecodeError>,
+    conv: impl Fn(u16, usize) -> Result<char, DecodeError>,
+) -> Result<(), DecodeError> {
+    for (n, c) in bytes.chunks_exact(2).enumerate() {
+        let i = n * 2;
+        let u = u16::from_be_bytes([c[0], c[1]]);
+        push(i, conv(u, i)?)?;
+    }
+    Ok(())
+}
+
+fn decode_units_odd_tail(
+    bytes: &[u8],
+    push: &mut dyn FnMut(usize, char) -> Result<(), DecodeError>,
+    conv: impl Fn(u16, usize) -> Result<char, DecodeError>,
+) -> Result<(), DecodeError> {
+    let even = bytes.len() - 1;
+    decode_units(&bytes[..even], push, conv)?;
+    Err(DecodeError { offset: even, value: bytes[even] as u32 })
+}
+
+/// Encode `text` under a decoding method's inverse, for building test
+/// vectors (e.g. the BMPString "githube.cn" trick in §5.1 needs a UCS-2
+/// encoder). Characters the encoding cannot carry become `?`.
+pub fn encode(method: DecodingMethod, text: &str) -> Vec<u8> {
+    match method {
+        DecodingMethod::Ascii => text
+            .chars()
+            .map(|c| if c.is_ascii() { c as u8 } else { b'?' })
+            .collect(),
+        DecodingMethod::Iso8859_1 => text
+            .chars()
+            .map(|c| if (c as u32) <= 0xFF { c as u8 } else { b'?' })
+            .collect(),
+        DecodingMethod::Utf8 => text.as_bytes().to_vec(),
+        DecodingMethod::Ucs2 => text
+            .chars()
+            .map(|c| if (c as u32) <= 0xFFFF { c as u32 as u16 } else { b'?' as u16 })
+            .flat_map(|u| u.to_be_bytes())
+            .collect(),
+        DecodingMethod::Utf16 => {
+            let mut out = Vec::new();
+            for c in text.chars() {
+                let mut buf = [0u16; 2];
+                for u in c.encode_utf16(&mut buf) {
+                    out.extend_from_slice(&u.to_be_bytes());
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_rejects_high_bytes() {
+        assert_eq!(DecodingMethod::Ascii.decode(b"test").unwrap(), "test");
+        let err = DecodingMethod::Ascii.decode(&[b't', 0xE9]).unwrap_err();
+        assert_eq!(err, DecodeError { offset: 1, value: 0xE9 });
+    }
+
+    #[test]
+    fn latin1_accepts_everything() {
+        assert_eq!(DecodingMethod::Iso8859_1.decode(&[0x74, 0xE9]).unwrap(), "té");
+        assert_eq!(DecodingMethod::Iso8859_1.decode(&[0xFF]).unwrap(), "ÿ");
+    }
+
+    #[test]
+    fn utf8_wellformedness() {
+        assert_eq!(DecodingMethod::Utf8.decode("tëst".as_bytes()).unwrap(), "tëst");
+        let err = DecodingMethod::Utf8.decode(&[b't', 0xC3]).unwrap_err();
+        assert_eq!(err.offset, 1);
+    }
+
+    #[test]
+    fn ucs2_vs_utf16_on_surrogate_pairs() {
+        // U+1F600 as UTF-16 BE: D83D DE00.
+        let bytes = [0xD8, 0x3D, 0xDE, 0x00];
+        assert_eq!(DecodingMethod::Utf16.decode(&bytes).unwrap(), "\u{1F600}");
+        assert!(DecodingMethod::Ucs2.decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn utf16_rejects_lone_surrogates() {
+        assert!(DecodingMethod::Utf16.decode(&[0xD8, 0x00]).is_err());
+        assert!(DecodingMethod::Utf16.decode(&[0xDC, 0x00, 0x00, 0x41]).is_err());
+    }
+
+    #[test]
+    fn ucs2_rejects_odd_length_after_prefix() {
+        let err = DecodingMethod::Ucs2.decode(&[0x00, 0x41, 0x42]).unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn truncation_mode() {
+        let s = DecodingMethod::Ascii
+            .decode_with(&[b'a', b'b', 0xFF, b'c'], HandlingMode::Truncate)
+            .unwrap();
+        assert_eq!(s, "ab");
+    }
+
+    #[test]
+    fn replacement_mode() {
+        let s = DecodingMethod::Ascii
+            .decode_with(&[b'a', 0xFF, b'c'], HandlingMode::Replace('\u{FFFD}'))
+            .unwrap();
+        assert_eq!(s, "a\u{FFFD}c");
+        // Replacement applies to *undecodable* units only: 0x01 is valid
+        // ASCII, so the PyOpenSSL control-character replacement (§5.2) is a
+        // separate character-checking step, modelled in unicert-parsers.
+        let s = DecodingMethod::Ascii
+            .decode_with(b"ssl\x01test\xFF.com", HandlingMode::Replace('.'))
+            .unwrap();
+        assert_eq!(s, "ssl\u{1}test..com");
+    }
+
+    #[test]
+    fn escape_mode_matches_paper_example() {
+        // §3.2: "test\x01\xFF.com" after escaping.
+        let s = DecodingMethod::Ascii
+            .decode_with(b"test\x01\xFF.com", HandlingMode::Escape)
+            .unwrap();
+        // 0x01 is valid ASCII (it's a control character, but decodable), so
+        // only 0xFF is escaped under ASCII decoding.
+        assert_eq!(s, "test\u{1}\\xFF.com");
+    }
+
+    #[test]
+    fn bmp_misread_as_ascii_yields_hostname() {
+        // §5.1's attack: a Subject CN carried as BMPString CJK text whose
+        // raw bytes, misread as ASCII, spell a plausible hostname.
+        let ucs2: Vec<u8> = [0x6769u16, 0x7468, 0x7562, 0x792e, 0x636e]
+            .iter()
+            .flat_map(|u| u.to_be_bytes())
+            .collect();
+        let as_ascii = DecodingMethod::Ascii.decode(&ucs2).unwrap();
+        assert_eq!(as_ascii, "githuby.cn");
+        let as_ucs2 = DecodingMethod::Ucs2.decode(&ucs2).unwrap();
+        assert_eq!(as_ucs2.chars().count(), 5);
+        assert!(as_ucs2.chars().all(|c| (c as u32) > 0x4E00));
+    }
+
+    #[test]
+    fn encode_round_trips_strict_decode() {
+        for m in ALL_METHODS {
+            let text = "Test 123";
+            let bytes = encode(m, text);
+            assert_eq!(m.decode(&bytes).unwrap(), text, "{m:?}");
+        }
+        let bytes = encode(DecodingMethod::Utf16, "a\u{1F600}b");
+        assert_eq!(DecodingMethod::Utf16.decode(&bytes).unwrap(), "a\u{1F600}b");
+    }
+}

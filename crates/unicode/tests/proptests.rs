@@ -1,0 +1,84 @@
+//! Property-based tests for the Unicode machinery.
+
+use proptest::prelude::*;
+use unicert_unicode::encodings::{encode, ALL_METHODS};
+use unicert_unicode::nfc::{nfc, nfd};
+use unicert_unicode::{DecodingMethod, HandlingMode};
+
+proptest! {
+    /// NFC is idempotent over arbitrary Unicode strings.
+    #[test]
+    fn nfc_idempotent(s in "\\PC{0,40}") {
+        let once = nfc(&s);
+        prop_assert_eq!(nfc(&once), once);
+    }
+
+    /// NFD is idempotent, and NFC(NFD(x)) == NFC(x).
+    #[test]
+    fn nfd_nfc_coherence(s in "\\PC{0,40}") {
+        let d = nfd(&s);
+        prop_assert_eq!(nfd(&d), d.clone());
+        prop_assert_eq!(nfc(&d), nfc(&s));
+    }
+
+    /// NFC matches what the well-tested source-of-truth tables imply for
+    /// Latin-1: composing a base letter with a combining mark never panics
+    /// and never grows the string.
+    #[test]
+    fn nfc_never_grows_char_count_for_composition(base in proptest::char::range('a', 'z'),
+                                                  mark in proptest::sample::select(vec!['\u{300}', '\u{301}', '\u{302}', '\u{303}', '\u{308}'])) {
+        let s: String = [base, mark].iter().collect();
+        let n = nfc(&s);
+        prop_assert!(n.chars().count() <= 2);
+    }
+
+    /// Every decoding method strictly round-trips its own encoding of BMP
+    /// text (astral excluded: UCS-2 cannot carry it).
+    #[test]
+    fn encode_decode_round_trip(s in "[\\x20-\\x7E\u{A1}-\u{FF}]{0,30}") {
+        for m in ALL_METHODS {
+            if m == DecodingMethod::Ascii && !s.is_ascii() { continue; }
+            let bytes = encode(m, &s);
+            prop_assert_eq!(m.decode(&bytes).unwrap(), s.clone(), "{:?}", m);
+        }
+    }
+
+    /// No decoding method panics on arbitrary bytes, in any handling mode.
+    #[test]
+    fn decoding_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        for m in ALL_METHODS {
+            let _ = m.decode(&bytes);
+            for mode in [HandlingMode::Strict, HandlingMode::Truncate,
+                         HandlingMode::Replace('\u{FFFD}'), HandlingMode::Escape] {
+                let _ = m.decode_with(&bytes, mode);
+            }
+        }
+    }
+
+    /// ISO-8859-1 decodes every byte sequence; its output length equals the
+    /// input length in chars.
+    #[test]
+    fn latin1_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let s = DecodingMethod::Iso8859_1.decode(&bytes).unwrap();
+        prop_assert_eq!(s.chars().count(), bytes.len());
+    }
+
+    /// Truncate mode always yields a prefix of what Replace mode yields
+    /// (up to the first error).
+    #[test]
+    fn truncate_is_prefix(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        for m in ALL_METHODS {
+            let t = m.decode_with(&bytes, HandlingMode::Truncate).unwrap();
+            let r = m.decode_with(&bytes, HandlingMode::Replace('\u{FFFD}')).unwrap();
+            prop_assert!(r.starts_with(&t), "{:?}: {:?} vs {:?}", m, t, r);
+        }
+    }
+
+    /// Block lookup and category lookup never panic and are consistent.
+    #[test]
+    fn block_category_total(c in any::<char>()) {
+        let _ = unicert_unicode::block_of(c);
+        let _ = unicert_unicode::GeneralCategory::of(c);
+        let _ = unicert_unicode::confusables::skeleton_char(c);
+    }
+}

@@ -1,0 +1,419 @@
+//! The X.509 v3 certificate model: parse and re-encode.
+
+use crate::extensions::{Extension, ParsedExtension};
+use crate::general_name::GeneralName;
+use crate::name::DistinguishedName;
+use unicert_asn1::oid::known;
+use unicert_asn1::tag::{tags, Tag};
+use unicert_asn1::{BitString, DateTime, Error, Oid, Reader, Result, TimeKind, Writer};
+
+/// `AlgorithmIdentifier ::= SEQUENCE { algorithm OID, parameters ANY }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmIdentifier {
+    /// Algorithm OID.
+    pub algorithm: Oid,
+    /// Raw parameter DER (commonly an encoded NULL), if present.
+    pub parameters: Option<Vec<u8>>,
+}
+
+impl AlgorithmIdentifier {
+    /// The workspace's simulated signature algorithm.
+    pub fn sim_signature() -> AlgorithmIdentifier {
+        AlgorithmIdentifier { algorithm: known::sim_signature(), parameters: Some(vec![0x05, 0x00]) }
+    }
+
+    /// The simulated public-key algorithm.
+    pub fn sim_public_key() -> AlgorithmIdentifier {
+        AlgorithmIdentifier { algorithm: known::sim_public_key(), parameters: Some(vec![0x05, 0x00]) }
+    }
+
+    fn parse(r: &mut Reader<'_>) -> Result<AlgorithmIdentifier> {
+        r.read_sequence(|seq| {
+            let oid = seq.read_expected(tags::OBJECT_IDENTIFIER)?;
+            let algorithm = Oid::from_der_value(oid.value)?;
+            let parameters = if seq.is_empty() {
+                None
+            } else {
+                Some(seq.read_tlv()?.raw.to_vec())
+            };
+            Ok(AlgorithmIdentifier { algorithm, parameters })
+        })
+    }
+
+    fn write_to(&self, w: &mut Writer) {
+        w.write_sequence(|w| {
+            w.write_oid(&self.algorithm);
+            if let Some(p) = &self.parameters {
+                w.write_raw(p);
+            }
+        });
+    }
+}
+
+/// The validity window, remembering which wire types carried it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validity {
+    /// notBefore.
+    pub not_before: DateTime,
+    /// notAfter.
+    pub not_after: DateTime,
+    /// Wire type of notBefore.
+    pub not_before_kind: TimeKind,
+    /// Wire type of notAfter.
+    pub not_after_kind: TimeKind,
+}
+
+impl Validity {
+    /// A validity starting at `not_before` and lasting `days`.
+    pub fn days(not_before: DateTime, days: i64) -> Validity {
+        let not_after = not_before.plus_days(days);
+        Validity {
+            not_before,
+            not_after,
+            not_before_kind: kind_for(&not_before),
+            not_after_kind: kind_for(&not_after),
+        }
+    }
+
+    /// Validity period in whole days.
+    pub fn period_days(&self) -> i64 {
+        self.not_before.days_until(&self.not_after)
+    }
+
+    /// Is `at` within the window?
+    pub fn contains(&self, at: &DateTime) -> bool {
+        *at >= self.not_before && *at <= self.not_after
+    }
+}
+
+fn kind_for(dt: &DateTime) -> TimeKind {
+    if (1950..=2049).contains(&dt.year) {
+        TimeKind::Utc
+    } else {
+        TimeKind::Generalized
+    }
+}
+
+fn parse_time(r: &mut Reader<'_>) -> Result<(DateTime, TimeKind)> {
+    let tlv = r.read_tlv()?;
+    match tlv.tag {
+        t if t == tags::UTC_TIME => Ok((DateTime::from_utc_time(tlv.value)?, TimeKind::Utc)),
+        t if t == tags::GENERALIZED_TIME => {
+            Ok((DateTime::from_generalized(tlv.value)?, TimeKind::Generalized))
+        }
+        found => Err(Error::TagMismatch { expected: tags::UTC_TIME, found }),
+    }
+}
+
+/// `SubjectPublicKeyInfo`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectPublicKeyInfo {
+    /// Key algorithm.
+    pub algorithm: AlgorithmIdentifier,
+    /// The key bits.
+    pub public_key: BitString,
+}
+
+/// The to-be-signed portion of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Version (0 = v1, 2 = v3).
+    pub version: u64,
+    /// Serial number magnitude (big-endian, unsigned, ≤ 20 octets per BR).
+    pub serial: Vec<u8>,
+    /// Signature algorithm (must match the outer one).
+    pub signature_algorithm: AlgorithmIdentifier,
+    /// Issuer DN.
+    pub issuer: DistinguishedName,
+    /// Validity window.
+    pub validity: Validity,
+    /// Subject DN.
+    pub subject: DistinguishedName,
+    /// Public key info.
+    pub spki: SubjectPublicKeyInfo,
+    /// Extensions (empty for v1 certificates).
+    pub extensions: Vec<Extension>,
+}
+
+/// A complete certificate, retaining its raw encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The TBS portion.
+    pub tbs: TbsCertificate,
+    /// The outer signature algorithm.
+    pub signature_algorithm: AlgorithmIdentifier,
+    /// The signature bits.
+    pub signature: BitString,
+    /// Raw DER of the TBSCertificate (exact wire bytes; what the simulated
+    /// signer signs and verifies).
+    pub raw_tbs: Vec<u8>,
+    /// Raw DER of the complete certificate.
+    pub raw: Vec<u8>,
+}
+
+impl TbsCertificate {
+    fn parse(r: &mut Reader<'_>) -> Result<TbsCertificate> {
+        r.read_sequence(|tbs| {
+            // version [0] EXPLICIT, DEFAULT v1.
+            let version = match tbs.read_optional(Tag::context_constructed(0))? {
+                Some(v) => {
+                    let mut c = v.contents();
+                    let i = c.read_expected(tags::INTEGER)?;
+                    c.finish()?;
+                    unicert_asn1::integer::decode_u64(i.value)?
+                }
+                None => 0,
+            };
+            let serial_tlv = tbs.read_expected(tags::INTEGER)?;
+            let serial = unicert_asn1::integer::unsigned_magnitude(serial_tlv.value)?.to_vec();
+            let signature_algorithm = AlgorithmIdentifier::parse(tbs)?;
+            let issuer = DistinguishedName::parse(tbs)?;
+            let validity = tbs.read_sequence(|v| {
+                let (not_before, not_before_kind) = parse_time(v)?;
+                let (not_after, not_after_kind) = parse_time(v)?;
+                Ok(Validity { not_before, not_after, not_before_kind, not_after_kind })
+            })?;
+            let subject = DistinguishedName::parse(tbs)?;
+            let spki = tbs.read_sequence(|s| {
+                let algorithm = AlgorithmIdentifier::parse(s)?;
+                let bits = s.read_expected(tags::BIT_STRING)?;
+                Ok(SubjectPublicKeyInfo {
+                    algorithm,
+                    public_key: BitString::from_der_value(bits.value)?,
+                })
+            })?;
+            // issuerUniqueID [1], subjectUniqueID [2]: skipped if present.
+            let _ = tbs.read_optional_context(1)?;
+            let _ = tbs.read_optional_context(2)?;
+            // extensions [3] EXPLICIT.
+            let mut extensions = Vec::new();
+            if let Some(exts) = tbs.read_optional(Tag::context_constructed(3))? {
+                let mut c = exts.contents();
+                c.read_sequence(|list| {
+                    while !list.is_empty() {
+                        extensions.push(parse_extension(list)?);
+                    }
+                    Ok(())
+                })?;
+                c.finish()?;
+            }
+            Ok(TbsCertificate {
+                version,
+                serial,
+                signature_algorithm,
+                issuer,
+                validity,
+                subject,
+                spki,
+                extensions,
+            })
+        })
+    }
+
+    /// Encode to DER.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.write_sequence(|w| {
+            if self.version != 0 {
+                w.write_constructed(Tag::context_constructed(0), |w| w.write_u64(self.version));
+            }
+            w.write_unsigned_integer(&self.serial);
+            self.signature_algorithm.write_to(w);
+            self.issuer.write_to(w);
+            w.write_sequence(|w| {
+                write_time(w, &self.validity.not_before, self.validity.not_before_kind);
+                write_time(w, &self.validity.not_after, self.validity.not_after_kind);
+            });
+            self.subject.write_to(w);
+            w.write_sequence(|w| {
+                self.spki.algorithm.write_to(w);
+                w.write_tlv(tags::BIT_STRING, &self.spki.public_key.to_der_value());
+            });
+            if !self.extensions.is_empty() {
+                w.write_constructed(Tag::context_constructed(3), |w| {
+                    w.write_sequence(|w| {
+                        for ext in &self.extensions {
+                            write_extension(w, ext);
+                        }
+                    });
+                });
+            }
+        });
+        w.into_bytes()
+    }
+
+    /// Find an extension by OID.
+    pub fn extension(&self, oid: &Oid) -> Option<&Extension> {
+        self.extensions.iter().find(|e| &e.oid == oid)
+    }
+
+    /// Is this a CT precertificate (has the poison extension)? §4.1 filters
+    /// these out of the corpus.
+    pub fn is_precertificate(&self) -> bool {
+        self.extension(&known::ct_poison()).is_some()
+    }
+
+    /// The SubjectAltName entries, if present and well-formed.
+    pub fn subject_alt_names(&self) -> Option<Vec<GeneralName>> {
+        match self.extension(&known::subject_alt_name())?.parse() {
+            Ok(ParsedExtension::SubjectAltName(names)) => Some(names),
+            _ => None,
+        }
+    }
+
+    /// All DNSName strings from the SAN (leniently decoded).
+    pub fn san_dns_names(&self) -> Vec<String> {
+        self.subject_alt_names()
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|n| match n {
+                GeneralName::DnsName(v) => Some(v.display_lossy()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn write_time(w: &mut Writer, dt: &DateTime, kind: TimeKind) {
+    match kind {
+        TimeKind::Utc => w.write_tlv(tags::UTC_TIME, dt.to_utc_time_string().as_bytes()),
+        TimeKind::Generalized => {
+            w.write_tlv(tags::GENERALIZED_TIME, dt.to_generalized_string().as_bytes())
+        }
+    }
+}
+
+fn parse_extension(list: &mut Reader<'_>) -> Result<Extension> {
+    list.read_sequence(|e| {
+        let oid_tlv = e.read_expected(tags::OBJECT_IDENTIFIER)?;
+        let oid = Oid::from_der_value(oid_tlv.value)?;
+        let mut critical = false;
+        if e.peek_tag() == Some(tags::BOOLEAN) {
+            let b = e.read_tlv()?;
+            critical = b.value == [0xFF];
+        }
+        let value_tlv = e.read_expected(tags::OCTET_STRING)?;
+        Ok(Extension { oid, critical, value: value_tlv.value.to_vec() })
+    })
+}
+
+fn write_extension(w: &mut Writer, ext: &Extension) {
+    w.write_sequence(|w| {
+        w.write_oid(&ext.oid);
+        if ext.critical {
+            w.write_bool(true);
+        }
+        w.write_octet_string(&ext.value);
+    });
+}
+
+impl Certificate {
+    /// Parse a complete certificate from DER.
+    pub fn parse_der(der: &[u8]) -> Result<Certificate> {
+        let mut r = Reader::new(der);
+        let cert = r.read_sequence(|c| {
+            let tbs_start_remaining = c.remaining();
+            // Peek the raw TBS bytes: read the TLV, then re-parse it.
+            let tbs_tlv = c.read_expected(tags::SEQUENCE)?;
+            let raw_tbs = tbs_tlv.raw.to_vec();
+            let mut tbs_reader = Reader::new(tbs_tlv.raw);
+            let tbs = TbsCertificate::parse(&mut tbs_reader)?;
+            tbs_reader.finish()?;
+            let _ = tbs_start_remaining;
+            let signature_algorithm = AlgorithmIdentifier::parse(c)?;
+            let sig_tlv = c.read_expected(tags::BIT_STRING)?;
+            let signature = BitString::from_der_value(sig_tlv.value)?;
+            Ok(Certificate { tbs, signature_algorithm, signature, raw_tbs, raw: der.to_vec() })
+        })?;
+        r.finish()?;
+        Ok(cert)
+    }
+
+    /// Encode to DER (reconstructs from the model, not `raw`).
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.write_sequence(|w| {
+            w.write_raw(&self.tbs.to_der());
+            self.signature_algorithm.write_to(w);
+            w.write_tlv(tags::BIT_STRING, &self.signature.to_der_value());
+        });
+        w.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CertificateBuilder;
+    use crate::sign::SimKey;
+
+    fn sample() -> Certificate {
+        CertificateBuilder::new()
+            .serial(&[0x01, 0x02, 0x03])
+            .subject_cn("example.com")
+            .issuer_org("Test CA")
+            .validity_days(DateTime::date(2024, 1, 1).unwrap(), 90)
+            .add_dns_san("example.com")
+            .build_signed(&SimKey::from_seed("Test CA"))
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let cert = sample();
+        let reparsed = Certificate::parse_der(&cert.raw).unwrap();
+        assert_eq!(reparsed.tbs, cert.tbs);
+        assert_eq!(reparsed.to_der(), cert.raw);
+    }
+
+    #[test]
+    fn signature_verifies_over_raw_tbs() {
+        let cert = sample();
+        let key = SimKey::from_seed("Test CA");
+        assert!(key.verify(&cert.raw_tbs, &cert.signature.bytes));
+        assert!(!SimKey::from_seed("Evil CA").verify(&cert.raw_tbs, &cert.signature.bytes));
+    }
+
+    #[test]
+    fn accessors() {
+        let cert = sample();
+        assert_eq!(cert.tbs.version, 2);
+        assert_eq!(cert.tbs.serial, vec![1, 2, 3]);
+        assert_eq!(cert.tbs.subject.common_name().unwrap(), "example.com");
+        assert_eq!(cert.tbs.san_dns_names(), vec!["example.com"]);
+        assert!(!cert.tbs.is_precertificate());
+        assert_eq!(cert.tbs.validity.period_days(), 90);
+    }
+
+    #[test]
+    fn precert_poison_detected() {
+        let cert = CertificateBuilder::new()
+            .subject_cn("pre.example.com")
+            .validity_days(DateTime::date(2024, 1, 1).unwrap(), 90)
+            .add_extension(crate::extensions::ct_poison())
+            .build_signed(&SimKey::from_seed("CA"));
+        assert!(cert.tbs.is_precertificate());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let cert = sample();
+        for cut in [1, 10, cert.raw.len() / 2, cert.raw.len() - 1] {
+            assert!(Certificate::parse_der(&cert.raw[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let cert = sample();
+        let mut der = cert.raw.clone();
+        der.push(0x00);
+        assert!(Certificate::parse_der(&der).is_err());
+    }
+
+    #[test]
+    fn validity_contains() {
+        let cert = sample();
+        assert!(cert.tbs.validity.contains(&DateTime::date(2024, 2, 1).unwrap()));
+        assert!(!cert.tbs.validity.contains(&DateTime::date(2025, 1, 1).unwrap()));
+    }
+}

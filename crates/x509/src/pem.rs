@@ -1,0 +1,212 @@
+//! PEM armoring (RFC 7468) with a from-scratch base64 codec.
+//!
+//! Needed by the CLI and by tests that exercise the paper's
+//! "SAN containing an entire CSR PEM string" finding (§4.4 F2).
+
+use std::fmt;
+
+/// PEM decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PemError {
+    /// No `-----BEGIN <label>-----` line found.
+    MissingBegin,
+    /// No matching `-----END <label>-----` line found.
+    MissingEnd,
+    /// BEGIN and END labels differ.
+    LabelMismatch,
+    /// A base64 character outside the alphabet.
+    InvalidBase64 {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// Base64 payload has an impossible length/padding combination.
+    InvalidPadding,
+}
+
+impl fmt::Display for PemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PemError::MissingBegin => write!(f, "missing BEGIN line"),
+            PemError::MissingEnd => write!(f, "missing END line"),
+            PemError::LabelMismatch => write!(f, "BEGIN/END label mismatch"),
+            PemError::InvalidBase64 { byte } => write!(f, "invalid base64 byte 0x{byte:02X}"),
+            PemError::InvalidPadding => write!(f, "invalid base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for PemError {}
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn decode_sextet(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Encode bytes as base64 (no line wrapping).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3F] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 0x3F] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 0x3F] as char } else { '=' });
+    }
+    out
+}
+
+/// Decode base64, ignoring ASCII whitespace.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
+    let mut sextets: Vec<u8> = Vec::with_capacity(text.len());
+    let mut padding = 0usize;
+    for &b in text.as_bytes() {
+        if b.is_ascii_whitespace() {
+            continue;
+        }
+        if b == b'=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return Err(PemError::InvalidPadding); // data after '='
+        }
+        sextets.push(decode_sextet(b).ok_or(PemError::InvalidBase64 { byte: b })?);
+    }
+    if padding > 2 || (sextets.len() + padding) % 4 != 0 {
+        return Err(PemError::InvalidPadding);
+    }
+    let mut out = Vec::with_capacity(sextets.len() * 3 / 4);
+    for chunk in sextets.chunks(4) {
+        match chunk.len() {
+            4 => {
+                let n = ((chunk[0] as u32) << 18)
+                    | ((chunk[1] as u32) << 12)
+                    | ((chunk[2] as u32) << 6)
+                    | chunk[3] as u32;
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
+            }
+            3 => {
+                let n = ((chunk[0] as u32) << 18) | ((chunk[1] as u32) << 12) | ((chunk[2] as u32) << 6);
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8]);
+            }
+            2 => {
+                let n = ((chunk[0] as u32) << 18) | ((chunk[1] as u32) << 12);
+                out.push((n >> 16) as u8);
+            }
+            _ => return Err(PemError::InvalidPadding),
+        }
+    }
+    Ok(out)
+}
+
+/// Wrap DER bytes in PEM armor with the given label
+/// (e.g. `"CERTIFICATE"`).
+pub fn encode(label: &str, der: &[u8]) -> String {
+    let b64 = base64_encode(der);
+    let mut out = format!("-----BEGIN {label}-----\n");
+    for chunk in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(chunk).expect("base64 is ASCII"));
+        out.push('\n');
+    }
+    out.push_str(&format!("-----END {label}-----\n"));
+    out
+}
+
+/// Extract the first PEM block: returns `(label, der)`.
+pub fn decode(text: &str) -> Result<(String, Vec<u8>), PemError> {
+    let begin = text.find("-----BEGIN ").ok_or(PemError::MissingBegin)?;
+    let after = &text[begin + "-----BEGIN ".len()..];
+    let label_end = after.find("-----").ok_or(PemError::MissingBegin)?;
+    let label = after[..label_end].to_string();
+    let body_start = &after[label_end + 5..];
+    let end_marker = format!("-----END {label}-----");
+    let end = body_start.find("-----END ").ok_or(PemError::MissingEnd)?;
+    if !body_start[end..].starts_with(&end_marker) {
+        return Err(PemError::LabelMismatch);
+    }
+    let der = base64_decode(&body_start[..end])?;
+    Ok((label, der))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_vectors() {
+        // RFC 4648 §10.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        for s in ["", "f", "fo", "foo", "foob", "fooba", "foobar"] {
+            assert_eq!(base64_decode(&base64_encode(s.as_bytes())).unwrap(), s.as_bytes());
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(matches!(base64_decode("Zm9!"), Err(PemError::InvalidBase64 { byte: b'!' })));
+        assert!(matches!(base64_decode("Zg="), Err(PemError::InvalidPadding)));
+        assert!(matches!(base64_decode("Zg==Zg=="), Err(PemError::InvalidPadding)));
+    }
+
+    #[test]
+    fn pem_round_trip() {
+        let der: Vec<u8> = (0u8..=255).collect();
+        let pem = encode("CERTIFICATE", &der);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        assert!(pem.lines().all(|l| l.len() <= 64 || l.starts_with("-----")));
+        let (label, decoded) = decode(&pem).unwrap();
+        assert_eq!(label, "CERTIFICATE");
+        assert_eq!(decoded, der);
+    }
+
+    #[test]
+    fn pem_with_surrounding_noise() {
+        let pem = format!("junk before\n{}junk after", encode("X509 CRL", b"hello"));
+        let (label, der) = decode(&pem).unwrap();
+        assert_eq!(label, "X509 CRL");
+        assert_eq!(der, b"hello");
+    }
+
+    #[test]
+    fn pem_errors() {
+        assert_eq!(decode("no pem here"), Err(PemError::MissingBegin));
+        assert_eq!(
+            decode("-----BEGIN A-----\nZg==\n"),
+            Err(PemError::MissingEnd)
+        );
+        assert_eq!(
+            decode("-----BEGIN A-----\nZg==\n-----END B-----\n"),
+            Err(PemError::LabelMismatch)
+        );
+    }
+
+    #[test]
+    fn certificate_pem_round_trip() {
+        use crate::{CertificateBuilder, SimKey};
+        let cert = CertificateBuilder::new()
+            .subject_cn("pem.example")
+            .validity_days(unicert_asn1::DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("pem-ca"));
+        let pem = encode("CERTIFICATE", &cert.raw);
+        let (_, der) = decode(&pem).unwrap();
+        let parsed = crate::Certificate::parse_der(&der).unwrap();
+        assert_eq!(parsed.tbs, cert.tbs);
+    }
+}

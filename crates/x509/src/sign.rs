@@ -1,0 +1,92 @@
+//! Simulated signing.
+//!
+//! No experiment in the paper depends on cryptographic hardness — signatures
+//! only need deterministic *verify-pass / verify-fail* semantics for the
+//! chain-reconstruction step of §5.1. A signature here is
+//! `SHA-256(key_secret || tbs_der)`; the "public key" is
+//! `SHA-256(key_secret)`, and verification requires possession of the key
+//! (the corpus keeps issuer keys alongside issuer metadata). See DESIGN.md's
+//! substitution table.
+
+use crate::sha256::{sha256, Sha256};
+
+/// A simulated CA key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimKey {
+    secret: [u8; 32],
+}
+
+impl SimKey {
+    /// Derive a key deterministically from a seed label (e.g. the issuer
+    /// organization name) so corpora are reproducible.
+    pub fn from_seed(seed: &str) -> SimKey {
+        let mut h = Sha256::new();
+        h.update(b"unicert-sim-key-v1:");
+        h.update(seed.as_bytes());
+        SimKey { secret: h.finalize() }
+    }
+
+    /// The "public key" bytes placed in SubjectPublicKeyInfo.
+    pub fn public_bytes(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"unicert-sim-pub-v1:");
+        h.update(&self.secret);
+        h.finalize()
+    }
+
+    /// Sign a TBSCertificate encoding.
+    pub fn sign(&self, tbs_der: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.secret);
+        h.update(tbs_der);
+        h.finalize()
+    }
+
+    /// Verify a signature over `tbs_der`.
+    pub fn verify(&self, tbs_der: &[u8], signature: &[u8]) -> bool {
+        signature == self.sign(tbs_der)
+    }
+
+    /// Key identifier (for AKI/SKI extensions).
+    pub fn key_id(&self) -> [u8; 20] {
+        let digest = sha256(&self.public_bytes());
+        let mut id = [0u8; 20];
+        id.copy_from_slice(&digest[..20]);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = SimKey::from_seed("Let's Encrypt");
+        let b = SimKey::from_seed("Let's Encrypt");
+        let c = SimKey::from_seed("Sectigo");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a.public_bytes(), c.public_bytes());
+    }
+
+    #[test]
+    fn sign_verify() {
+        let key = SimKey::from_seed("test-ca");
+        let tbs = b"fake tbs bytes";
+        let sig = key.sign(tbs);
+        assert!(key.verify(tbs, &sig));
+        assert!(!key.verify(b"different tbs", &sig));
+        assert!(!SimKey::from_seed("other-ca").verify(tbs, &sig));
+        let mut tampered = sig;
+        tampered[0] ^= 1;
+        assert!(!key.verify(tbs, &tampered));
+    }
+
+    #[test]
+    fn key_id_is_stable() {
+        let key = SimKey::from_seed("test-ca");
+        assert_eq!(key.key_id(), key.key_id());
+        assert_eq!(key.key_id().len(), 20);
+    }
+}

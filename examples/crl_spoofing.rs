@@ -1,0 +1,85 @@
+//! The §5.2 CRL-spoofing attack and the §6.2 TLS-visibility boundary,
+//! end to end on real wire bytes.
+//!
+//! ```text
+//! cargo run -p unicert-core --example crl_spoofing
+//! ```
+
+use unicert::asn1::oid::known;
+use unicert::asn1::{DateTime, StringKind};
+use unicert::threats::revocation::{check_revocation, CrlNetwork, UriExtraction};
+use unicert::threats::tls::{middlebox_extract_certificates, server_flight, Record, TlsVersion};
+use unicert::x509::crl::{CertificateList, RevokedCert, TbsCertList};
+use unicert::x509::{CertificateBuilder, DistinguishedName, GeneralName, RawValue, SimKey};
+
+fn main() {
+    let ca_key = SimKey::from_seed("compromised-ca");
+    let ca_dn = DistinguishedName::from_attributes(&[(
+        known::organization_name(),
+        StringKind::Utf8,
+        "Compromised CA",
+    )]);
+
+    // The attacker (controlling issuance, not revocation) embeds a control
+    // character in the CRL location.
+    let cert = CertificateBuilder::new()
+        .serial(&[0x66])
+        .subject_cn("victim.example")
+        .add_dns_san("victim.example")
+        .issuer(ca_dn.clone())
+        .validity_days(DateTime::date(2024, 6, 1).unwrap(), 365)
+        .add_extension(unicert::x509::extensions::crl_distribution_points(&[vec![
+            GeneralName::Uri(RawValue::from_raw(StringKind::Ia5, b"http://ssl\x01test.com/ca.crl")),
+        ]]))
+        .build_signed(&ca_key);
+    println!("certificate serial 0x66 issued with CRLDP = \"http://ssl\\x01test.com/ca.crl\"");
+
+    // The CA's real CRL revokes serial 0x66; the attacker's clean CRL
+    // lives at the dot-sanitized address.
+    let mut network = CrlNetwork::new();
+    let revoking = CertificateList::build(
+        TbsCertList {
+            issuer: ca_dn.clone(),
+            this_update: DateTime::date(2024, 6, 10).unwrap(),
+            next_update: DateTime::date(2024, 7, 10).unwrap(),
+            revoked: vec![RevokedCert {
+                serial: vec![0x66],
+                revocation_date: DateTime::date(2024, 6, 9).unwrap(),
+            }],
+        },
+        &ca_key,
+    );
+    network.publish("http://crl.compromised-ca.example/ca.crl", &revoking);
+    let clean = CertificateList::build(
+        TbsCertList {
+            issuer: ca_dn,
+            this_update: DateTime::date(2024, 6, 10).unwrap(),
+            next_update: DateTime::date(2099, 1, 1).unwrap(),
+            revoked: vec![],
+        },
+        &SimKey::from_seed("attacker"),
+    );
+    network.publish("http://ssl.test.com/ca.crl", &clean);
+    println!("CA publishes a revoking CRL; attacker serves a clean CRL at ssl.test.com\n");
+
+    for (client, mode) in [
+        ("strict client (literal URI)", UriExtraction::Literal),
+        ("PyOpenSSL-style client (controls → '.')", UriExtraction::ControlsToDots),
+    ] {
+        println!("  {client}: {:?}", check_revocation(&cert, &network, mode));
+    }
+
+    println!("\nTLS visibility boundary (§6.2: the middlebox threat needs TLS ≤ 1.2):");
+    for version in [TlsVersion::Tls12, TlsVersion::Tls13] {
+        let wire: Vec<u8> = server_flight(version, &[&cert])
+            .iter()
+            .flat_map(Record::to_bytes)
+            .collect();
+        let seen = middlebox_extract_certificates(&wire);
+        println!(
+            "  {version:?}: middlebox extracts {} certificate(s) from {} wire bytes",
+            seen.len(),
+            wire.len()
+        );
+    }
+}

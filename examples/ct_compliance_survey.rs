@@ -1,0 +1,89 @@
+//! The §4 issuance-compliance survey end to end: generate a synthetic CT
+//! corpus, filter precertificates, lint every Unicert, and print the
+//! headline numbers plus a Table-2-style issuer breakdown.
+//!
+//! ```text
+//! cargo run --release -p unicert-core --example ct_compliance_survey [size]
+//! ```
+
+use unicert::corpus::{CorpusConfig, CorpusGenerator};
+use unicert::survey::{self, SurveyOptions};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    println!("generating {size} synthetic CT Unicerts (seed 42)…");
+    let gen = CorpusGenerator::new(CorpusConfig {
+        size,
+        seed: 42,
+        precert_fraction: 0.25,
+        latent_defects: true,
+    });
+    let report = survey::run(gen, SurveyOptions::default());
+
+    println!("\n== headline (paper §4.2/§4.3) ==");
+    println!("CT entries inspected:     {}", report.entries);
+    println!("precertificates filtered: {}", report.precerts_filtered);
+    println!("Unicerts analyzed:        {}", report.total);
+    println!(
+        "IDNCerts:                 {} ({:.1}%)",
+        report.idn_certs,
+        100.0 * report.idn_certs as f64 / report.total as f64
+    );
+    println!(
+        "trusted share:            {:.1}%  (paper: 90.1%)",
+        100.0 * report.trusted_total as f64 / report.total as f64
+    );
+    println!(
+        "noncompliant:             {} ({:.2}%)  (paper: 0.72%)",
+        report.noncompliant,
+        100.0 * report.noncompliant as f64 / report.total as f64
+    );
+    if report.noncompliant > 0 {
+        println!(
+            "…from trusted CAs:        {:.1}%  (paper: 65.3%)",
+            100.0 * report.noncompliant_trusted as f64 / report.noncompliant as f64
+        );
+        println!(
+            "…hit by new lints:        {:.1}%  (paper: 33.3%)",
+            100.0 * report.noncompliant_by_new_lints as f64 / report.noncompliant as f64
+        );
+    }
+
+    println!("\n== noncompliance by type (Table 1 shape) ==");
+    for (nc_type, stats) in &report.by_type {
+        println!(
+            "  {:<18} certs={:<6} err={:<6} warn={:<6} trusted={:<6} alive={}",
+            nc_type.label(),
+            stats.certs,
+            stats.errors,
+            stats.warnings,
+            stats.trusted,
+            stats.alive
+        );
+    }
+
+    println!("\n== top issuers by noncompliant Unicerts (Table 2 shape) ==");
+    let mut issuers: Vec<_> = report.by_issuer.iter().collect();
+    issuers.sort_by_key(|(_, s)| std::cmp::Reverse(s.noncompliant));
+    for (org, s) in issuers.iter().take(10) {
+        println!(
+            "  {:<32} {:>6} NC / {:>7} total ({:.2}%)  [{:?}]",
+            org,
+            s.noncompliant,
+            s.total,
+            100.0 * s.noncompliant as f64 / s.total.max(1) as f64,
+            s.trust
+        );
+    }
+
+    println!("\n== top lints (Table 11 shape) ==");
+    let mut lints: Vec<_> = report.by_lint.iter().collect();
+    lints.sort_by_key(|(_, &n)| std::cmp::Reverse(n));
+    for (lint, n) in lints.iter().take(10) {
+        println!("  {n:>6}  {lint}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The §6 threat experiments: misleading CT monitors (Table 6), traffic
+//! obfuscation against middleboxes (§6.2), and the browser warning-page
+//! spoofs (Appendix F.1, Fig. 7/8).
+//!
+//! ```text
+//! cargo run -p unicert-core --example monitor_evasion
+//! ```
+
+use unicert::monitors::run_misleading_experiment;
+use unicert::threats::{all_browsers, all_clients, run_obfuscation_experiment, ClientOutcome};
+
+fn main() {
+    println!("== §6.1: misleading CT monitors ==");
+    let outcomes = run_misleading_experiment();
+    let mut techniques: Vec<&str> = outcomes.iter().map(|o| o.technique).collect();
+    techniques.dedup();
+    for t in techniques {
+        println!("  {t}:");
+        for o in outcomes.iter().filter(|o| o.technique == t) {
+            let status = if o.query_rejected {
+                "query rejected"
+            } else if o.found {
+                "FOUND (owner sees the forgery)"
+            } else {
+                "hidden from the owner"
+            };
+            println!("    {:<18} {status}", o.monitor);
+        }
+    }
+
+    println!("\n== §6.2: traffic obfuscation vs middlebox rules ==");
+    for (technique, engine, caught) in run_obfuscation_experiment() {
+        println!(
+            "  {:<34} {:<9} {}",
+            technique,
+            engine,
+            if caught { "caught" } else { "EVADED" }
+        );
+    }
+
+    println!("\n== §6.2 P2.2: client SAN format checks ==");
+    let cert = unicert::x509::CertificateBuilder::new()
+        .add_san(unicert::x509::GeneralName::DnsName(
+            unicert::x509::RawValue::from_raw(
+                unicert::asn1::StringKind::Ia5,
+                "münchen.de".as_bytes(), // raw U-label: noncompliant
+            ),
+        ))
+        .validity_days(unicert::asn1::DateTime::date(2024, 8, 1).unwrap(), 90)
+        .build_signed(&unicert::x509::SimKey::from_seed("demo-ca"));
+    for client in all_clients() {
+        let outcome = client.validate(&cert, "münchen.de");
+        println!(
+            "  {:<12} U-label SAN for münchen.de: {:?}{}",
+            client.name,
+            outcome,
+            if outcome == ClientOutcome::Accepted { "  <-- accepts noncompliant cert" } else { "" }
+        );
+    }
+
+    println!("\n== Appendix F.1: browser warning-page spoofing ==");
+    let crafted = "www.\u{202E}lapyap\u{202C}.com";
+    for b in all_browsers() {
+        println!(
+            "  {:<9} renders CN {crafted:?} as {:?}  (spoofable: {})",
+            b.name,
+            b.visual_text(crafted),
+            b.spoofable_as(crafted, "www.paypal.com")
+        );
+    }
+}

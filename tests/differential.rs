@@ -1,0 +1,182 @@
+//! Integration: the differential parsing harness against the nine library
+//! profiles — the Table 4/5 matrices and the §5 attack demonstrations.
+
+use unicert::asn1::StringKind;
+use unicert::parsers::generator::{self, TestCase};
+use unicert::parsers::{all_profiles, escaping, infer, Field, Inference, ParseOutcome};
+use unicert::x509::EscapingStandard;
+
+fn inference_cell(lib: &str, kind: StringKind, field: Field) -> Inference {
+    let profiles = all_profiles();
+    let p = profiles.iter().find(|p| p.name() == lib).unwrap();
+    infer(p.as_ref(), kind, field)
+}
+
+fn flags(inf: &Inference) -> unicert::parsers::DecodingFlags {
+    match inf {
+        Inference::Inferred { flags, .. } => *flags,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn table4_headline_cells() {
+    // GnuTLS decodes every DN type with UTF-8 — over-tolerant.
+    assert!(flags(&inference_cell("GnuTLS", StringKind::Printable, Field::SubjectDn)).over_tolerant);
+    // Forge decodes UTF8String with ISO-8859-1 — incompatible.
+    assert!(flags(&inference_cell("Forge", StringKind::Utf8, Field::SubjectDn)).incompatible);
+    // OpenSSL's BMPString handling is incompatible *and* modified.
+    let f = flags(&inference_cell("OpenSSL", StringKind::Bmp, Field::SubjectDn));
+    assert!(f.incompatible && f.modified);
+    // Java replaces undecodable bytes — modified.
+    assert!(flags(&inference_cell("Java.security.cert", StringKind::Ia5, Field::SubjectDn)).modified);
+    // Go is strict and compliant in names.
+    let f = flags(&inference_cell("Golang Crypto", StringKind::Printable, Field::SubjectDn));
+    assert_eq!(f, unicert::parsers::DecodingFlags::default());
+    // Cryptography decodes BMPString as UTF-16 — over-tolerant.
+    assert!(flags(&inference_cell("Cryptography", StringKind::Bmp, Field::SubjectDn)).over_tolerant);
+    // Unsupported cells are reported as such.
+    assert_eq!(
+        inference_cell("Forge", StringKind::Bmp, Field::SubjectDn),
+        Inference::Unsupported
+    );
+    assert_eq!(
+        inference_cell("OpenSSL", StringKind::Ia5, Field::SanDns),
+        Inference::Unsupported
+    );
+}
+
+#[test]
+fn every_library_has_at_least_one_character_violation() {
+    // §5.2: "each TLS library exhibited at least one violation in handling
+    // special characters".
+    for p in all_profiles() {
+        let mut any = false;
+        for kind in [StringKind::Printable, StringKind::Ia5, StringKind::Bmp, StringKind::Utf8] {
+            for field in Field::ALL {
+                let v = escaping::illegal_char_verdict(p.as_ref(), kind, field);
+                if v == escaping::Verdict::Violated || v == escaping::Verdict::Exploited {
+                    any = true;
+                }
+            }
+        }
+        // Escaping deviations count too.
+        for std in [EscapingStandard::Rfc1779, EscapingStandard::Rfc2253, EscapingStandard::Rfc4514] {
+            match escaping::dn_escaping_verdict(p.as_ref(), std) {
+                escaping::Verdict::Violated | escaping::Verdict::Exploited => any = true,
+                _ => {}
+            }
+        }
+        match escaping::gn_escaping_verdict(p.as_ref()) {
+            escaping::Verdict::Violated | escaping::Verdict::Exploited => any = true,
+            _ => {}
+        }
+        assert!(any, "{} shows no violation at all", p.name());
+    }
+}
+
+#[test]
+fn exploited_cells_match_the_paper() {
+    let profiles = all_profiles();
+    let by_name = |n: &str| profiles.iter().find(|p| p.name() == n).unwrap();
+    // OpenSSL DN escaping: exploited (subfield forgery via oneline).
+    assert_eq!(
+        escaping::dn_escaping_verdict(by_name("OpenSSL").as_ref(), EscapingStandard::Rfc4514),
+        escaping::Verdict::Exploited
+    );
+    // PyOpenSSL GN escaping: exploited (SAN injection).
+    assert_eq!(
+        escaping::gn_escaping_verdict(by_name("PyOpenSSL").as_ref()),
+        escaping::Verdict::Exploited
+    );
+    // Nobody else is exploited.
+    for p in &profiles {
+        if p.name() == "OpenSSL" || p.name() == "PyOpenSSL" {
+            continue;
+        }
+        for std in [EscapingStandard::Rfc1779, EscapingStandard::Rfc2253, EscapingStandard::Rfc4514] {
+            assert_ne!(
+                escaping::dn_escaping_verdict(p.as_ref(), std),
+                escaping::Verdict::Exploited,
+                "{} {std:?}",
+                p.name()
+            );
+        }
+        assert_ne!(
+            escaping::gn_escaping_verdict(p.as_ref()),
+            escaping::Verdict::Exploited,
+            "{}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn generated_certs_drive_profiles_end_to_end() {
+    // Run a slice of the §3.2 sweep through every profile via the real
+    // certificate parser: extract the mutated field's raw value from the
+    // re-parsed certificate and hand it to each library profile.
+    let cases: Vec<TestCase> = generator::generate(Field::SubjectDn)
+        .into_iter()
+        .step_by(37) // thin the sweep to keep the test quick
+        .collect();
+    assert!(cases.len() > 20);
+    let profiles = all_profiles();
+    for case in &cases {
+        let parsed = unicert::x509::Certificate::parse_der(&case.cert.raw).unwrap();
+        let value = parsed
+            .tbs
+            .subject
+            .first_value(&unicert::asn1::oid::known::organization_name())
+            .expect("mutated O present");
+        assert_eq!(value.bytes, case.value_bytes);
+        for p in &profiles {
+            if !p.supports(Field::SubjectDn) || !p.supports_kind(case.kind, Field::SubjectDn) {
+                continue;
+            }
+            // Must never panic; outcome may be text or error.
+            match p.parse_value(case.kind, &value.bytes, Field::SubjectDn) {
+                ParseOutcome::Text(_) | ParseOutcome::Error(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn crl_spoofing_primitive_via_pyopenssl() {
+    // §5.2 impact (2): control characters in a CRLDP URI redirect the
+    // revocation fetch for clients with PyOpenSSL-style sanitisation.
+    let case = generator::generate_one(Field::CrldpUri, StringKind::Ia5, '\u{1}');
+    let parsed = unicert::x509::Certificate::parse_der(&case.cert.raw).unwrap();
+    let uris = unicert::lint::helpers::crldp_uris(&parsed);
+    assert_eq!(uris.len(), 1);
+    let profiles = all_profiles();
+    let pyo = profiles.iter().find(|p| p.name() == "PyOpenSSL").unwrap();
+    match pyo.parse_value(StringKind::Ia5, &uris[0].bytes, Field::CrldpUri) {
+        ParseOutcome::Text(t) => {
+            assert!(!t.contains('\u{1}'));
+            assert!(t.contains('.')); // the control became a dot
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_cn_disagreement_between_libraries() {
+    // §4.3.1: PyOpenSSL takes the first CN, Go Crypto the last.
+    let dn = escaping::duplicated_cn_dn("first.example", "last.example");
+    let profiles = all_profiles();
+    let by_name = |n: &str| profiles.iter().find(|p| p.name() == n).unwrap();
+    assert_eq!(
+        escaping::duplicate_cn_result(by_name("PyOpenSSL").as_ref(), &dn),
+        vec!["first.example"]
+    );
+    assert_eq!(
+        escaping::duplicate_cn_result(by_name("Golang Crypto").as_ref(), &dn),
+        vec!["last.example"]
+    );
+    assert_ne!(
+        escaping::duplicate_cn_result(by_name("PyOpenSSL").as_ref(), &dn),
+        escaping::duplicate_cn_result(by_name("Golang Crypto").as_ref(), &dn)
+    );
+}
