@@ -1,0 +1,75 @@
+//! CLI entry point: run both static-analysis passes over the repository.
+//!
+//! ```text
+//! unicert-analysis [--root <path>] [--tsv <file|->] [--pass catalog|source]
+//! ```
+//!
+//! Human diagnostics go to stderr; the TSV report goes to `--tsv` (default
+//! stdout). Exit code 0 when every invariant holds, 1 on violations, 2 on
+//! usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use unicert_analysis::{audit, catalog, workspace_crate_roots};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut tsv_target = String::from("-");
+    let mut pass_filter: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--tsv" => match args.next() {
+                Some(p) => tsv_target = p,
+                None => return usage("--tsv needs a file path or '-'"),
+            },
+            "--pass" => match args.next() {
+                Some(p) if p == "catalog" || p == "source" => pass_filter = Some(p),
+                _ => return usage("--pass must be 'catalog' or 'source'"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: unicert-analysis [--root <path>] [--tsv <file|->] [--pass catalog|source]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = root.unwrap_or_else(unicert_analysis::default_repo_root);
+    let mut violations = Vec::new();
+    if pass_filter.as_deref() != Some("source") {
+        violations.extend(catalog::run());
+    }
+    if pass_filter.as_deref() != Some("catalog") {
+        violations.extend(audit::run(&root));
+        violations.extend(audit::check_unsafe_attrs(&root, &workspace_crate_roots(&root)));
+    }
+
+    let tsv = unicert_analysis::tsv_report(&violations);
+    if tsv_target == "-" {
+        print!("{tsv}");
+    } else if let Err(e) = std::fs::write(&tsv_target, &tsv) {
+        eprintln!("unicert-analysis: cannot write {tsv_target}: {e}");
+        return ExitCode::from(2);
+    }
+    eprint!("{}", unicert_analysis::human_report(&violations));
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("unicert-analysis: {msg}");
+    eprintln!("usage: unicert-analysis [--root <path>] [--tsv <file|->] [--pass catalog|source]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,312 @@
+//! Pass 1 — the catalog meta-linter.
+//!
+//! The paper's lint catalog *is* the artifact: Table 1's counts, Table 11's
+//! names, the severity/source/effective-date metadata. This pass
+//! introspects the live registry through `unicert_lint`'s public API
+//! ([`Registry::iter`] + the `Lint` metadata accessors) and verifies every
+//! published invariant statically, so catalog drift fails the build instead
+//! of silently corrupting downstream tables.
+
+use crate::{Violation, PASS_CATALOG};
+use std::collections::BTreeMap;
+use unicert_asn1::DateTime;
+use unicert_lint::{default_registry, NoncomplianceType, Registry, Severity, Source};
+
+/// Table 1, transcribed: `(taxonomy, total, new)`.
+pub const TABLE_1: [(NoncomplianceType, usize, usize); 6] = [
+    (NoncomplianceType::InvalidCharacter, 22, 10),
+    (NoncomplianceType::BadNormalization, 4, 3),
+    (NoncomplianceType::IllegalFormat, 17, 0),
+    (NoncomplianceType::InvalidEncoding, 48, 37),
+    (NoncomplianceType::InvalidStructure, 2, 0),
+    (NoncomplianceType::DiscouragedField, 2, 0),
+];
+
+/// Total lints and how many are newly derived (Table 1's bottom line).
+pub const TOTAL_LINTS: usize = 95;
+/// The paper's count of newly derived lints.
+pub const NEW_LINTS: usize = 50;
+
+/// Every lint named in Table 11 (the paper's per-lint finding counts).
+pub const TABLE_11_NAMES: [&str; 25] = [
+    "w_rfc_ext_cp_explicit_text_not_utf8",
+    "w_cab_subject_common_name_not_in_san",
+    "e_rfc_dns_idn_a2u_unpermitted_unichar",
+    "e_subject_organization_not_printable_or_utf8",
+    "e_subject_common_name_not_printable_or_utf8",
+    "e_subject_locality_not_printable_or_utf8",
+    "e_rfc_subject_dn_not_printable_characters",
+    "e_subject_ou_not_printable_or_utf8",
+    "e_subject_jurisdiction_locality_not_printable_or_utf8",
+    "e_rfc_ext_cp_explicit_text_too_long",
+    "e_subject_jurisdiction_state_not_printable_or_utf8",
+    "e_rfc_ext_cp_explicit_text_ia5",
+    "e_subject_jurisdiction_country_not_printable",
+    "e_subject_state_not_printable_or_utf8",
+    "e_rfc_subject_printable_string_badalpha",
+    "w_community_subject_dn_trailing_whitespace",
+    "e_subject_postal_code_not_printable_or_utf8",
+    "e_subject_street_not_printable_or_utf8",
+    "w_cab_subject_contain_extra_common_name",
+    "e_subject_dn_serial_number_not_printable",
+    "w_community_subject_dn_leading_whitespace",
+    "e_rfc_subject_country_not_printable",
+    "e_rfc_dns_idn_malformed_unicode",
+    "e_cab_dns_bad_character_in_label",
+    "e_ext_san_dns_contain_unpermitted_unichar",
+];
+
+/// Publication date of each source document — the earliest date a lint
+/// citing it may become effective.
+fn publication_date(source: Source) -> DateTime {
+    let d = |y, m, day| {
+        DateTime::date(y, m, day)
+            .unwrap_or(DateTime { year: y, month: 1, day: 1, hour: 0, minute: 0, second: 0 })
+    };
+    match source {
+        Source::Rfc5280 => d(2008, 5, 1),
+        Source::Rfc6818 => d(2013, 1, 1),
+        Source::Rfc8399 => d(2018, 5, 1),
+        Source::Rfc9549 => d(2024, 3, 1), // RFC 9549 is dated March 2024
+        Source::Rfc9598 => d(2024, 5, 1), // RFC 9598 is dated May 2024
+        Source::Rfc1034 => d(1987, 11, 1),
+        Source::Rfc5890 => d(2010, 8, 1),
+        Source::Idna2008 => d(2010, 8, 1),
+        Source::CabfBr => d(2011, 11, 22), // BR v1.0 adoption
+        Source::Community => d(2012, 1, 1), // community-linter heritage
+    }
+}
+
+/// Citation substrings accepted for each source. Empty list = any
+/// non-empty citation (community heritage rules cite their origin freely).
+fn citation_tokens(source: Source) -> &'static [&'static str] {
+    match source {
+        Source::Rfc5280 => &["RFC 5280"],
+        Source::Rfc6818 => &["RFC 6818"],
+        Source::Rfc8399 => &["RFC 8399"],
+        Source::Rfc9549 => &["RFC 9549"],
+        Source::Rfc9598 => &["RFC 9598"],
+        Source::Rfc1034 => &["RFC 1034"],
+        Source::Rfc5890 => &["RFC 5890", "RFC 5891", "RFC 5892", "RFC 3492"],
+        Source::Idna2008 => &["RFC 5890", "RFC 5891", "RFC 5892", "RFC 5893", "IDNA"],
+        Source::CabfBr => &["CABF", "BR §", "Baseline Requirements"],
+        Source::Community => &[],
+    }
+}
+
+/// Today in UTC, from the system clock (civil-from-days, Hinnant's
+/// algorithm) — used only for the "no future effective dates" check.
+pub fn today() -> DateTime {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    DateTime::date(y as i32, m as u8, d as u8)
+        .unwrap_or(DateTime { year: 2026, month: 1, day: 1, hour: 0, minute: 0, second: 0 })
+}
+
+/// Run every catalog invariant against the default registry.
+pub fn run() -> Vec<Violation> {
+    run_on(&default_registry())
+}
+
+/// Run every catalog invariant against a given registry (tests inject
+/// deliberately broken registries through this entry point).
+pub fn run_on(registry: &Registry) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let v = |rule: &'static str, location: &str, message: String| Violation {
+        pass: PASS_CATALOG,
+        rule,
+        location: location.to_string(),
+        message,
+    };
+
+    // --- Counts: 95 total, 50 new (Table 1 bottom line). ---
+    let total = registry.iter().count();
+    let new_total = registry.iter().filter(|l| l.is_new()).count();
+    if total != TOTAL_LINTS {
+        violations.push(v(
+            "total_count",
+            "registry",
+            format!("registry has {total} lints, paper catalog has {TOTAL_LINTS}"),
+        ));
+    }
+    if new_total != NEW_LINTS {
+        violations.push(v(
+            "new_count",
+            "registry",
+            format!("registry marks {new_total} lints new, paper derives {NEW_LINTS}"),
+        ));
+    }
+
+    // --- Per-taxonomy counts (Table 1 rows). ---
+    let mut counts: BTreeMap<NoncomplianceType, (usize, usize)> = BTreeMap::new();
+    for lint in registry.iter() {
+        let e = counts.entry(lint.taxonomy()).or_insert((0, 0));
+        e.0 += 1;
+        if lint.is_new() {
+            e.1 += 1;
+        }
+    }
+    for (nc, want_all, want_new) in TABLE_1 {
+        let (got_all, got_new) = counts.get(&nc).copied().unwrap_or((0, 0));
+        if got_all != want_all || got_new != want_new {
+            violations.push(v(
+                "taxonomy_counts",
+                nc.label(),
+                format!(
+                    "{}: registry has {got_all} lints ({got_new} new), Table 1 says {want_all} ({want_new} new)",
+                    nc.label()
+                ),
+            ));
+        }
+    }
+
+    // --- Names: unique, lowercase snake_case, severity-coded prefix. ---
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for lint in registry.iter() {
+        *seen.entry(lint.name()).or_insert(0) += 1;
+    }
+    for (name, n) in seen {
+        if n > 1 {
+            violations.push(v("name_unique", name, format!("lint name registered {n} times")));
+        }
+    }
+    for lint in registry.iter() {
+        let name = lint.name();
+        let snake = !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && name.starts_with(|c: char| c.is_ascii_lowercase());
+        if !snake {
+            violations.push(v(
+                "name_format",
+                name,
+                "lint names must be lowercase snake_case".to_string(),
+            ));
+        }
+        let expected_prefix = match lint.severity() {
+            Severity::Error => "e_",
+            Severity::Warning => "w_",
+        };
+        if !name.starts_with(expected_prefix) {
+            violations.push(v(
+                "name_prefix",
+                name,
+                format!(
+                    "severity {:?} requires the `{expected_prefix}` prefix (zlint convention)",
+                    lint.severity()
+                ),
+            ));
+        }
+    }
+
+    // --- Table 11 presence. ---
+    for name in TABLE_11_NAMES {
+        if !registry.iter().any(|l| l.name() == name) {
+            violations.push(v(
+                "table_11_presence",
+                name,
+                "lint named in Table 11 is missing from the registry".to_string(),
+            ));
+        }
+    }
+
+    // --- Citations: non-empty and consistent with the declared source. ---
+    for lint in registry.iter() {
+        let citation = lint.citation();
+        if citation.trim().is_empty() {
+            violations.push(v(
+                "citation_nonempty",
+                lint.name(),
+                "lint has an empty citation".to_string(),
+            ));
+            continue;
+        }
+        let tokens = citation_tokens(lint.source());
+        if !tokens.is_empty() && !tokens.iter().any(|t| citation.contains(t)) {
+            violations.push(v(
+                "citation_source_match",
+                lint.name(),
+                format!(
+                    "citation {citation:?} names none of {tokens:?} for source {}",
+                    lint.source().label()
+                ),
+            ));
+        }
+    }
+
+    // --- Effective dates: well-formed, ≥ publication, not in the future. ---
+    let now = today();
+    for lint in registry.iter() {
+        let eff = lint.effective_date();
+        let round_trip = DateTime::from_generalized(eff.to_generalized_string().as_bytes());
+        if round_trip != Ok(eff) {
+            violations.push(v(
+                "effective_date_valid",
+                lint.name(),
+                format!("effective date {eff:?} does not survive a DER round-trip"),
+            ));
+        }
+        let published = publication_date(lint.source());
+        if eff < published {
+            violations.push(v(
+                "effective_date_before_publication",
+                lint.name(),
+                format!(
+                    "effective {} predates {}'s publication ({})",
+                    eff.to_generalized_string(),
+                    lint.source().label(),
+                    published.to_generalized_string()
+                ),
+            ));
+        }
+        if eff > now {
+            violations.push(v(
+                "effective_date_future",
+                lint.name(),
+                format!("effective {} is in the future", eff.to_generalized_string()),
+            ));
+        }
+    }
+
+    // --- Severity ↔ requirement-language sanity. ---
+    for lint in registry.iter() {
+        let words: Vec<String> = lint
+            .description()
+            .split(|c: char| !c.is_ascii_alphabetic())
+            .map(|w| w.to_ascii_lowercase())
+            .collect();
+        let has_must = words.iter().any(|w| w == "must");
+        let has_should = words.iter().any(|w| w == "should");
+        match (has_must, has_should) {
+            (true, false) if lint.severity() != Severity::Error => {
+                violations.push(v(
+                    "must_severity",
+                    lint.name(),
+                    "description states a MUST requirement but severity is Warning".to_string(),
+                ));
+            }
+            (false, true) if lint.severity() != Severity::Warning => {
+                violations.push(v(
+                    "should_severity",
+                    lint.name(),
+                    "description states a SHOULD requirement but severity is Error".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    violations
+}

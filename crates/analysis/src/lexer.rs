@@ -1,0 +1,271 @@
+//! A small, dependency-free lexical pass over Rust source.
+//!
+//! The panic-safety audit must not fire inside comments, string literals,
+//! or `#[cfg(test)]` modules, and must be able to read trailing
+//! `// analysis:allow(...)` annotations. A full parser is overkill; this
+//! module does one char-level sweep that classifies every byte as code,
+//! comment, or literal, preserving line structure.
+
+/// One source line after lexical classification.
+#[derive(Debug, Clone)]
+pub struct LexedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code content with comments removed and the *interiors*
+    /// of string/char literals blanked to spaces (delimiters retained, so
+    /// column positions are stable and `"` still marks a literal edge).
+    pub code: String,
+    /// Text of the trailing `//` comment, if any (without the `//`).
+    pub line_comment: Option<String>,
+    /// Is this line inside a `#[cfg(test)]`-gated item?
+    pub in_test_code: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lex a whole file into classified lines.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment: Option<String> = None;
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment = Some(chars[i + 2..].iter().collect());
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    'r' if matches!(next, Some('"' | '#'))
+                        && raw_string_hashes(&chars, i).is_some() =>
+                    {
+                        // Defensive: the is_some() guard above means the
+                        // unwrap_or below cannot actually miss.
+                        let hashes = raw_string_hashes(&chars, i).unwrap_or(0);
+                        state = State::RawStr(hashes);
+                        code.push('"');
+                        i += 2 + hashes as usize;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a lifetime is `'ident`
+                        // not followed by a closing quote.
+                        if is_char_literal(&chars, i) {
+                            state = State::Char;
+                        }
+                        code.push('\'');
+                    }
+                    _ => code.push(c),
+                },
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                State::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        state = State::Code;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+
+        // Char literals cannot span lines; plain and raw strings can, so
+        // those states persist into the next line.
+        if state == State::Char {
+            state = State::Code;
+        }
+
+        lines.push(LexedLine {
+            number: idx + 1,
+            code,
+            line_comment: comment,
+            in_test_code: false,
+        });
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r`, `r#`, `r##`… introducing a raw string at `chars[i]`: number of `#`s.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<u32> {
+    debug_assert_eq!(chars[i], 'r');
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Does the `"` at `chars[i]` end a raw string with `hashes` trailing `#`s?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` from the lifetime `'a` at `chars[i] == '\''`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) => {
+            if chars.get(i + 2) == Some(&'\'') {
+                true
+            } else {
+                // Multi-char sequences like 'static are lifetimes.
+                !(c.is_alphanumeric() || c == '_')
+            }
+        }
+        None => false,
+    }
+}
+
+/// Flag every line belonging to a `#[cfg(test)]`-gated item, by tracking
+/// the brace range of the item that follows the attribute.
+fn mark_test_regions(lines: &mut [LexedLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace of the gated item, then its close.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                lines[j].in_test_code = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r#"
+let a = "unwrap() in string"; // unwrap() in comment
+let b = x.unwrap(); /* block
+still comment .unwrap() */ let c = 1;
+"#;
+        let lines = lex(src);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert_eq!(lines[1].line_comment.as_deref(), Some(" unwrap() in comment"));
+        assert!(lines[2].code.contains(".unwrap()"));
+        assert!(!lines[3].code.contains("unwrap"));
+        assert!(lines[3].code.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_real() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test_code);
+        assert!(lines[1].in_test_code);
+        assert!(lines[3].in_test_code);
+        assert!(!lines[5].in_test_code);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"a \"quoted\" unwrap()\"#; let c = '\\''; let l: &'static str = s;\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("&'static str"));
+    }
+}

@@ -1,0 +1,129 @@
+//! `unicert-analysis` — the S12 static-analysis subsystem.
+//!
+//! Two passes turn the repo's prose promises into enforced invariants:
+//!
+//! 1. **Catalog meta-linter** ([`catalog`]): the live 95-lint registry must
+//!    match every published property of the paper's catalog — Table 1
+//!    counts, Table 11 names, naming/severity conventions, citation and
+//!    effective-date consistency.
+//! 2. **Panic-safety source audit** ([`audit`]): the DER/X.509/IDNA/Unicode
+//!    substrates promise zero panics on untrusted input (DESIGN.md §2);
+//!    the audit lexes their sources and flags `unwrap`/`expect`,
+//!    panic-family macros, non-literal slice indexing, and unchecked
+//!    length arithmetic in reader hot paths. Vetted sites carry
+//!    `// analysis:allow(<rule>) reason` annotations, which must name the
+//!    firing rule and give a non-empty reason.
+//!
+//! Both passes produce [`Violation`]s, rendered as a TSV report
+//! ([`tsv_report`]) and human `file:line` diagnostics ([`human_report`]).
+//! `tests/static_analysis.rs` runs them under `cargo test`, and the
+//! `unicert-analysis` binary runs them in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod catalog;
+pub mod lexer;
+
+use std::path::{Path, PathBuf};
+
+/// Pass label for catalog meta-lint violations.
+pub const PASS_CATALOG: &str = "catalog";
+/// Pass label for source-audit violations.
+pub const PASS_SOURCE: &str = "source";
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which pass produced it (`catalog` or `source`).
+    pub pass: &'static str,
+    /// Machine-readable rule name (stable; used in `analysis:allow`).
+    pub rule: &'static str,
+    /// `file:line` for source findings, lint name or `registry` for
+    /// catalog findings.
+    pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Locate the workspace root: walk up from `crates/analysis` (compile-time
+/// manifest dir) until a directory containing `Cargo.toml` + `crates/`.
+pub fn default_repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut dir = manifest.as_path();
+    while let Some(parent) = dir.parent() {
+        if parent.join("Cargo.toml").is_file() && parent.join("crates").is_dir() {
+            return parent.to_path_buf();
+        }
+        dir = parent;
+    }
+    manifest
+}
+
+/// The `src/lib.rs` of every workspace crate (including shims), for the
+/// `unsafe_attr_missing` check.
+pub fn workspace_crate_roots(repo_root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    for group in ["crates", "shims"] {
+        let dir = repo_root.join(group);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src").join("lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+/// Run both passes and the crate-root hygiene check.
+pub fn run_all(repo_root: &Path) -> Vec<Violation> {
+    let mut violations = catalog::run();
+    violations.extend(audit::run(repo_root));
+    violations.extend(audit::check_unsafe_attrs(
+        repo_root,
+        &workspace_crate_roots(repo_root),
+    ));
+    violations
+}
+
+/// Render violations as TSV: `pass<TAB>rule<TAB>location<TAB>message`.
+pub fn tsv_report(violations: &[Violation]) -> String {
+    let mut out = String::from("pass\trule\tlocation\tmessage\n");
+    for v in violations {
+        let clean = |s: &str| s.replace(['\t', '\n'], " ");
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            v.pass,
+            v.rule,
+            clean(&v.location),
+            clean(&v.message)
+        ));
+    }
+    out
+}
+
+/// Render violations as human diagnostics, one per line.
+pub fn human_report(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "error[{}::{}]: {}: {}\n",
+            v.pass, v.rule, v.location, v.message
+        ));
+    }
+    if violations.is_empty() {
+        out.push_str("unicert-analysis: all invariants hold\n");
+    } else {
+        out.push_str(&format!(
+            "unicert-analysis: {} violation(s)\n",
+            violations.len()
+        ));
+    }
+    out
+}

@@ -44,12 +44,11 @@ impl BitString {
     /// Bit `i` (0 = most significant bit of the first octet), as KeyUsage
     /// flags are numbered.
     pub fn bit(&self, i: usize) -> bool {
-        let byte = i / 8;
         let total_bits = self.bytes.len() * 8 - self.unused_bits as usize;
         if i >= total_bits {
             return false;
         }
-        self.bytes[byte] & (0x80 >> (i % 8)) != 0
+        self.bytes.get(i / 8).is_some_and(|b| b & (0x80 >> (i % 8)) != 0)
     }
 }
 

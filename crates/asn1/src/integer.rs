@@ -6,8 +6,8 @@ use crate::error::{Error, Result};
 pub fn encode_u64(v: u64) -> Vec<u8> {
     let bytes = v.to_be_bytes();
     let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
-    let mut body = bytes[skip..].to_vec();
-    if body[0] & 0x80 != 0 {
+    let mut body = bytes.get(skip..).unwrap_or(&[0]).to_vec();
+    if body.first().is_some_and(|b| b & 0x80 != 0) {
         body.insert(0, 0); // keep non-negative
     }
     body
@@ -19,7 +19,7 @@ pub fn encode_u64(v: u64) -> Vec<u8> {
 /// bit is set (the value is unsigned). An empty magnitude encodes zero.
 pub fn encode_unsigned(magnitude: &[u8]) -> Vec<u8> {
     let skip = magnitude.iter().take_while(|&&b| b == 0).count();
-    let trimmed = &magnitude[skip..];
+    let trimmed = magnitude.get(skip..).unwrap_or(&[]);
     if trimmed.is_empty() {
         return vec![0];
     }

@@ -36,20 +36,22 @@ impl Oid {
             return Err(Error::InvalidOid);
         }
         // Verify each arc is minimally encoded and fits in u64.
-        let mut i = 0;
-        while i < der.len() {
-            if der[i] == 0x80 {
+        let mut continuations = 0;
+        let mut at_arc_start = true;
+        for &b in der {
+            if at_arc_start && b == 0x80 {
                 return Err(Error::InvalidOid); // non-minimal
             }
-            let mut len = 0;
-            while der[i] & 0x80 != 0 {
-                i += 1;
-                len += 1;
-                if len > 9 {
+            if b & 0x80 != 0 {
+                continuations += 1;
+                if continuations > 9 {
                     return Err(Error::InvalidOid);
                 }
+                at_arc_start = false;
+            } else {
+                continuations = 0;
+                at_arc_start = true;
             }
-            i += 1;
         }
         Ok(Oid { der: der.to_vec() })
     }
@@ -112,22 +114,13 @@ impl Oid {
 }
 
 fn push_base128(out: &mut Vec<u8>, v: u64) {
-    let mut stack = [0u8; 10];
-    let mut n = v;
-    let mut i = 0;
-    loop {
-        stack[i] = (n & 0x7F) as u8;
-        n >>= 7;
-        i += 1;
-        if n == 0 {
-            break;
-        }
+    // 10 septets cover a u64; emit most-significant first with the
+    // continuation bit on every octet but the last.
+    let top = (1..10).rev().find(|&i| (v >> (7 * i)) & 0x7F != 0).unwrap_or(0);
+    for i in (1..=top).rev() {
+        out.push(((v >> (7 * i)) & 0x7F) as u8 | 0x80);
     }
-    while i > 1 {
-        i -= 1;
-        out.push(stack[i] | 0x80);
-    }
-    out.push(stack[0]);
+    out.push((v & 0x7F) as u8);
 }
 
 impl fmt::Debug for Oid {
@@ -156,7 +149,7 @@ pub mod known {
             $(
                 $(#[$doc])*
                 pub fn $name() -> Oid {
-                    Oid::from_arcs(&[$($arc),+]).expect("static OID is valid")
+                    Oid::from_arcs(&[$($arc),+]).expect("static OID is valid") // analysis:allow(expect) arcs are compile-time constants validated by tests
                 }
             )+
 

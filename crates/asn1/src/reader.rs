@@ -81,8 +81,9 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return Err(Error::UnexpectedEof { needed: n - self.remaining() });
         }
-        let out = &self.input[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(Error::InvalidLength)?;
+        let out = self.input.get(self.pos..end).ok_or(Error::InvalidLength)?;
+        self.pos = end;
         Ok(out)
     }
 
@@ -104,23 +105,24 @@ impl<'a> Reader<'a> {
         let number = if low < 31 {
             low as u32
         } else {
-            // High tag number form: base-128, MSB continuation.
+            // High tag number form: base-128, MSB continuation, at most
+            // 4 octets (tag numbers fit in u32 well before that).
             let mut n: u32 = 0;
-            let mut count = 0;
-            loop {
+            let mut terminated = false;
+            for octet in 0..4 {
                 let b = self.take_byte()?;
-                if count == 0 && b == 0x80 {
+                if octet == 0 && b == 0x80 {
                     return Err(Error::InvalidTag); // non-minimal
                 }
                 n = n.checked_mul(128).ok_or(Error::InvalidTag)?;
                 n += (b & 0x7F) as u32;
-                count += 1;
-                if count > 4 {
-                    return Err(Error::InvalidTag);
-                }
                 if b & 0x80 == 0 {
+                    terminated = true;
                     break;
                 }
+            }
+            if !terminated {
+                return Err(Error::InvalidTag);
             }
             if n < 31 {
                 return Err(Error::InvalidTag); // should have used low form
@@ -162,14 +164,14 @@ impl<'a> Reader<'a> {
         let tag = self.read_tag()?;
         let len = self.read_length()?;
         let value = self.take(len)?;
-        let raw = &self.input[start..self.pos];
+        let raw = self.input.get(start..self.pos).unwrap_or(&[]); // take() keeps pos <= input.len() and start was a prior pos
         Ok(Tlv { tag, value, raw })
     }
 
     /// Read the next element and require tag `expected`.
     pub fn read_expected(&mut self, expected: Tag) -> Result<Tlv<'a>> {
         let tlv = self.read_tlv()?;
-        tlv.expect(expected)?;
+        tlv.expect(expected)?; // analysis:allow(expect) Tlv::expect returns Result, it never panics
         Ok(tlv)
     }
 
@@ -255,7 +257,7 @@ mod tests {
     #[test]
     fn reads_long_form() {
         let mut der = vec![0x04, 0x81, 0x80];
-        der.extend(std::iter::repeat(0xAB).take(0x80));
+        der.extend(std::iter::repeat_n(0xAB, 0x80));
         let tlv = parse_single(&der).unwrap();
         assert_eq!(tlv.value.len(), 0x80);
     }
@@ -264,7 +266,7 @@ mod tests {
     fn rejects_non_minimal_long_form() {
         // 0x7F encoded in long form.
         let mut der = vec![0x04, 0x81, 0x7F];
-        der.extend(std::iter::repeat(0).take(0x7F));
+        der.extend(std::iter::repeat_n(0, 0x7F));
         assert_eq!(parse_single(&der).unwrap_err(), Error::NonMinimalLength);
         // Leading zero length octet.
         let der = [0x04, 0x82, 0x00, 0x81, 0x00];

@@ -37,22 +37,14 @@ impl Writer {
             self.out.push(tag.first_octet());
         } else {
             self.out.push(tag.first_octet()); // low bits all-ones marker
-            let mut n = tag.number;
-            let mut stack = [0u8; 5];
-            let mut i = 0;
-            loop {
-                stack[i] = (n & 0x7F) as u8;
-                n >>= 7;
-                i += 1;
-                if n == 0 {
-                    break;
-                }
+            // 5 septets cover a u32; emit most-significant first with the
+            // continuation bit on every octet but the last.
+            let n = tag.number;
+            let top = (1..5).rev().find(|&i| (n >> (7 * i)) & 0x7F != 0).unwrap_or(0);
+            for i in (1..=top).rev() {
+                self.out.push(((n >> (7 * i)) & 0x7F) as u8 | 0x80);
             }
-            while i > 1 {
-                i -= 1;
-                self.out.push(stack[i] | 0x80);
-            }
-            self.out.push(stack[0]);
+            self.out.push((n & 0x7F) as u8);
         }
     }
 
@@ -62,7 +54,7 @@ impl Writer {
         } else {
             let bytes = (len as u64).to_be_bytes();
             let skip = bytes.iter().take_while(|&&b| b == 0).count();
-            let significant = &bytes[skip..];
+            let significant = bytes.get(skip..).unwrap_or(&[]);
             self.out.push(0x80 | significant.len() as u8);
             self.out.extend_from_slice(significant);
         }

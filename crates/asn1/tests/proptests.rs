@@ -88,6 +88,39 @@ proptest! {
         prop_assert_eq!(fwd, dt);
     }
 
+    /// Byte-mutation fuzzing through the full stack: take a valid signed
+    /// certificate, flip arbitrary bytes, and require that DER parsing and —
+    /// when parsing still succeeds — the complete 95-lint registry neither
+    /// panic nor hang. This is the paper's §3.2 mutation pipeline run as a
+    /// safety property over the whole substrate.
+    #[test]
+    fn mutated_certificate_never_panics(
+        mutations in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16),
+        cn in "[a-z]{1,12}",
+    ) {
+        use unicert_lint::{default_registry, RunOptions};
+        use unicert_x509::{Certificate, CertificateBuilder, SimKey};
+
+        let cert = CertificateBuilder::new()
+            .subject_cn(&format!("{cn}.example"))
+            .add_dns_san(&format!("{cn}.example"))
+            .validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+            .build_signed(&SimKey::from_seed("proptest-ca"));
+        let mut der = cert.raw.clone();
+        let len = der.len().max(1);
+        for &(pos, byte) in &mutations {
+            if let Some(slot) = der.get_mut(pos % len) {
+                *slot ^= byte;
+            }
+        }
+        // Parse must return, never panic; lints must run on whatever parses.
+        if let Ok(mutated) = Certificate::parse_der(&der) {
+            let registry = default_registry();
+            let _ = registry.run(&mutated, RunOptions::default());
+            let _ = registry.run(&mutated, RunOptions { enforce_effective_dates: false });
+        }
+    }
+
     /// Nested sequences written with the writer parse back with the reader.
     #[test]
     fn nested_structures(values in proptest::collection::vec(any::<u64>(), 0..10)) {

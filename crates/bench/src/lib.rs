@@ -9,6 +9,8 @@
 //! cargo run --release -p unicert-bench --bin table1_taxonomy  [-- size seed]
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod table;
 
 use unicert::corpus::{CorpusConfig, CorpusGenerator};

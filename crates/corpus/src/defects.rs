@@ -499,7 +499,9 @@ mod tests {
     fn defect_types_match_lint_types() {
         let reg = default_registry();
         for defect in all_defects() {
-            let lint = reg.get(defect.expected_lint()).expect(defect.expected_lint());
+            let lint = reg
+                .get(defect.expected_lint())
+                .unwrap_or_else(|| panic!("{}", defect.expected_lint()));
             assert_eq!(lint.nc_type, defect.nc_type(), "{defect:?}");
         }
     }

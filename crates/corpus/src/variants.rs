@@ -50,10 +50,20 @@ impl VariantStrategy {
     pub fn apply(self, base: &str, rng: &mut impl Rng) -> String {
         match self {
             VariantStrategy::CaseConversion => {
-                if rng.gen_bool(0.5) {
-                    base.to_uppercase()
+                let (first, second) = if rng.gen_bool(0.5) {
+                    (base.to_uppercase(), base.to_lowercase())
                 } else {
-                    base.to_lowercase()
+                    (base.to_lowercase(), base.to_uppercase())
+                };
+                if first != base {
+                    first
+                } else if second != base {
+                    second
+                } else {
+                    // Fully uncased value (e.g. CJK-only): no case variant
+                    // exists, so fall back to the ideographic-space variant
+                    // CT logs show for such names.
+                    VariantStrategy::WhitespaceVariant.apply(base, rng)
                 }
             }
             VariantStrategy::AbbreviationVariation => {

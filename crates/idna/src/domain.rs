@@ -191,7 +191,7 @@ mod tests {
         let too_long_label = format!("{}.com", "a".repeat(64));
         assert!(matches!(v(&too_long_label), Err(DnsNameError::Label { .. })));
         let long_total: String =
-            std::iter::repeat("abcdefgh.").take(29).collect::<String>() + "toolong.com";
+            "abcdefgh.".repeat(29) + "toolong.com";
         assert!(long_total.len() > 253);
         assert_eq!(v(&long_total), Err(DnsNameError::TooLong));
     }

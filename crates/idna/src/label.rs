@@ -168,13 +168,12 @@ pub fn u_to_a(label: &str) -> Result<String, LabelError> {
 
 /// Validate a U-label per IDNA2008 (RFC 5891 §4.2 + RFC 5892 properties).
 pub fn validate_u_label(label: &str) -> Result<(), LabelError> {
-    if label.is_empty() {
+    let Some(first) = label.chars().next() else {
         return Err(LabelError::Empty);
-    }
+    };
     if !nfc::is_nfc(label) {
         return Err(LabelError::NotNfc);
     }
-    let first = label.chars().next().expect("non-empty");
     if unicert_unicode::GeneralCategory::of(first).is_mark() {
         return Err(LabelError::LeadingCombiningMark);
     }
@@ -194,17 +193,18 @@ pub fn validate_u_label(label: &str) -> Result<(), LabelError> {
             // sides; other CONTEXTO characters are accepted when surrounded
             // by PVALID (a documented approximation of RFC 5892 App. A).
             IdnaClass::ContextJ => {
-                let prev_ok = i > 0 && unicert_unicode::nfc::combining_class(chars[i - 1]) == 9;
+                let prev_ok = i
+                    .checked_sub(1)
+                    .and_then(|p| chars.get(p))
+                    .is_some_and(|&prev| unicert_unicode::nfc::combining_class(prev) == 9);
                 if !prev_ok {
                     return Err(LabelError::BadContext { ch });
                 }
             }
             IdnaClass::ContextO => {
                 if ch == '\u{B7}' {
-                    let ok = i > 0
-                        && i + 1 < chars.len()
-                        && chars[i - 1] == 'l'
-                        && chars[i + 1] == 'l';
+                    let ok = i.checked_sub(1).and_then(|p| chars.get(p)) == Some(&'l')
+                        && chars.get(i + 1) == Some(&'l');
                     if !ok {
                         return Err(LabelError::BadContext { ch });
                     }

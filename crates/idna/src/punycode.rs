@@ -117,8 +117,8 @@ pub fn encode(input: &str) -> Option<String> {
 /// Decode a Punycode string (without any `xn--` prefix).
 pub fn decode(input: &str) -> Result<String, PunycodeError> {
     let mut output: Vec<char> = Vec::new();
-    let (basic_part, extended) = match input.rfind(DELIMITER) {
-        Some(pos) => (&input[..pos], &input[pos + 1..]),
+    let (basic_part, extended) = match input.rsplit_once(DELIMITER) {
+        Some((basic, ext)) => (basic, ext),
         None => ("", input),
     };
     for c in basic_part.chars() {

@@ -287,7 +287,7 @@ pub fn lints() -> Vec<Lint> {
         lint!(
             "e_visible_string_control_characters",
             "VisibleString values must not contain control characters",
-            "X.680 §41",
+            "RFC 5280 §4.1.2.4 profile; X.680 §41",
             Rfc5280, Error, InvalidCharacter, new = false,
             |cert| {
                 let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)

@@ -331,7 +331,7 @@ pub fn lints() -> Vec<Lint> {
     lints.push(lint!(
         "e_bmpstring_odd_length",
         "BMPString values must have an even byte length",
-        "X.690 §8.23 (UCS-2 code units)",
+        "RFC 5280 §4.1.2.4 profile; X.690 §8.23 (UCS-2 code units)",
         Rfc5280, Error, InvalidEncoding, new = true,
         |cert| {
             let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
@@ -346,7 +346,7 @@ pub fn lints() -> Vec<Lint> {
     lints.push(lint!(
         "e_universalstring_invalid_length",
         "UniversalString values must be a multiple of four bytes",
-        "X.690 §8.23 (UCS-4 code units)",
+        "RFC 5280 §4.1.2.4 profile; X.690 §8.23 (UCS-4 code units)",
         Rfc5280, Error, InvalidEncoding, new = true,
         |cert| {
             let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
@@ -361,7 +361,7 @@ pub fn lints() -> Vec<Lint> {
     lints.push(lint!(
         "e_bmpstring_surrogate_code_unit",
         "BMPString values must not contain surrogate code units",
-        "X.690 §8.23, ISO/IEC 10646",
+        "RFC 5280 §4.1.2.4 profile; X.690 §8.23, ISO/IEC 10646",
         Rfc5280, Error, InvalidEncoding, new = true,
         |cert| {
             let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)

@@ -14,9 +14,9 @@ pub fn lints() -> Vec<Lint> {
         // legacy `w_` prefix.
         lint!(
             "w_cab_subject_common_name_not_in_san",
-            "If present, the subject CN must duplicate a SAN entry",
+            "If present, the subject CN should duplicate a SAN entry (the CN itself is NOT RECOMMENDED)",
             "CABF BR §7.1.4.2.2(a)",
-            CabfBr, Error, InvalidStructure, new = false,
+            CabfBr, Warning, InvalidStructure, new = false,
             |cert| {
                 let cns = helpers::attr_values(cert, Which::Subject, &known::common_name());
                 if cns.is_empty() {

@@ -44,7 +44,7 @@ impl Source {
             Source::Rfc5280 => d(2008, 5, 1),
             Source::Rfc6818 => d(2013, 1, 1),
             Source::Rfc8399 => d(2018, 5, 1),
-            Source::Rfc9549 => d(2024, 1, 1),
+            Source::Rfc9549 => d(2024, 3, 1), // RFC 9549 is dated March 2024
             Source::Rfc9598 => d(2024, 6, 1),
             Source::Rfc1034 => d(2008, 5, 1), // enforced via RFC 5280's profile
             Source::Rfc5890 => d(2010, 8, 1),
@@ -163,6 +163,41 @@ impl Lint {
     pub fn effective_date(&self) -> DateTime {
         self.source.effective_date()
     }
+
+    /// Stable metadata accessor: lint name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stable metadata accessor: one-line description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Stable metadata accessor: citation string.
+    pub fn citation(&self) -> &'static str {
+        self.citation
+    }
+
+    /// Stable metadata accessor: Table 1 taxonomy type.
+    pub fn taxonomy(&self) -> NoncomplianceType {
+        self.nc_type
+    }
+
+    /// Stable metadata accessor: severity.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// Stable metadata accessor: source standard.
+    pub fn source(&self) -> Source {
+        self.source
+    }
+
+    /// Stable metadata accessor: is this one of the paper's 50 new lints?
+    pub fn is_new(&self) -> bool {
+        self.new_lint
+    }
 }
 
 /// One finding: a lint that fired on a certificate.
@@ -254,6 +289,26 @@ impl Registry {
     /// All registered lints.
     pub fn lints(&self) -> &[Lint] {
         &self.lints
+    }
+
+    /// Iterate over registered lints in registration (Table 1) order.
+    ///
+    /// This is the supported introspection surface for external tooling
+    /// (the `unicert-analysis` meta-linter) — combined with the
+    /// [`Lint`] metadata accessors it avoids any dependence on catalog
+    /// module layout.
+    pub fn iter(&self) -> impl Iterator<Item = &Lint> {
+        self.lints.iter()
+    }
+
+    /// Number of registered lints.
+    pub fn len(&self) -> usize {
+        self.lints.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.lints.is_empty()
     }
 
     /// Look up a lint by name.

@@ -43,7 +43,8 @@ pub fn block_of(ch: char) -> Option<Block> {
             }
         })
         .ok()
-        .map(|i| Block { start: BLOCKS[i].0, end: BLOCKS[i].1, name: BLOCKS[i].2 })
+        .and_then(|i| BLOCKS.get(i))
+        .map(|&(lo, hi, name)| Block { start: lo, end: hi, name })
 }
 
 impl Block {

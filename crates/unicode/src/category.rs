@@ -69,7 +69,9 @@ impl GeneralCategory {
                 std::cmp::Ordering::Equal
             }
         }) {
-            Ok(i) => GeneralCategory::from_index(GENERAL_CATEGORY[i].2),
+            Ok(i) => GENERAL_CATEGORY
+                .get(i)
+                .map_or(GeneralCategory::Unassigned, |e| GeneralCategory::from_index(e.2)),
             Err(_) => GeneralCategory::Unassigned,
         }
     }

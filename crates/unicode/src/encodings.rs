@@ -105,7 +105,6 @@ impl DecodingMethod {
     fn decode_lossy(self, bytes: &[u8], mode: HandlingMode) -> String {
         let mut out = String::new();
         let mut rest = bytes;
-        let mut base = 0;
         loop {
             let mut chunk = String::new();
             let err = {
@@ -120,7 +119,9 @@ impl DecodingMethod {
                 Ok(()) => return out,
                 Err(e) => {
                     match mode {
-                        HandlingMode::Truncate => return out,
+                        // Strict is handled by decode_with; treating it like
+                        // truncation keeps this function total.
+                        HandlingMode::Strict | HandlingMode::Truncate => return out,
                         HandlingMode::Replace(r) => out.push(r),
                         HandlingMode::Escape => {
                             if self.is_wide() {
@@ -129,16 +130,12 @@ impl DecodingMethod {
                                 out.push_str(&format!("\\x{:02X}", e.value));
                             }
                         }
-                        HandlingMode::Strict => unreachable!(),
                     }
                     // Skip past the offending unit and continue.
-                    let skip = e.offset + self.unit_len();
-                    if skip >= rest.len() {
-                        return out;
+                    match rest.get(e.offset + self.unit_len()..) {
+                        Some(tail) if !tail.is_empty() => rest = tail,
+                        _ => return out,
                     }
-                    base += skip;
-                    let _ = base;
-                    rest = &rest[skip..];
                 }
             }
         }
@@ -181,31 +178,27 @@ impl DecodingMethod {
                 }
                 Ok(())
             }
-            DecodingMethod::Utf8 => {
-                let i = 0;
-                if i < bytes.len() {
-                    match std::str::from_utf8(&bytes[i..]) {
-                        Ok(s) => {
-                            for (j, c) in s.char_indices() {
-                                push(i + j, c)?;
-                            }
-                            return Ok(());
-                        }
-                        Err(e) => {
-                            let valid = e.valid_up_to();
-                            let s = std::str::from_utf8(&bytes[i..i + valid]).expect("validated");
-                            for (j, c) in s.char_indices() {
-                                push(i + j, c)?;
-                            }
-                            return Err(DecodeError {
-                                offset: i + valid,
-                                value: bytes[i + valid] as u32,
-                            });
+            DecodingMethod::Utf8 => match std::str::from_utf8(bytes) {
+                Ok(s) => {
+                    for (j, c) in s.char_indices() {
+                        push(j, c)?;
+                    }
+                    Ok(())
+                }
+                Err(e) => {
+                    let valid = e.valid_up_to();
+                    let (head, tail) = bytes.split_at(valid); // valid_up_to() <= len
+                    if let Ok(s) = std::str::from_utf8(head) {
+                        for (j, c) in s.char_indices() {
+                            push(j, c)?;
                         }
                     }
+                    Err(DecodeError {
+                        offset: valid,
+                        value: tail.first().copied().unwrap_or(0) as u32,
+                    })
                 }
-                Ok(())
-            }
+            },
             DecodingMethod::Ucs2 => {
                 if bytes.len() % 2 != 0 {
                     return decode_units_odd_tail(bytes, push, |u, i| {
@@ -218,12 +211,12 @@ impl DecodingMethod {
             }
             DecodingMethod::Utf16 => {
                 let mut i = 0;
-                while i + 1 < bytes.len() {
-                    let u = u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+                while let (Some(&b0), Some(&b1)) = (bytes.get(i), bytes.get(i + 1)) {
+                    let u = u16::from_be_bytes([b0, b1]);
                     if (0xD800..0xDC00).contains(&u) {
                         // High surrogate: need a low surrogate next.
-                        if i + 3 < bytes.len() {
-                            let v = u16::from_be_bytes([bytes[i + 2], bytes[i + 3]]);
+                        if let (Some(&b2), Some(&b3)) = (bytes.get(i + 2), bytes.get(i + 3)) {
+                            let v = u16::from_be_bytes([b2, b3]);
                             if (0xDC00..0xE000).contains(&v) {
                                 let cp = 0x10000
                                     + (((u as u32 - 0xD800) << 10) | (v as u32 - 0xDC00));
@@ -239,11 +232,13 @@ impl DecodingMethod {
                     if (0xDC00..0xE000).contains(&u) {
                         return Err(DecodeError { offset: i, value: u as u32 });
                     }
-                    push(i, char::from_u32(u as u32).expect("non-surrogate BMP"))?;
+                    let c = char::from_u32(u as u32)
+                        .ok_or(DecodeError { offset: i, value: u as u32 })?;
+                    push(i, c)?;
                     i += 2;
                 }
-                if i < bytes.len() {
-                    return Err(DecodeError { offset: i, value: bytes[i] as u32 });
+                if let Some(&b) = bytes.get(i) {
+                    return Err(DecodeError { offset: i, value: b as u32 });
                 }
                 Ok(())
             }
@@ -269,9 +264,11 @@ fn decode_units_odd_tail(
     push: &mut dyn FnMut(usize, char) -> Result<(), DecodeError>,
     conv: impl Fn(u16, usize) -> Result<char, DecodeError>,
 ) -> Result<(), DecodeError> {
-    let even = bytes.len() - 1;
-    decode_units(&bytes[..even], push, conv)?;
-    Err(DecodeError { offset: even, value: bytes[even] as u32 })
+    let Some((&last, head)) = bytes.split_last() else {
+        return Ok(());
+    };
+    decode_units(head, push, conv)?;
+    Err(DecodeError { offset: head.len(), value: last as u32 })
 }
 
 /// Encode `text` under a decoding method's inverse, for building test

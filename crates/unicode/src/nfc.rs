@@ -24,15 +24,17 @@ pub fn combining_class(ch: char) -> u8 {
     let cp = ch as u32;
     COMBINING_CLASS
         .binary_search_by_key(&cp, |&(c, _)| c)
-        .map(|i| COMBINING_CLASS[i].1)
-        .unwrap_or(0)
+        .ok()
+        .and_then(|i| COMBINING_CLASS.get(i))
+        .map_or(0, |&(_, cc)| cc)
 }
 
 fn table_decomposition(cp: u32) -> Option<&'static [u32]> {
     CANONICAL_DECOMPOSITION
         .binary_search_by_key(&cp, |&(c, _)| c)
-        .map(|i| CANONICAL_DECOMPOSITION[i].1)
         .ok()
+        .and_then(|i| CANONICAL_DECOMPOSITION.get(i))
+        .map(|&(_, seq)| seq)
 }
 
 fn push_decomposed(cp: u32, out: &mut Vec<char>) {
@@ -42,17 +44,18 @@ fn push_decomposed(cp: u32, out: &mut Vec<char>) {
         let l = L_BASE + s_index / N_COUNT;
         let v = V_BASE + (s_index % N_COUNT) / T_COUNT;
         let t = T_BASE + s_index % T_COUNT;
-        out.push(char::from_u32(l).expect("Hangul L jamo"));
-        out.push(char::from_u32(v).expect("Hangul V jamo"));
+        // The jamo ranges are valid scalars, so these extends always push.
+        out.extend(char::from_u32(l));
+        out.extend(char::from_u32(v));
         if t != T_BASE {
-            out.push(char::from_u32(t).expect("Hangul T jamo"));
+            out.extend(char::from_u32(t));
         }
         return;
     }
     match table_decomposition(cp) {
         // Table entries are *full* decompositions (already recursive).
         Some(seq) => out.extend(seq.iter().filter_map(|&c| char::from_u32(c))),
-        None => out.push(char::from_u32(cp).expect("input was a char")),
+        None => out.extend(char::from_u32(cp)), // cp came from a char
     }
 }
 
@@ -65,12 +68,11 @@ pub fn nfd(s: &str) -> String {
     // Canonical ordering: stable bubble of combining marks (runs are short).
     let mut i = 1;
     while i < chars.len() {
-        let cc = combining_class(chars[i]);
+        let cc = chars.get(i).map_or(0, |&c| combining_class(c));
         if cc != 0 {
             let mut j = i;
-            while j > 0 {
-                let prev = combining_class(chars[j - 1]);
-                if prev > cc {
+            while let Some(&prev_ch) = j.checked_sub(1).and_then(|p| chars.get(p)) {
+                if combining_class(prev_ch) > cc {
                     chars.swap(j - 1, j);
                     j -= 1;
                 } else {
@@ -99,8 +101,9 @@ fn compose_pair(a: char, b: char) -> Option<char> {
     }
     COMPOSITION
         .binary_search_by_key(&(a, b), |&(x, y, _)| (x, y))
-        .map(|i| char::from_u32(COMPOSITION[i].2).expect("table holds valid scalars"))
         .ok()
+        .and_then(|i| COMPOSITION.get(i))
+        .and_then(|&(_, _, c)| char::from_u32(c))
 }
 
 /// Normalization Form C.
@@ -118,8 +121,11 @@ pub fn nfc(s: &str) -> String {
         if let Some(starter_idx) = last_starter {
             let blocked = last_cc_between != 0 && last_cc_between >= cc;
             if !blocked {
-                if let Some(composed) = compose_pair(out[starter_idx], c) {
-                    out[starter_idx] = composed;
+                let starter = out.get(starter_idx).copied();
+                if let Some(composed) = starter.and_then(|s| compose_pair(s, c)) {
+                    if let Some(slot) = out.get_mut(starter_idx) {
+                        *slot = composed;
+                    }
                     continue;
                 }
             }

@@ -45,7 +45,7 @@ impl CertificateBuilder {
                 (known::common_name(), StringKind::Utf8, "Unicert Test CA R1"),
             ]),
             validity: Validity::days(
-                DateTime::date(2024, 1, 1).expect("static date"),
+                DateTime::date(2024, 1, 1).expect("static date"), // analysis:allow(expect) compile-time constant date is valid
                 90,
             ),
             san: Vec::new(),
@@ -57,7 +57,7 @@ impl CertificateBuilder {
     /// (DER integers are minimal, so they cannot survive a round trip).
     pub fn serial(mut self, serial: &[u8]) -> Self {
         let skip = serial.iter().take_while(|&&b| b == 0).count();
-        let trimmed = &serial[skip..];
+        let trimmed = serial.get(skip..).unwrap_or(&[]);
         self.serial = if trimmed.is_empty() { vec![0] } else { trimmed.to_vec() };
         self
     }

@@ -137,7 +137,7 @@ mod tests {
         store.verify_leaf(&leaf, &at).unwrap();
         let chain = store.build_chain(&leaf).unwrap();
         assert_eq!(chain.len(), 2);
-        assert!(chain[1].tbs.is_precertificate() == false);
+        assert!(!chain[1].tbs.is_precertificate());
     }
 
     #[test]

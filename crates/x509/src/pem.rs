@@ -50,18 +50,23 @@ fn decode_sextet(b: u8) -> Option<u8> {
     }
 }
 
+/// The alphabet character for the low six bits of `n`.
+fn encode_sextet(n: u32) -> char {
+    ALPHABET.get(n as usize & 0x3F).copied().unwrap_or(b'A') as char
+}
+
 /// Encode bytes as base64 (no line wrapping).
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b0 = chunk[0] as u32;
+        let b0 = chunk.first().copied().unwrap_or(0) as u32;
         let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
         let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
         let n = (b0 << 16) | (b1 << 8) | b2;
-        out.push(ALPHABET[(n >> 18) as usize & 0x3F] as char);
-        out.push(ALPHABET[(n >> 12) as usize & 0x3F] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 0x3F] as char } else { '=' });
-        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 0x3F] as char } else { '=' });
+        out.push(encode_sextet(n >> 18));
+        out.push(encode_sextet(n >> 12));
+        out.push(if chunk.len() > 1 { encode_sextet(n >> 6) } else { '=' });
+        out.push(if chunk.len() > 2 { encode_sextet(n) } else { '=' });
     }
     out
 }
@@ -115,8 +120,16 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
 pub fn encode(label: &str, der: &[u8]) -> String {
     let b64 = base64_encode(der);
     let mut out = format!("-----BEGIN {label}-----\n");
-    for chunk in b64.as_bytes().chunks(64) {
-        out.push_str(std::str::from_utf8(chunk).expect("base64 is ASCII"));
+    let mut line_len = 0;
+    for c in b64.chars() {
+        out.push(c);
+        line_len += 1;
+        if line_len == 64 {
+            out.push('\n');
+            line_len = 0;
+        }
+    }
+    if line_len > 0 {
         out.push('\n');
     }
     out.push_str(&format!("-----END {label}-----\n"));
@@ -126,16 +139,16 @@ pub fn encode(label: &str, der: &[u8]) -> String {
 /// Extract the first PEM block: returns `(label, der)`.
 pub fn decode(text: &str) -> Result<(String, Vec<u8>), PemError> {
     let begin = text.find("-----BEGIN ").ok_or(PemError::MissingBegin)?;
-    let after = &text[begin + "-----BEGIN ".len()..];
+    let after = text.get(begin + "-----BEGIN ".len()..).ok_or(PemError::MissingBegin)?;
     let label_end = after.find("-----").ok_or(PemError::MissingBegin)?;
-    let label = after[..label_end].to_string();
-    let body_start = &after[label_end + 5..];
+    let label = after.get(..label_end).ok_or(PemError::MissingBegin)?.to_string();
+    let body_start = after.get(label_end + 5..).ok_or(PemError::MissingEnd)?;
     let end_marker = format!("-----END {label}-----");
     let end = body_start.find("-----END ").ok_or(PemError::MissingEnd)?;
-    if !body_start[end..].starts_with(&end_marker) {
+    if !body_start.get(end..).is_some_and(|tail| tail.starts_with(&end_marker)) {
         return Err(PemError::LabelMismatch);
     }
-    let der = base64_decode(&body_start[..end])?;
+    let der = base64_decode(body_start.get(..end).ok_or(PemError::MissingEnd)?)?;
     Ok((label, der))
 }
 

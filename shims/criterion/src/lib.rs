@@ -1,0 +1,157 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses. The container cannot reach crates.io, so `cargo bench` runs
+//! against this minimal timing harness instead: each benchmark is warmed
+//! up briefly, then timed over enough iterations to fill a fixed window,
+//! and the mean ns/iter is printed. No statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (forwarding to the compiler's hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("generate", 100)` → `generate/100`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Throughput annotation: shown next to the timing line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches and branch predictors settle.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_end {
+            black_box(routine());
+        }
+        let window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!("  {:.1} MiB/s", n as f64 / (ns_per_iter * 1.048576e-3))
+        }
+        Throughput::Elements(n) => {
+            format!("  {:.1} Kelem/s", n as f64 / ns_per_iter * 1e6 / 1e3)
+        }
+    });
+    println!(
+        "{name:<44} {ns_per_iter:>12.1} ns/iter  ({} iters){}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { total: Duration::ZERO, iters: 1 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { total: Duration::ZERO, iters: 1 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b, self.throughput);
+        self
+    }
+
+    /// End the group (printing is immediate; this is a no-op for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _criterion: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { total: Duration::ZERO, iters: 1 };
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

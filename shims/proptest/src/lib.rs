@@ -1,0 +1,575 @@
+//! Offline shim for the subset of the `proptest` 1.x API this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the workspace carries a
+//! small, deterministic property-testing harness with the same surface the
+//! tests were written against:
+//!
+//! - the [`proptest!`] macro (multiple `#[test]` functions with
+//!   `name in strategy` bindings),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`prelude::any`] for the primitive types the tests draw,
+//! - integer-range strategies (`0u32..200`), [`collection::vec`],
+//!   [`sample::select`], [`char::range`], and
+//! - regex-subset string strategies (`"[a-z0-9-]{1,12}\\.[a-z]{2,5}"`,
+//!   `"\\PC{0,30}"`, `".{0,40}"` …) via [`string_pattern`].
+//!
+//! There is **no shrinking**: a failing case panics immediately and prints
+//! the case number plus the `PROPTEST_RNG_SEED` needed to replay it. Case
+//! count defaults to 64 and is overridable with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! What `use proptest::prelude::*` is expected to bring in.
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Base seed mixed into every case (env `PROPTEST_RNG_SEED`, default 0).
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The per-case random source handed to strategies.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for one (test, case) pair.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name decorrelates tests sharing a base seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ base_seed() ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of values. The shim generates only — no shrink trees.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Tuples of strategies generate tuples of values, as in real proptest.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// String literals are regex-subset patterns (see [`string_pattern`]).
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string_pattern::generate(self, rng)
+    }
+}
+
+/// Types drawable by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// In its own module so the primitive `char` isn't shadowed by the
+// crate-root `char` strategy module (modules share the type namespace).
+mod arbitrary_char {
+    use super::{Arbitrary, TestRng};
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Weighted toward the BMP so lookup-table paths get exercised,
+            // but every Unicode scalar value is reachable.
+            let raw = match rng.below(4) {
+                0 => rng.below(0x80) as u32,
+                1 => 0x80 + rng.below(0xFF80) as u32,
+                _ => rng.below(0x11_0000 - 0x800) as u32,
+            };
+            let scalar = if raw >= 0xD800 { raw + 0x800 } else { raw };
+            char::from_u32(scalar % 0x11_0000).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod collection {
+    //! `proptest::collection` — sized containers.
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 0..n)` — a vector of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! `proptest::sample` — choosing among known values.
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed set.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `select(options)` — one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option list");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod char {
+    //! `proptest::char` — character strategies.
+    use super::{Strategy, TestRng};
+
+    /// Inclusive character range strategy.
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// `range(lo, hi)` — a char in `[lo, hi]` (surrogates skipped).
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "char::range: empty range");
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            loop {
+                let v = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod string_pattern {
+    //! Generator for the regex subset the workspace's tests use.
+    //!
+    //! Grammar (a strict subset of what real proptest accepts):
+    //!
+    //! ```text
+    //! pattern := atom*
+    //! atom    := (class | '.' | '\PC' | escape | literal) repeat?
+    //! class   := '[' item+ ']'        item := ch ('-' ch)?
+    //! escape  := '\' ('.' | '\' | '-' | '[' | ']' | '{' | '}' | 'n' | 't'
+    //!                 | 'x' hex hex)
+    //! repeat  := '{' n '}' | '{' n ',' m '}'
+    //! ```
+    //!
+    //! `.` and `\PC` both mean "any non-control Unicode scalar".
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// Inclusive codepoint ranges (a literal is a 1-wide range).
+        Class(Vec<(u32, u32)>),
+        /// Any non-control scalar value (`.` / `\PC`).
+        NonControl,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = read_class_char(&chars, &mut i, pattern);
+                        // '-' makes a range unless it closes the class.
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi = read_class_char(&chars, &mut i, pattern);
+                            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                    i += 1; // ']'
+                    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::NonControl
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "dangling backslash in pattern {pattern:?}");
+                    if chars[i] == 'P' {
+                        assert!(
+                            i + 1 < chars.len() && chars[i + 1] == 'C',
+                            "only \\PC is supported in pattern {pattern:?}"
+                        );
+                        i += 2;
+                        Atom::NonControl
+                    } else {
+                        i -= 1;
+                        let c = read_class_char(&chars, &mut i, pattern);
+                        Atom::Class(vec![(c, c)])
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c as u32, c as u32)])
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repeat in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repeat bounds in pattern {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// One (possibly escaped) character inside or outside a class.
+    fn read_class_char(chars: &[char], i: &mut usize, pattern: &str) -> u32 {
+        let c = chars[*i];
+        *i += 1;
+        if c != '\\' {
+            return c as u32;
+        }
+        assert!(*i < chars.len(), "dangling backslash in pattern {pattern:?}");
+        let e = chars[*i];
+        *i += 1;
+        match e {
+            'n' => '\n' as u32,
+            't' => '\t' as u32,
+            'x' => {
+                assert!(*i + 1 < chars.len(), "truncated \\x escape in {pattern:?}");
+                let hex: String = chars[*i..*i + 2].iter().collect();
+                *i += 2;
+                u32::from_str_radix(&hex, 16)
+                    .unwrap_or_else(|_| panic!("bad \\x escape in pattern {pattern:?}"))
+            }
+            '.' | '\\' | '-' | '[' | ']' | '{' | '}' | '+' | '*' | '?' | '(' | ')' => e as u32,
+            other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+        }
+    }
+
+    fn gen_non_control(rng: &mut TestRng) -> char {
+        loop {
+            // Bias toward ASCII and the low BMP, where the workspace's
+            // Unicode tables live, while still reaching astral planes.
+            let raw = match rng.below(8) {
+                0..=3 => 0x20 + rng.below(0x5F) as u32, // printable ASCII
+                4 | 5 => 0xA0 + rng.below(0x3F60) as u32, // low BMP
+                6 => rng.below(0x1_0000) as u32,
+                _ => rng.below(0x11_0000 - 0x800) as u32,
+            };
+            let scalar = if raw >= 0xD800 { raw + 0x800 } else { raw };
+            if let Some(c) = char::from_u32(scalar) {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::NonControl => out.push(gen_non_control(rng)),
+                    Atom::Class(ranges) => {
+                        // Weight each range by its width for uniformity
+                        // over the class's codepoints.
+                        let total: u64 = ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum();
+                        let mut pick = rng.below(total);
+                        let mut chosen = None;
+                        for &(lo, hi) in ranges {
+                            let w = (hi - lo + 1) as u64;
+                            if pick < w {
+                                chosen = char::from_u32(lo + pick as u32);
+                                break;
+                            }
+                            pick -= w;
+                        }
+                        match chosen {
+                            Some(c) => out.push(c),
+                            // Surrogate-crossing classes re-draw.
+                            None => out.push(gen_non_control(rng)),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::super::TestRng;
+        use super::generate;
+
+        fn rng() -> TestRng {
+            TestRng::for_case("string_pattern", 1)
+        }
+
+        #[test]
+        fn class_repeat_patterns() {
+            let mut r = rng();
+            for _ in 0..200 {
+                let s = generate("[a-z0-9-]{1,12}\\.[a-z]{2,5}", &mut r);
+                let (host, tld) = s.split_once('.').expect("dot literal present");
+                assert!((1..=12).contains(&host.len()), "{s}");
+                assert!((2..=5).contains(&tld.len()), "{s}");
+                assert!(host.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+                assert!(tld.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn literal_prefix_and_hex_escapes() {
+            let mut r = rng();
+            for _ in 0..100 {
+                let s = generate("xn--[a-z0-9-]{0,30}", &mut r);
+                assert!(s.starts_with("xn--"));
+                let t = generate("[\\x20-\\x7E]{1,10}", &mut r);
+                assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+            }
+        }
+
+        #[test]
+        fn non_control_classes() {
+            let mut r = rng();
+            for _ in 0..100 {
+                for pat in ["\\PC{0,30}", ".{0,40}"] {
+                    let s = generate(pat, &mut r);
+                    assert!(s.chars().count() <= 40);
+                    assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+                }
+            }
+        }
+    }
+}
+
+/// `prop_assert!` — plain assert (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Prints the failing case on panic so a run can be replayed with
+/// `PROPTEST_RNG_SEED` / `PROPTEST_CASES`.
+pub struct CaseReporter {
+    /// Test function name.
+    pub test: &'static str,
+    /// Zero-based case index.
+    pub case: u64,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case {} (base seed {}; replay with \
+                 PROPTEST_RNG_SEED={} PROPTEST_CASES={})",
+                self.test,
+                self.case,
+                base_seed(),
+                base_seed(),
+                self.case + 1,
+            );
+        }
+    }
+}
+
+/// The `proptest!` block: each contained function runs [`cases`] times with
+/// its arguments drawn from the given strategies. On failure the panic
+/// output names the case number; rerun with `PROPTEST_RNG_SEED` to replay.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let _reporter = $crate::CaseReporter { test: stringify!($name), case };
+                    let mut prop_rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                    { $body }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,281 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal, deterministic reimplementation instead of the real crate:
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`, `fill`), [`SeedableRng`]
+//! (`seed_from_u64`), and [`rngs::SmallRng`] (xoshiro256++ seeded via
+//! SplitMix64). Distribution quality is more than adequate for the corpus
+//! generator and tests; nothing here is cryptographic.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in chunks.by_ref() {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+/// Seedable generators. Only the `seed_from_u64` entry point is provided;
+/// the workspace never uses byte-array seeding.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling for `Rng::gen`.
+pub trait Standard<T> {
+    /// Draw one value.
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+/// Marker type carrying the [`Standard`] impls (mirrors `rand::distributions::Standard`).
+pub struct StandardDist;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard<$t> for StandardDist {
+            fn draw(rng: &mut (impl RngCore + ?Sized)) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard<bool> for StandardDist {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard<f64> for StandardDist {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard<f32> for StandardDist {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types `gen_range` can sample uniformly. The single blanket
+/// [`SampleRange`] impl below keys inference off this trait, so untyped
+/// literals like `rng.gen_range(0..3)` unify with their use site (e.g. a
+/// slice index forces `usize`) exactly as with the real crate.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit: f64 = <StandardDist as Standard<f64>>::draw(rng);
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        Self::sample_half_open(lo, hi, rng)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Slices fillable by [`Rng::fill`].
+pub trait Fill {
+    /// Overwrite `self` with uniform data.
+    fn fill_from(&mut self, rng: &mut (impl RngCore + ?Sized));
+}
+
+impl Fill for [u8] {
+    fn fill_from(&mut self, rng: &mut (impl RngCore + ?Sized)) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from(&mut self, rng: &mut (impl RngCore + ?Sized)) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value with the standard distribution for `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        StandardDist: Standard<T>,
+    {
+        <StandardDist as Standard<T>>::draw(self)
+    }
+
+    /// Draw uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        let unit: f64 = <StandardDist as Standard<f64>>::draw(self);
+        unit < p
+    }
+
+    /// Fill a buffer with uniform data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast generator: xoshiro256++ with SplitMix64 seeding — the
+    /// same construction the real `SmallRng` uses on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_and_plausibly_uniform() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+            let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+            assert_eq!(xs, ys);
+
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut counts = [0usize; 10];
+            for _ in 0..10_000 {
+                counts[rng.gen_range(0..10usize)] += 1;
+            }
+            for c in counts {
+                assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+            }
+            let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+            assert!((2200..2800).contains(&heads), "gen_bool(0.25) gave {heads}/10000");
+        }
+
+        #[test]
+        fn float_draws_stay_in_unit_interval() {
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..1000 {
+                let f: f64 = rng.gen();
+                assert!((0.0..1.0).contains(&f));
+                let r = rng.gen_range(3.0..9.0);
+                assert!((3.0..9.0).contains(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Tier-1 enforcement of the static-analysis invariants (S12).
+//!
+//! Running under `cargo test` makes the catalog meta-lints and the
+//! panic-safety source audit part of the repo's baseline: a drive-by edit
+//! that reintroduces an `unwrap()` in the DER reader, or a catalog change
+//! that breaks a Table 1 count, fails the build here with the same
+//! `file:line` diagnostics the `unicert-analysis` binary prints.
+
+use unicert_analysis::{audit, catalog, workspace_crate_roots};
+
+/// Pass 1: the live registry matches every published catalog property.
+#[test]
+fn catalog_meta_lints_hold() {
+    let violations = catalog::run();
+    assert!(
+        violations.is_empty(),
+        "catalog meta-lint violations:\n{}",
+        unicert_analysis::human_report(&violations)
+    );
+}
+
+/// Pass 2: the four untrusted-input crates carry no unannotated
+/// panic-prone constructs.
+#[test]
+fn source_audit_is_clean() {
+    let root = unicert_analysis::default_repo_root();
+    let violations = audit::run(&root);
+    assert!(
+        violations.is_empty(),
+        "source-audit violations:\n{}",
+        unicert_analysis::human_report(&violations)
+    );
+}
+
+/// Every workspace crate root (shims included) forbids `unsafe_code`.
+#[test]
+fn all_crates_forbid_unsafe() {
+    let root = unicert_analysis::default_repo_root();
+    let violations = audit::check_unsafe_attrs(&root, &workspace_crate_roots(&root));
+    assert!(
+        violations.is_empty(),
+        "unsafe-attr violations:\n{}",
+        unicert_analysis::human_report(&violations)
+    );
+}
+
+/// The audit actually detects violations: an intentionally panic-prone
+/// snippet in an audited path produces file:line diagnostics for every
+/// rule family.
+#[test]
+fn audit_detects_intentional_breakage() {
+    let bad = r#"
+pub fn f(buf: &[u8], i: usize, pos: usize, len: usize) -> u8 {
+    let x = buf[i];
+    let _end = pos + len;
+    let y: Option<u8> = None;
+    y.unwrap();
+    y.expect("boom");
+    panic!("nope");
+}
+"#;
+    let mut violations = Vec::new();
+    audit::audit_file("crates/asn1/src/reader.rs", bad, &mut violations);
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for expected in ["slice_index", "len_arith", "unwrap", "expect", "panic_macro"] {
+        assert!(rules.contains(&expected), "missing {expected}: {rules:?}");
+    }
+    // Diagnostics carry file:line locations.
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.location.starts_with("crates/asn1/src/reader.rs:")),
+        "{violations:?}"
+    );
+}
+
+/// Allow annotations need a reason, and stale ones are flagged.
+#[test]
+fn allow_annotations_are_policed() {
+    let mut violations = Vec::new();
+    audit::audit_file(
+        "crates/asn1/src/reader.rs",
+        "fn f() { x.unwrap(); } // analysis:allow(unwrap)\n",
+        &mut violations,
+    );
+    assert!(violations.iter().any(|v| v.rule == "allow_missing_reason"), "{violations:?}");
+
+    let mut violations = Vec::new();
+    audit::audit_file(
+        "crates/asn1/src/reader.rs",
+        "fn f() {} // analysis:allow(unwrap) nothing fires here\n",
+        &mut violations,
+    );
+    assert!(violations.iter().any(|v| v.rule == "unused_allow"), "{violations:?}");
+}
+
+/// The catalog pass detects a registry that drifts from the paper: an
+/// empty registry violates the Table 1 totals.
+#[test]
+fn catalog_detects_drift() {
+    let empty = unicert_lint::Registry::new();
+    let violations = catalog::run_on(&empty);
+    assert!(
+        violations.iter().any(|v| v.rule == "total_count"),
+        "{violations:?}"
+    );
+}
