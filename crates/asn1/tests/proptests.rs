@@ -117,7 +117,7 @@ proptest! {
         if let Ok(mutated) = Certificate::parse_der(&der) {
             let registry = default_registry();
             let _ = registry.run(&mutated, RunOptions::default());
-            let _ = registry.run(&mutated, RunOptions { enforce_effective_dates: false });
+            let _ = registry.run(&mutated, RunOptions::ungated());
         }
     }
 

@@ -10,14 +10,14 @@ fn main() {
     let config = unicert_bench::corpus_args(100_000);
     eprintln!("corpus: {} Unicerts (seed {})", config.size, config.seed);
 
-    let gated = survey::run(
+    let gated = survey::run_parallel(
         CorpusGenerator::new(config.clone()),
         SurveyOptions { field_matrix: false, ..Default::default() },
     );
-    let ungated = survey::run(
+    let ungated = survey::run_parallel(
         CorpusGenerator::new(config),
         SurveyOptions {
-            lint: RunOptions { enforce_effective_dates: false },
+            lint: RunOptions::ungated(),
             field_matrix: false,
         },
     );

@@ -1,0 +1,121 @@
+//! Throughput benchmark for the sharded survey pipeline.
+//!
+//! Pre-generates a corpus, then times the full classify→lint survey at
+//! 1, 2, 4, and N (machine) worker threads against the serial baseline,
+//! asserting after every run that the parallel report is identical to the
+//! serial one. Results are written to `BENCH_pipeline.json` in the current
+//! directory:
+//!
+//! ```text
+//! cargo run --release -p unicert-bench --bin bench_throughput [-- size seed]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use unicert::corpus::{CorpusEntry, CorpusGenerator};
+use unicert::lint::RunOptions;
+use unicert::survey::{self, SurveyOptions, SurveyReport};
+use unicert_bench::corpus_args;
+
+struct Sample {
+    label: String,
+    threads: usize,
+    secs: f64,
+    certs_per_sec: f64,
+}
+
+fn time_run(
+    label: &str,
+    threads: usize,
+    corpus: &[CorpusEntry],
+    run: impl Fn() -> SurveyReport,
+    baseline: Option<&SurveyReport>,
+) -> (SurveyReport, Sample) {
+    let start = Instant::now();
+    let report = run();
+    let secs = start.elapsed().as_secs_f64();
+    if let Some(serial) = baseline {
+        assert_eq!(
+            serial, &report,
+            "{label}: parallel report diverged from the serial baseline"
+        );
+    }
+    let sample = Sample {
+        label: label.to_owned(),
+        threads,
+        secs,
+        certs_per_sec: corpus.len() as f64 / secs,
+    };
+    println!(
+        "{:<12} threads={:<2} {:>8.3}s  {:>12.0} certs/sec",
+        sample.label, sample.threads, sample.secs, sample.certs_per_sec
+    );
+    (report, sample)
+}
+
+fn main() {
+    let config = corpus_args(100_000);
+    eprintln!(
+        "generating corpus: size={} seed={} ...",
+        config.size, config.seed
+    );
+    let corpus: Vec<CorpusEntry> = CorpusGenerator::new(config.clone()).collect();
+
+    let shard_size = RunOptions::default().effective_shard_size();
+    let machine = RunOptions::default().effective_threads();
+
+    let (serial, serial_sample) = time_run(
+        "serial",
+        1,
+        &corpus,
+        || survey::run(corpus.iter().cloned(), SurveyOptions::default()),
+        None,
+    );
+
+    let mut thread_counts = vec![1, 2, 4];
+    if !thread_counts.contains(&machine) {
+        thread_counts.push(machine);
+    }
+
+    let mut samples = vec![serial_sample];
+    for threads in thread_counts {
+        let opts = SurveyOptions {
+            lint: RunOptions { threads: Some(threads), ..RunOptions::default() },
+            ..SurveyOptions::default()
+        };
+        let (_, sample) = time_run(
+            "parallel",
+            threads,
+            &corpus,
+            || survey::run_parallel_slice(&corpus, opts),
+            Some(&serial),
+        );
+        samples.push(sample);
+    }
+
+    let baseline_rate = samples[0].certs_per_sec;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"survey_pipeline_throughput\",");
+    let _ = writeln!(json, "  \"corpus_size\": {},", corpus.len());
+    let _ = writeln!(json, "  \"seed\": {},", config.seed);
+    let _ = writeln!(json, "  \"shard_size\": {shard_size},");
+    let _ = writeln!(json, "  \"machine_threads\": {machine},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"certs_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}{comma}",
+            s.label, s.threads, s.secs, s.certs_per_sec, s.certs_per_sec / baseline_rate
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod pool;
 pub mod survey;
 
 pub use unicert_asn1 as asn1;

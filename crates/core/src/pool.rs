@@ -1,0 +1,104 @@
+//! A `std::thread`-based worker pool for deterministic sharded pipelines.
+//!
+//! No external dependencies: scoped threads pull work items from a shared
+//! iterator behind a mutex, process them in parallel, and the caller gets
+//! results back **in input order** regardless of which worker finished
+//! when. That ordering is what lets the survey's shard-merge reproduce the
+//! serial pass byte for byte (order-sensitive aggregates like validity
+//! sample vectors concatenate in stream order).
+//!
+//! The shared-iterator design intentionally serializes *production* (e.g.
+//! corpus generation, which owns a single RNG stream) while parallelizing
+//! *consumption* (classification + linting, the dominant cost at corpus
+//! scale).
+
+use std::sync::Mutex;
+
+/// Map `items` through `map` on `threads` workers, returning the results in
+/// input order.
+///
+/// With `threads <= 1` the map runs inline on the calling thread — the
+/// degenerate pool is exactly the serial loop. Worker panics propagate to
+/// the caller once the scope joins.
+pub fn map_ordered<I, T, R, F>(items: I, threads: usize, map: F) -> Vec<R>
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 {
+        return items.map(map).collect();
+    }
+
+    let source = Mutex::new(items.enumerate());
+    let results = Mutex::new(Vec::new());
+    let map = &map;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Hold the source lock only while pulling the next item; a
+                // poisoned lock means a sibling worker panicked, so stop
+                // and let the scope propagate its panic.
+                let next = match source.lock() {
+                    Ok(mut it) => it.next(),
+                    Err(_) => None,
+                };
+                let Some((index, item)) = next else { break };
+                let out = map(item);
+                match results.lock() {
+                    Ok(mut done) => done.push((index, out)),
+                    Err(_) => break,
+                }
+            });
+        }
+    });
+
+    let mut collected = match results.into_inner() {
+        Ok(v) => v,
+        // Unreachable in practice: a worker panic re-raises at scope join
+        // above. Recover the data rather than panic again.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    collected.sort_by_key(|&(index, _)| index);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_across_threads() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 4, 8] {
+            let doubled = map_ordered(items.iter().copied(), threads, |x| x * 2);
+            assert_eq!(doubled.len(), 1000, "threads={threads}");
+            for (i, v) in doubled.iter().enumerate() {
+                assert_eq!(*v, i * 2, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = map_ordered(std::iter::empty::<u32>(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Vary per-item cost so workers finish out of order.
+        let out = map_ordered(0..200u64, 4, |x| {
+            let spin = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

@@ -11,7 +11,7 @@ use unicert_corpus::{CorpusEntry, TrustStatus};
 use unicert_lint::{NoncomplianceType, RunOptions, Severity};
 
 /// Per-taxonomy-type aggregation (one Table 1 row).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TypeStats {
     /// Unicerts with at least one finding of this type.
     pub certs: usize,
@@ -30,7 +30,7 @@ pub struct TypeStats {
 }
 
 /// Per-issuer aggregation (one Table 2 row).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IssuerStats {
     /// Trust status.
     pub trust: TrustStatus,
@@ -43,7 +43,7 @@ pub struct IssuerStats {
 }
 
 /// Per-year aggregation (the Figure 2 series).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct YearStats {
     /// Unicerts issued this year.
     pub issued: usize,
@@ -58,7 +58,7 @@ pub struct YearStats {
 }
 
 /// Validity-period samples per certificate class (Figure 3's CDFs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValiditySamples {
     /// IDNCerts.
     pub idn: Vec<i64>,
@@ -69,7 +69,7 @@ pub struct ValiditySamples {
 }
 
 /// The survey result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SurveyReport {
     /// CT entries inspected (including precertificates).
     pub entries: usize,
@@ -121,140 +121,308 @@ impl Default for SurveyOptions {
 
 const ALIVE_FROM: i32 = 2024;
 const RECENT_FROM: i32 = 2024;
+/// The dataset snapshot date (§4.1): certificates issued after this are not
+/// "alive now". Const-constructed — field-valid by inspection, and verified
+/// against `DateTime::date` in tests.
+const SURVEY_CUTOFF: DateTime = DateTime { year: 2025, month: 4, day: 30, hour: 0, minute: 0, second: 0 };
 
-/// Run the survey over a corpus stream.
+impl TypeStats {
+    /// Fold another shard's stats into this one (commutative sum).
+    pub fn merge(&mut self, other: TypeStats) {
+        self.certs += other.certs;
+        self.by_new_lints += other.by_new_lints;
+        self.errors += other.errors;
+        self.warnings += other.warnings;
+        self.trusted += other.trusted;
+        self.recent += other.recent;
+        self.alive += other.alive;
+    }
+}
+
+impl IssuerStats {
+    /// Fold another shard's stats into this one. `trust` is a property of
+    /// the issuer, identical in every shard; the first-seen value wins just
+    /// as it does in the serial pass.
+    pub fn merge(&mut self, other: IssuerStats) {
+        self.total += other.total;
+        self.noncompliant += other.noncompliant;
+        self.recent_noncompliant += other.recent_noncompliant;
+    }
+}
+
+impl YearStats {
+    /// Fold another shard's stats into this one (commutative sum).
+    pub fn merge(&mut self, other: YearStats) {
+        self.issued += other.issued;
+        self.trusted += other.trusted;
+        self.noncompliant += other.noncompliant;
+        self.alive += other.alive;
+        self.alive_noncompliant += other.alive_noncompliant;
+    }
+}
+
+impl ValiditySamples {
+    /// Append another shard's samples. Order-sensitive: merging shards in
+    /// stream order reproduces the serial sample vectors exactly.
+    pub fn merge(&mut self, other: ValiditySamples) {
+        self.idn.extend(other.idn);
+        self.other.extend(other.other);
+        self.noncompliant.extend(other.noncompliant);
+    }
+}
+
+impl SurveyReport {
+    /// Fold another shard's report into this one.
+    ///
+    /// Every aggregate is either a commutative sum or (for the validity
+    /// sample vectors) an ordered concatenation, so merging per-shard
+    /// reports *in shard order* yields exactly the single-pass report:
+    /// `run(a ++ b) == merge(run(a), run(b))`.
+    pub fn merge(&mut self, other: SurveyReport) {
+        self.entries += other.entries;
+        self.precerts_filtered += other.precerts_filtered;
+        self.total += other.total;
+        self.idn_certs += other.idn_certs;
+        self.trusted_total += other.trusted_total;
+        self.noncompliant += other.noncompliant;
+        self.noncompliant_trusted += other.noncompliant_trusted;
+        self.noncompliant_by_new_lints += other.noncompliant_by_new_lints;
+        for (nc_type, ts) in other.by_type {
+            self.by_type.entry(nc_type).or_default().merge(ts);
+        }
+        for (lint, n) in other.by_lint {
+            *self.by_lint.entry(lint).or_default() += n;
+        }
+        for (issuer, is_) in other.by_issuer {
+            match self.by_issuer.entry(issuer) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(is_),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(is_);
+                }
+            }
+        }
+        for (year, ys) in other.by_year {
+            self.by_year.entry(year).or_default().merge(ys);
+        }
+        self.validity.merge(other.validity);
+        for (cell, (total, nc)) in other.field_matrix {
+            let c = self.field_matrix.entry(cell).or_default();
+            c.0 += total;
+            c.1 += nc;
+        }
+    }
+}
+
+/// Fold one corpus entry into `report` — the shared kernel of the serial
+/// and sharded survey paths.
+fn accumulate(
+    report: &mut SurveyReport,
+    registry: &unicert_lint::Registry,
+    entry: &CorpusEntry,
+    opts: &SurveyOptions,
+) {
+    report.entries += 1;
+    // §4.1: precertificates are filtered out by the poison extension.
+    if entry.cert.tbs.is_precertificate() {
+        report.precerts_filtered += 1;
+        return;
+    }
+    report.total += 1;
+
+    let class = classify::classify(&entry.cert);
+    if class.is_idn_cert() {
+        report.idn_certs += 1;
+    }
+    let trusted = entry.meta.trust == TrustStatus::Public;
+    if trusted {
+        report.trusted_total += 1;
+    }
+
+    let issued = entry.cert.tbs.validity.not_before;
+    let expires = entry.cert.tbs.validity.not_after;
+    let recent = issued.year >= RECENT_FROM;
+    let alive_now = expires.year >= ALIVE_FROM && issued <= SURVEY_CUTOFF;
+    let validity_days = entry.cert.tbs.validity.period_days();
+
+    let lint_report = registry.run(&entry.cert, opts.lint);
+    let nc = lint_report.is_noncompliant();
+
+    // Figure 3 samples.
+    if nc {
+        report.validity.noncompliant.push(validity_days);
+    }
+    if class.is_idn_cert() {
+        report.validity.idn.push(validity_days);
+    } else {
+        report.validity.other.push(validity_days);
+    }
+
+    // Figure 2 series.
+    for year in issued.year..=expires.year.min(2025) {
+        let ys = report.by_year.entry(year).or_default();
+        ys.alive += 1;
+        if nc {
+            ys.alive_noncompliant += 1;
+        }
+    }
+    let ys = report.by_year.entry(issued.year).or_default();
+    ys.issued += 1;
+    if trusted {
+        ys.trusted += 1;
+    }
+    if nc {
+        ys.noncompliant += 1;
+    }
+
+    // Table 2.
+    let is_ = report
+        .by_issuer
+        .entry(entry.meta.issuer_org.clone())
+        .or_insert_with(|| IssuerStats {
+            trust: entry.meta.trust,
+            total: 0,
+            noncompliant: 0,
+            recent_noncompliant: 0,
+        });
+    is_.total += 1;
+    if nc {
+        is_.noncompliant += 1;
+        if recent {
+            is_.recent_noncompliant += 1;
+        }
+    }
+
+    // Tables 1 and 11.
+    if nc {
+        report.noncompliant += 1;
+        if trusted {
+            report.noncompliant_trusted += 1;
+        }
+        if lint_report.hit_new_lint() {
+            report.noncompliant_by_new_lints += 1;
+        }
+        for nc_type in lint_report.nc_types() {
+            let ts = report.by_type.entry(nc_type).or_default();
+            ts.certs += 1;
+            if trusted {
+                ts.trusted += 1;
+            }
+            if recent {
+                ts.recent += 1;
+            }
+            if alive_now {
+                ts.alive += 1;
+            }
+            let findings = lint_report.findings.iter().filter(|f| f.nc_type == nc_type);
+            let mut has_err = false;
+            let mut has_warn = false;
+            let mut has_new = false;
+            for f in findings {
+                match f.severity {
+                    Severity::Error => has_err = true,
+                    Severity::Warning => has_warn = true,
+                }
+                if f.new_lint {
+                    has_new = true;
+                }
+            }
+            if has_err {
+                ts.errors += 1;
+            }
+            if has_warn {
+                ts.warnings += 1;
+            }
+            if has_new {
+                ts.by_new_lints += 1;
+            }
+        }
+        for f in &lint_report.findings {
+            *report.by_lint.entry(f.lint).or_default() += 1;
+        }
+    }
+
+    // Figure 4 matrix.
+    if opts.field_matrix {
+        collect_field_matrix(report, entry, nc);
+    }
+}
+
+/// Run the survey over a corpus stream on the calling thread.
 pub fn run(entries: impl Iterator<Item = CorpusEntry>, opts: SurveyOptions) -> SurveyReport {
     let registry = unicert_corpus::lint_registry();
     let mut report = SurveyReport::default();
-
     for entry in entries {
-        report.entries += 1;
-        // §4.1: precertificates are filtered out by the poison extension.
-        if entry.cert.tbs.is_precertificate() {
-            report.precerts_filtered += 1;
-            continue;
-        }
-        report.total += 1;
-
-        let class = classify::classify(&entry.cert);
-        if class.is_idn_cert() {
-            report.idn_certs += 1;
-        }
-        let trusted = entry.meta.trust == TrustStatus::Public;
-        if trusted {
-            report.trusted_total += 1;
-        }
-
-        let issued = entry.cert.tbs.validity.not_before;
-        let expires = entry.cert.tbs.validity.not_after;
-        let recent = issued.year >= RECENT_FROM;
-        let alive_now = expires.year >= ALIVE_FROM
-            && issued <= DateTime::date(2025, 4, 30).expect("static date");
-        let validity_days = entry.cert.tbs.validity.period_days();
-
-        let lint_report = registry.run(&entry.cert, opts.lint);
-        let nc = lint_report.is_noncompliant();
-
-        // Figure 3 samples.
-        if nc {
-            report.validity.noncompliant.push(validity_days);
-        }
-        if class.is_idn_cert() {
-            report.validity.idn.push(validity_days);
-        } else {
-            report.validity.other.push(validity_days);
-        }
-
-        // Figure 2 series.
-        for year in issued.year..=expires.year.min(2025) {
-            let ys = report.by_year.entry(year).or_default();
-            ys.alive += 1;
-            if nc {
-                ys.alive_noncompliant += 1;
-            }
-        }
-        let ys = report.by_year.entry(issued.year).or_default();
-        ys.issued += 1;
-        if trusted {
-            ys.trusted += 1;
-        }
-        if nc {
-            ys.noncompliant += 1;
-        }
-
-        // Table 2.
-        let is_ = report
-            .by_issuer
-            .entry(entry.meta.issuer_org.clone())
-            .or_insert_with(|| IssuerStats {
-                trust: entry.meta.trust,
-                total: 0,
-                noncompliant: 0,
-                recent_noncompliant: 0,
-            });
-        is_.total += 1;
-        if nc {
-            is_.noncompliant += 1;
-            if recent {
-                is_.recent_noncompliant += 1;
-            }
-        }
-
-        // Tables 1 and 11.
-        if nc {
-            report.noncompliant += 1;
-            if trusted {
-                report.noncompliant_trusted += 1;
-            }
-            if lint_report.hit_new_lint() {
-                report.noncompliant_by_new_lints += 1;
-            }
-            for nc_type in lint_report.nc_types() {
-                let ts = report.by_type.entry(nc_type).or_default();
-                ts.certs += 1;
-                if trusted {
-                    ts.trusted += 1;
-                }
-                if recent {
-                    ts.recent += 1;
-                }
-                if alive_now {
-                    ts.alive += 1;
-                }
-                let findings = lint_report.findings.iter().filter(|f| f.nc_type == nc_type);
-                let mut has_err = false;
-                let mut has_warn = false;
-                let mut has_new = false;
-                for f in findings {
-                    match f.severity {
-                        Severity::Error => has_err = true,
-                        Severity::Warning => has_warn = true,
-                    }
-                    if f.new_lint {
-                        has_new = true;
-                    }
-                }
-                if has_err {
-                    ts.errors += 1;
-                }
-                if has_warn {
-                    ts.warnings += 1;
-                }
-                if has_new {
-                    ts.by_new_lints += 1;
-                }
-            }
-            for f in &lint_report.findings {
-                *report.by_lint.entry(f.lint).or_default() += 1;
-            }
-        }
-
-        // Figure 4 matrix.
-        if opts.field_matrix {
-            collect_field_matrix(&mut report, &entry, nc);
-        }
+        accumulate(&mut report, registry, &entry, &opts);
     }
     report
+}
+
+/// Run the survey over a corpus stream on a sharded worker pool.
+///
+/// The stream is cut into deterministic chunks of
+/// `opts.lint.effective_shard_size()` entries; `opts.lint.effective_threads()`
+/// workers survey the chunks in parallel, and the per-chunk reports merge in
+/// chunk order. The result is **byte-identical** to [`run`] for any thread
+/// count — see DESIGN.md §7 for the invariant argument.
+///
+/// Production of the stream itself is serialized (the corpus generator owns
+/// one sequential RNG); classification + linting, the dominant cost, runs on
+/// the pool. For a pre-materialized corpus use [`run_parallel_slice`], which
+/// shards without cloning or generation handoff.
+pub fn run_parallel(
+    entries: impl Iterator<Item = CorpusEntry> + Send,
+    opts: SurveyOptions,
+) -> SurveyReport {
+    use unicert_corpus::IntoChunks;
+    let threads = opts.lint.effective_threads();
+    if threads <= 1 {
+        return run(entries, opts);
+    }
+    let registry = unicert_corpus::lint_registry();
+    let shard_size = opts.lint.effective_shard_size();
+    let shards = crate::pool::map_ordered(entries.chunked(shard_size), threads, |chunk| {
+        let mut shard = SurveyReport::default();
+        for entry in &chunk.entries {
+            accumulate(&mut shard, registry, entry, &opts);
+        }
+        shard
+    });
+    merge_in_order(shards)
+}
+
+/// Run the survey over an in-memory corpus slice on a sharded worker pool.
+///
+/// Same determinism guarantee as [`run_parallel`], but shards are borrowed
+/// sub-slices (`slice.chunks()`), so there is no producer serialization at
+/// all — this is the path the throughput benchmark measures.
+pub fn run_parallel_slice(entries: &[CorpusEntry], opts: SurveyOptions) -> SurveyReport {
+    let registry = unicert_corpus::lint_registry();
+    let threads = opts.lint.effective_threads();
+    if threads <= 1 {
+        let mut report = SurveyReport::default();
+        for entry in entries {
+            accumulate(&mut report, registry, entry, &opts);
+        }
+        return report;
+    }
+    let shard_size = opts.lint.effective_shard_size();
+    let shards = crate::pool::map_ordered(entries.chunks(shard_size), threads, |chunk| {
+        let mut shard = SurveyReport::default();
+        for entry in chunk {
+            accumulate(&mut shard, registry, entry, &opts);
+        }
+        shard
+    });
+    merge_in_order(shards)
+}
+
+/// Fold per-shard reports, already sorted in shard order, into one.
+fn merge_in_order(shards: Vec<SurveyReport>) -> SurveyReport {
+    let mut merged = SurveyReport::default();
+    for shard in shards {
+        merged.merge(shard);
+    }
+    merged
 }
 
 fn collect_field_matrix(report: &mut SurveyReport, entry: &CorpusEntry, nc: bool) {

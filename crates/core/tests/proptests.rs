@@ -1,0 +1,65 @@
+//! Property-based tests for the survey shard-merge algebra.
+//!
+//! The parallel pipeline's correctness rests on one identity:
+//! `run(corpus) == fold(merge, map(run, split(corpus)))` for *any* split.
+//! These properties exercise that identity directly on random corpora,
+//! split points, and shard sizes — independent of the thread pool, so a
+//! failure isolates the merge algebra rather than the scheduling.
+
+use proptest::prelude::*;
+use unicert::corpus::{CorpusConfig, CorpusEntry, CorpusGenerator};
+use unicert::survey::{self, SurveyOptions, SurveyReport};
+
+fn corpus(size: usize, seed: u64) -> Vec<CorpusEntry> {
+    CorpusGenerator::new(CorpusConfig {
+        size,
+        seed,
+        precert_fraction: 0.25,
+        latent_defects: true,
+    })
+    .collect()
+}
+
+fn run_over(entries: &[CorpusEntry]) -> SurveyReport {
+    survey::run(entries.iter().cloned(), SurveyOptions::default())
+}
+
+proptest! {
+    /// Surveying shards and merging in order equals surveying the whole
+    /// corpus, for every shard size.
+    #[test]
+    fn shard_merge_equals_whole(size in 1usize..120, seed in 0u64..1000, shard in 1usize..48) {
+        let whole = corpus(size, seed);
+        let serial = run_over(&whole);
+        let mut merged = SurveyReport::default();
+        for chunk in whole.chunks(shard) {
+            merged.merge(run_over(chunk));
+        }
+        prop_assert_eq!(serial, merged);
+    }
+
+    /// Binary split at an arbitrary point: `merge(run(a), run(b)) ==
+    /// run(a ++ b)` — the two-shard instance of the identity, which the
+    /// general fold reduces to.
+    #[test]
+    fn merge_of_split_is_whole(size in 2usize..150, seed in 0u64..1000, cut_frac in 0usize..100) {
+        let whole = corpus(size, seed);
+        let cut = whole.len() * cut_frac / 100;
+        let (a, b) = whole.split_at(cut);
+        let mut merged = run_over(a);
+        merged.merge(run_over(b));
+        prop_assert_eq!(run_over(&whole), merged);
+    }
+
+    /// Merging an empty report is the identity on both sides.
+    #[test]
+    fn empty_report_is_identity(size in 1usize..80, seed in 0u64..1000) {
+        let report = run_over(&corpus(size, seed));
+        let mut left = SurveyReport::default();
+        left.merge(report.clone());
+        prop_assert_eq!(&left, &report);
+        let mut right = report.clone();
+        right.merge(SurveyReport::default());
+        prop_assert_eq!(&right, &report);
+    }
+}

@@ -414,7 +414,7 @@ mod tests {
                     // Latent: invisible when gated...
                     assert!(report.findings.is_empty(), "latent visible: {:?}", report.findings);
                     // ...but visible ungated.
-                    let ungated = reg.run(&e.cert, RunOptions { enforce_effective_dates: false });
+                    let ungated = reg.run(&e.cert, RunOptions::ungated());
                     assert!(!ungated.findings.is_empty());
                 }
                 (None, _) => {

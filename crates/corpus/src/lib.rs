@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod defects;
 pub mod generator;
 pub mod issuers;
@@ -21,6 +22,7 @@ pub mod trend;
 pub mod trust;
 pub mod variants;
 
+pub use chunked::{Chunks, CorpusChunk, IntoChunks};
 pub use defects::Defect;
 pub use generator::{CertMeta, CorpusConfig, CorpusEntry, CorpusGenerator};
 pub use issuers::{IssuancePolicy, IssuerProfile, TrustStatus};

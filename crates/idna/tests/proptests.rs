@@ -38,6 +38,17 @@ proptest! {
         prop_assert_eq!(u, s);
     }
 
+    /// Decoding and re-encoding is stable: `encode` is a retraction of
+    /// `decode`, so re-encoding a decoded string decodes back to it.
+    #[test]
+    fn punycode_decode_encode_stable(s in "[a-zA-Z0-9]{0,12}-?[a-z0-9]{1,12}") {
+        if let Ok(decoded) = punycode::decode(&s) {
+            if let Some(reencoded) = punycode::encode(&decoded) {
+                prop_assert_eq!(punycode::decode(&reencoded).unwrap(), decoded);
+            }
+        }
+    }
+
     /// classify_a_label never panics on arbitrary LDH-ish labels.
     #[test]
     fn classify_total(s in "xn--[a-z0-9-]{0,30}") {
@@ -49,5 +60,53 @@ proptest! {
     fn dns_validate_total(s in ".{0,60}") {
         let _ = unicert_idna::validate_dns_name(&s, Default::default());
         let _ = unicert_idna::domain::to_unicode(&s);
+    }
+}
+
+/// The RFC 3492 §7.1 sample strings: `(unicode, punycode)` pairs from the
+/// Punycode specification itself. Selection spans RTL scripts, CJK, Latin
+/// with diacritics, mixed ASCII/non-ASCII, and the all-ASCII edge case.
+const RFC3492_SAMPLES: &[(&str, &str)] = &[
+    // (A) Arabic (Egyptian)
+    ("\u{644}\u{64A}\u{647}\u{645}\u{627}\u{628}\u{62A}\u{643}\u{644}\u{645}\u{648}\u{634}\u{639}\u{631}\u{628}\u{64A}\u{61F}", "egbpdaj6bu4bxfgehfvwxn"),
+    // (B) Chinese (simplified)
+    ("\u{4ED6}\u{4EEC}\u{4E3A}\u{4EC0}\u{4E48}\u{4E0D}\u{8BF4}\u{4E2D}\u{6587}", "ihqwcrb4cv8a8dqg056pqjye"),
+    // (D) Czech
+    ("Pro\u{10D}prost\u{11B}nemluv\u{ED}\u{10D}esky", "Proprostnemluvesky-uyb24dma41a"),
+    // (E) Hebrew
+    ("\u{5DC}\u{5DE}\u{5D4}\u{5D4}\u{5DD}\u{5E4}\u{5E9}\u{5D5}\u{5D8}\u{5DC}\u{5D0}\u{5DE}\u{5D3}\u{5D1}\u{5E8}\u{5D9}\u{5DD}\u{5E2}\u{5D1}\u{5E8}\u{5D9}\u{5EA}", "4dbcagdahymbxekheh6e0a7fei0b"),
+    // (I) Russian
+    ("\u{43F}\u{43E}\u{447}\u{435}\u{43C}\u{443}\u{436}\u{435}\u{43E}\u{43D}\u{438}\u{43D}\u{435}\u{433}\u{43E}\u{432}\u{43E}\u{440}\u{44F}\u{442}\u{43F}\u{43E}\u{440}\u{443}\u{441}\u{441}\u{43A}\u{438}", "b1abfaaepdrnnbgefbadotcwatmq2g4l"),
+    // (J) Spanish
+    ("Porqu\u{E9}nopuedensimplementehablarenEspa\u{F1}ol", "PorqunopuedensimplementehablarenEspaol-fmd56a"),
+    // (L) Japanese: 3<nen>B<gumi><kinpachi><sensei>
+    ("3\u{5E74}B\u{7D44}\u{91D1}\u{516B}\u{5148}\u{751F}", "3B-ww4c5e180e575a65lsy2b"),
+    // (R) Japanese: <sono><supiido><de>
+    ("\u{305D}\u{306E}\u{30B9}\u{30D4}\u{30FC}\u{30C9}\u{3067}", "d9juau41awczczp"),
+    // (S) pure ASCII with a trailing hyphen marker
+    ("-> $1.00 <-", "-> $1.00 <--"),
+];
+
+/// Encode side of the RFC 3492 §7.1 samples.
+#[test]
+fn rfc3492_sample_vectors_encode() {
+    for (unicode, puny) in RFC3492_SAMPLES {
+        assert_eq!(
+            punycode::encode(unicode).as_deref(),
+            Some(*puny),
+            "encode({unicode:?})"
+        );
+    }
+}
+
+/// Decode side of the RFC 3492 §7.1 samples.
+#[test]
+fn rfc3492_sample_vectors_decode() {
+    for (unicode, puny) in RFC3492_SAMPLES {
+        assert_eq!(
+            punycode::decode(puny).as_deref(),
+            Ok(*unicode),
+            "decode({puny:?})"
+        );
     }
 }

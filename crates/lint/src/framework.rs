@@ -36,21 +36,41 @@ pub enum Source {
     Community,
 }
 
+/// Midnight on a (validated-by-inspection) calendar date, usable in `const`
+/// position — the effective-date table must be panic-free even under the
+/// audit's rules, so no fallible constructor runs at lookup time.
+const fn midnight(year: i32, month: u8, day: u8) -> DateTime {
+    DateTime { year, month, day, hour: 0, minute: 0, second: 0 }
+}
+
 impl Source {
+    /// All source standards, in declaration order.
+    pub const ALL: [Source; 10] = [
+        Source::Rfc5280,
+        Source::Rfc6818,
+        Source::Rfc8399,
+        Source::Rfc9549,
+        Source::Rfc9598,
+        Source::Rfc1034,
+        Source::Rfc5890,
+        Source::Idna2008,
+        Source::CabfBr,
+        Source::Community,
+    ];
+
     /// The date from which lints citing this source apply to new issuance.
-    pub fn effective_date(self) -> DateTime {
-        let d = |y, m, day| DateTime::date(y, m, day).expect("static date");
+    pub const fn effective_date(self) -> DateTime {
         match self {
-            Source::Rfc5280 => d(2008, 5, 1),
-            Source::Rfc6818 => d(2013, 1, 1),
-            Source::Rfc8399 => d(2018, 5, 1),
-            Source::Rfc9549 => d(2024, 3, 1), // RFC 9549 is dated March 2024
-            Source::Rfc9598 => d(2024, 6, 1),
-            Source::Rfc1034 => d(2008, 5, 1), // enforced via RFC 5280's profile
-            Source::Rfc5890 => d(2010, 8, 1),
-            Source::Idna2008 => d(2010, 8, 1),
-            Source::CabfBr => d(2012, 7, 1),
-            Source::Community => d(2015, 1, 1),
+            Source::Rfc5280 => midnight(2008, 5, 1),
+            Source::Rfc6818 => midnight(2013, 1, 1),
+            Source::Rfc8399 => midnight(2018, 5, 1),
+            Source::Rfc9549 => midnight(2024, 3, 1), // RFC 9549 is dated March 2024
+            Source::Rfc9598 => midnight(2024, 6, 1),
+            Source::Rfc1034 => midnight(2008, 5, 1), // enforced via RFC 5280's profile
+            Source::Rfc5890 => midnight(2010, 8, 1),
+            Source::Idna2008 => midnight(2010, 8, 1),
+            Source::CabfBr => midnight(2012, 7, 1),
+            Source::Community => midnight(2015, 1, 1),
         }
     }
 
@@ -250,17 +270,66 @@ impl CertReport {
     }
 }
 
-/// Execution options.
-#[derive(Debug, Clone, Copy)]
+/// Execution options, for one certificate and for corpus-scale pipelines.
+///
+/// The sharding knobs (`threads`, `shard_size`) are carried here so every
+/// consumer of a `RunOptions` — the survey engine, the bench binaries, the
+/// CLI — shares one source of truth; [`Registry::run`] itself ignores them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Apply effective-date gating (§3.1.2). Turning this off reproduces
     /// the paper's footnote-4 ablation (249K → 1.8M findings).
     pub enforce_effective_dates: bool,
+    /// Worker threads for sharded pipelines. `None` resolves to the
+    /// `UNICERT_THREADS` environment variable, falling back to
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the serial
+    /// path.
+    pub threads: Option<usize>,
+    /// Certificates per shard for sharded pipelines. `0` resolves to the
+    /// `UNICERT_SHARD_SIZE` environment variable, falling back to
+    /// [`RunOptions::DEFAULT_SHARD_SIZE`].
+    pub shard_size: usize,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { enforce_effective_dates: true }
+        RunOptions { enforce_effective_dates: true, threads: None, shard_size: 0 }
+    }
+}
+
+impl RunOptions {
+    /// Shard granularity when neither `shard_size` nor `UNICERT_SHARD_SIZE`
+    /// says otherwise: large enough to amortize merge cost, small enough to
+    /// keep every worker busy on 10k-cert corpora.
+    pub const DEFAULT_SHARD_SIZE: usize = 256;
+
+    /// The footnote-4 ablation configuration (no effective-date gating).
+    pub fn ungated() -> RunOptions {
+        RunOptions { enforce_effective_dates: false, ..RunOptions::default() }
+    }
+
+    /// Resolve the worker-thread count: explicit option, then the
+    /// `UNICERT_THREADS` environment variable, then the machine's available
+    /// parallelism. Always at least 1.
+    pub fn effective_threads(&self) -> usize {
+        let configured = self.threads.or_else(|| {
+            std::env::var("UNICERT_THREADS").ok().and_then(|v| v.parse().ok())
+        });
+        let n = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        n.max(1)
+    }
+
+    /// Resolve the shard size: explicit option, then `UNICERT_SHARD_SIZE`,
+    /// then [`RunOptions::DEFAULT_SHARD_SIZE`]. Always at least 1.
+    pub fn effective_shard_size(&self) -> usize {
+        let configured = if self.shard_size > 0 {
+            Some(self.shard_size)
+        } else {
+            std::env::var("UNICERT_SHARD_SIZE").ok().and_then(|v| v.parse().ok())
+        };
+        configured.unwrap_or(Self::DEFAULT_SHARD_SIZE).max(1)
     }
 }
 
@@ -348,5 +417,53 @@ impl Registry {
             }
         }
         map
+    }
+}
+
+// The sharded survey pipeline borrows one registry across its worker pool;
+// keep the `Send + Sync` bounds (via the boxed check closures) a hard
+// compile-time guarantee rather than an accident of the current fields.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Registry>();
+    assert_send_sync::<Lint>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every source's const-constructed effective date must be a valid
+    /// calendar date (the table is hand-maintained; this keeps it honest
+    /// without a fallible lookup path).
+    #[test]
+    fn every_source_effective_date_is_valid() {
+        for source in Source::ALL {
+            let d = source.effective_date();
+            let validated = DateTime::new(d.year, d.month, d.day, d.hour, d.minute, d.second)
+                .unwrap_or_else(|_| panic!("invalid effective date for {}", source.label()));
+            assert_eq!(validated, d, "{}", source.label());
+            // Sanity: all effective dates fall in the standards era.
+            assert!((2000..=2030).contains(&d.year), "{}", source.label());
+        }
+    }
+
+    #[test]
+    fn effective_dates_are_ordered_sanely() {
+        // The two 2024 RFCs postdate everything else.
+        let base = Source::Rfc5280.effective_date();
+        assert!(Source::Rfc9549.effective_date() > base);
+        assert!(Source::Rfc9598.effective_date() > Source::Rfc9549.effective_date());
+    }
+
+    #[test]
+    fn run_options_resolution() {
+        let opts = RunOptions { threads: Some(3), shard_size: 17, ..RunOptions::default() };
+        assert_eq!(opts.effective_threads(), 3);
+        assert_eq!(opts.effective_shard_size(), 17);
+        let opts = RunOptions { threads: Some(0), ..RunOptions::default() };
+        assert!(opts.effective_threads() >= 1);
+        assert!(RunOptions::default().effective_shard_size() >= 1);
+        assert!(!RunOptions::ungated().enforce_effective_dates);
     }
 }

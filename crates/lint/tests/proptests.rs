@@ -28,7 +28,7 @@ proptest! {
             .build_signed(&SimKey::from_seed("prop-ca"));
         let reg = default_registry();
         let _ = reg.run(&cert, RunOptions::default());
-        let _ = reg.run(&cert, RunOptions { enforce_effective_dates: false });
+        let _ = reg.run(&cert, RunOptions::ungated());
     }
 
     /// Date gating can only remove findings, never add them.
@@ -44,7 +44,7 @@ proptest! {
         let cert = b.build_signed(&SimKey::from_seed("ca"));
         let reg = default_registry();
         let gated = reg.run(&cert, RunOptions::default());
-        let ungated = reg.run(&cert, RunOptions { enforce_effective_dates: false });
+        let ungated = reg.run(&cert, RunOptions::ungated());
         prop_assert!(gated.findings.len() <= ungated.findings.len());
         for f in &gated.findings {
             prop_assert!(ungated.findings.contains(f));

@@ -1,0 +1,75 @@
+//! Parallel survey determinism: the sharded pipeline must reproduce the
+//! serial pass exactly — same counts, same per-issuer/year/lint tables,
+//! same validity sample vectors in the same order — for every thread
+//! count. See DESIGN.md §7 for why the shard-merge construction makes
+//! this hold by design rather than by accident.
+
+use unicert::corpus::{CorpusConfig, CorpusEntry, CorpusGenerator};
+use unicert::lint::RunOptions;
+use unicert::survey::{self, SurveyOptions, SurveyReport};
+
+const CORPUS_SIZE: usize = 10_000;
+
+fn config() -> CorpusConfig {
+    CorpusConfig { size: CORPUS_SIZE, seed: 1337, precert_fraction: 0.3, latent_defects: true }
+}
+
+fn opts(threads: usize) -> SurveyOptions {
+    SurveyOptions {
+        lint: RunOptions { threads: Some(threads), ..RunOptions::default() },
+        field_matrix: true,
+    }
+}
+
+#[test]
+fn parallel_streaming_matches_serial() {
+    let serial = survey::run(CorpusGenerator::new(config()), SurveyOptions::default());
+    assert_eq!(serial.total, CORPUS_SIZE);
+    for threads in [2, 4, 8] {
+        let parallel = survey::run_parallel(CorpusGenerator::new(config()), opts(threads));
+        assert_eq!(serial, parallel, "streaming survey diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_slice_matches_serial() {
+    let corpus: Vec<CorpusEntry> = CorpusGenerator::new(config()).collect();
+    let serial = survey::run(corpus.iter().cloned(), SurveyOptions::default());
+    for threads in [2, 4, 8] {
+        let parallel = survey::run_parallel_slice(&corpus, opts(threads));
+        assert_eq!(serial, parallel, "slice survey diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn shard_size_does_not_change_the_report() {
+    let corpus: Vec<CorpusEntry> = CorpusGenerator::new(CorpusConfig {
+        size: 3_000,
+        seed: 7,
+        precert_fraction: 0.25,
+        latent_defects: false,
+    })
+    .collect();
+    let baseline = survey::run_parallel_slice(&corpus, opts(4));
+    for shard_size in [1, 17, 256, 10_000] {
+        let opts = SurveyOptions {
+            lint: RunOptions { threads: Some(4), shard_size, ..RunOptions::default() },
+            field_matrix: true,
+        };
+        let report = survey::run_parallel_slice(&corpus, opts);
+        assert_eq!(baseline, report, "shard_size={shard_size} diverged");
+    }
+}
+
+#[test]
+fn single_thread_parallel_is_the_serial_path() {
+    let report: SurveyReport = survey::run_parallel(
+        CorpusGenerator::new(CorpusConfig { size: 500, seed: 2, ..Default::default() }),
+        opts(1),
+    );
+    let serial = survey::run(
+        CorpusGenerator::new(CorpusConfig { size: 500, seed: 2, ..Default::default() }),
+        SurveyOptions::default(),
+    );
+    assert_eq!(report, serial);
+}

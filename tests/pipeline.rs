@@ -39,7 +39,7 @@ fn ablation_effective_dates_inflate_findings() {
     let ungated = survey::run(
         CorpusGenerator::new(config(30_000)),
         SurveyOptions {
-            lint: RunOptions { enforce_effective_dates: false },
+            lint: RunOptions::ungated(),
             field_matrix: false,
         },
     );
