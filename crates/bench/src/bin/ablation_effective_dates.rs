@@ -7,6 +7,7 @@ use unicert::lint::RunOptions;
 use unicert::survey::{self, SurveyOptions};
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let config = unicert_bench::corpus_args(100_000);
     eprintln!("corpus: {} Unicerts (seed {})", config.size, config.seed);
 

@@ -3,60 +3,67 @@
 //! Pre-generates a corpus, then times the full classify→lint survey at
 //! 1, 2, 4, and N (machine) worker threads against the serial baseline,
 //! asserting after every run that the parallel report is identical to the
-//! serial one. Results are written to `BENCH_pipeline.json` in the current
-//! directory:
+//! serial one. Wall-clock per configuration is recorded once into the
+//! telemetry registry (`bench.wall_ns{serial|threads=N}` gauges) and the
+//! JSON report reads it back from the snapshot — one timing source, no
+//! hand-rolled duplicates. Results are written to `BENCH_pipeline.json`
+//! in the current directory:
 //!
 //! ```text
-//! cargo run --release -p unicert-bench --bin bench_throughput [-- size seed]
+//! cargo run --release -p unicert-bench --bin bench_throughput \
+//!     [-- size seed] [--metrics-out m.json] [--trace-out t.ndjson]
 //! ```
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use unicert::corpus::{CorpusEntry, CorpusGenerator};
 use unicert::lint::RunOptions;
 use unicert::survey::{self, SurveyOptions, SurveyReport};
+use unicert::telemetry::{self, Stopwatch};
 use unicert_bench::corpus_args;
 
 struct Sample {
-    label: String,
+    mode: &'static str,
+    /// Gauge label under `bench.wall_ns` — the timing source of record.
+    metric: String,
     threads: usize,
-    secs: f64,
-    certs_per_sec: f64,
 }
 
+/// Time one survey configuration, record the wall clock into the registry,
+/// and check the report against the serial baseline.
 fn time_run(
-    label: &str,
+    mode: &'static str,
     threads: usize,
-    corpus: &[CorpusEntry],
+    corpus_len: usize,
     run: impl Fn() -> SurveyReport,
     baseline: Option<&SurveyReport>,
 ) -> (SurveyReport, Sample) {
-    let start = Instant::now();
+    let metric = if mode == "serial" { "serial".to_owned() } else { format!("threads={threads}") };
+    let watch = Stopwatch::start();
     let report = run();
-    let secs = start.elapsed().as_secs_f64();
+    let nanos = watch.elapsed_nanos();
+    telemetry::global().gauge("bench.wall_ns", &metric).set(nanos);
     if let Some(serial) = baseline {
         assert_eq!(
             serial, &report,
-            "{label}: parallel report diverged from the serial baseline"
+            "{mode} threads={threads}: parallel report diverged from the serial baseline"
         );
     }
-    let sample = Sample {
-        label: label.to_owned(),
-        threads,
-        secs,
-        certs_per_sec: corpus.len() as f64 / secs,
-    };
+    let secs = nanos as f64 / 1e9;
     println!(
         "{:<12} threads={:<2} {:>8.3}s  {:>12.0} certs/sec",
-        sample.label, sample.threads, sample.secs, sample.certs_per_sec
+        mode,
+        threads,
+        secs,
+        corpus_len as f64 / secs
     );
-    (report, sample)
+    (report, Sample { mode, metric, threads })
 }
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let config = corpus_args(100_000);
     eprintln!(
         "generating corpus: size={} seed={} ...",
@@ -70,7 +77,7 @@ fn main() {
     let (serial, serial_sample) = time_run(
         "serial",
         1,
-        &corpus,
+        corpus.len(),
         || survey::run(corpus.iter().cloned(), SurveyOptions::default()),
         None,
     );
@@ -89,14 +96,20 @@ fn main() {
         let (_, sample) = time_run(
             "parallel",
             threads,
-            &corpus,
+            corpus.len(),
             || survey::run_parallel_slice(&corpus, opts),
             Some(&serial),
         );
         samples.push(sample);
     }
 
-    let baseline_rate = samples[0].certs_per_sec;
+    // The registry snapshot is the single source of wall-clock truth: the
+    // JSON below reads every number back out of `bench.wall_ns`.
+    let snapshot = telemetry::global().snapshot();
+    let wall_secs = |metric: &str| {
+        snapshot.gauge("bench.wall_ns", metric).unwrap_or(0) as f64 / 1e9
+    };
+    let baseline_secs = wall_secs(&samples[0].metric);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"survey_pipeline_throughput\",");
@@ -107,10 +120,13 @@ fn main() {
     let _ = writeln!(json, "  \"runs\": [");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
+        let secs = wall_secs(&s.metric);
+        let rate = if secs > 0.0 { corpus.len() as f64 / secs } else { 0.0 };
+        let speedup = if secs > 0.0 { baseline_secs / secs } else { 0.0 };
         let _ = writeln!(
             json,
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"certs_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}{comma}",
-            s.label, s.threads, s.secs, s.certs_per_sec, s.certs_per_sec / baseline_rate
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"metric\": \"bench.wall_ns{{{}}}\", \"secs\": {:.6}, \"certs_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}{comma}",
+            s.mode, s.threads, s.metric, secs, rate, speedup
         );
     }
     let _ = writeln!(json, "  ]");

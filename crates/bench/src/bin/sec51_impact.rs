@@ -7,6 +7,7 @@ use unicert::corpus::{trust, CorpusGenerator, TrustStatus};
 use unicert::lint::{NoncomplianceType, RunOptions};
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let config = unicert_bench::corpus_args(100_000);
     eprintln!("corpus: {} Unicerts (seed {})", config.size, config.seed);
     let registry = unicert::corpus::lint_registry();

@@ -5,6 +5,7 @@ use unicert::threats::{all_clients, run_obfuscation_experiment, ClientOutcome};
 use unicert_bench::table;
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     println!("§6.2 P2.1 — blocklist evasion against middlebox engines");
     let results = run_obfuscation_experiment();
     let mut techniques: Vec<&str> = results.iter().map(|(t, _, _)| *t).collect();

@@ -9,6 +9,7 @@ use unicert::x509::{CertificateBuilder, SimKey};
 use unicert_bench::table;
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     println!("Table 14 — Certificate visualization and potential spoofing issues");
     let crafted = "www.\u{202E}lapyap\u{202C}.com";
     let rows: Vec<Vec<String>> = all_browsers()

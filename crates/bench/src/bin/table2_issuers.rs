@@ -13,6 +13,7 @@ fn trust_mark(t: TrustStatus) -> &'static str {
 }
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let config = unicert_bench::corpus_args(100_000);
     eprintln!("corpus: {} Unicerts (seed {})", config.size, config.seed);
     let report = unicert_bench::standard_survey(config);

@@ -8,6 +8,7 @@ use unicert::unicode::classify::visualize;
 use unicert_bench::table;
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let mut rng = SmallRng::seed_from_u64(42);
     let bases = [
         "Samco Autotechnik GmbH",

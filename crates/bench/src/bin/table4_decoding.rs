@@ -9,6 +9,7 @@ use unicert::parsers::{all_profiles, infer, Field, Inference};
 use unicert_bench::table;
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let profiles = all_profiles();
     let scenarios: [(&str, StringKind, Field); 5] = [
         ("PrintableString in Name", StringKind::Printable, Field::SubjectDn),

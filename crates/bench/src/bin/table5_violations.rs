@@ -10,6 +10,7 @@ use unicert::x509::EscapingStandard;
 use unicert_bench::table;
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     let profiles = all_profiles();
     let mut headers: Vec<&str> = vec!["Standard violation"];
     let names: Vec<&'static str> = profiles.iter().map(|p| p.name()).collect();

@@ -13,6 +13,7 @@ fn tick(b: bool) -> &'static str {
 }
 
 fn main() {
+    let _telemetry = unicert_bench::telemetry_args();
     println!("Table 6 — Monitor capabilities");
     let rows: Vec<Vec<String>> = all_monitors()
         .iter()

@@ -30,6 +30,7 @@ pub use unicert_idna as idna;
 pub use unicert_lint as lint;
 pub use unicert_monitors as monitors;
 pub use unicert_parsers as parsers;
+pub use unicert_telemetry as telemetry;
 pub use unicert_threats as threats;
 pub use unicert_unicode as unicode;
 pub use unicert_x509 as x509;

@@ -13,6 +13,33 @@
 //! scale).
 
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Pre-resolved telemetry handles for one pool worker (DESIGN.md §8):
+/// task count, busy nanoseconds, and the shared source-wait histogram.
+struct WorkerInstruments {
+    tasks: std::sync::Arc<unicert_telemetry::Counter>,
+    busy_nanos: std::sync::Arc<unicert_telemetry::Counter>,
+    source_wait: std::sync::Arc<unicert_telemetry::Histogram>,
+    task_exec: std::sync::Arc<unicert_telemetry::Histogram>,
+}
+
+impl WorkerInstruments {
+    fn resolve(worker: usize) -> WorkerInstruments {
+        let registry = unicert_telemetry::global();
+        let label = worker.to_string();
+        WorkerInstruments {
+            tasks: registry.counter("pool.worker_tasks", &label),
+            busy_nanos: registry.counter("pool.worker_busy_ns", &label),
+            source_wait: registry.histogram("pool.source_wait_ns", ""),
+            task_exec: registry.histogram("pool.task_exec_ns", ""),
+        }
+    }
+}
+
+fn nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Map `items` through `map` on `threads` workers, returning the results in
 /// input order.
@@ -20,6 +47,12 @@ use std::sync::Mutex;
 /// With `threads <= 1` the map runs inline on the calling thread — the
 /// degenerate pool is exactly the serial loop. Worker panics propagate to
 /// the caller once the scope joins.
+///
+/// With metrics enabled the pool records per-worker task counts and busy
+/// time, source-wait and task-execution histograms, and the overall wall
+/// clock (`pool.wall_ns` / `pool.threads` gauges); with tracing at span
+/// level each worker's lifetime is one span. Neither affects results or
+/// ordering.
 pub fn map_ordered<I, T, R, F>(items: I, threads: usize, map: F) -> Vec<R>
 where
     I: Iterator<Item = T> + Send,
@@ -31,28 +64,58 @@ where
         return items.map(map).collect();
     }
 
+    let instrumented = unicert_telemetry::metrics_enabled();
+    let wall = instrumented.then(Instant::now);
     let source = Mutex::new(items.enumerate());
     let results = Mutex::new(Vec::new());
     let map = &map;
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Hold the source lock only while pulling the next item; a
-                // poisoned lock means a sibling worker panicked, so stop
-                // and let the scope propagate its panic.
-                let next = match source.lock() {
-                    Ok(mut it) => it.next(),
-                    Err(_) => None,
-                };
-                let Some((index, item)) = next else { break };
-                let out = map(item);
-                match results.lock() {
-                    Ok(mut done) => done.push((index, out)),
-                    Err(_) => break,
+        for worker in 0..threads {
+            let source = &source;
+            let results = &results;
+            scope.spawn(move || {
+                let instruments = instrumented.then(|| WorkerInstruments::resolve(worker));
+                let _span = unicert_telemetry::span!("pool.worker", "{worker}");
+                loop {
+                    // Hold the source lock only while pulling the next
+                    // item; a poisoned lock means a sibling worker
+                    // panicked, so stop and let the scope propagate its
+                    // panic. The wait histogram covers lock acquisition
+                    // plus the pull itself — for a streaming survey that
+                    // is exactly the serialized producer cost.
+                    let wait_start = instruments.as_ref().map(|_| Instant::now());
+                    let next = match source.lock() {
+                        Ok(mut it) => it.next(),
+                        Err(_) => None,
+                    };
+                    if let (Some(ins), Some(started)) = (&instruments, wait_start) {
+                        ins.source_wait.record(nanos(started));
+                    }
+                    let Some((index, item)) = next else { break };
+                    let task_span =
+                        unicert_telemetry::span!(verbose: "pool.task", "{index}");
+                    let exec_start = instruments.as_ref().map(|_| Instant::now());
+                    let out = map(item);
+                    drop(task_span);
+                    if let (Some(ins), Some(started)) = (&instruments, exec_start) {
+                        let elapsed = nanos(started);
+                        ins.tasks.inc();
+                        ins.busy_nanos.add(elapsed);
+                        ins.task_exec.record(elapsed);
+                    }
+                    match results.lock() {
+                        Ok(mut done) => done.push((index, out)),
+                        Err(_) => break,
+                    }
                 }
             });
         }
     });
+    if let Some(started) = wall {
+        let registry = unicert_telemetry::global();
+        registry.gauge("pool.wall_ns", "").set(nanos(started));
+        registry.gauge("pool.threads", "").set(threads as u64);
+    }
 
     let mut collected = match results.into_inner() {
         Ok(v) => v,

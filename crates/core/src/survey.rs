@@ -6,9 +6,71 @@
 
 use crate::classify;
 use std::collections::BTreeMap;
+use std::time::Instant;
 use unicert_asn1::DateTime;
 use unicert_corpus::{CorpusEntry, TrustStatus};
 use unicert_lint::{NoncomplianceType, RunOptions, Severity};
+
+/// Pre-resolved per-stage latency histograms for the survey hot loop
+/// (`survey.stage_ns{classify|lint|aggregate|field_matrix}`, DESIGN.md §8).
+/// Resolved once per shard so recording never takes a registry lookup, and
+/// recorded only on the 1-in-`metrics_sample()` certificates that are also
+/// lint-latency-timed — the 15-in-16 rest pay no clock reads at all.
+struct StageMetrics {
+    classify: std::sync::Arc<unicert_telemetry::Histogram>,
+    lint: std::sync::Arc<unicert_telemetry::Histogram>,
+    aggregate: std::sync::Arc<unicert_telemetry::Histogram>,
+    field_matrix: std::sync::Arc<unicert_telemetry::Histogram>,
+}
+
+impl StageMetrics {
+    fn resolve() -> StageMetrics {
+        let registry = unicert_telemetry::global();
+        StageMetrics {
+            classify: registry.histogram("survey.stage_ns", "classify"),
+            lint: registry.histogram("survey.stage_ns", "lint"),
+            aggregate: registry.histogram("survey.stage_ns", "aggregate"),
+            field_matrix: registry.histogram("survey.stage_ns", "field_matrix"),
+        }
+    }
+
+}
+
+/// Everything one shard (or the serial loop) records into while metrics
+/// are enabled: the stage histograms plus a [`unicert_lint::RunTally`]
+/// batching the per-lint counters. Flushed once per shard so the hot
+/// loop touches no global atomics for counting (DESIGN.md §8).
+struct ShardTelemetry {
+    stages: StageMetrics,
+    tally: unicert_lint::RunTally,
+}
+
+impl ShardTelemetry {
+    fn if_enabled(registry: &unicert_lint::Registry) -> Option<ShardTelemetry> {
+        unicert_telemetry::metrics_enabled()
+            .then(|| ShardTelemetry { stages: StageMetrics::resolve(), tally: registry.tally() })
+    }
+
+    fn flush(telemetry: Option<ShardTelemetry>, registry: &unicert_lint::Registry) {
+        if let Some(mut telemetry) = telemetry {
+            registry.flush_tally(&mut telemetry.tally);
+        }
+    }
+}
+
+/// Record the time since `*stamp` into `histogram` and advance the stamp —
+/// consecutive-timestamp timing, one clock read per stage boundary.
+fn stage_mark(
+    stamp: &mut Option<Instant>,
+    histogram: Option<&std::sync::Arc<unicert_telemetry::Histogram>>,
+) {
+    if let (Some(started), Some(histogram)) = (stamp.as_mut(), histogram) {
+        let now = Instant::now();
+        let nanos = now.duration_since(*started).as_nanos();
+        histogram.record(u64::try_from(nanos).unwrap_or(u64::MAX));
+        *started = now;
+    }
+}
 
 /// Per-taxonomy-type aggregation (one Table 1 row).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -215,11 +277,17 @@ impl SurveyReport {
 
 /// Fold one corpus entry into `report` — the shared kernel of the serial
 /// and sharded survey paths.
+///
+/// `stages` (present iff metrics are enabled) carries the per-stage latency
+/// histograms; the stage blocks below are contiguous so consecutive
+/// timestamps partition the whole per-certificate cost. Telemetry never
+/// feeds back into `report` — the fold is byte-identical with or without it.
 fn accumulate(
     report: &mut SurveyReport,
     registry: &unicert_lint::Registry,
     entry: &CorpusEntry,
     opts: &SurveyOptions,
+    telemetry: Option<&mut ShardTelemetry>,
 ) {
     report.entries += 1;
     // §4.1: precertificates are filtered out by the poison extension.
@@ -229,6 +297,14 @@ fn accumulate(
     }
     report.total += 1;
 
+    let (stages, tally) = match telemetry {
+        Some(t) => (Some(&t.stages), Some(&mut t.tally)),
+        None => (None, None),
+    };
+    // Stage timing rides the same 1-in-`metrics_sample()` sequence as the
+    // per-lint latency histograms: untimed certificates pay no clock reads.
+    let timed = tally.as_ref().is_some_and(|t| t.will_time_next());
+    let mut stamp = timed.then(Instant::now);
     let class = classify::classify(&entry.cert);
     if class.is_idn_cert() {
         report.idn_certs += 1;
@@ -243,9 +319,14 @@ fn accumulate(
     let recent = issued.year >= RECENT_FROM;
     let alive_now = expires.year >= ALIVE_FROM && issued <= SURVEY_CUTOFF;
     let validity_days = entry.cert.tbs.validity.period_days();
+    stage_mark(&mut stamp, stages.map(|s| &s.classify));
 
-    let lint_report = registry.run(&entry.cert, opts.lint);
+    let lint_report = match tally {
+        Some(tally) => registry.run_tallied(&entry.cert, opts.lint, tally),
+        None => registry.run(&entry.cert, opts.lint),
+    };
     let nc = lint_report.is_noncompliant();
+    stage_mark(&mut stamp, stages.map(|s| &s.lint));
 
     // Figure 3 samples.
     if nc {
@@ -340,20 +421,25 @@ fn accumulate(
             *report.by_lint.entry(f.lint).or_default() += 1;
         }
     }
+    stage_mark(&mut stamp, stages.map(|s| &s.aggregate));
 
     // Figure 4 matrix.
     if opts.field_matrix {
         collect_field_matrix(report, entry, nc);
+        stage_mark(&mut stamp, stages.map(|s| &s.field_matrix));
     }
 }
 
 /// Run the survey over a corpus stream on the calling thread.
 pub fn run(entries: impl Iterator<Item = CorpusEntry>, opts: SurveyOptions) -> SurveyReport {
     let registry = unicert_corpus::lint_registry();
+    let mut telemetry = ShardTelemetry::if_enabled(registry);
+    let _span = unicert_telemetry::span!("survey.run");
     let mut report = SurveyReport::default();
     for entry in entries {
-        accumulate(&mut report, registry, &entry, &opts);
+        accumulate(&mut report, registry, &entry, &opts, telemetry.as_mut());
     }
+    ShardTelemetry::flush(telemetry, registry);
     report
 }
 
@@ -379,12 +465,17 @@ pub fn run_parallel(
         return run(entries, opts);
     }
     let registry = unicert_corpus::lint_registry();
+    let _span = unicert_telemetry::span!("survey.run_parallel", "threads={threads}");
     let shard_size = opts.lint.effective_shard_size();
     let shards = crate::pool::map_ordered(entries.chunked(shard_size), threads, |chunk| {
+        let _span =
+            unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.entries.len());
+        let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut shard = SurveyReport::default();
         for entry in &chunk.entries {
-            accumulate(&mut shard, registry, entry, &opts);
+            accumulate(&mut shard, registry, entry, &opts, telemetry.as_mut());
         }
+        ShardTelemetry::flush(telemetry, registry);
         shard
     });
     merge_in_order(shards)
@@ -399,28 +490,43 @@ pub fn run_parallel_slice(entries: &[CorpusEntry], opts: SurveyOptions) -> Surve
     let registry = unicert_corpus::lint_registry();
     let threads = opts.lint.effective_threads();
     if threads <= 1 {
+        let _span = unicert_telemetry::span!("survey.run_parallel_slice", "threads=1");
+        let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut report = SurveyReport::default();
         for entry in entries {
-            accumulate(&mut report, registry, entry, &opts);
+            accumulate(&mut report, registry, entry, &opts, telemetry.as_mut());
         }
+        ShardTelemetry::flush(telemetry, registry);
         return report;
     }
+    let _span =
+        unicert_telemetry::span!("survey.run_parallel_slice", "threads={threads}");
     let shard_size = opts.lint.effective_shard_size();
     let shards = crate::pool::map_ordered(entries.chunks(shard_size), threads, |chunk| {
+        let _span = unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.len());
+        let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut shard = SurveyReport::default();
         for entry in chunk {
-            accumulate(&mut shard, registry, entry, &opts);
+            accumulate(&mut shard, registry, entry, &opts, telemetry.as_mut());
         }
+        ShardTelemetry::flush(telemetry, registry);
         shard
     });
     merge_in_order(shards)
 }
 
 /// Fold per-shard reports, already sorted in shard order, into one.
+/// Records the full merge cost as one `survey.merge_ns` observation.
 fn merge_in_order(shards: Vec<SurveyReport>) -> SurveyReport {
+    let _span = unicert_telemetry::span!("survey.merge", "{}", shards.len());
+    let started = unicert_telemetry::metrics_enabled().then(Instant::now);
     let mut merged = SurveyReport::default();
     for shard in shards {
         merged.merge(shard);
+    }
+    if let Some(started) = started {
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        unicert_telemetry::global().histogram("survey.merge_ns", "").record(nanos);
     }
     merged
 }

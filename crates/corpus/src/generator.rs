@@ -285,6 +285,14 @@ impl CorpusGenerator {
     }
 }
 
+/// Cached handle for the `corpus.generate_ns` histogram (DESIGN.md §8) —
+/// one registry lookup for the process lifetime, not one per entry.
+fn generate_histogram() -> &'static std::sync::Arc<unicert_telemetry::Histogram> {
+    static HANDLE: std::sync::OnceLock<std::sync::Arc<unicert_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| unicert_telemetry::global().histogram("corpus.generate_ns", ""))
+}
+
 impl Iterator for CorpusGenerator {
     type Item = CorpusEntry;
 
@@ -296,9 +304,17 @@ impl Iterator for CorpusGenerator {
             return None;
         }
         self.produced += 1;
+        // Generation covers build + sign + DER encode/parse round-trip —
+        // the "DER parse" leg of the pipeline breakdown. Timing is a pure
+        // observation: the RNG stream and the entry are untouched by it.
+        let started = unicert_telemetry::metrics_enabled().then(std::time::Instant::now);
         let entry = self.next_entry();
         if self.config.precert_fraction > 0.0 && self.rng.gen_bool(self.config.precert_fraction) {
             self.pending_precert = Some(make_precert_twin(&entry));
+        }
+        if let Some(started) = started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            generate_histogram().record(nanos);
         }
         Some(entry)
     }

@@ -333,10 +333,87 @@ impl RunOptions {
     }
 }
 
+/// Pre-resolved telemetry handles for one lint: a run counter and a
+/// latency histogram, both in the global metrics registry under the
+/// lint's name as label.
+struct LintInstrument {
+    runs: std::sync::Arc<unicert_telemetry::Counter>,
+    latency: std::sync::Arc<unicert_telemetry::Histogram>,
+}
+
+/// All telemetry handles [`Registry::run`] records into, resolved once on
+/// the first instrumented run (see DESIGN.md §8 for the metric names).
+struct Instruments {
+    /// Parallel to `Registry::lints`.
+    per_lint: Vec<LintInstrument>,
+    /// `lint.findings{error}` — Error-level findings across all lints.
+    errors: std::sync::Arc<unicert_telemetry::Counter>,
+    /// `lint.findings{warning}` — Warning-level findings.
+    warnings: std::sync::Arc<unicert_telemetry::Counter>,
+    /// `lint.certs` — certificates pushed through the registry; doubles as
+    /// the sequence number for latency sampling.
+    certs: std::sync::Arc<unicert_telemetry::Counter>,
+}
+
+impl Instruments {
+    fn resolve(lints: &[Lint]) -> Instruments {
+        let registry = unicert_telemetry::global();
+        Instruments {
+            per_lint: lints
+                .iter()
+                .map(|lint| LintInstrument {
+                    runs: registry.counter("lint.runs", lint.name),
+                    latency: registry.histogram("lint.latency_ns", lint.name),
+                })
+                .collect(),
+            errors: registry.counter("lint.findings", "error"),
+            warnings: registry.counter("lint.findings", "warning"),
+            certs: registry.counter("lint.certs", ""),
+        }
+    }
+}
+
+/// Shard-local accumulator for the `lint.runs` / `lint.findings` /
+/// `lint.certs` counters (DESIGN.md §8).
+///
+/// [`Registry::run_tallied`] adds into plain locals here instead of the
+/// global atomics — ~97 relaxed RMWs per certificate collapse into one
+/// [`Registry::flush_tally`] per shard, which is what keeps the
+/// metrics-on survey inside the §8 overhead budget. Totals are exact as
+/// long as the owner flushes before its snapshot is taken (the survey
+/// pipeline flushes at the end of every shard and of the serial loop).
+pub struct RunTally {
+    /// Parallel to `Registry::lints`.
+    counts: Vec<u64>,
+    errors: u64,
+    warnings: u64,
+    /// Certificates seen; doubles as the latency-sampling sequence.
+    certs: u64,
+}
+
+impl RunTally {
+    /// Will the next [`Registry::run_tallied`] certificate be latency-timed?
+    ///
+    /// Exposed so callers can gate their own per-certificate timing (the
+    /// survey's stage histograms) on the same 1-in-`metrics_sample()`
+    /// sequence — one sampling decision for the whole hot loop.
+    pub fn will_time_next(&self) -> bool {
+        let sample = unicert_telemetry::metrics_sample();
+        sample <= 1 || self.certs % sample == 0
+    }
+}
+
 /// The lint registry.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Registry {
     lints: Vec<Lint>,
+    instruments: std::sync::OnceLock<Instruments>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry").field("lints", &self.lints).finish_non_exhaustive()
+    }
 }
 
 impl Registry {
@@ -386,7 +463,18 @@ impl Registry {
     }
 
     /// Run every applicable lint against a certificate.
+    ///
+    /// With metrics enabled (`unicert_telemetry::metrics_enabled`) this
+    /// dispatches to the instrumented twin, which records exactly one
+    /// `lint.runs` observation per enabled lint per certificate plus
+    /// per-severity finding counters, and — on a sampled subset of
+    /// certificates (`UNICERT_METRICS_SAMPLE`, default 1 in 16) — a
+    /// per-lint latency histogram. The findings are identical either way:
+    /// telemetry never feeds back into the report.
     pub fn run(&self, cert: &Certificate, opts: RunOptions) -> CertReport {
+        if unicert_telemetry::metrics_enabled() {
+            return self.run_instrumented(cert, opts);
+        }
         let mut report = CertReport::default();
         let issued = cert.tbs.validity.not_before;
         for lint in &self.lints {
@@ -403,6 +491,176 @@ impl Registry {
             }
         }
         report
+    }
+
+    fn instruments(&self) -> &Instruments {
+        self.instruments.get_or_init(|| Instruments::resolve(&self.lints))
+    }
+
+    /// The metrics-recording twin of the `run` loop.
+    ///
+    /// Latency uses consecutive timestamps — one clock read per executed
+    /// lint, the delta between neighbours attributed to the lint that just
+    /// ran (gating checks are folded in; they are a comparison each). Full
+    /// per-lint timing runs on one certificate in `metrics_sample()`; the
+    /// run/severity counters are exhaustive on every certificate.
+    fn run_instrumented(&self, cert: &Certificate, opts: RunOptions) -> CertReport {
+        use std::time::Instant;
+        let instruments = self.instruments();
+        let sequence = instruments.certs.inc_fetch();
+        let sample = unicert_telemetry::metrics_sample();
+        let timed = sample <= 1 || sequence % sample == 0;
+
+        let mut report = CertReport::default();
+        let issued = cert.tbs.validity.not_before;
+        let mut previous = timed.then(Instant::now);
+        for (lint, instrument) in self.lints.iter().zip(&instruments.per_lint) {
+            if opts.enforce_effective_dates && issued < lint.effective_date() {
+                continue;
+            }
+            let _span = unicert_telemetry::span!(verbose: "lint", "{}", lint.name);
+            let status = (lint.check)(cert);
+            instrument.runs.inc();
+            if let Some(before) = previous {
+                let now = Instant::now();
+                instrument
+                    .latency
+                    .record(u64::try_from(now.duration_since(before).as_nanos()).unwrap_or(u64::MAX));
+                previous = Some(now);
+            }
+            if status == LintStatus::Violation {
+                match lint.severity {
+                    Severity::Error => instruments.errors.inc(),
+                    Severity::Warning => instruments.warnings.inc(),
+                }
+                report.findings.push(Finding {
+                    lint: lint.name,
+                    severity: lint.severity,
+                    nc_type: lint.nc_type,
+                    new_lint: lint.new_lint,
+                });
+            }
+        }
+        report
+    }
+
+    /// Fresh zeroed [`RunTally`] sized to this registry.
+    pub fn tally(&self) -> RunTally {
+        RunTally { counts: vec![0; self.lints.len()], errors: 0, warnings: 0, certs: 0 }
+    }
+
+    /// The batching twin of [`Registry::run`] for tight survey loops.
+    ///
+    /// Identical findings and identical metric semantics, but the run /
+    /// finding / cert counters go into `tally`'s plain locals instead of
+    /// the global atomics; the caller owns flushing them with
+    /// [`Registry::flush_tally`]. Latency sampling uses the tally's own
+    /// certificate sequence, so each shard times one certificate in
+    /// `metrics_sample()` exactly as the unbatched path does.
+    pub fn run_tallied(
+        &self,
+        cert: &Certificate,
+        opts: RunOptions,
+        tally: &mut RunTally,
+    ) -> CertReport {
+        let timed = tally.will_time_next();
+        tally.certs += 1;
+        // Hoisted out of the per-lint loop: one trace-level load per cert
+        // instead of 95.
+        let verbose =
+            unicert_telemetry::trace::trace_level() >= unicert_telemetry::TraceLevel::Verbose;
+        if timed || verbose {
+            return self.run_tallied_timed(cert, opts, tally, timed, verbose);
+        }
+
+        // Fast path for the 15-in-16 untimed certificates: no clocks, no
+        // span guards — just local count bumps next to the check calls.
+        let mut report = CertReport::default();
+        let issued = cert.tbs.validity.not_before;
+        for (lint, count) in self.lints.iter().zip(&mut tally.counts) {
+            if opts.enforce_effective_dates && issued < lint.effective_date() {
+                continue;
+            }
+            let status = (lint.check)(cert);
+            *count += 1;
+            if status == LintStatus::Violation {
+                match lint.severity {
+                    Severity::Error => tally.errors += 1,
+                    Severity::Warning => tally.warnings += 1,
+                }
+                report.findings.push(Finding {
+                    lint: lint.name,
+                    severity: lint.severity,
+                    nc_type: lint.nc_type,
+                    new_lint: lint.new_lint,
+                });
+            }
+        }
+        report
+    }
+
+    /// The sampled / verbose-traced arm of [`Registry::run_tallied`].
+    fn run_tallied_timed(
+        &self,
+        cert: &Certificate,
+        opts: RunOptions,
+        tally: &mut RunTally,
+        timed: bool,
+        verbose: bool,
+    ) -> CertReport {
+        use std::time::Instant;
+        let instruments = self.instruments();
+        let mut report = CertReport::default();
+        let issued = cert.tbs.validity.not_before;
+        let mut previous = timed.then(Instant::now);
+        for ((lint, instrument), count) in
+            self.lints.iter().zip(&instruments.per_lint).zip(&mut tally.counts)
+        {
+            if opts.enforce_effective_dates && issued < lint.effective_date() {
+                continue;
+            }
+            let _span = if verbose {
+                unicert_telemetry::span!(verbose: "lint", "{}", lint.name)
+            } else {
+                unicert_telemetry::SpanGuard::inert()
+            };
+            let status = (lint.check)(cert);
+            *count += 1;
+            if let Some(before) = previous {
+                let now = Instant::now();
+                instrument
+                    .latency
+                    .record(u64::try_from(now.duration_since(before).as_nanos()).unwrap_or(u64::MAX));
+                previous = Some(now);
+            }
+            if status == LintStatus::Violation {
+                match lint.severity {
+                    Severity::Error => tally.errors += 1,
+                    Severity::Warning => tally.warnings += 1,
+                }
+                report.findings.push(Finding {
+                    lint: lint.name,
+                    severity: lint.severity,
+                    nc_type: lint.nc_type,
+                    new_lint: lint.new_lint,
+                });
+            }
+        }
+        report
+    }
+
+    /// Drain `tally` into the global metrics registry and reset it.
+    pub fn flush_tally(&self, tally: &mut RunTally) {
+        let instruments = self.instruments();
+        for (instrument, count) in instruments.per_lint.iter().zip(&mut tally.counts) {
+            if *count > 0 {
+                instrument.runs.add(*count);
+                *count = 0;
+            }
+        }
+        instruments.errors.add(std::mem::take(&mut tally.errors));
+        instruments.warnings.add(std::mem::take(&mut tally.warnings));
+        instruments.certs.add(std::mem::take(&mut tally.certs));
     }
 
     /// Count lints per taxonomy type as `(all, new)` — the "#Lints" columns

@@ -31,6 +31,6 @@ pub mod helpers;
 
 pub use catalog::{all_lints, default_registry};
 pub use framework::{
-    CertReport, Finding, Lint, LintStatus, NoncomplianceType, Registry, RunOptions, Severity,
-    Source,
+    CertReport, Finding, Lint, LintStatus, NoncomplianceType, Registry, RunOptions, RunTally,
+    Severity, Source,
 };

@@ -176,9 +176,34 @@ fn candidates() -> Vec<Candidate> {
     list
 }
 
+/// Count one probe outcome under `parsers.probe_outcome{<lib>/text|error}`
+/// (DESIGN.md §8). Free when metrics are disabled.
+fn count_probe_outcome(library: &str, outcome: &ParseOutcome) {
+    if !unicert_telemetry::metrics_enabled() {
+        return;
+    }
+    let suffix = match outcome {
+        ParseOutcome::Text(_) => "text",
+        ParseOutcome::Error(_) => "error",
+    };
+    unicert_telemetry::global()
+        .counter("parsers.probe_outcome", &format!("{library}/{suffix}"))
+        .inc();
+}
+
+/// Count one inference verdict under `parsers.inference{...}`.
+fn count_inference(verdict: &'static str) {
+    if unicert_telemetry::metrics_enabled() {
+        unicert_telemetry::global().counter("parsers.inference", verdict).inc();
+    }
+}
+
 /// Infer the decoder a library applies to `kind` in `field` context.
 pub fn infer(profile: &dyn LibraryProfile, kind: StringKind, field: Field) -> Inference {
+    let _span =
+        unicert_telemetry::span!(verbose: "parsers.infer", "{}/{kind:?}/{field:?}", profile.name());
     if !profile.supports(field) || !profile.supports_kind(kind, field) {
+        count_inference("unsupported");
         return Inference::Unsupported;
     }
     let inputs = probe_inputs(kind);
@@ -186,6 +211,7 @@ pub fn infer(profile: &dyn LibraryProfile, kind: StringKind, field: Field) -> In
         .into_iter()
         .map(|bytes| {
             let out = profile.parse_value(kind, &bytes, field);
+            count_probe_outcome(profile.name(), &out);
             (bytes, out)
         })
         .collect();
@@ -198,12 +224,14 @@ pub fn infer(profile: &dyn LibraryProfile, kind: StringKind, field: Field) -> In
                 _ => continue 'candidates,
             }
         }
+        count_inference("inferred");
         return Inference::Inferred {
             candidate,
             method_name: candidate_name(candidate),
             flags: judge(candidate, kind),
         };
     }
+    count_inference("unexplained");
     Inference::Unexplained
 }
 

@@ -1,0 +1,210 @@
+//! `unicert-telemetry` — the S13 observability substrate: tracing, metrics,
+//! and profiling for the survey pipeline, with **zero third-party crates**
+//! (the build container has no network; everything here is `std`).
+//!
+//! Three pieces, designed so the instrumented hot paths stay deterministic
+//! and near-free when telemetry is off:
+//!
+//! 1. **Metrics** ([`metrics`]): a lock-sharded registry of monotonic
+//!    [`Counter`]s, [`Gauge`]s, and fixed-bucket log-scale latency
+//!    [`Histogram`]s. Registration (cold) takes a per-shard `RwLock`;
+//!    recording (hot) is pure relaxed atomics on pre-resolved `Arc`
+//!    handles — no locks on increment, safe to call from every pool
+//!    worker concurrently.
+//! 2. **Tracing** ([`trace`]): span-style structured events through a
+//!    [`Collector`] trait with two built-in sinks — an NDJSON event
+//!    writer ([`NdjsonSink`]) and an in-memory test sink
+//!    ([`MemorySink`]). Scoped-timer guards come from the [`span!`]
+//!    macro; a disabled level makes the guard a no-op that never reads
+//!    the clock.
+//! 3. **Snapshots** ([`snapshot`]): a point-in-time export of every
+//!    registered metric, rendered to JSON by hand (no serde) for
+//!    `BENCH_telemetry.json` and the `--metrics-out` flags.
+//!
+//! # Inertness contract
+//!
+//! Telemetry never feeds back into pipeline output: enabling metrics or
+//! tracing must produce **byte-identical** `SurveyReport`s
+//! (`tests/parallel_determinism.rs` and `tests/telemetry_pipeline.rs`
+//! enforce this). With everything disabled, instrumented call sites cost
+//! one relaxed atomic load.
+//!
+//! # Environment gating
+//!
+//! | Variable | Effect |
+//! |----------|--------|
+//! | `UNICERT_METRICS` | truthy (`1`, `true`, `on`) enables metric recording |
+//! | `UNICERT_METRICS_OUT` | path for the snapshot JSON; implies metrics on |
+//! | `UNICERT_METRICS_SAMPLE` | per-lint latency sampling interval (default 16, `1` = every cert) |
+//! | `UNICERT_TRACE` | trace level: `0`/`off`, `1`/`spans`, `2`/`verbose` |
+//! | `UNICERT_TRACE_OUT` | NDJSON event sink path; implies level ≥ spans |
+//!
+//! [`init_from_env`] applies all five; the bench binaries layer
+//! `--metrics-out` / `--trace-out` flags on top (see `unicert-bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
+pub use trace::{Collector, Event, MemorySink, NdjsonSink, SpanGuard, TraceLevel};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+static METRICS_SAMPLE: AtomicU64 = AtomicU64::new(DEFAULT_METRICS_SAMPLE);
+
+/// Default per-lint latency sampling interval: full per-lint timing on one
+/// certificate in 16 keeps the enabled-metrics overhead inside the ≤5%
+/// budget (DESIGN.md §8) while the run/severity counters stay exhaustive.
+pub const DEFAULT_METRICS_SAMPLE: u64 = 16;
+
+/// Globally enable or disable metric recording at instrumented call sites.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is metric recording enabled? One relaxed load — instrumented hot paths
+/// call this per unit of work and skip all timing when it returns false.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Set the per-lint latency sampling interval (clamped to ≥ 1; `1` means
+/// every certificate is timed).
+pub fn set_metrics_sample(interval: u64) {
+    METRICS_SAMPLE.store(interval.max(1), Ordering::Relaxed);
+}
+
+/// The current per-lint latency sampling interval.
+#[inline]
+pub fn metrics_sample() -> u64 {
+    METRICS_SAMPLE.load(Ordering::Relaxed).max(1)
+}
+
+/// A monotonic scoped timer over [`Instant`] — the one clock the whole
+/// telemetry layer uses, so benchmark code and span guards agree.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (≈ 584 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        saturate_u128(self.0.elapsed().as_nanos())
+    }
+
+    /// Elapsed seconds as a float.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Clamp a `u128` nanosecond count into `u64`.
+#[inline]
+pub(crate) fn saturate_u128(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// What [`init_from_env`] resolved, for callers that flush outputs at exit.
+#[derive(Debug, Clone, Default)]
+pub struct EnvInit {
+    /// Where `UNICERT_METRICS_OUT` asked the snapshot to be written.
+    pub metrics_out: Option<PathBuf>,
+    /// Where `UNICERT_TRACE_OUT` asked NDJSON events to be written.
+    pub trace_out: Option<PathBuf>,
+}
+
+fn env_path(key: &str) -> Option<PathBuf> {
+    std::env::var_os(key)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+fn env_truthy(key: &str) -> bool {
+    std::env::var(key)
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
+}
+
+/// Apply the `UNICERT_METRICS*` / `UNICERT_TRACE*` environment gates: set
+/// the metric flag and sampling interval, set the trace level, and install
+/// an [`NdjsonSink`] when a trace output path is configured.
+pub fn init_from_env() -> EnvInit {
+    let metrics_out = env_path("UNICERT_METRICS_OUT");
+    if metrics_out.is_some() || env_truthy("UNICERT_METRICS") {
+        set_metrics_enabled(true);
+    }
+    if let Ok(sample) = std::env::var("UNICERT_METRICS_SAMPLE") {
+        if let Ok(n) = sample.trim().parse::<u64>() {
+            set_metrics_sample(n);
+        }
+    }
+    if let Ok(level) = std::env::var("UNICERT_TRACE") {
+        trace::set_trace_level(TraceLevel::parse(&level));
+    }
+    let trace_out = env_path("UNICERT_TRACE_OUT");
+    if let Some(path) = &trace_out {
+        if trace::trace_level() == TraceLevel::Off {
+            trace::set_trace_level(TraceLevel::Spans);
+        }
+        if let Ok(sink) = NdjsonSink::create(path) {
+            trace::install_collector(Arc::new(sink));
+        }
+    }
+    EnvInit { metrics_out, trace_out }
+}
+
+/// Write the global registry's snapshot JSON to `path`.
+pub fn write_global_snapshot(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, global().snapshot().to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_flag_roundtrip() {
+        set_metrics_enabled(true);
+        assert!(metrics_enabled());
+        set_metrics_enabled(false);
+        assert!(!metrics_enabled());
+    }
+
+    #[test]
+    fn sample_interval_clamped() {
+        set_metrics_sample(0);
+        assert_eq!(metrics_sample(), 1);
+        set_metrics_sample(32);
+        assert_eq!(metrics_sample(), 32);
+        set_metrics_sample(DEFAULT_METRICS_SAMPLE);
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn saturation_helper() {
+        assert_eq!(saturate_u128(42), 42);
+        assert_eq!(saturate_u128(u128::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,248 @@
+//! Point-in-time metric exports and their hand-rolled JSON rendering.
+//!
+//! `BENCH_telemetry.json`, the `--metrics-out` flag, and the
+//! `UNICERT_METRICS_OUT` environment gate all go through [`Snapshot`]; no
+//! serde, no allocation tricks — the export path is cold.
+
+use crate::metrics::Histogram;
+
+/// One exported counter or gauge value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricValue {
+    /// Metric name, e.g. `lint.runs`.
+    pub name: String,
+    /// Label discriminating instances of the metric (a lint name, a worker
+    /// index, a stage); empty when the metric is a singleton.
+    pub label: String,
+    /// The recorded value.
+    pub value: u64,
+}
+
+/// One exported histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name, e.g. `lint.latency_ns`.
+    pub name: String,
+    /// Instance label (see [`MetricValue::label`]).
+    pub label: String,
+    /// Total observations (derived from the buckets).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact, not bucket-quantized).
+    pub max: u64,
+    /// Per-bucket observation counts (see [`Histogram::bucket_bounds`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` (0.0–1.0): the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q · count)`, clamped to
+    /// the exact observed max. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, bucket_count) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*bucket_count);
+            if cumulative >= target {
+                let (_, high) = Histogram::bucket_bounds(index);
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time export of a whole [`crate::Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All counters, sorted by `(name, label)`.
+    pub counters: Vec<MetricValue>,
+    /// All gauges, sorted by `(name, label)`.
+    pub gauges: Vec<MetricValue>,
+    /// All histograms, sorted by `(name, label)`.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Find a counter value by name and label.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|m| m.name == name && m.label == label)
+            .map(|m| m.value)
+    }
+
+    /// Find a gauge value by name and label.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|m| m.name == name && m.label == label)
+            .map(|m| m.value)
+    }
+
+    /// Find a histogram by name and label.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.label == label)
+    }
+
+    /// All histograms with the given name, one per label.
+    pub fn histograms_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a HistogramSnapshot> {
+        self.histograms.iter().filter(move |h| h.name == name)
+    }
+
+    /// All counters with the given name, one per label.
+    pub fn counters_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a MetricValue> {
+        self.counters.iter().filter(move |m| m.name == name)
+    }
+
+    /// Render as pretty-printed JSON. Histogram buckets are exported
+    /// sparsely as `[bucket_upper_bound, count]` pairs; quantiles are
+    /// precomputed so consumers don't need the bucket layout.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": [");
+        for (i, m) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"label\": \"{}\", \"value\": {}}}{comma}",
+                escape_json(&m.name),
+                escape_json(&m.label),
+                m.value
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, m) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"label\": \"{}\", \"value\": {}}}{comma}",
+                escape_json(&m.name),
+                escape_json(&m.label),
+                m.value
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"label\": \"{}\", \"count\": {}, \"sum\": {}, \
+                 \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \"buckets\": [",
+                escape_json(&h.name),
+                escape_json(&h.label),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.max
+            );
+            let mut first = true;
+            for (index, bucket_count) in h.buckets.iter().enumerate() {
+                if *bucket_count == 0 {
+                    continue;
+                }
+                let (_, high) = Histogram::bucket_bounds(index);
+                let _ = write!(
+                    out,
+                    "{}[{high}, {bucket_count}]",
+                    if first { "" } else { ", " }
+                );
+                first = false;
+            }
+            let _ = write!(out, "]}}{comma}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let registry = Registry::new();
+        registry.counter("c.one", "a").add(7);
+        registry.gauge("g.one", "").set(11);
+        registry.histogram("h.one", "x").record(100);
+        let json = registry.snapshot().to_json();
+        assert!(json.contains("\"name\": \"c.one\""), "{json}");
+        assert!(json.contains("\"value\": 7"), "{json}");
+        assert!(json.contains("\"name\": \"g.one\""), "{json}");
+        assert!(json.contains("\"name\": \"h.one\""), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"max\": 100"), "{json}");
+        // Sparse buckets: exactly one [bound, count] pair for one sample.
+        assert!(json.contains(", 1]"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_lookups() {
+        let registry = Registry::new();
+        registry.counter("c", "l").add(3);
+        registry.gauge("g", "l").set(4);
+        registry.histogram("h", "l").record(5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("c", "l"), Some(3));
+        assert_eq!(snap.counter("c", "missing"), None);
+        assert_eq!(snap.gauge("g", "l"), Some(4));
+        assert_eq!(snap.histogram("h", "l").map(|h| h.count), Some(1));
+        assert_eq!(snap.histograms_named("h").count(), 1);
+        assert_eq!(snap.counters_named("c").count(), 1);
+    }
+}

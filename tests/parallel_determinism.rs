@@ -61,6 +61,34 @@ fn shard_size_does_not_change_the_report() {
     }
 }
 
+/// DESIGN.md §8 inertness contract: running the sharded survey with
+/// metrics and span-level tracing enabled must produce a byte-identical
+/// report — telemetry observes the pipeline, it never feeds back into it.
+#[test]
+fn tracing_on_report_is_byte_identical() {
+    use unicert::telemetry::{self, trace, MemorySink, TraceLevel};
+    let corpus: Vec<CorpusEntry> = CorpusGenerator::new(CorpusConfig {
+        size: 3_000,
+        seed: 99,
+        precert_fraction: 0.2,
+        latent_defects: true,
+    })
+    .collect();
+    let quiet = survey::run_parallel_slice(&corpus, opts(4));
+
+    let sink = MemorySink::new();
+    trace::install_collector(sink.clone());
+    trace::set_trace_level(TraceLevel::Spans);
+    telemetry::set_metrics_enabled(true);
+    let traced = survey::run_parallel_slice(&corpus, opts(4));
+    telemetry::set_metrics_enabled(false);
+    trace::set_trace_level(TraceLevel::Off);
+    trace::clear_collector();
+
+    assert!(!sink.is_empty(), "span-level tracing emitted no events");
+    assert_eq!(quiet, traced, "tracing/metrics changed the survey report");
+}
+
 #[test]
 fn single_thread_parallel_is_the_serial_path() {
     let report: SurveyReport = survey::run_parallel(

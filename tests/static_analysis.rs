@@ -19,8 +19,8 @@ fn catalog_meta_lints_hold() {
     );
 }
 
-/// Pass 2: the four untrusted-input crates carry no unannotated
-/// panic-prone constructs.
+/// Pass 2: the audited crates (the four untrusted-input substrates plus
+/// `telemetry`) carry no unannotated panic-prone constructs.
 #[test]
 fn source_audit_is_clean() {
     let root = unicert_analysis::default_repo_root();
