@@ -15,7 +15,8 @@ use std::path::{Path, PathBuf};
 /// The crates whose `src/` trees the audit walks: the four untrusted-input
 /// substrates plus `telemetry`, which runs inline on every pipeline worker
 /// and must never be the thing that takes the survey down.
-pub const AUDITED_CRATES: [&str; 5] = ["asn1", "x509", "idna", "unicode", "telemetry"];
+pub const AUDITED_CRATES: [&str; 9] =
+    ["asn1", "x509", "idna", "unicode", "telemetry", "core", "lint", "corpus", "chaos"];
 
 /// Files whose length arithmetic is additionally audited (`len_arith`).
 /// These are the DER reader hot paths every untrusted byte flows through.

@@ -74,6 +74,44 @@ pub enum Error {
     },
     /// An element that must be constructed was primitive, or vice versa.
     WrongConstruction,
+    /// A [`crate::reader::ParseBudget`] resource limit was exhausted.
+    ///
+    /// Carries the name of the exhausted resource (`"input_bytes"`,
+    /// `"tlv_bytes"`, or `"elements"`).
+    BudgetExceeded {
+        /// Which budget resource ran out.
+        resource: &'static str,
+    },
+}
+
+impl Error {
+    /// Coarse classification of this error for the parse-outcome taxonomy
+    /// (`ParseOutcome::Malformed(class)` in the survey pipeline and the
+    /// `parse.outcome{class}` telemetry counters).
+    ///
+    /// The classes partition the variants into the failure families the
+    /// robustness harness reports on: every variant maps to exactly one
+    /// stable, lowercase label.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Error::UnexpectedEof { .. } => "truncated",
+            Error::InvalidTag | Error::TagMismatch { .. } | Error::WrongConstruction => "bad_tag",
+            Error::InvalidLength | Error::IndefiniteLength | Error::NonMinimalLength => {
+                "bad_length"
+            }
+            Error::TrailingData { .. } => "trailing_data",
+            Error::DepthExceeded { .. } => "depth_exceeded",
+            Error::InvalidOid => "bad_oid",
+            Error::InvalidInteger
+            | Error::IntegerOverflow
+            | Error::InvalidBoolean
+            | Error::InvalidBitString
+            | Error::InvalidTime
+            | Error::MalformedString { .. }
+            | Error::CharacterOutOfRange { .. } => "bad_value",
+            Error::BudgetExceeded { .. } => "budget",
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -104,6 +142,9 @@ impl fmt::Display for Error {
                 write!(f, "character U+{ch:04X} outside {kind:?} character set")
             }
             Error::WrongConstruction => write!(f, "primitive/constructed mismatch"),
+            Error::BudgetExceeded { resource } => {
+                write!(f, "parse budget exhausted ({resource})")
+            }
         }
     }
 }

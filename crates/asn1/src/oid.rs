@@ -192,6 +192,10 @@ pub mod known {
         postal_code = [2, 5, 4, 17], "postalCode", "postalCode";
         /// `id-at-givenName` — 2.5.4.42.
         given_name = [2, 5, 4, 42], "GN", "givenName";
+        /// `id-at-initials` — 2.5.4.43.
+        initials = [2, 5, 4, 43], "initials", "initials";
+        /// `id-at-dnQualifier` — 2.5.4.46.
+        dn_qualifier = [2, 5, 4, 46], "dnQualifier", "dnQualifier";
         /// `id-at-pseudonym` — 2.5.4.65.
         pseudonym = [2, 5, 4, 65], "pseudonym", "pseudonym";
         /// EV jurisdictionLocalityName — 1.3.6.1.4.1.311.60.2.1.1.

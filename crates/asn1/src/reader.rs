@@ -6,6 +6,7 @@
 
 use crate::error::{Error, Result};
 use crate::tag::{tags, Class, Tag};
+use std::cell::Cell;
 
 /// Maximum nesting depth accepted by [`Reader::read_nested`] helpers.
 ///
@@ -13,6 +14,95 @@ use crate::tag::{tags, Class, Tag};
 /// stopping pathological inputs (the "deep nesting" failure-injection tests
 /// exercise this limit).
 pub const MAX_DEPTH: usize = 64;
+
+/// Resource limits for one parse, enforced by budgeted [`Reader`]s.
+///
+/// Declared DER lengths are attacker-controlled; the reader already refuses
+/// to slice past the real input, but a hostile certificate can still make a
+/// naive pipeline do quadratic work (nesting bombs re-walk the same bytes at
+/// every level) or carry absurd element counts. A `ParseBudget` puts hard
+/// ceilings on all three axes:
+///
+/// * `max_input` — total input size admitted at all ([`ParseBudget::admit`]);
+/// * `max_tlv_bytes` — cumulative `raw` bytes over every TLV element read,
+///   counting re-visits of nested content (so a depth-`d` nesting bomb costs
+///   `O(d · n)` against this budget and trips it long before wall time);
+/// * `max_elements` — total TLV elements decoded.
+///
+/// The defaults are sized for certificates (a few KB of DER, tens of
+/// elements deep) with orders-of-magnitude headroom, so they only ever
+/// trigger on hostile input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBudget {
+    /// Maximum admissible input, in bytes.
+    pub max_input: usize,
+    /// Maximum cumulative element bytes (`Tlv::raw` lengths summed over all
+    /// reads, nested re-reads included).
+    pub max_tlv_bytes: u64,
+    /// Maximum number of TLV elements decoded.
+    pub max_elements: u64,
+}
+
+impl Default for ParseBudget {
+    fn default() -> Self {
+        ParseBudget {
+            max_input: 1 << 20,          // 1 MiB — certificates are a few KB
+            max_tlv_bytes: 64 << 20,     // 64 MiB of cumulative TLV traffic
+            max_elements: 1 << 20,       // a million elements
+        }
+    }
+}
+
+impl ParseBudget {
+    /// Check `input` against `max_input` before any parsing starts.
+    pub fn admit(&self, input: &[u8]) -> Result<()> {
+        if input.len() > self.max_input {
+            return Err(Error::BudgetExceeded { resource: "input_bytes" });
+        }
+        Ok(())
+    }
+
+    /// Start tracking consumption against this budget.
+    pub fn start(self) -> BudgetState {
+        BudgetState { limits: self, tlv_bytes: Cell::new(0), elements: Cell::new(0) }
+    }
+}
+
+/// Live consumption counters for one parse, shared by every [`Reader`]
+/// derived from the root reader (nested readers charge the same state).
+#[derive(Debug)]
+pub struct BudgetState {
+    limits: ParseBudget,
+    tlv_bytes: Cell<u64>,
+    elements: Cell<u64>,
+}
+
+impl BudgetState {
+    /// Charge one decoded TLV element of `raw_len` total bytes.
+    fn charge(&self, raw_len: usize) -> Result<()> {
+        let elements = self.elements.get().saturating_add(1);
+        self.elements.set(elements);
+        if elements > self.limits.max_elements {
+            return Err(Error::BudgetExceeded { resource: "elements" });
+        }
+        let tlv_bytes = self.tlv_bytes.get().saturating_add(raw_len as u64);
+        self.tlv_bytes.set(tlv_bytes);
+        if tlv_bytes > self.limits.max_tlv_bytes {
+            return Err(Error::BudgetExceeded { resource: "tlv_bytes" });
+        }
+        Ok(())
+    }
+
+    /// TLV elements decoded so far.
+    pub fn elements_used(&self) -> u64 {
+        self.elements.get()
+    }
+
+    /// Cumulative TLV bytes decoded so far.
+    pub fn tlv_bytes_used(&self) -> u64 {
+        self.tlv_bytes.get()
+    }
+}
 
 /// One decoded TLV element, borrowing the input buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,12 +140,22 @@ pub struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
     depth: usize,
+    budget: Option<&'a BudgetState>,
 }
 
 impl<'a> Reader<'a> {
     /// Start reading at the beginning of `input`.
     pub fn new(input: &'a [u8]) -> Reader<'a> {
-        Reader { input, pos: 0, depth: 0 }
+        Reader { input, pos: 0, depth: 0, budget: None }
+    }
+
+    /// Start reading `input` with every decoded element charged against
+    /// `budget`. Nested readers created by [`Reader::read_nested`] (and the
+    /// sequence/set helpers) share the same budget state, so the limits are
+    /// cumulative across the whole parse — call [`ParseBudget::admit`] on
+    /// the input first to enforce `max_input`.
+    pub fn with_budget(input: &'a [u8], budget: &'a BudgetState) -> Reader<'a> {
+        Reader { input, pos: 0, depth: 0, budget: Some(budget) }
     }
 
     /// Bytes not yet consumed.
@@ -135,7 +235,7 @@ impl<'a> Reader<'a> {
     fn read_length(&mut self) -> Result<usize> {
         let first = self.take_byte()?;
         if first < 0x80 {
-            return Ok(first as usize);
+            return self.admit_length(first as usize);
         }
         if first == 0x80 {
             return Err(Error::IndefiniteLength);
@@ -155,7 +255,20 @@ impl<'a> Reader<'a> {
         if len < 0x80 {
             return Err(Error::NonMinimalLength);
         }
-        usize::try_from(len).map_err(|_| Error::InvalidLength)
+        let len = usize::try_from(len).map_err(|_| Error::InvalidLength)?;
+        self.admit_length(len)
+    }
+
+    /// Inflated-length guard: a declared length is rejected the moment it
+    /// exceeds the bytes actually present, before any consumer can size an
+    /// allocation or a loop bound from it. This makes "length bombs"
+    /// structurally inert — no code downstream of the reader ever sees a
+    /// declared length larger than the remaining input.
+    fn admit_length(&self, len: usize) -> Result<usize> {
+        if len > self.remaining() {
+            return Err(Error::UnexpectedEof { needed: len - self.remaining() });
+        }
+        Ok(len)
     }
 
     /// Read the next complete TLV element.
@@ -165,6 +278,9 @@ impl<'a> Reader<'a> {
         let len = self.read_length()?;
         let value = self.take(len)?;
         let raw = self.input.get(start..self.pos).unwrap_or(&[]); // take() keeps pos <= input.len() and start was a prior pos
+        if let Some(budget) = self.budget {
+            budget.charge(raw.len())?;
+        }
         Ok(Tlv { tag, value, raw })
     }
 
@@ -216,7 +332,8 @@ impl<'a> Reader<'a> {
             return Err(Error::DepthExceeded { limit: MAX_DEPTH });
         }
         let tlv = self.read_expected(tag)?;
-        let mut inner = Reader { input: tlv.value, pos: 0, depth: self.depth + 1 };
+        let mut inner =
+            Reader { input: tlv.value, pos: 0, depth: self.depth + 1, budget: self.budget };
         let out = f(&mut inner)?;
         inner.finish()?;
         Ok(out)
@@ -340,6 +457,84 @@ mod tests {
         let tlv = r.read_expected(tags::INTEGER).unwrap();
         assert_eq!(tlv.value, &[0x02]);
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn inflated_length_rejected_before_any_consumption() {
+        // Declared length 0x7FFFFFFF on a 6-byte buffer: the length decode
+        // itself must fail — no consumer may ever observe the bogus length.
+        let der = [0x04, 0x84, 0x7F, 0xFF, 0xFF, 0xFF];
+        let err = parse_single(&der).unwrap_err();
+        assert!(matches!(err, Error::UnexpectedEof { .. }), "{err:?}");
+        // Short form, same property.
+        let der = [0x04, 0x30, 0x00];
+        let err = parse_single(&der).unwrap_err();
+        assert_eq!(err, Error::UnexpectedEof { needed: 0x30 - 1 });
+    }
+
+    #[test]
+    fn budget_caps_element_count() {
+        // 100 consecutive NULLs against a 10-element budget.
+        let der: Vec<u8> = std::iter::repeat_n([0x05, 0x00], 100).flatten().collect();
+        let budget = ParseBudget { max_elements: 10, ..ParseBudget::default() }.start();
+        let mut r = Reader::with_budget(&der, &budget);
+        let err = r.read_all().unwrap_err();
+        assert_eq!(err, Error::BudgetExceeded { resource: "elements" });
+        assert_eq!(budget.elements_used(), 11);
+    }
+
+    #[test]
+    fn budget_caps_cumulative_tlv_bytes_on_nesting() {
+        // A nesting bomb re-walks inner bytes at every level, so cumulative
+        // TLV traffic grows quadratically with depth while the input stays
+        // small. A tlv_bytes budget trips on it even below MAX_DEPTH.
+        let mut der = vec![0x05, 0x00];
+        for _ in 0..40 {
+            let mut w = crate::writer::Writer::new();
+            w.write_tlv(tags::SEQUENCE, &der);
+            der = w.into_bytes();
+        }
+        fn recurse(r: &mut Reader<'_>) -> Result<()> {
+            if r.peek_tag() == Some(tags::SEQUENCE) {
+                r.read_sequence(recurse)
+            } else {
+                r.read_tlv().map(|_| ())
+            }
+        }
+        let budget = ParseBudget { max_tlv_bytes: 512, ..ParseBudget::default() }.start();
+        let mut r = Reader::with_budget(&der, &budget);
+        assert_eq!(
+            recurse(&mut r).unwrap_err(),
+            Error::BudgetExceeded { resource: "tlv_bytes" }
+        );
+    }
+
+    #[test]
+    fn budget_admit_rejects_oversized_input() {
+        let big = vec![0u8; 64];
+        let budget = ParseBudget { max_input: 32, ..ParseBudget::default() };
+        assert_eq!(
+            budget.admit(&big).unwrap_err(),
+            Error::BudgetExceeded { resource: "input_bytes" }
+        );
+        assert!(budget.admit(&big[..32]).is_ok());
+    }
+
+    #[test]
+    fn budgeted_reader_accepts_ordinary_input() {
+        let der = [0x30, 0x06, 0x02, 0x01, 0x05, 0x02, 0x01, 0x07];
+        let budget = ParseBudget::default().start();
+        let mut r = Reader::with_budget(&der, &budget);
+        let (a, b) = r
+            .read_sequence(|seq| {
+                let a = seq.read_expected(tags::INTEGER)?.value.to_vec();
+                let b = seq.read_expected(tags::INTEGER)?.value.to_vec();
+                Ok((a, b))
+            })
+            .unwrap();
+        r.finish().unwrap();
+        assert_eq!((a.as_slice(), b.as_slice()), (&[0x05][..], &[0x07][..]));
+        assert_eq!(budget.elements_used(), 3);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Regenerate the golden malformed-input set under
+//! `tests/vectors/malformed/` from [`unicert_chaos::vectors`].
+//!
+//! Writes one `<name>.der` per vector plus `manifest.tsv`
+//! (`file<TAB>expected_class<TAB>description`). Construction is
+//! deterministic, so rerunning is a no-op diff unless the vector
+//! definitions changed.
+//!
+//! Usage: `cargo run -p unicert-chaos --bin gen_malformed_vectors [outdir]`
+//! (default outdir: `tests/vectors/malformed`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use unicert_chaos::vectors::golden_vectors;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("gen_malformed_vectors: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let outdir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/vectors/malformed".to_string())
+        .into();
+    std::fs::create_dir_all(&outdir)
+        .map_err(|e| format!("create {}: {e}", outdir.display()))?;
+
+    let mut manifest = String::from("# file\texpected_class\tdescription\n");
+    for v in golden_vectors() {
+        let path = outdir.join(format!("{}.der", v.name));
+        std::fs::write(&path, &v.bytes)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        let _ = writeln!(
+            manifest,
+            "{}.der\t{}\t{}",
+            v.name, v.expected_class, v.description
+        );
+        println!("wrote {} ({} bytes)", path.display(), v.bytes.len());
+    }
+    let manifest_path = outdir.join("manifest.tsv");
+    std::fs::write(&manifest_path, manifest)
+        .map_err(|e| format!("write {}: {e}", manifest_path.display()))?;
+    println!("wrote {}", manifest_path.display());
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Deterministic DER fault injection (DESIGN.md §9).
+//!
+//! The robustness harness needs hostile inputs that are *reproducible*: a
+//! failing corpus must be reconstructible from `(seed, class)` alone, so a
+//! crash found in CI replays locally byte-for-byte. This crate provides
+//!
+//! * [`MutationClass`] — the taxonomy of structural damage the harness
+//!   inflicts on DER (bit flips, truncations, length inflation/deflation,
+//!   nesting bombs, oversized OIDs/strings, tag confusion, duplicated and
+//!   reordered elements);
+//! * [`Mutator`] — a seedable generator applying one class of damage to an
+//!   input, TLV-aware where the class calls for it (mutations land on real
+//!   element boundaries, not just random offsets);
+//! * [`vectors`] — the small golden set of malformed inputs checked into
+//!   `tests/vectors/malformed/`, with their expected parse-outcome classes.
+//!
+//! Mutated output is always bounded: no mutation emits more than the input
+//! plus [`mutate::MAX_GROWTH`] bytes, so a fuzz loop's memory stays flat no
+//! matter which classes it draws.
+//!
+//! Everything here is *generation* — nothing in this crate parses untrusted
+//! input, and nothing panics on any input (`unicert-analysis` audits this
+//! crate's source for panic paths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mutate;
+pub mod vectors;
+
+pub use mutate::{MutationClass, Mutator};

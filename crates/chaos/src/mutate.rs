@@ -1,0 +1,489 @@
+//! The seedable DER mutator.
+//!
+//! Structural mutations work on a lightweight TLV *site map* built by a
+//! tolerant scanner (not the strict `unicert-asn1` reader — the scanner
+//! must make progress on inputs the reader rightly rejects). Each mutation
+//! picks its target site with the mutator's own RNG, so a `(seed, class,
+//! input)` triple always produces the same output.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Upper bound on how many bytes any mutation may add to its input.
+/// Nesting bombs and oversized values stay under this so a fuzz loop's
+/// working set is `O(corpus)` regardless of the class mix.
+pub const MAX_GROWTH: usize = 64 * 1024;
+
+/// How deep the site scanner recurses into constructed elements. Deliberately
+/// above the strict reader's limit (64) so mutations can land inside
+/// structures the parser will refuse, but still bounded.
+const SCAN_DEPTH: usize = 96;
+
+/// Cap on scanned sites per input; certificates have well under a thousand.
+const MAX_SITES: usize = 4096;
+
+/// One class of structural damage.
+///
+/// The classes partition the hostile-input space the paper's measurement
+/// pipeline must survive: encoding-level corruption (bit flips, tag
+/// confusion), framing attacks (truncation, length inflation/deflation),
+/// resource attacks (nesting bombs, oversized OIDs and strings), and
+/// structure shuffling (duplicated and reordered elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MutationClass {
+    /// Flip 1–8 random bits anywhere in the input.
+    BitFlip,
+    /// Cut the input at a random offset (possibly mid-TLV).
+    Truncate,
+    /// Rewrite one element's length to claim more bytes than exist.
+    LengthInflate,
+    /// Rewrite one element's length to claim fewer bytes than it has.
+    LengthDeflate,
+    /// Replace the input with a SEQUENCE nested past the reader's depth
+    /// limit (80–200 levels).
+    NestingBomb,
+    /// Splice an OBJECT IDENTIFIER with kilobytes of non-terminating arc
+    /// continuation bytes over one element.
+    OversizedOid,
+    /// Splice a multi-kilobyte UTF8String (with invalid UTF-8 inside) over
+    /// one element.
+    OversizedString,
+    /// Replace one element's tag with a different universal tag.
+    TagConfusion,
+    /// Duplicate one element in place (parent lengths left stale).
+    DuplicateTlv,
+    /// Swap two adjacent elements (parent lengths left stale).
+    ReorderTlv,
+}
+
+impl MutationClass {
+    /// Every class, in a fixed order (the `BENCH_robustness.json` row order).
+    pub const ALL: [MutationClass; 10] = [
+        MutationClass::BitFlip,
+        MutationClass::Truncate,
+        MutationClass::LengthInflate,
+        MutationClass::LengthDeflate,
+        MutationClass::NestingBomb,
+        MutationClass::OversizedOid,
+        MutationClass::OversizedString,
+        MutationClass::TagConfusion,
+        MutationClass::DuplicateTlv,
+        MutationClass::ReorderTlv,
+    ];
+
+    /// Stable snake_case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutationClass::BitFlip => "bit_flip",
+            MutationClass::Truncate => "truncate",
+            MutationClass::LengthInflate => "length_inflate",
+            MutationClass::LengthDeflate => "length_deflate",
+            MutationClass::NestingBomb => "nesting_bomb",
+            MutationClass::OversizedOid => "oversized_oid",
+            MutationClass::OversizedString => "oversized_string",
+            MutationClass::TagConfusion => "tag_confusion",
+            MutationClass::DuplicateTlv => "duplicate_tlv",
+            MutationClass::ReorderTlv => "reorder_tlv",
+        }
+    }
+}
+
+/// One TLV element located by the tolerant scanner.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    /// Offset of the tag byte.
+    tag: usize,
+    /// Offset of the first content byte.
+    content: usize,
+    /// Declared content length in bytes.
+    content_len: usize,
+}
+
+impl Site {
+    fn end(&self) -> usize {
+        self.content.saturating_add(self.content_len)
+    }
+}
+
+/// Map the TLV elements of `der`, best-effort: the scan stops (rather than
+/// errors) at the first byte sequence it cannot frame, so already-mutated
+/// or garbage input yields whatever prefix still parses.
+fn scan(der: &[u8]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    scan_at(der, 0, der.len(), 0, &mut sites);
+    sites
+}
+
+fn scan_at(der: &[u8], mut pos: usize, end: usize, depth: usize, sites: &mut Vec<Site>) {
+    if depth > SCAN_DEPTH {
+        return;
+    }
+    while pos < end && sites.len() < MAX_SITES {
+        let Some(&tag) = der.get(pos) else { return };
+        if tag & 0x1f == 0x1f {
+            // High tag numbers: rare in certificates; treat as opaque.
+            return;
+        }
+        let len_at = pos + 1;
+        let Some(&first) = der.get(len_at) else { return };
+        let (len_octets, content_len) = if first & 0x80 == 0 {
+            (1, first as usize)
+        } else {
+            let n = (first & 0x7f) as usize;
+            if n == 0 || n > 4 {
+                return;
+            }
+            let mut value = 0usize;
+            for i in 0..n {
+                let Some(&b) = der.get(len_at + 1 + i) else { return };
+                value = (value << 8) | b as usize;
+            }
+            (1 + n, value)
+        };
+        let content = len_at + len_octets;
+        let Some(site_end) = content.checked_add(content_len) else {
+            return;
+        };
+        if site_end > end {
+            return;
+        }
+        let site = Site { tag: pos, content, content_len };
+        sites.push(site);
+        if tag & 0x20 != 0 {
+            scan_at(der, content, site_end, depth + 1, sites);
+        }
+        pos = site_end;
+    }
+}
+
+/// Minimal DER length encoding for `len`.
+fn encode_len(len: usize) -> Vec<u8> {
+    if len < 0x80 {
+        return vec![len as u8];
+    }
+    let bytes = len.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count();
+    let significant = bytes.get(skip..).unwrap_or(&[]);
+    let mut out = vec![0x80 | significant.len() as u8];
+    out.extend_from_slice(significant);
+    out
+}
+
+/// The seedable DER mutator. Same seed, same inputs, same mutation
+/// sequence — always.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    rng: SmallRng,
+}
+
+impl Mutator {
+    /// A mutator with a fixed seed.
+    pub fn new(seed: u64) -> Mutator {
+        Mutator { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Apply one mutation of `class` to `der`.
+    ///
+    /// The output is at most `der.len() + `[`MAX_GROWTH`] bytes. Classes
+    /// that need a TLV site fall back to a bit flip when the input has no
+    /// scannable structure, so every call mutates *something*.
+    pub fn mutate(&mut self, der: &[u8], class: MutationClass) -> Vec<u8> {
+        match class {
+            MutationClass::BitFlip => self.bit_flip(der),
+            MutationClass::Truncate => self.truncate(der),
+            MutationClass::LengthInflate => self.length_inflate(der),
+            MutationClass::LengthDeflate => self.length_deflate(der),
+            MutationClass::NestingBomb => self.nesting_bomb(),
+            MutationClass::OversizedOid => self.oversized_oid(der),
+            MutationClass::OversizedString => self.oversized_string(der),
+            MutationClass::TagConfusion => self.tag_confusion(der),
+            MutationClass::DuplicateTlv => self.duplicate_tlv(der),
+            MutationClass::ReorderTlv => self.reorder_tlv(der),
+        }
+    }
+
+    /// Pick a random element of `items`, or `None` when empty.
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            return None;
+        }
+        items.get(self.rng.gen_range(0..items.len()))
+    }
+
+    fn bit_flip(&mut self, der: &[u8]) -> Vec<u8> {
+        let mut out = der.to_vec();
+        if out.is_empty() {
+            // Nothing to flip: emit one random byte so the mutation is
+            // still observable.
+            return vec![self.rng.gen::<u8>()];
+        }
+        let flips = self.rng.gen_range(1..=8usize);
+        for _ in 0..flips {
+            let at = self.rng.gen_range(0..out.len());
+            let bit = self.rng.gen_range(0..8u32);
+            if let Some(b) = out.get_mut(at) {
+                *b ^= 1 << bit;
+            }
+        }
+        out
+    }
+
+    fn truncate(&mut self, der: &[u8]) -> Vec<u8> {
+        if der.is_empty() {
+            return Vec::new();
+        }
+        let cut = self.rng.gen_range(0..der.len());
+        der.get(..cut).unwrap_or(der).to_vec()
+    }
+
+    /// Rewrite `site`'s header so its length claims `new_len` bytes,
+    /// leaving the content bytes as they were.
+    fn rewrite_length(der: &[u8], site: &Site, new_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(der.len() + 8);
+        out.extend_from_slice(der.get(..site.tag + 1).unwrap_or(der));
+        out.extend_from_slice(&encode_len(new_len));
+        out.extend_from_slice(der.get(site.content..).unwrap_or(&[]));
+        out
+    }
+
+    fn length_inflate(&mut self, der: &[u8]) -> Vec<u8> {
+        let sites = scan(der);
+        let Some(site) = self.pick(&sites).copied() else {
+            return self.bit_flip(der);
+        };
+        // Anything past the real content length works; go big enough that a
+        // length-driven allocation would hurt, to prove none happens.
+        let delta = self.rng.gen_range(1..=0x7fff_0000usize);
+        let new_len = site.content_len.saturating_add(delta).min(0x7fff_ffff);
+        Self::rewrite_length(der, &site, new_len)
+    }
+
+    fn length_deflate(&mut self, der: &[u8]) -> Vec<u8> {
+        let sites = scan(der);
+        let deflatable: Vec<Site> =
+            sites.iter().filter(|s| s.content_len > 0).copied().collect();
+        let Some(site) = self.pick(&deflatable).copied() else {
+            return self.bit_flip(der);
+        };
+        let new_len = self.rng.gen_range(0..site.content_len);
+        Self::rewrite_length(der, &site, new_len)
+    }
+
+    fn nesting_bomb(&mut self) -> Vec<u8> {
+        let depth = self.rng.gen_range(80..=200usize);
+        let mut out = vec![0x02, 0x01, 0x00]; // innermost: INTEGER 0
+        for _ in 0..depth {
+            let mut wrapped = Vec::with_capacity(out.len() + 4);
+            wrapped.push(0x30);
+            wrapped.extend_from_slice(&encode_len(out.len()));
+            wrapped.extend_from_slice(&out);
+            out = wrapped;
+        }
+        out
+    }
+
+    /// Replace one whole element with `replacement` (parent lengths go
+    /// stale, which is the point).
+    fn splice_site(&mut self, der: &[u8], replacement: &[u8]) -> Vec<u8> {
+        let sites = scan(der);
+        let Some(site) = self.pick(&sites).copied() else {
+            return replacement.to_vec();
+        };
+        let mut out = Vec::with_capacity(der.len() + replacement.len());
+        out.extend_from_slice(der.get(..site.tag).unwrap_or(&[]));
+        out.extend_from_slice(replacement);
+        out.extend_from_slice(der.get(site.end()..).unwrap_or(&[]));
+        out
+    }
+
+    fn oversized_oid(&mut self, der: &[u8]) -> Vec<u8> {
+        let size = self.rng.gen_range(1024..=16 * 1024usize);
+        let mut oid = vec![0x06];
+        oid.extend_from_slice(&encode_len(size));
+        // 0xFF arcs have the continuation bit set: the value never
+        // terminates, no matter how long the parser walks.
+        oid.resize(oid.len() + size, 0xff);
+        self.splice_site(der, &oid)
+    }
+
+    fn oversized_string(&mut self, der: &[u8]) -> Vec<u8> {
+        let size = self.rng.gen_range(4 * 1024..=32 * 1024usize);
+        let mut s = vec![0x0c]; // UTF8String
+        s.extend_from_slice(&encode_len(size));
+        // Lone continuation bytes: maximally invalid UTF-8.
+        s.resize(s.len() + size, 0x80);
+        self.splice_site(der, &s)
+    }
+
+    fn tag_confusion(&mut self, der: &[u8]) -> Vec<u8> {
+        const POOL: [u8; 12] =
+            [0x02, 0x03, 0x04, 0x05, 0x06, 0x0c, 0x13, 0x16, 0x17, 0x30, 0x31, 0xa0];
+        let sites = scan(der);
+        let Some(site) = self.pick(&sites).copied() else {
+            return self.bit_flip(der);
+        };
+        let mut out = der.to_vec();
+        if let Some(tag) = out.get_mut(site.tag) {
+            let old = *tag;
+            let mut new = old;
+            while new == old {
+                new = *self.pick(&POOL).unwrap_or(&0x02);
+            }
+            *tag = new;
+        }
+        out
+    }
+
+    fn duplicate_tlv(&mut self, der: &[u8]) -> Vec<u8> {
+        let sites = scan(der);
+        let Some(site) = self.pick(&sites).copied() else {
+            return self.bit_flip(der);
+        };
+        let element = der.get(site.tag..site.end()).unwrap_or(&[]);
+        let mut out = Vec::with_capacity(der.len() + element.len());
+        out.extend_from_slice(der.get(..site.end()).unwrap_or(der));
+        out.extend_from_slice(element);
+        out.extend_from_slice(der.get(site.end()..).unwrap_or(&[]));
+        out
+    }
+
+    fn reorder_tlv(&mut self, der: &[u8]) -> Vec<u8> {
+        let sites = scan(der);
+        // Adjacent elements (a ends exactly where b starts) are siblings.
+        let pairs: Vec<(Site, Site)> = sites
+            .iter()
+            .flat_map(|a| {
+                sites
+                    .iter()
+                    .filter(move |b| a.end() == b.tag)
+                    .map(move |b| (*a, *b))
+            })
+            .collect();
+        let Some((a, b)) = self.pick(&pairs).copied() else {
+            return self.bit_flip(der);
+        };
+        let mut out = Vec::with_capacity(der.len());
+        out.extend_from_slice(der.get(..a.tag).unwrap_or(&[]));
+        out.extend_from_slice(der.get(b.tag..b.end()).unwrap_or(&[]));
+        out.extend_from_slice(der.get(a.tag..a.end()).unwrap_or(&[]));
+        out.extend_from_slice(der.get(b.end()..).unwrap_or(&[]));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::{DateTime, ParseBudget};
+    use unicert_x509::{Certificate, CertificateBuilder, SimKey};
+
+    fn sample() -> Vec<u8> {
+        CertificateBuilder::new()
+            .serial(&[0x0a, 0x0b, 0x0c])
+            .subject_cn("example.com")
+            .issuer_org("Chaos CA")
+            .validity_days(DateTime::date(2024, 1, 1).unwrap(), 90)
+            .add_dns_san("example.com")
+            .build_signed(&SimKey::from_seed("Chaos CA"))
+            .raw
+    }
+
+    #[test]
+    fn same_seed_same_mutations() {
+        let der = sample();
+        for class in MutationClass::ALL {
+            let a = Mutator::new(99).mutate(&der, class);
+            let b = Mutator::new(99).mutate(&der, class);
+            assert_eq!(a, b, "{}", class.label());
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let der = sample();
+        let a = Mutator::new(1).mutate(&der, MutationClass::BitFlip);
+        let b = Mutator::new(2).mutate(&der, MutationClass::BitFlip);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        let der = sample();
+        let mut m = Mutator::new(7);
+        for class in MutationClass::ALL {
+            for _ in 0..50 {
+                let out = m.mutate(&der, class);
+                assert!(
+                    out.len() <= der.len() + MAX_GROWTH,
+                    "{} grew to {}",
+                    class.label(),
+                    out.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_class_changes_the_input() {
+        let der = sample();
+        let mut m = Mutator::new(13);
+        for class in MutationClass::ALL {
+            let out = m.mutate(&der, class);
+            assert_ne!(out, der, "{}", class.label());
+        }
+    }
+
+    #[test]
+    fn mutated_certs_parse_or_fail_without_panic() {
+        let der = sample();
+        let budget = ParseBudget::default();
+        let mut m = Mutator::new(42);
+        for class in MutationClass::ALL {
+            for _ in 0..200 {
+                let hostile = m.mutate(&der, class);
+                // Err or Ok both fine; reaching the next iteration is the
+                // assertion (no panic, no runaway allocation).
+                let _ = Certificate::parse_der_budgeted(&hostile, &budget);
+            }
+        }
+    }
+
+    #[test]
+    fn nesting_bomb_is_rejected_bounded() {
+        let mut m = Mutator::new(5);
+        let bomb = m.mutate(&[], MutationClass::NestingBomb);
+        let err = Certificate::parse_der_budgeted(&bomb, &ParseBudget::default()).unwrap_err();
+        // Certificate parsing walks nested readers; the depth limit (or the
+        // element budget) must fire before the stack does.
+        assert!(
+            matches!(err.class(), "depth_exceeded" | "budget" | "bad_tag"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn inflated_length_never_allocates_past_input() {
+        let der = sample();
+        let mut m = Mutator::new(3);
+        for _ in 0..100 {
+            let hostile = m.mutate(&der, MutationClass::LengthInflate);
+            // The reader's admit_length guard turns any length that
+            // outruns the input into UnexpectedEof before any allocation
+            // sized from it.
+            let _ = Certificate::parse_der_budgeted(&hostile, &ParseBudget::default());
+        }
+    }
+
+    #[test]
+    fn scanner_tolerates_garbage() {
+        let mut m = Mutator::new(17);
+        for _ in 0..100 {
+            let garbage: Vec<u8> = (0..64).map(|_| m.rng.gen()).collect();
+            for class in MutationClass::ALL {
+                let _ = m.mutate(&garbage, class);
+            }
+        }
+        let _ = m.mutate(&[], MutationClass::ReorderTlv);
+        let _ = m.mutate(&[0x30], MutationClass::DuplicateTlv);
+    }
+}

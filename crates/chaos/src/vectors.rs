@@ -1,0 +1,130 @@
+//! The golden malformed-input set.
+//!
+//! Five canonical hostile inputs, one per major failure family, checked
+//! into `tests/vectors/malformed/` with a `manifest.tsv` of their expected
+//! [`ParseOutcome`](unicert_asn1::Error::class) classes. The
+//! `gen_malformed_vectors` binary regenerates the files from this module;
+//! `tests/malformed_vectors.rs` asserts the pipeline classifies each one
+//! as the manifest says, so the parser's failure taxonomy cannot drift
+//! silently.
+//!
+//! Construction is fully deterministic (fixed builder inputs, fixed
+//! depths, no RNG) — regenerating the vectors is always a no-op diff.
+
+use unicert_asn1::DateTime;
+use unicert_x509::{CertificateBuilder, SimKey};
+
+/// One golden malformed input.
+#[derive(Debug, Clone)]
+pub struct GoldenVector {
+    /// File stem under `tests/vectors/malformed/` (`<name>.der`).
+    pub name: &'static str,
+    /// What the input is, for the manifest comment column.
+    pub description: &'static str,
+    /// Expected `ParseOutcome` class when fed to the survey's raw-DER path.
+    pub expected_class: &'static str,
+    /// The input bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A well-formed certificate to deface: fixed inputs, so the derived
+/// vectors are stable across regenerations.
+fn base_cert_der() -> Vec<u8> {
+    CertificateBuilder::new()
+        .serial(&[0x01, 0x02, 0x03, 0x04])
+        .subject_cn("malformed.example")
+        .issuer_org("Golden Vector CA")
+        .validity_days(
+            DateTime { year: 2024, month: 1, day: 1, hour: 0, minute: 0, second: 0 },
+            90,
+        )
+        .add_dns_san("malformed.example")
+        .build_signed(&SimKey::from_seed("Golden Vector CA"))
+        .raw
+}
+
+/// The full golden set, in manifest order.
+pub fn golden_vectors() -> Vec<GoldenVector> {
+    let cert = base_cert_der();
+
+    let truncated = cert.get(..cert.len() / 2).unwrap_or(&cert).to_vec();
+
+    // 100 SEQUENCE shells around an INTEGER: past the reader's depth limit.
+    let mut depth_bomb = vec![0x02, 0x01, 0x00];
+    for _ in 0..100 {
+        let mut wrapped = Vec::with_capacity(depth_bomb.len() + 4);
+        wrapped.push(0x30);
+        if depth_bomb.len() < 0x80 {
+            wrapped.push(depth_bomb.len() as u8);
+        } else {
+            wrapped.push(0x82);
+            wrapped.extend_from_slice(&(depth_bomb.len() as u16).to_be_bytes());
+        }
+        wrapped.extend_from_slice(&depth_bomb);
+        depth_bomb = wrapped;
+    }
+
+    // The real certificate with its outer length inflated to ~2 GiB: the
+    // declared length outruns the input by orders of magnitude.
+    let mut inflated = vec![0x30, 0x84, 0x7f, 0xff, 0xff, 0xff];
+    inflated.extend_from_slice(cert.get(2..).unwrap_or(&[]));
+
+    vec![
+        GoldenVector {
+            name: "empty",
+            description: "zero-byte input",
+            expected_class: "truncated",
+            bytes: Vec::new(),
+        },
+        GoldenVector {
+            name: "garbage",
+            description: "non-DER byte noise",
+            expected_class: "bad_length",
+            bytes: vec![0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef],
+        },
+        GoldenVector {
+            name: "truncated_cert",
+            description: "valid certificate cut at 50%",
+            expected_class: "truncated",
+            bytes: truncated,
+        },
+        GoldenVector {
+            name: "depth_bomb",
+            description: "SEQUENCE nested 100 deep",
+            expected_class: "bad_tag",
+            bytes: depth_bomb,
+        },
+        GoldenVector {
+            name: "inflated_tlv",
+            description: "outer TLV length claims ~2 GiB",
+            expected_class: "truncated",
+            bytes: inflated,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::ParseBudget;
+    use unicert_x509::Certificate;
+
+    #[test]
+    fn vectors_are_deterministic() {
+        let a = golden_vectors();
+        let b = golden_vectors();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes, y.bytes, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn expected_classes_match_the_parser() {
+        let budget = ParseBudget::default();
+        for v in golden_vectors() {
+            let err = Certificate::parse_der_budgeted(&v.bytes, &budget)
+                .expect_err(&format!("{} must not parse", v.name));
+            assert_eq!(err.class(), v.expected_class, "{}: {err:?}", v.name);
+        }
+    }
+}

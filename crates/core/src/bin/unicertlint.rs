@@ -36,7 +36,10 @@ fn demo_certificate() -> Certificate {
         .subject_attr_raw(known::organization_name(), StringKind::Utf8, b"Demo\x00Org")
         .add_dns_san("demo.example")
         .add_dns_san("xn--www-hn0a.demo.example")
-        .validity_days(DateTime::date(2024, 6, 1).expect("static"), 90)
+        .validity_days(
+            DateTime { year: 2024, month: 6, day: 1, hour: 0, minute: 0, second: 0 },
+            90,
+        )
         .build_signed(&SimKey::from_seed("demo-ca"))
 }
 

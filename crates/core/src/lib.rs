@@ -36,4 +36,4 @@ pub use unicert_unicode as unicode;
 pub use unicert_x509 as x509;
 
 pub use classify::UnicertClass;
-pub use survey::{SurveyOptions, SurveyReport};
+pub use survey::{ParseOutcome, QuarantineEntry, SurveyOptions, SurveyReport};

@@ -11,9 +11,70 @@
 //! corpus generation, which owns a single RNG stream) while parallelizing
 //! *consumption* (classification + linting, the dominant cost at corpus
 //! scale).
+//!
+//! # Panic guarantee
+//!
+//! A panicking task can never hang, deadlock, or silently corrupt the pool:
+//!
+//! * every task runs under [`std::panic::catch_unwind`], so a panic is
+//!   contained to the item that raised it — sibling workers keep their
+//!   locks usable and drain cleanly;
+//! * [`try_map_ordered`] reports the panic as a [`WorkerPanic`] value
+//!   carrying the **lowest** panicking item index and its payload — the
+//!   choice of survivor is deterministic even when several items panic
+//!   concurrently on different workers;
+//! * [`map_ordered`] keeps its historical contract (a worker panic
+//!   propagates to the caller) but via the same contained path: it joins
+//!   all workers first, then re-raises with the item index and payload in
+//!   the message. No result is ever returned from a poisoned run, and the
+//!   pool remains usable for subsequent calls.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// A task panic captured by the pool.
+///
+/// `index` is the 0-based position of the panicking item in the input
+/// stream; when multiple items panic in one run, the lowest index wins so
+/// the reported failure is independent of scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// 0-based input index of the item whose task panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads verbatim,
+    /// anything else a fixed placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool task for item {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Stringify a `catch_unwind` payload without re-panicking.
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record `panic` into the shared slot, keeping the lowest item index.
+fn record_panic(slot: &Mutex<Option<WorkerPanic>>, panic: WorkerPanic) {
+    if let Ok(mut current) = slot.lock() {
+        match current.as_ref() {
+            Some(existing) if existing.index <= panic.index => {}
+            _ => *current = Some(panic),
+        }
+    }
+}
 
 /// Pre-resolved telemetry handles for one pool worker (DESIGN.md §8):
 /// task count, busy nanoseconds, and the shared source-wait histogram.
@@ -45,8 +106,10 @@ fn nanos(since: Instant) -> u64 {
 /// input order.
 ///
 /// With `threads <= 1` the map runs inline on the calling thread — the
-/// degenerate pool is exactly the serial loop. Worker panics propagate to
-/// the caller once the scope joins.
+/// degenerate pool is exactly the serial loop. A panicking task makes this
+/// function panic with the item's index and payload, **after** every worker
+/// has drained cleanly (see the module docs); callers that need to survive
+/// hostile tasks use [`try_map_ordered`].
 ///
 /// With metrics enabled the pool records per-worker task counts and busy
 /// time, source-wait and task-execution histograms, and the overall wall
@@ -60,29 +123,66 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    match try_map_ordered(items, threads, map) {
+        Ok(results) => results,
+        // Re-raise the contained panic in the caller's thread. The message
+        // carries the deterministic (lowest-index) failure.
+        Err(worker_panic) => panic!("{worker_panic}"), // analysis:allow(panic_macro) re-raising a caught worker-task panic preserves map_ordered's propagation contract
+    }
+}
+
+/// Like [`map_ordered`], but a panicking task yields `Err(WorkerPanic)`
+/// instead of unwinding the caller.
+///
+/// Every task runs under `catch_unwind`; a panic is recorded and the pool
+/// keeps draining the remaining items, joins all workers, and returns the
+/// panic with the **lowest** input index — deterministic under any
+/// scheduling, because every item is always attempted. The pool itself —
+/// locks, telemetry, the shared source — remains fully usable afterwards;
+/// no partially mapped results are returned.
+pub fn try_map_ordered<I, T, R, F>(items: I, threads: usize, map: F) -> Result<Vec<R>, WorkerPanic>
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     if threads <= 1 {
-        return items.map(map).collect();
+        let mut out = Vec::new();
+        for (index, item) in items.enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| map(item))) {
+                Ok(result) => out.push(result),
+                Err(payload) => {
+                    return Err(WorkerPanic { index, payload: payload_string(payload.as_ref()) })
+                }
+            }
+        }
+        return Ok(out);
     }
 
     let instrumented = unicert_telemetry::metrics_enabled();
     let wall = instrumented.then(Instant::now);
     let source = Mutex::new(items.enumerate());
     let results = Mutex::new(Vec::new());
+    let first_panic: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     let map = &map;
     std::thread::scope(|scope| {
         for worker in 0..threads {
             let source = &source;
             let results = &results;
+            let first_panic = &first_panic;
             scope.spawn(move || {
                 let instruments = instrumented.then(|| WorkerInstruments::resolve(worker));
                 let _span = unicert_telemetry::span!("pool.worker", "{worker}");
                 loop {
                     // Hold the source lock only while pulling the next
-                    // item; a poisoned lock means a sibling worker
-                    // panicked, so stop and let the scope propagate its
-                    // panic. The wait histogram covers lock acquisition
+                    // item. The wait histogram covers lock acquisition
                     // plus the pull itself — for a streaming survey that
-                    // is exactly the serialized producer cost.
+                    // is exactly the serialized producer cost. The source
+                    // lock cannot be poisoned by a task panic (tasks run
+                    // outside it, under catch_unwind), so Err here only
+                    // means the producer iterator itself panicked — treat
+                    // it as end of input.
                     let wait_start = instruments.as_ref().map(|_| Instant::now());
                     let next = match source.lock() {
                         Ok(mut it) => it.next(),
@@ -95,7 +195,7 @@ where
                     let task_span =
                         unicert_telemetry::span!(verbose: "pool.task", "{index}");
                     let exec_start = instruments.as_ref().map(|_| Instant::now());
-                    let out = map(item);
+                    let out = catch_unwind(AssertUnwindSafe(|| map(item)));
                     drop(task_span);
                     if let (Some(ins), Some(started)) = (&instruments, exec_start) {
                         let elapsed = nanos(started);
@@ -103,9 +203,19 @@ where
                         ins.busy_nanos.add(elapsed);
                         ins.task_exec.record(elapsed);
                     }
-                    match results.lock() {
-                        Ok(mut done) => done.push((index, out)),
-                        Err(_) => break,
+                    match out {
+                        Ok(out) => match results.lock() {
+                            Ok(mut done) => done.push((index, out)),
+                            Err(_) => break,
+                        },
+                        // Record the panic and keep draining: running the
+                        // remaining items guarantees the lowest panicking
+                        // index is always the one observed, regardless of
+                        // which worker pulled what first.
+                        Err(payload) => record_panic(
+                            first_panic,
+                            WorkerPanic { index, payload: payload_string(payload.as_ref()) },
+                        ),
                     }
                 }
             });
@@ -117,14 +227,34 @@ where
         registry.gauge("pool.threads", "").set(threads as u64);
     }
 
+    if let Ok(mut slot) = first_panic.lock() {
+        if let Some(worker_panic) = slot.take() {
+            return Err(worker_panic);
+        }
+    }
     let mut collected = match results.into_inner() {
         Ok(v) => v,
-        // Unreachable in practice: a worker panic re-raises at scope join
-        // above. Recover the data rather than panic again.
+        // Unreachable in practice: tasks run under catch_unwind, so the
+        // results lock is only ever held across a push. Recover the data
+        // rather than panic again.
         Err(poisoned) => poisoned.into_inner(),
     };
     collected.sort_by_key(|&(index, _)| index);
-    collected.into_iter().map(|(_, out)| out).collect()
+    Ok(collected.into_iter().map(|(_, out)| out).collect())
+}
+
+/// Run `f` with the default panic hook silenced, restoring it after.
+/// Panic-injection tests (here and in `survey`) deliberately unwind;
+/// without this the test log fills with expected backtraces.
+#[cfg(test)]
+pub(crate) fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    // The hook is process-global: serialize the tests that touch it.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = HOOK_LOCK.lock();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    let _ = std::panic::take_hook();
+    out
 }
 
 #[cfg(test)]
@@ -147,6 +277,69 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = map_ordered(std::iter::empty::<u32>(), 4, |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_task_surfaces_as_error_not_hang() {
+        quiet_panics(|| {
+            for threads in [1, 2, 4, 8] {
+                let err = try_map_ordered(0..100u32, threads, |x| {
+                    if x % 10 == 7 {
+                        panic!("injected failure on {x}");
+                    }
+                    x * 2
+                })
+                .unwrap_err();
+                // Lowest panicking item wins deterministically: item 7.
+                assert_eq!(err.index, 7, "threads={threads}");
+                assert_eq!(err.payload, "injected failure on 7", "threads={threads}");
+            }
+        });
+    }
+
+    #[test]
+    fn map_ordered_propagates_contained_panic_and_pool_survives() {
+        quiet_panics(|| {
+            let result = std::panic::catch_unwind(|| {
+                map_ordered(0..50u32, 4, |x| {
+                    if x == 13 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            });
+            let payload = result.unwrap_err();
+            let message = payload_string(payload.as_ref());
+            assert!(message.contains("item 13"), "{message}");
+            assert!(message.contains("boom"), "{message}");
+            // The pool (and the process) survive: a fresh run on the same
+            // thread works and is fully ordered.
+            let out = map_ordered(0..100usize, 4, |x| x + 1);
+            assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn try_map_ordered_matches_map_ordered_on_clean_input() {
+        for threads in [1, 3, 8] {
+            let ok = try_map_ordered(0..500usize, threads, |x| x * 3).unwrap();
+            assert_eq!(ok, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        quiet_panics(|| {
+            let err = try_map_ordered(0..4u32, 2, |x| {
+                if x == 2 {
+                    std::panic::panic_any(vec![1u8, 2, 3]);
+                }
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 2);
+            assert_eq!(err.payload, "non-string panic payload");
+        });
     }
 
     #[test]

@@ -5,11 +5,82 @@
 //! 2, 3 and 4 need.
 
 use crate::classify;
+use crate::pool::payload_string;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
-use unicert_asn1::DateTime;
-use unicert_corpus::{CorpusEntry, TrustStatus};
+use unicert_asn1::{DateTime, ParseBudget};
+use unicert_corpus::{CertMeta, CorpusEntry, TrustStatus};
 use unicert_lint::{NoncomplianceType, RunOptions, Severity};
+use unicert_x509::Certificate;
+
+/// Outcome taxonomy for one raw-DER input fed to the hostile-input survey
+/// path ([`run_bytes`] / [`run_parallel_bytes`]).
+///
+/// Every input lands in exactly one class; [`SurveyReport::parse_outcomes`]
+/// histograms the classes and the `parse.outcome{class}` telemetry counters
+/// mirror them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// Parsed into a [`Certificate`] and continued through the pipeline.
+    Ok,
+    /// Rejected with a structural error; carries the coarse error class
+    /// from [`unicert_asn1::Error::class`] (`"truncated"`, `"bad_tag"`,
+    /// `"bad_length"`, …).
+    Malformed(&'static str),
+    /// Rejected because a [`ParseBudget`] resource ran out.
+    Oversized,
+    /// Rejected because nesting exceeded the reader's depth limit.
+    DepthExceeded,
+    /// The parser (or metadata inference) panicked; the input was
+    /// quarantined instead of taking the process down.
+    Quarantined,
+}
+
+impl ParseOutcome {
+    /// Stable lowercase label for report keys and telemetry.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ParseOutcome::Ok => "ok",
+            ParseOutcome::Malformed(class) => class,
+            ParseOutcome::Oversized => "oversized",
+            ParseOutcome::DepthExceeded => "depth_exceeded",
+            ParseOutcome::Quarantined => "quarantined",
+        }
+    }
+
+    /// Map a parse error into its outcome class.
+    pub fn from_error(e: &unicert_asn1::Error) -> ParseOutcome {
+        match e {
+            unicert_asn1::Error::BudgetExceeded { .. } => ParseOutcome::Oversized,
+            unicert_asn1::Error::DepthExceeded { .. } => ParseOutcome::DepthExceeded,
+            _ => ParseOutcome::Malformed(e.class()),
+        }
+    }
+}
+
+/// One certificate the pipeline refused to let panic: the stage that blew
+/// up was contained with [`catch_unwind`] and the certificate's aggregates
+/// were left out of the report (all-or-nothing per certificate — a
+/// quarantined cert still counts in `entries`/`total` but contributes to no
+/// other aggregate).
+///
+/// `index` is the zero-based position in the input stream, so quarantine
+/// lists from sharded runs merge (in shard order) into exactly the serial
+/// list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Zero-based position of the certificate in the input stream.
+    pub index: u64,
+    /// Certificate identity: lowercase-hex serial number, or `#<index>`
+    /// when the input never parsed far enough to have one.
+    pub cert_id: String,
+    /// Pipeline stage that panicked: `"parse"`, `"classify"`, `"lint"`, or
+    /// `"field_matrix"`.
+    pub stage: &'static str,
+    /// Stringified panic payload.
+    pub detail: String,
+}
 
 /// Pre-resolved per-stage latency histograms for the survey hot loop
 /// (`survey.stage_ns{classify|lint|aggregate|field_matrix}`, DESIGN.md §8).
@@ -163,6 +234,12 @@ pub struct SurveyReport {
     /// internationalized content (Figure 4's heat map), alongside how many
     /// of those deviate from the standards.
     pub field_matrix: BTreeMap<(String, &'static str), (usize, usize)>,
+    /// Certificates whose processing panicked, contained per cert (stream
+    /// order; identical for serial and sharded runs).
+    pub quarantine: Vec<QuarantineEntry>,
+    /// [`ParseOutcome::class`] → count, for inputs fed through the raw-DER
+    /// path ([`run_bytes`]); empty for pre-parsed corpus runs.
+    pub parse_outcomes: BTreeMap<&'static str, usize>,
 }
 
 /// Survey options.
@@ -272,7 +349,43 @@ impl SurveyReport {
             c.0 += total;
             c.1 += nc;
         }
+        // Entries carry global stream indexes; shard-order concatenation
+        // therefore reproduces the serial quarantine list exactly.
+        self.quarantine.extend(other.quarantine);
+        for (class, n) in other.parse_outcomes {
+            *self.parse_outcomes.entry(class).or_default() += n;
+        }
     }
+}
+
+/// Record a contained panic: one [`QuarantineEntry`] plus (metrics on) a
+/// `survey.quarantined{stage}` tick. Telemetry stays inert — the counter
+/// mirrors the report, never feeds it.
+fn push_quarantine(
+    report: &mut SurveyReport,
+    index: u64,
+    cert_id: String,
+    stage: &'static str,
+    detail: String,
+) {
+    if unicert_telemetry::metrics_enabled() {
+        unicert_telemetry::global().counter("survey.quarantined", stage).inc();
+    }
+    report.quarantine.push(QuarantineEntry { index, cert_id, stage, detail });
+}
+
+/// Lowercase-hex serial number — the quarantine `cert_id` for a parsed
+/// certificate.
+fn hex_serial(serial: &[u8]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(serial.len() * 2);
+    for b in serial {
+        let _ = write!(s, "{b:02x}");
+    }
+    if s.is_empty() {
+        s.push_str("(empty serial)");
+    }
+    s
 }
 
 /// Fold one corpus entry into `report` — the shared kernel of the serial
@@ -282,9 +395,20 @@ impl SurveyReport {
 /// histograms; the stage blocks below are contiguous so consecutive
 /// timestamps partition the whole per-certificate cost. Telemetry never
 /// feeds back into `report` — the fold is byte-identical with or without it.
+///
+/// # Panic quarantine
+///
+/// The fallible stages — classification, linting, and the field-matrix
+/// scan — run under [`catch_unwind`] *before* any of their results touch
+/// the report. A panic in any stage quarantines the certificate: one
+/// [`QuarantineEntry`] is recorded (against `index`, the certificate's
+/// global stream position) and **no** aggregate beyond `entries`/`total`
+/// changes, so one hostile certificate never skews another's statistics
+/// and serial/sharded runs stay byte-identical.
 fn accumulate(
     report: &mut SurveyReport,
     registry: &unicert_lint::Registry,
+    index: u64,
     entry: &CorpusEntry,
     opts: &SurveyOptions,
     telemetry: Option<&mut ShardTelemetry>,
@@ -305,7 +429,51 @@ fn accumulate(
     // per-lint latency histograms: untimed certificates pay no clock reads.
     let timed = tally.as_ref().is_some_and(|t| t.will_time_next());
     let mut stamp = timed.then(Instant::now);
-    let class = classify::classify(&entry.cert);
+
+    let class = match catch_unwind(AssertUnwindSafe(|| classify::classify(&entry.cert))) {
+        Ok(class) => class,
+        Err(payload) => {
+            let id = hex_serial(&entry.cert.tbs.serial);
+            return push_quarantine(report, index, id, "classify", payload_string(&*payload));
+        }
+    };
+    stage_mark(&mut stamp, stages.map(|s| &s.classify));
+
+    let lint_run = catch_unwind(AssertUnwindSafe(|| match tally {
+        Some(tally) => registry.run_tallied(&entry.cert, opts.lint, tally),
+        None => registry.run(&entry.cert, opts.lint),
+    }));
+    let lint_report = match lint_run {
+        Ok(lint_report) => lint_report,
+        Err(payload) => {
+            let id = hex_serial(&entry.cert.tbs.serial);
+            return push_quarantine(report, index, id, "lint", payload_string(&*payload));
+        }
+    };
+    let nc = lint_report.is_noncompliant();
+    stage_mark(&mut stamp, stages.map(|s| &s.lint));
+
+    let marks = if opts.field_matrix {
+        match catch_unwind(AssertUnwindSafe(|| field_matrix_marks(entry))) {
+            Ok(marks) => Some(marks),
+            Err(payload) => {
+                let id = hex_serial(&entry.cert.tbs.serial);
+                return push_quarantine(
+                    report,
+                    index,
+                    id,
+                    "field_matrix",
+                    payload_string(&*payload),
+                );
+            }
+        }
+    } else {
+        None
+    };
+    stage_mark(&mut stamp, stages.map(|s| &s.field_matrix));
+
+    // All fallible stages succeeded — from here on the fold is pure
+    // aggregation and the certificate lands in the report atomically.
     if class.is_idn_cert() {
         report.idn_certs += 1;
     }
@@ -319,14 +487,6 @@ fn accumulate(
     let recent = issued.year >= RECENT_FROM;
     let alive_now = expires.year >= ALIVE_FROM && issued <= SURVEY_CUTOFF;
     let validity_days = entry.cert.tbs.validity.period_days();
-    stage_mark(&mut stamp, stages.map(|s| &s.classify));
-
-    let lint_report = match tally {
-        Some(tally) => registry.run_tallied(&entry.cert, opts.lint, tally),
-        None => registry.run(&entry.cert, opts.lint),
-    };
-    let nc = lint_report.is_noncompliant();
-    stage_mark(&mut stamp, stages.map(|s| &s.lint));
 
     // Figure 3 samples.
     if nc {
@@ -421,23 +581,34 @@ fn accumulate(
             *report.by_lint.entry(f.lint).or_default() += 1;
         }
     }
-    stage_mark(&mut stamp, stages.map(|s| &s.aggregate));
 
     // Figure 4 matrix.
-    if opts.field_matrix {
-        collect_field_matrix(report, entry, nc);
-        stage_mark(&mut stamp, stages.map(|s| &s.field_matrix));
+    if let Some(marks) = marks {
+        apply_field_matrix(report, &entry.meta.issuer_org, nc, &marks);
     }
+    stage_mark(&mut stamp, stages.map(|s| &s.aggregate));
 }
 
 /// Run the survey over a corpus stream on the calling thread.
 pub fn run(entries: impl Iterator<Item = CorpusEntry>, opts: SurveyOptions) -> SurveyReport {
-    let registry = unicert_corpus::lint_registry();
+    run_with(unicert_corpus::lint_registry(), entries, opts)
+}
+
+/// [`run`] with an explicit lint registry.
+///
+/// The default paths share the process-wide registry; this entry point
+/// exists for fault-injection tests that register deliberately panicking
+/// lints without contaminating the shared registry.
+pub fn run_with(
+    registry: &unicert_lint::Registry,
+    entries: impl Iterator<Item = CorpusEntry>,
+    opts: SurveyOptions,
+) -> SurveyReport {
     let mut telemetry = ShardTelemetry::if_enabled(registry);
     let _span = unicert_telemetry::span!("survey.run");
     let mut report = SurveyReport::default();
-    for entry in entries {
-        accumulate(&mut report, registry, &entry, &opts, telemetry.as_mut());
+    for (index, entry) in entries.enumerate() {
+        accumulate(&mut report, registry, index as u64, &entry, &opts, telemetry.as_mut());
     }
     ShardTelemetry::flush(telemetry, registry);
     report
@@ -472,8 +643,16 @@ pub fn run_parallel(
             unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.entries.len());
         let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut shard = SurveyReport::default();
-        for entry in &chunk.entries {
-            accumulate(&mut shard, registry, entry, &opts, telemetry.as_mut());
+        let base = chunk.index as u64 * shard_size as u64;
+        for (offset, entry) in chunk.entries.iter().enumerate() {
+            accumulate(
+                &mut shard,
+                registry,
+                base + offset as u64,
+                entry,
+                &opts,
+                telemetry.as_mut(),
+            );
         }
         ShardTelemetry::flush(telemetry, registry);
         shard
@@ -487,14 +666,23 @@ pub fn run_parallel(
 /// sub-slices (`slice.chunks()`), so there is no producer serialization at
 /// all — this is the path the throughput benchmark measures.
 pub fn run_parallel_slice(entries: &[CorpusEntry], opts: SurveyOptions) -> SurveyReport {
-    let registry = unicert_corpus::lint_registry();
+    run_parallel_slice_with(unicert_corpus::lint_registry(), entries, opts)
+}
+
+/// [`run_parallel_slice`] with an explicit lint registry — the sharded
+/// counterpart of [`run_with`], for fault-injection tests.
+pub fn run_parallel_slice_with(
+    registry: &unicert_lint::Registry,
+    entries: &[CorpusEntry],
+    opts: SurveyOptions,
+) -> SurveyReport {
     let threads = opts.lint.effective_threads();
     if threads <= 1 {
         let _span = unicert_telemetry::span!("survey.run_parallel_slice", "threads=1");
         let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut report = SurveyReport::default();
-        for entry in entries {
-            accumulate(&mut report, registry, entry, &opts, telemetry.as_mut());
+        for (index, entry) in entries.iter().enumerate() {
+            accumulate(&mut report, registry, index as u64, entry, &opts, telemetry.as_mut());
         }
         ShardTelemetry::flush(telemetry, registry);
         return report;
@@ -502,12 +690,136 @@ pub fn run_parallel_slice(entries: &[CorpusEntry], opts: SurveyOptions) -> Surve
     let _span =
         unicert_telemetry::span!("survey.run_parallel_slice", "threads={threads}");
     let shard_size = opts.lint.effective_shard_size();
-    let shards = crate::pool::map_ordered(entries.chunks(shard_size), threads, |chunk| {
+    let chunks = entries.chunks(shard_size).enumerate();
+    let shards = crate::pool::map_ordered(chunks, threads, |(chunk_idx, chunk)| {
         let _span = unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.len());
         let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut shard = SurveyReport::default();
-        for entry in chunk {
-            accumulate(&mut shard, registry, entry, &opts, telemetry.as_mut());
+        let base = chunk_idx as u64 * shard_size as u64;
+        for (offset, entry) in chunk.iter().enumerate() {
+            accumulate(
+                &mut shard,
+                registry,
+                base + offset as u64,
+                entry,
+                &opts,
+                telemetry.as_mut(),
+            );
+        }
+        ShardTelemetry::flush(telemetry, registry);
+        shard
+    });
+    merge_in_order(shards)
+}
+
+/// Fold one raw DER input into `report` — the kernel of the hostile-input
+/// survey paths [`run_bytes`] / [`run_parallel_bytes`].
+///
+/// Parsing (plus metadata inference) runs under the certificate's
+/// [`ParseBudget`] and inside [`catch_unwind`]; the input lands in exactly
+/// one [`ParseOutcome`] class in `report.parse_outcomes` (and, metrics on,
+/// one `parse.outcome{class}` tick). Only inputs that parse continue into
+/// [`accumulate`].
+fn accumulate_bytes(
+    report: &mut SurveyReport,
+    registry: &unicert_lint::Registry,
+    index: u64,
+    der: &[u8],
+    opts: &SurveyOptions,
+    budget: &ParseBudget,
+    telemetry: Option<&mut ShardTelemetry>,
+) {
+    let parsed = catch_unwind(AssertUnwindSafe(|| {
+        Certificate::parse_der_budgeted(der, budget).map(|cert| {
+            let meta = CertMeta::inferred(&cert);
+            CorpusEntry { cert, meta }
+        })
+    }));
+    let class = match &parsed {
+        Err(_) => ParseOutcome::Quarantined.class(),
+        Ok(Err(e)) => ParseOutcome::from_error(e).class(),
+        Ok(Ok(_)) => ParseOutcome::Ok.class(),
+    };
+    *report.parse_outcomes.entry(class).or_default() += 1;
+    if unicert_telemetry::metrics_enabled() {
+        unicert_telemetry::global().counter("parse.outcome", class).inc();
+    }
+    match parsed {
+        Err(payload) => {
+            report.entries += 1;
+            let detail = payload_string(&*payload);
+            push_quarantine(report, index, format!("#{index}"), "parse", detail);
+        }
+        Ok(Err(_)) => {
+            // Rejected with a structural error: counted above, nothing to
+            // survey. Still an inspected entry.
+            report.entries += 1;
+        }
+        Ok(Ok(entry)) => {
+            accumulate(report, registry, index, &entry, opts, telemetry);
+        }
+    }
+}
+
+/// Run the survey over raw DER inputs on the calling thread.
+///
+/// This is the hostile-input entry point: every input is parsed under
+/// `budget`, classified into [`SurveyReport::parse_outcomes`], and — only
+/// if it parses — surveyed like a corpus entry (with metadata inferred
+/// from the certificate itself via [`CertMeta::inferred`]). No input can
+/// panic the process: parse-stage panics quarantine with stage `"parse"`
+/// and a `#<index>` cert id.
+pub fn run_bytes(ders: &[Vec<u8>], opts: SurveyOptions, budget: &ParseBudget) -> SurveyReport {
+    let registry = unicert_corpus::lint_registry();
+    let mut telemetry = ShardTelemetry::if_enabled(registry);
+    let _span = unicert_telemetry::span!("survey.run_bytes");
+    let mut report = SurveyReport::default();
+    for (index, der) in ders.iter().enumerate() {
+        accumulate_bytes(
+            &mut report,
+            registry,
+            index as u64,
+            der,
+            &opts,
+            budget,
+            telemetry.as_mut(),
+        );
+    }
+    ShardTelemetry::flush(telemetry, registry);
+    report
+}
+
+/// Sharded [`run_bytes`] — byte-identical to the serial pass (including
+/// the quarantine list and parse-outcome counters) for any thread count,
+/// by the same shard-order-merge argument as [`run_parallel_slice`].
+pub fn run_parallel_bytes(
+    ders: &[Vec<u8>],
+    opts: SurveyOptions,
+    budget: &ParseBudget,
+) -> SurveyReport {
+    let registry = unicert_corpus::lint_registry();
+    let threads = opts.lint.effective_threads();
+    if threads <= 1 {
+        return run_bytes(ders, opts, budget);
+    }
+    let _span = unicert_telemetry::span!("survey.run_parallel_bytes", "threads={threads}");
+    let shard_size = opts.lint.effective_shard_size();
+    let chunks = ders.chunks(shard_size).enumerate();
+    let shards = crate::pool::map_ordered(chunks, threads, |(chunk_idx, chunk)| {
+        let _span = unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.len());
+        let mut telemetry = ShardTelemetry::if_enabled(registry);
+        let mut shard = SurveyReport::default();
+        let base = chunk_idx as u64 * shard_size as u64;
+        for (offset, der) in chunk.iter().enumerate() {
+            accumulate_bytes(
+                &mut shard,
+                registry,
+                base + offset as u64,
+                der,
+                &opts,
+                budget,
+                telemetry.as_mut(),
+            );
         }
         ShardTelemetry::flush(telemetry, registry);
         shard
@@ -531,18 +843,13 @@ fn merge_in_order(shards: Vec<SurveyReport>) -> SurveyReport {
     merged
 }
 
-fn collect_field_matrix(report: &mut SurveyReport, entry: &CorpusEntry, nc: bool) {
+/// Field labels of `entry` carrying internationalized content — the pure
+/// half of the Figure 4 matrix, computed before any report mutation so a
+/// panic here quarantines the certificate without leaving a half-applied
+/// row behind. Duplicate labels are preserved (one per attribute).
+fn field_matrix_marks(entry: &CorpusEntry) -> Vec<&'static str> {
     use unicert_asn1::oid::known;
-    let issuer = entry.meta.issuer_org.clone();
-    let mut mark = |field: &'static str, unicode: bool| {
-        if unicode {
-            let cell = report.field_matrix.entry((issuer.clone(), field)).or_default();
-            cell.0 += 1;
-            if nc {
-                cell.1 += 1;
-            }
-        }
-    };
+    let mut marks = Vec::new();
     let field_label = |oid: &unicert_asn1::Oid| -> Option<&'static str> {
         if *oid == known::common_name() {
             Some("CN")
@@ -564,15 +871,18 @@ fn collect_field_matrix(report: &mut SurveyReport, entry: &CorpusEntry, nc: bool
     };
     for attr in entry.cert.tbs.subject.attributes() {
         if let Some(label) = field_label(&attr.oid) {
-            let unicode = attr.value.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b));
-            mark(label, unicode);
+            if attr.value.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b)) {
+                marks.push(label);
+            }
         }
     }
     let sans = entry.cert.tbs.san_dns_names();
-    let san_idn = sans
+    if sans
         .iter()
-        .any(|h| unicert_idna::is_idn_domain(h) || !h.is_ascii());
-    mark("SAN", san_idn);
+        .any(|h| unicert_idna::is_idn_domain(h) || !h.is_ascii())
+    {
+        marks.push("SAN");
+    }
     if entry
         .cert
         .tbs
@@ -581,10 +891,32 @@ fn collect_field_matrix(report: &mut SurveyReport, entry: &CorpusEntry, nc: bool
     {
         // explicitText with non-ASCII or non-UTF8 encodings.
         let texts = unicert_lint::helpers::explicit_texts(&entry.cert);
-        let unicode = texts
+        if texts
             .iter()
-            .any(|t| t.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b)));
-        mark("CP", unicode);
+            .any(|t| t.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b)))
+        {
+            marks.push("CP");
+        }
+    }
+    marks
+}
+
+/// Apply pre-computed [`field_matrix_marks`] to the Figure 4 matrix.
+fn apply_field_matrix(
+    report: &mut SurveyReport,
+    issuer: &str,
+    nc: bool,
+    marks: &[&'static str],
+) {
+    for &field in marks {
+        let cell = report
+            .field_matrix
+            .entry((issuer.to_string(), field))
+            .or_default();
+        cell.0 += 1;
+        if nc {
+            cell.1 += 1;
+        }
     }
 }
 
@@ -679,5 +1011,164 @@ mod tests {
         // Some issuer must show Unicode in O.
         assert!(r.field_matrix.keys().any(|(_, f)| *f == "O"));
         assert!(r.field_matrix.keys().any(|(_, f)| *f == "SAN"));
+    }
+
+    /// Does the injected chaos lint panic on this certificate?
+    fn panics_on(cert: &unicert_x509::Certificate) -> bool {
+        cert.tbs.serial.last().is_some_and(|b| b % 8 == 3)
+    }
+
+    /// The default registry plus one deliberately panicking lint.
+    fn sabotaged_registry() -> unicert_lint::Registry {
+        use unicert_lint::{Lint, LintStatus, Source};
+        let mut reg = unicert_lint::default_registry();
+        reg.register(Lint {
+            name: "x_chaos_injected_panic",
+            description: "test-only lint that panics on selected serials",
+            citation: "none",
+            // Rfc5280's 2008 effective date predates every corpus cert, so
+            // date gating never spares a cert the predicate selects.
+            source: Source::Rfc5280,
+            severity: Severity::Warning,
+            nc_type: NoncomplianceType::InvalidEncoding,
+            new_lint: false,
+            check: Box::new(|cert| {
+                if panics_on(cert) {
+                    panic!("injected lint panic");
+                }
+                LintStatus::Pass
+            }),
+        });
+        reg
+    }
+
+    #[test]
+    fn panicking_lint_quarantines_exactly_affected_certs() {
+        let entries: Vec<_> = CorpusGenerator::new(CorpusConfig {
+            size: 400,
+            seed: 7,
+            precert_fraction: 0.0,
+            latent_defects: true,
+        })
+        .collect();
+        let affected: Vec<u64> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| panics_on(&e.cert))
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert!(!affected.is_empty(), "predicate must hit the corpus");
+        assert!(affected.len() < entries.len(), "predicate must spare certs");
+
+        let sabotaged = sabotaged_registry();
+        let opts = |threads| SurveyOptions {
+            lint: RunOptions { threads: Some(threads), ..RunOptions::default() },
+            ..SurveyOptions::default()
+        };
+
+        // Expected report: the unaffected certs surveyed normally (the
+        // extra lint never fires on them, so the default registry gives
+        // the same aggregates), plus entries/total counting everything
+        // and one quarantine record per affected cert.
+        let spared: Vec<_> = entries
+            .iter()
+            .filter(|e| !panics_on(&e.cert))
+            .cloned()
+            .collect();
+        let mut expected =
+            run_with(unicert_corpus::lint_registry(), spared.into_iter(), opts(1));
+        expected.entries = entries.len();
+        expected.total = entries.len();
+        expected.quarantine = affected
+            .iter()
+            .map(|&index| QuarantineEntry {
+                index,
+                cert_id: hex_serial(&entries[index as usize].cert.tbs.serial),
+                stage: "lint",
+                detail: "injected lint panic".to_string(),
+            })
+            .collect();
+
+        let reports: Vec<_> = crate::pool::quiet_panics(|| {
+            [1, 2, 4, 8]
+                .map(|threads| run_parallel_slice_with(&sabotaged, &entries, opts(threads)))
+                .into_iter()
+                .collect()
+        });
+        for (report, threads) in reports.iter().zip([1, 2, 4, 8]) {
+            assert_eq!(report, &expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bytes_path_serial_parallel_identical_and_classified() {
+        let entries: Vec<_> = CorpusGenerator::new(CorpusConfig {
+            size: 200,
+            seed: 11,
+            precert_fraction: 0.2,
+            latent_defects: true,
+        })
+        .collect();
+        let mut ders: Vec<Vec<u8>> = entries.iter().map(|e| e.cert.raw.clone()).collect();
+        // Interleave hostile inputs among the real certificates.
+        ders.insert(0, Vec::new()); // empty
+        ders.insert(50, ders[10][..40].to_vec()); // truncated cert
+        ders.insert(100, vec![0xde, 0xad, 0xbe, 0xef]); // garbage
+        let budget = ParseBudget::default();
+
+        let serial = run_bytes(&ders, SurveyOptions::default(), &budget);
+        assert_eq!(serial.entries, ders.len());
+        assert_eq!(serial.parse_outcomes["ok"], entries.len());
+        let rejected: usize = serial
+            .parse_outcomes
+            .iter()
+            .filter(|(class, _)| **class != "ok")
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(rejected, 3);
+        assert!(serial.quarantine.is_empty());
+
+        for threads in [2, 4, 8] {
+            let opts = SurveyOptions {
+                lint: RunOptions {
+                    threads: Some(threads),
+                    shard_size: 32,
+                    ..RunOptions::default()
+                },
+                ..SurveyOptions::default()
+            };
+            let parallel = run_parallel_bytes(&ders, opts, &budget);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn quarantine_indexes_are_global_across_shards() {
+        let entries: Vec<_> = CorpusGenerator::new(CorpusConfig {
+            size: 300,
+            seed: 21,
+            precert_fraction: 0.0,
+            latent_defects: true,
+        })
+        .collect();
+        let sabotaged = sabotaged_registry();
+        let opts = SurveyOptions {
+            lint: RunOptions {
+                threads: Some(4),
+                shard_size: 16,
+                ..RunOptions::default()
+            },
+            ..SurveyOptions::default()
+        };
+        let report =
+            crate::pool::quiet_panics(|| run_parallel_slice_with(&sabotaged, &entries, opts));
+        assert!(!report.quarantine.is_empty());
+        for q in &report.quarantine {
+            assert!(panics_on(&entries[q.index as usize].cert), "index {}", q.index);
+        }
+        // Stream order: indexes strictly increase across shard merges.
+        for pair in report.quarantine.windows(2) {
+            assert!(pair[0].index < pair[1].index);
+        }
     }
 }

@@ -62,4 +62,67 @@ proptest! {
         right.merge(SurveyReport::default());
         prop_assert_eq!(&right, &report);
     }
+
+    /// The *full* pipeline — budgeted parse, classification, linting,
+    /// aggregation — survives arbitrary single-byte corruption of valid
+    /// certificates without panicking, and the sharded pass stays
+    /// byte-identical to the serial one (quarantine lists included).
+    /// Upgrades the lint-only mutation property in `unicert-lint`.
+    #[test]
+    fn survey_survives_byte_mutation_serial_equals_parallel(
+        seed in 0u64..1000,
+        pos_seed in any::<usize>(),
+        byte in any::<u8>(),
+        threads in 2usize..6,
+    ) {
+        let entries = corpus(8, seed);
+        let mut ders: Vec<Vec<u8>> = entries.iter().map(|e| e.cert.raw.clone()).collect();
+        for der in &mut ders {
+            if !der.is_empty() {
+                let pos = pos_seed % der.len();
+                der[pos] = byte;
+            }
+        }
+        let budget = unicert_asn1::ParseBudget::default();
+        let serial = survey::run_bytes(&ders, SurveyOptions::default(), &budget);
+        let opts = SurveyOptions {
+            lint: unicert_lint::RunOptions {
+                threads: Some(threads),
+                shard_size: 3,
+                ..unicert_lint::RunOptions::default()
+            },
+            ..SurveyOptions::default()
+        };
+        let parallel = survey::run_parallel_bytes(&ders, opts, &budget);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Same property under structural (TLV-aware) damage from the chaos
+    /// mutator: every mutation class, applied to every cert, flows through
+    /// the survey without panics and with serial/parallel identity.
+    #[test]
+    fn survey_survives_chaos_mutations(seed in 0u64..10_000) {
+        use unicert_chaos::{MutationClass, Mutator};
+        let entries = corpus(4, seed);
+        let mut mutator = Mutator::new(seed);
+        let mut ders = Vec::new();
+        for entry in &entries {
+            for class in MutationClass::ALL {
+                ders.push(mutator.mutate(&entry.cert.raw, class));
+            }
+        }
+        let budget = unicert_asn1::ParseBudget::default();
+        let serial = survey::run_bytes(&ders, SurveyOptions::default(), &budget);
+        prop_assert_eq!(serial.entries, ders.len());
+        let opts = SurveyOptions {
+            lint: unicert_lint::RunOptions {
+                threads: Some(4),
+                shard_size: 5,
+                ..unicert_lint::RunOptions::default()
+            },
+            ..SurveyOptions::default()
+        };
+        let parallel = survey::run_parallel_bytes(&ders, opts, &budget);
+        prop_assert_eq!(parallel, serial);
+    }
 }

@@ -32,7 +32,7 @@ use unicert_x509::{
 /// Issuance date for every vector: after the latest lint effective date
 /// (RFC 9598, 2024-06), so date gating never masks a finding.
 fn issued() -> DateTime {
-    DateTime::date(2024, 7, 1).expect("valid vector issuance date")
+    DateTime { year: 2024, month: 7, day: 1, hour: 0, minute: 0, second: 0 }
 }
 
 fn base() -> CertificateBuilder {
@@ -42,12 +42,12 @@ fn base() -> CertificateBuilder {
 /// `id-at-initials` (2.5.4.43): a real DN attribute no per-attribute
 /// encoding lint covers, used to exercise string-type lints in isolation.
 fn initials() -> Oid {
-    Oid::from_arcs(&[2, 5, 4, 43]).expect("static OID")
+    known::initials()
 }
 
 /// `id-at-dnQualifier` (2.5.4.46).
 fn dn_qualifier() -> Oid {
-    Oid::from_arcs(&[2, 5, 4, 46]).expect("static OID")
+    known::dn_qualifier()
 }
 
 /// A single-attribute DN (for issuer-side vectors).
@@ -78,10 +78,12 @@ fn smtp_mailbox(kind: StringKind, text: &str) -> GeneralName {
 
 /// The certificate recipe for one catalog lint: a minimal certificate that
 /// violates exactly that rule (co-firing related lints where the trigger
-/// construction inherently violates several).
-fn recipe(lint: &str) -> CertificateBuilder {
+/// construction inherently violates several). `None` means the catalog
+/// gained a lint without a recipe here — the binary exits non-zero so the
+/// two stay in lockstep.
+fn recipe(lint: &str) -> Option<CertificateBuilder> {
     let b = base();
-    match lint {
+    Some(match lint {
         // --- T1: Invalid Character --------------------------------------
         "e_rfc_dns_idn_a2u_unpermitted_unichar" => b.add_dns_san("xn--www-hn0a.example.com"),
         "e_rfc_subject_dn_not_printable_characters" => b.subject_attr_raw(
@@ -163,7 +165,7 @@ fn recipe(lint: &str) -> CertificateBuilder {
         // --- T2: Bad Normalization --------------------------------------
         "e_rfc_dns_idn_u_label_not_nfc" => {
             // Decomposed "münchen" (u + combining diaeresis) behind Punycode.
-            let enc = unicert_idna::punycode::encode("mu\u{308}nchen").expect("encodable");
+            let enc = unicert_idna::punycode::encode("mu\u{308}nchen").expect("encodable"); // analysis:allow(expect) static literal is always encodable
             b.add_dns_san(&format!("xn--{enc}.de"))
         }
         "w_subject_utf8_not_nfc" => b.subject_attr(
@@ -206,7 +208,7 @@ fn recipe(lint: &str) -> CertificateBuilder {
         "e_serial_number_zero" => b.serial(&[0x00]),
         "e_validity_wrong_time_encoding" => b.validity(Validity {
             not_before: issued(),
-            not_after: DateTime::date(2024, 9, 29).expect("valid date"),
+            not_after: DateTime { year: 2024, month: 9, day: 29, hour: 0, minute: 0, second: 0 },
             // 2024 must be UTCTime; GeneralizedTime is the era mismatch.
             not_before_kind: TimeKind::Generalized,
             not_after_kind: TimeKind::Utc,
@@ -420,8 +422,8 @@ fn recipe(lint: &str) -> CertificateBuilder {
         "w_ext_san_uri_discouraged" => b
             .add_dns_san("ok.example.com")
             .add_san(GeneralName::uri("https://ok.example.com")),
-        other => panic!("no golden-vector recipe for lint {other:?} — add one"),
-    }
+        _ => return None,
+    })
 }
 
 fn findings_field(report: &unicert_lint::CertReport) -> String {
@@ -433,9 +435,9 @@ fn findings_field(report: &unicert_lint::CertReport) -> String {
         .join(";")
 }
 
-fn main() {
+fn run() -> Result<(), String> {
     let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/vectors");
-    std::fs::create_dir_all(&out_dir).expect("create tests/vectors");
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
 
     let registry = lint_registry();
     let key = SimKey::from_seed("golden-vector-ca");
@@ -447,24 +449,38 @@ fn main() {
         .add_dns_san("clean.example.com")
         .build_signed(&key);
     let report = registry.run(&control, RunOptions::default());
-    assert!(report.findings.is_empty(), "control cert not clean: {:?}", report.findings);
-    std::fs::write(out_dir.join("clean_control.der"), &control.raw).expect("write control");
-    writeln!(manifest, "clean_control\t").expect("manifest write");
+    if !report.findings.is_empty() {
+        return Err(format!("control cert not clean: {:?}", report.findings));
+    }
+    std::fs::write(out_dir.join("clean_control.der"), &control.raw)
+        .map_err(|e| format!("write clean_control.der: {e}"))?;
+    let _ = writeln!(manifest, "clean_control\t");
 
     for lint in registry.iter() {
-        let cert = recipe(lint.name).build_signed(&key);
+        let builder = recipe(lint.name)
+            .ok_or_else(|| format!("no golden-vector recipe for lint {} — add one", lint.name))?;
+        let cert = builder.build_signed(&key);
         let report = registry.run(&cert, RunOptions::default());
-        assert!(
-            report.findings.iter().any(|f| f.lint == lint.name),
-            "{}: vector does not trigger its lint; findings: {:?}",
-            lint.name,
-            report.findings
-        );
+        if !report.findings.iter().any(|f| f.lint == lint.name) {
+            return Err(format!(
+                "{}: vector does not trigger its lint; findings: {:?}",
+                lint.name, report.findings
+            ));
+        }
         std::fs::write(out_dir.join(format!("{}.der", lint.name)), &cert.raw)
-            .expect("write vector");
-        writeln!(manifest, "{}\t{}", lint.name, findings_field(&report)).expect("manifest write");
+            .map_err(|e| format!("write {}.der: {e}", lint.name))?;
+        let _ = writeln!(manifest, "{}\t{}", lint.name, findings_field(&report));
     }
 
-    std::fs::write(out_dir.join("manifest.tsv"), manifest).expect("write manifest");
+    std::fs::write(out_dir.join("manifest.tsv"), manifest)
+        .map_err(|e| format!("write manifest.tsv: {e}"))?;
     println!("wrote {} vectors + control to {}", registry.len(), out_dir.display());
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("gen_golden_vectors: {e}");
+        std::process::exit(1);
+    }
 }

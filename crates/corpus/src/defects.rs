@@ -167,7 +167,7 @@ pub fn sample(rng: &mut impl Rng, table: &[(Defect, u32)]) -> Defect {
         }
         pick -= w as u64;
     }
-    table.last().expect("non-empty table").0
+    table.last().expect("non-empty table").0 // analysis:allow(expect) weight tables are static non-empty constants
 }
 
 /// Deceptive/broken A-labels used by the IDN defects.
@@ -196,7 +196,7 @@ pub fn apply(
             builder.add_dns_san(&format!("{label}.{host}"))
         }
         Defect::SubjectControlChars => {
-            let ctl = [b'\x00', b'\x1B', b'\x7F'][rng.gen_range(0..3)];
+            let ctl = crate::pick(rng, b"\x00\x1B\x7F");
             let mut bytes = org.as_bytes().to_vec();
             bytes.insert(bytes.len() / 2, ctl);
             builder.subject_attr_raw(known::organization_name(), StringKind::Utf8, &bytes)
@@ -217,7 +217,7 @@ pub fn apply(
             builder.subject_attr(known::organization_name(), StringKind::Utf8, &format!(" {org}"))
         }
         Defect::IdnMalformedUnicode => {
-            let label = UNCONVERTIBLE_A_LABELS[rng.gen_range(0..UNCONVERTIBLE_A_LABELS.len())];
+            let label = crate::pick(rng, UNCONVERTIBLE_A_LABELS);
             builder.add_dns_san(&format!("{label}.{host}"))
         }
         Defect::DnsBadCharInLabel => builder.add_dns_san(&format!("bad_label.{host}")),
@@ -247,7 +247,7 @@ pub fn apply(
             let decomposed = "mu\u{308}nchen";
             let a = format!(
                 "xn--{}",
-                unicert_idna::punycode::encode(decomposed).expect("encodable")
+                unicert_idna::punycode::encode(decomposed).expect("encodable") // analysis:allow(expect) static literal is always encodable
             );
             builder.add_dns_san(&format!("{a}.de"))
         }

@@ -58,6 +58,36 @@ pub struct CertMeta {
     pub is_precert: bool,
 }
 
+impl CertMeta {
+    /// Best-effort metadata inferred from a parsed certificate alone.
+    ///
+    /// The survey's hostile-input path (`run_bytes` in `unicert-core`)
+    /// feeds raw DER with no generator ground truth attached; this
+    /// reconstructs the fields the aggregation kernel reads from what the
+    /// certificate itself says. Trust defaults to `Untrusted` (nothing
+    /// vouches for a cert that arrived as bare bytes) and the
+    /// injected/latent channels — which only the generator can know — stay
+    /// empty.
+    pub fn inferred(cert: &Certificate) -> CertMeta {
+        let issuer_org = cert
+            .tbs
+            .issuer
+            .organization()
+            .or_else(|| cert.tbs.issuer.common_name())
+            .unwrap_or_else(|| "(unknown issuer)".to_string());
+        CertMeta {
+            issuer_org,
+            trust: TrustStatus::Untrusted,
+            issued: cert.tbs.validity.not_before,
+            validity_days: cert.tbs.validity.period_days(),
+            is_idn_cert: false,
+            injected: None,
+            latent: false,
+            is_precert: cert.tbs.is_precertificate(),
+        }
+    }
+}
+
 /// One corpus entry.
 #[derive(Debug, Clone)]
 pub struct CorpusEntry {
@@ -108,7 +138,7 @@ impl CorpusGenerator {
             }
             pick -= p.share;
         }
-        self.population.last().expect("population non-empty").clone()
+        self.population.last().expect("population non-empty").clone() // analysis:allow(expect) issuer population is a static non-empty table
     }
 
     fn issuer_key(&mut self, org: &'static str) -> SimKey {

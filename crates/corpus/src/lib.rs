@@ -30,6 +30,14 @@ pub use variants::{VariantPair, VariantStrategy};
 
 use std::sync::OnceLock;
 
+/// Uniformly pick one element of a non-empty slice.
+///
+/// The single audited indexing site for all the generator's "choose one
+/// of" sampling — callers never index by random value directly.
+pub(crate) fn pick<T: Copy>(rng: &mut impl rand::Rng, items: &[T]) -> T {
+    items[rng.gen_range(0..items.len())] // analysis:allow(slice_index) gen_range(0..len) is always < len for a non-empty slice
+}
+
 /// The shared default lint registry (building 95 boxed lints is cheap but
 /// not free; callers across the workspace reuse one instance).
 pub fn lint_registry() -> &'static unicert_lint::Registry {

@@ -99,7 +99,7 @@ pub fn pool(key: &str) -> &'static ScriptPool {
 /// Pick an organization name from a pool.
 pub fn org_name(rng: &mut impl Rng, key: &str) -> &'static str {
     let p = pool(key);
-    p.orgs[rng.gen_range(0..p.orgs.len())]
+    crate::pick(rng, p.orgs)
 }
 
 /// Pick an organization name guaranteed to contain non-ASCII (so a
@@ -117,20 +117,20 @@ pub fn non_ascii_org(rng: &mut impl Rng, key: &str) -> &'static str {
             .filter(|o| !o.is_ascii())
             .collect();
     }
-    candidates[rng.gen_range(0..candidates.len())]
+    crate::pick(rng, &candidates)
 }
 
 /// Build an ASCII hostname (the compliant default).
 pub fn ascii_hostname(rng: &mut impl Rng) -> String {
     let stems = ["www", "mail", "shop", "api", "login", "portal", "cdn", "app"];
-    let stem = stems[rng.gen_range(0..stems.len())];
+    let stem = crate::pick(rng, &stems);
     format!("{stem}{}.example{}.com", rng.gen_range(0..100_000), rng.gen_range(0..100))
 }
 
 /// Build a compliant IDN hostname: a valid A-label + ASCII labels.
 pub fn idn_hostname(rng: &mut impl Rng, key: &str) -> String {
     let p = pool(key);
-    let stem = p.domain_stems[rng.gen_range(0..p.domain_stems.len())];
+    let stem = crate::pick(rng, p.domain_stems);
     // Vary with a numeric suffix in the Unicode label to diversify.
     let unicode_label = format!("{stem}{}", rng.gen_range(0..10_000));
     match unicert_idna::label::u_to_a(&unicode_label.to_lowercase()) {

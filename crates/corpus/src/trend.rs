@@ -76,7 +76,8 @@ pub fn sample_date(rng: &mut impl Rng, year: i32) -> DateTime {
     let max_month = if year >= LAST_YEAR { 4 } else { 12 };
     let month = rng.gen_range(1..=max_month) as u8;
     let day = rng.gen_range(1..=28) as u8;
-    DateTime::date(year, month, day).expect("day <= 28 is always valid")
+    // Month is 1..=12 and day <= 28, so the literal is always in range.
+    DateTime { year, month, day, hour: 0, minute: 0, second: 0 }
 }
 
 /// Certificate class for validity sampling (Fig. 3's three CDFs).

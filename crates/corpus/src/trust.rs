@@ -25,7 +25,14 @@ pub fn ca_certificate(profile: &IssuerProfile) -> (Certificate, SimKey) {
     let cert = chain::self_signed_ca(
         issuer_dn(profile),
         &key,
-        DateTime::date(profile.active.0.max(2004), 1, 1).expect("static"),
+        DateTime {
+            year: profile.active.0.max(2004),
+            month: 1,
+            day: 1,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        },
         // CA certs outlive their leaves comfortably.
         30 * 365,
     );

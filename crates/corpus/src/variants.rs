@@ -93,7 +93,7 @@ impl VariantStrategy {
             }
             VariantStrategy::WhitespaceVariant => {
                 if base.contains(' ') {
-                    let repl = ['\u{3000}', '\u{2009}', '\u{2002}'][rng.gen_range(0..3)];
+                    let repl = crate::pick(rng, &['\u{3000}', '\u{2009}', '\u{2002}']);
                     base.replacen(' ', &repl.to_string(), 1)
                 } else {
                     format!("{base}\u{3000}")
@@ -140,7 +140,7 @@ pub fn generate_pairs(rng: &mut impl Rng, bases: &[&str], n: usize) -> Vec<Varia
     let mut out = Vec::new();
     for strategy in VariantStrategy::ALL {
         for _ in 0..n {
-            let base = bases[rng.gen_range(0..bases.len())];
+            let base = crate::pick(rng, bases);
             let variant = strategy.apply(base, rng);
             out.push(VariantPair { strategy, base: base.to_string(), variant });
         }

@@ -150,9 +150,7 @@ pub fn lints() -> Vec<Lint> {
         "RFC 5280 App. A / X.520",
         Rfc5280, Error, InvalidEncoding, new = false,
         |cert| {
-            // dnQualifier = 2.5.4.46.
-            let oid = Oid::from_arcs(&[2, 5, 4, 46]).expect("static OID");
-            helpers::check_attr(cert, Which::Subject, &oid, helpers::is_printable)
+            helpers::check_attr(cert, Which::Subject, &known::dn_qualifier(), helpers::is_printable)
         }
     ));
 

@@ -5,7 +5,9 @@ use crate::general_name::GeneralName;
 use crate::name::DistinguishedName;
 use unicert_asn1::oid::known;
 use unicert_asn1::tag::{tags, Tag};
-use unicert_asn1::{BitString, DateTime, Error, Oid, Reader, Result, TimeKind, Writer};
+use unicert_asn1::{
+    BitString, BudgetState, DateTime, Error, Oid, ParseBudget, Reader, Result, TimeKind, Writer,
+};
 
 /// `AlgorithmIdentifier ::= SEQUENCE { algorithm OID, parameters ANY }`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -310,13 +312,37 @@ fn write_extension(w: &mut Writer, ext: &Extension) {
 impl Certificate {
     /// Parse a complete certificate from DER.
     pub fn parse_der(der: &[u8]) -> Result<Certificate> {
-        let mut r = Reader::new(der);
+        Self::parse_with(der, None)
+    }
+
+    /// Parse a complete certificate from DER with hard resource limits.
+    ///
+    /// The hostile-input survey path uses this for untrusted bytes: the
+    /// input is admitted against `budget.max_input` first, and every TLV
+    /// element decoded anywhere in the certificate (the outer shell, the
+    /// re-parsed TBS, extensions) is charged against the cumulative
+    /// element/byte budgets. Exceeding any limit fails the parse with
+    /// [`unicert_asn1::Error::BudgetExceeded`].
+    pub fn parse_der_budgeted(der: &[u8], budget: &ParseBudget) -> Result<Certificate> {
+        budget.admit(der)?;
+        let state = budget.start();
+        Self::parse_with(der, Some(&state))
+    }
+
+    fn parse_with(der: &[u8], budget: Option<&BudgetState>) -> Result<Certificate> {
+        let mut r = match budget {
+            Some(state) => Reader::with_budget(der, state),
+            None => Reader::new(der),
+        };
         let cert = r.read_sequence(|c| {
             let tbs_start_remaining = c.remaining();
             // Peek the raw TBS bytes: read the TLV, then re-parse it.
             let tbs_tlv = c.read_expected(tags::SEQUENCE)?;
             let raw_tbs = tbs_tlv.raw.to_vec();
-            let mut tbs_reader = Reader::new(tbs_tlv.raw);
+            let mut tbs_reader = match budget {
+                Some(state) => Reader::with_budget(tbs_tlv.raw, state),
+                None => Reader::new(tbs_tlv.raw),
+            };
             let tbs = TbsCertificate::parse(&mut tbs_reader)?;
             tbs_reader.finish()?;
             let _ = tbs_start_remaining;
@@ -408,6 +434,44 @@ mod tests {
         let mut der = cert.raw.clone();
         der.push(0x00);
         assert!(Certificate::parse_der(&der).is_err());
+    }
+
+    #[test]
+    fn budgeted_parse_accepts_real_certs_and_caps_hostile_ones() {
+        let cert = sample();
+        let reparsed = Certificate::parse_der_budgeted(&cert.raw, &ParseBudget::default())
+            .expect("default budget must admit an ordinary certificate");
+        assert_eq!(reparsed.tbs, cert.tbs);
+
+        // Input cap.
+        let tiny = ParseBudget { max_input: 16, ..ParseBudget::default() };
+        assert_eq!(
+            Certificate::parse_der_budgeted(&cert.raw, &tiny).unwrap_err(),
+            Error::BudgetExceeded { resource: "input_bytes" }
+        );
+        // Element cap: a certificate decodes far more than 4 elements.
+        let few = ParseBudget { max_elements: 4, ..ParseBudget::default() };
+        assert_eq!(
+            Certificate::parse_der_budgeted(&cert.raw, &few).unwrap_err(),
+            Error::BudgetExceeded { resource: "elements" }
+        );
+    }
+
+    #[test]
+    fn inflated_tbs_length_cannot_outgrow_input() {
+        // Splice an inflated length into the outer SEQUENCE header of a
+        // real certificate: declared length ≫ actual bytes. The parse must
+        // fail with a truncation error (the reader refuses the length up
+        // front), never attempt to consume the declared amount.
+        let cert = sample();
+        // Rewrite the outer SEQUENCE header to declare ~2 GiB of content
+        // while keeping the real (much smaller) body.
+        let mut der = vec![0x30, 0x84, 0x7F, 0xFF, 0xFF, 0xFF];
+        der.extend_from_slice(&cert.raw[2..]);
+        let err = Certificate::parse_der(&der).unwrap_err();
+        assert!(matches!(err, Error::UnexpectedEof { .. }), "{err:?}");
+        let err = Certificate::parse_der_budgeted(&der, &ParseBudget::default()).unwrap_err();
+        assert!(matches!(err, Error::UnexpectedEof { .. }), "{err:?}");
     }
 
     #[test]
