@@ -1,0 +1,137 @@
+//! Baseline comparison for `bench_throughput --baseline <json>`.
+//!
+//! Reads back the fields a previously written `BENCH_pipeline.json` carries
+//! — the report fingerprint plus per-configuration `certs_per_sec` — with a
+//! small line-oriented extractor (the workspace has no JSON dependency, and
+//! the file is our own fixed shape). The benchmark uses it to emit a
+//! `speedup` section (current rate / baseline rate per configuration) and
+//! to fail hard when the *report* fingerprint diverges: timing may drift
+//! freely between machines, the survey's output may not.
+
+/// One timed configuration from a baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// `"serial"` or `"parallel"`.
+    pub mode: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Throughput recorded by the baseline run.
+    pub certs_per_sec: f64,
+}
+
+/// The comparable subset of a `BENCH_pipeline.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Hex `SurveyReport` fingerprint, when the baseline recorded one.
+    pub fingerprint: Option<String>,
+    /// Corpus size the baseline was taken at.
+    pub corpus_size: Option<usize>,
+    /// Corpus seed the baseline was taken at.
+    pub seed: Option<u64>,
+    /// Per-configuration throughputs, in file order.
+    pub runs: Vec<BaselineRun>,
+}
+
+/// Extract the value of `"key": …` from one JSON object rendered on a
+/// single line (or the flat top level of the file). Quotes are stripped;
+/// nested objects are not supported — the benchmark's own output never
+/// nests the fields read here.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj.get(start..)?.trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest.get(..end)?.trim().trim_matches('"'))
+}
+
+impl Baseline {
+    /// Parse a baseline from the text of a `BENCH_pipeline.json`.
+    pub fn parse(text: &str) -> Baseline {
+        let mut runs = Vec::new();
+        let mut in_speedup = false;
+        for line in text.lines() {
+            // Ignore the baseline's own speedup section: its entries repeat
+            // "mode"/"threads" keys but describe ratios, not measurements.
+            if line.contains("\"speedup\":") {
+                in_speedup = true;
+            }
+            if in_speedup && line.trim_start().starts_with(']') {
+                in_speedup = false;
+                continue;
+            }
+            if in_speedup || !line.contains("\"mode\":") {
+                continue;
+            }
+            let (Some(mode), Some(threads), Some(rate)) = (
+                field(line, "mode"),
+                field(line, "threads").and_then(|v| v.parse().ok()),
+                field(line, "certs_per_sec").and_then(|v| v.parse().ok()),
+            ) else {
+                continue;
+            };
+            runs.push(BaselineRun { mode: mode.to_owned(), threads, certs_per_sec: rate });
+        }
+        Baseline {
+            fingerprint: field(text, "fingerprint").map(str::to_owned),
+            corpus_size: field(text, "corpus_size").and_then(|v| v.parse().ok()),
+            seed: field(text, "seed").and_then(|v| v.parse().ok()),
+            runs,
+        }
+    }
+
+    /// The baseline throughput for one configuration, if recorded.
+    pub fn rate(&self, mode: &str, threads: usize) -> Option<f64> {
+        self.runs
+            .iter()
+            .find(|r| r.mode == mode && r.threads == threads)
+            .map(|r| r.certs_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmark": "survey_pipeline_throughput",
+  "corpus_size": 20000,
+  "seed": 42,
+  "fingerprint": "00c0ffee00c0ffee",
+  "runs": [
+    {"mode": "serial", "threads": 1, "secs": 0.5, "certs_per_sec": 40000.0, "speedup_vs_serial": 1.000},
+    {"mode": "parallel", "threads": 2, "secs": 0.25, "certs_per_sec": 80000.0, "speedup_vs_serial": 2.000}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_benchmark_shape() {
+        let b = Baseline::parse(SAMPLE);
+        assert_eq!(b.corpus_size, Some(20_000));
+        assert_eq!(b.seed, Some(42));
+        assert_eq!(b.fingerprint.as_deref(), Some("00c0ffee00c0ffee"));
+        assert_eq!(b.runs.len(), 2);
+        assert_eq!(b.rate("serial", 1), Some(40_000.0));
+        assert_eq!(b.rate("parallel", 2), Some(80_000.0));
+        assert_eq!(b.rate("parallel", 4), None);
+    }
+
+    #[test]
+    fn tolerates_missing_fingerprint_and_garbage() {
+        let b = Baseline::parse("{\n  \"corpus_size\": 5\n}");
+        assert_eq!(b.corpus_size, Some(5));
+        assert_eq!(b.fingerprint, None);
+        assert!(b.runs.is_empty());
+        assert_eq!(Baseline::parse("not json at all"), Baseline::default());
+    }
+
+    #[test]
+    fn skips_a_speedup_section() {
+        let with_speedup = format!(
+            "{}  \"speedup\": [\n    {{\"mode\": \"serial\", \"threads\": 1, \"certs_per_sec\": 1.0}}\n  ]\n}}",
+            SAMPLE.trim_end_matches("}\n")
+        );
+        let b = Baseline::parse(&with_speedup);
+        assert_eq!(b.runs.len(), 2, "speedup entries must not count as runs");
+    }
+}

@@ -11,8 +11,15 @@
 //!
 //! ```text
 //! cargo run --release -p unicert-bench --bin bench_throughput \
-//!     [-- size seed] [--metrics-out m.json] [--trace-out t.ndjson]
+//!     [-- size seed] [--baseline old.json] \
+//!     [--metrics-out m.json] [--trace-out t.ndjson]
 //! ```
+//!
+//! With `--baseline <json>` (a previously written `BENCH_pipeline.json`)
+//! the output additionally carries a `speedup` section — current over
+//! baseline `certs_per_sec` per configuration — and the run **fails**
+//! (exit 1) if the baseline recorded a report fingerprint and the current
+//! survey's fingerprint differs: timing may drift, the report may not.
 
 #![forbid(unsafe_code)]
 
@@ -22,7 +29,8 @@ use unicert::corpus::{CorpusEntry, CorpusGenerator};
 use unicert::lint::RunOptions;
 use unicert::survey::{self, SurveyOptions, SurveyReport};
 use unicert::telemetry::{self, Stopwatch};
-use unicert_bench::corpus_args;
+use unicert_bench::baseline::Baseline;
+use unicert_bench::{corpus_args, flag_arg};
 
 struct Sample {
     mode: &'static str,
@@ -65,6 +73,23 @@ fn time_run(
 fn main() {
     let _telemetry = unicert_bench::telemetry_args();
     let config = corpus_args(100_000);
+    let baseline_path = flag_arg("--baseline");
+    let baseline = baseline_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        Baseline::parse(&text)
+    });
+    if let (Some(b), Some(path)) = (&baseline, &baseline_path) {
+        if b.corpus_size.is_some_and(|n| n != config.size)
+            || b.seed.is_some_and(|s| s != config.seed)
+        {
+            eprintln!(
+                "warning: baseline {path} was taken at size={:?} seed={:?}; \
+                 current run uses size={} seed={} — speedups compare different corpora",
+                b.corpus_size, b.seed, config.size, config.seed
+            );
+        }
+    }
     eprintln!(
         "generating corpus: size={} seed={} ...",
         config.size, config.seed
@@ -110,11 +135,13 @@ fn main() {
         snapshot.gauge("bench.wall_ns", metric).unwrap_or(0) as f64 / 1e9
     };
     let baseline_secs = wall_secs(&samples[0].metric);
+    let fingerprint = format!("{:016x}", serial.fingerprint());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"survey_pipeline_throughput\",");
     let _ = writeln!(json, "  \"corpus_size\": {},", corpus.len());
     let _ = writeln!(json, "  \"seed\": {},", config.seed);
+    let _ = writeln!(json, "  \"fingerprint\": \"{fingerprint}\",");
     let _ = writeln!(json, "  \"shard_size\": {shard_size},");
     let _ = writeln!(json, "  \"machine_threads\": {machine},");
     let _ = writeln!(json, "  \"runs\": [");
@@ -129,9 +156,63 @@ fn main() {
             s.mode, s.threads, s.metric, secs, rate, speedup
         );
     }
-    let _ = writeln!(json, "  ]");
+    let fingerprint_mismatch = if let Some(b) = &baseline {
+        let _ = writeln!(json, "  ],");
+        let mismatch = b.fingerprint.as_ref().is_some_and(|f| *f != fingerprint);
+        let _ = writeln!(json, "  \"speedup\": {{");
+        let _ = writeln!(
+            json,
+            "    \"baseline\": \"{}\",",
+            baseline_path.as_deref().unwrap_or("")
+        );
+        match &b.fingerprint {
+            Some(f) => {
+                let _ = writeln!(json, "    \"baseline_fingerprint\": \"{f}\",");
+                let _ = writeln!(json, "    \"fingerprint_match\": {},", !mismatch);
+            }
+            None => {
+                let _ = writeln!(json, "    \"fingerprint_match\": null,");
+            }
+        }
+        let _ = writeln!(json, "    \"runs\": [");
+        for (i, s) in samples.iter().enumerate() {
+            let comma = if i + 1 < samples.len() { "," } else { "" };
+            let secs = wall_secs(&s.metric);
+            let rate = if secs > 0.0 { corpus.len() as f64 / secs } else { 0.0 };
+            let base_rate = b.rate(s.mode, s.threads);
+            let ratio = base_rate.filter(|&r| r > 0.0).map(|r| rate / r);
+            let _ = writeln!(
+                json,
+                "      {{\"mode\": \"{}\", \"threads\": {}, \"baseline_certs_per_sec\": {}, \
+                 \"certs_per_sec\": {rate:.1}, \"speedup\": {}}}{comma}",
+                s.mode,
+                s.threads,
+                base_rate.map_or("null".to_owned(), |r| format!("{r:.1}")),
+                ratio.map_or("null".to_owned(), |r| format!("{r:.3}")),
+            );
+            if let Some(ratio) = ratio {
+                println!(
+                    "speedup      {:<8} threads={:<2} {:>6.3}x vs baseline",
+                    s.mode, s.threads, ratio
+                );
+            }
+        }
+        let _ = writeln!(json, "    ]");
+        let _ = writeln!(json, "  }}");
+        mismatch
+    } else {
+        let _ = writeln!(json, "  ]");
+        false
+    };
     let _ = writeln!(json, "}}");
 
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
+    if fingerprint_mismatch {
+        eprintln!(
+            "FATAL: survey report fingerprint {fingerprint} diverged from the baseline's — \
+             the pipeline's output changed, not just its speed"
+        );
+        std::process::exit(1);
+    }
 }

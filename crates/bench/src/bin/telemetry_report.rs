@@ -253,6 +253,27 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
+    // Context-cache effectiveness: per-family hit/miss tallies every
+    // `LintContext` flushes on drop during the instrumented passes. A hit is
+    // a lint reading an already-decoded value; a miss is the one decode that
+    // populated it.
+    const CACHE_FAMILIES: [&str; 4] = ["san", "dn_text", "punycode", "nfc"];
+    let _ = writeln!(json, "  \"context_cache\": [");
+    for (i, family) in CACHE_FAMILIES.iter().enumerate() {
+        let comma = if i + 1 < CACHE_FAMILIES.len() { "," } else { "" };
+        let hits = snapshot.counter("ctx.cache.hit", family).unwrap_or(0);
+        let misses = snapshot.counter("ctx.cache.miss", family).unwrap_or(0);
+        let total = hits + misses;
+        let rate = if total > 0 { 100.0 * hits as f64 / total as f64 } else { 0.0 };
+        let _ = writeln!(
+            json,
+            "    {{\"family\": \"{family}\", \"hits\": {hits}, \"misses\": {misses}, \
+             \"hit_rate_pct\": {rate:.1}}}{comma}"
+        );
+        println!("cache {family:<9} {hits:>12} hits {misses:>12} misses  {rate:>5.1}% hit rate");
+    }
+    let _ = writeln!(json, "  ],");
+
     // Worker busy counters only accumulate in the (single) parallel pass,
     // so the pool wall gauge from that pass is the right denominator.
     let _ = writeln!(json, "  \"workers\": [");

@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod table;
 
 use std::path::PathBuf;
@@ -111,6 +112,23 @@ pub fn telemetry_args() -> TelemetryGuard {
 /// table/figure binary inherits the speedup without output drift.
 pub fn standard_survey(config: CorpusConfig) -> SurveyReport {
     survey::run_parallel(CorpusGenerator::new(config), SurveyOptions::default())
+}
+
+/// Resolve the value of one `--flag value` / `--flag=value` argument pair
+/// from argv, composing with [`corpus_args`]' positional parsing (which
+/// skips all flags).
+pub fn flag_arg(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+            None => (arg, None),
+        };
+        if flag == name {
+            return inline.or_else(|| args.next()).filter(|v| !v.is_empty());
+        }
+    }
+    None
 }
 
 /// Format a rate as `x.xx%`.

@@ -6,6 +6,8 @@
 
 use unicert_asn1::oid::known;
 
+use unicert_lint::helpers::Which;
+use unicert_lint::LintContext;
 use unicert_x509::{Certificate, GeneralName};
 
 /// Classification of one certificate.
@@ -37,74 +39,81 @@ fn value_has_unicode(bytes: &[u8]) -> bool {
 
 /// Classify a certificate.
 pub fn classify(cert: &Certificate) -> UnicertClass {
+    classify_ctx(&LintContext::new(cert))
+}
+
+/// Classify through a memoized [`LintContext`], sharing parsed extensions
+/// and decoded attribute text with the lint run that uses the same context.
+pub fn classify_ctx(ctx: &LintContext<'_>) -> UnicertClass {
     let mut has_unicode = false;
     let mut has_idn = false;
 
-    for attr in cert.tbs.subject.attributes().chain(cert.tbs.issuer.attributes()) {
-        if value_has_unicode(&attr.value.bytes) {
+    for attr in ctx.dn_attrs(Which::Subject).iter().chain(ctx.dn_attrs(Which::Issuer)) {
+        if value_has_unicode(attr.val.bytes()) {
             has_unicode = true;
         }
         // CN may carry a domain: IDN check applies to it too (§4.1 —
         // "containing IDNs in the DNSName-related fields (e.g. CommonName
         // and the extensions)").
         if attr.oid == known::common_name() {
-            if let Ok(text) = attr.value.decode_wire() {
-                if unicert_idna::is_idn_domain(&text) {
+            if let Some(text) = attr.val.wire_text() {
+                if unicert_idna::is_idn_domain(text) {
                     has_idn = true;
                 }
             }
         }
     }
-    for ext in &cert.tbs.extensions {
-        if let Ok(parsed) = ext.parse() {
-            use unicert_x509::ParsedExtension::*;
-            let names: Vec<GeneralName> = match parsed {
-                SubjectAltName(n) | IssuerAltName(n) => n,
-                CrlDistributionPoints(dps) => dps.into_iter().flat_map(|d| d.full_names).collect(),
-                AuthorityInfoAccess(ads) | SubjectInfoAccess(ads) => {
-                    ads.into_iter().map(|a| a.location).collect()
-                }
-                CertificatePolicies(ps) => {
-                    for p in &ps {
-                        for q in &p.qualifiers {
-                            if let unicert_x509::extensions::PolicyQualifier::UserNotice {
-                                explicit_text: Some(t),
-                            } = q
-                            {
-                                if value_has_unicode(&t.bytes) {
-                                    has_unicode = true;
-                                }
+    // All extensions (duplicates included), parse results memoized in ctx.
+    for parsed in ctx.parsed_extensions().iter().flatten() {
+        use unicert_x509::ParsedExtension::*;
+        let names: Vec<&GeneralName> = match parsed {
+            SubjectAltName(n) | IssuerAltName(n) => n.iter().collect(),
+            CrlDistributionPoints(dps) => {
+                dps.iter().flat_map(|d| d.full_names.iter()).collect()
+            }
+            AuthorityInfoAccess(ads) | SubjectInfoAccess(ads) => {
+                ads.iter().map(|a| &a.location).collect()
+            }
+            CertificatePolicies(ps) => {
+                for p in ps {
+                    for q in &p.qualifiers {
+                        if let unicert_x509::extensions::PolicyQualifier::UserNotice {
+                            explicit_text: Some(t),
+                        } = q
+                        {
+                            if value_has_unicode(&t.bytes) {
+                                has_unicode = true;
                             }
                         }
                     }
-                    Vec::new()
                 }
-                _ => Vec::new(),
-            };
-            for n in names {
-                match n {
-                    GeneralName::DnsName(v) => {
-                        if value_has_unicode(&v.bytes) {
-                            has_unicode = true;
-                        }
-                        if let Ok(text) = v.decode_wire() {
-                            if unicert_idna::is_idn_domain(&text) {
-                                has_idn = true;
-                            }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        };
+        for n in names {
+            match n {
+                GeneralName::DnsName(v) => {
+                    if value_has_unicode(&v.bytes) {
+                        has_unicode = true;
+                    }
+                    if let Ok(text) = v.decode_wire() {
+                        if unicert_idna::is_idn_domain(&text) {
+                            has_idn = true;
                         }
                     }
-                    GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
-                        if value_has_unicode(&v.bytes) {
-                            has_unicode = true;
-                        }
-                        if let Ok(text) = v.decode_wire() {
-                            if text.split(['@', '/']).any(unicert_idna::is_idn_domain) {
-                                has_idn = true;
-                            }
+                }
+                GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
+                    if value_has_unicode(&v.bytes) {
+                        has_unicode = true;
+                    }
+                    if let Ok(text) = v.decode_wire() {
+                        if text.split(['@', '/']).any(unicert_idna::is_idn_domain) {
+                            has_idn = true;
                         }
                     }
-                    _ => {}
                 }
+                _ => {}
             }
         }
     }

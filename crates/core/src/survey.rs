@@ -356,6 +356,20 @@ impl SurveyReport {
             *self.parse_outcomes.entry(class).or_default() += n;
         }
     }
+
+    /// Order-stable FNV-1a 64 fingerprint of the whole report, via its
+    /// `Debug` rendering (every aggregate is `BTreeMap`/`Vec`-backed, so
+    /// the rendering is deterministic). Benchmark baselines store this so a
+    /// later run can detect *report* drift — a change in what the pipeline
+    /// computes — separately from timing drift.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// Record a contained panic: one [`QuarantineEntry`] plus (metrics on) a
@@ -430,7 +444,12 @@ fn accumulate(
     let timed = tally.as_ref().is_some_and(|t| t.will_time_next());
     let mut stamp = timed.then(Instant::now);
 
-    let class = match catch_unwind(AssertUnwindSafe(|| classify::classify(&entry.cert))) {
+    // One decode-once context shared by classification, the 95-lint run,
+    // and the field-matrix scan. A panic in any stage only poisons this
+    // certificate's context, which is dropped with the quarantined cert.
+    let ctx = unicert_lint::LintContext::new(&entry.cert);
+
+    let class = match catch_unwind(AssertUnwindSafe(|| classify::classify_ctx(&ctx))) {
         Ok(class) => class,
         Err(payload) => {
             let id = hex_serial(&entry.cert.tbs.serial);
@@ -440,8 +459,8 @@ fn accumulate(
     stage_mark(&mut stamp, stages.map(|s| &s.classify));
 
     let lint_run = catch_unwind(AssertUnwindSafe(|| match tally {
-        Some(tally) => registry.run_tallied(&entry.cert, opts.lint, tally),
-        None => registry.run(&entry.cert, opts.lint),
+        Some(tally) => registry.run_tallied_ctx(&ctx, opts.lint, tally),
+        None => registry.run_ctx(&ctx, opts.lint),
     }));
     let lint_report = match lint_run {
         Ok(lint_report) => lint_report,
@@ -454,7 +473,7 @@ fn accumulate(
     stage_mark(&mut stamp, stages.map(|s| &s.lint));
 
     let marks = if opts.field_matrix {
-        match catch_unwind(AssertUnwindSafe(|| field_matrix_marks(entry))) {
+        match catch_unwind(AssertUnwindSafe(|| field_matrix_marks(entry, &ctx))) {
             Ok(marks) => Some(marks),
             Err(payload) => {
                 let id = hex_serial(&entry.cert.tbs.serial);
@@ -847,7 +866,7 @@ fn merge_in_order(shards: Vec<SurveyReport>) -> SurveyReport {
 /// half of the Figure 4 matrix, computed before any report mutation so a
 /// panic here quarantines the certificate without leaving a half-applied
 /// row behind. Duplicate labels are preserved (one per attribute).
-fn field_matrix_marks(entry: &CorpusEntry) -> Vec<&'static str> {
+fn field_matrix_marks(entry: &CorpusEntry, ctx: &unicert_lint::LintContext<'_>) -> Vec<&'static str> {
     use unicert_asn1::oid::known;
     let mut marks = Vec::new();
     let field_label = |oid: &unicert_asn1::Oid| -> Option<&'static str> {
@@ -876,11 +895,10 @@ fn field_matrix_marks(entry: &CorpusEntry) -> Vec<&'static str> {
             }
         }
     }
-    let sans = entry.cert.tbs.san_dns_names();
-    if sans
-        .iter()
-        .any(|h| unicert_idna::is_idn_domain(h) || !h.is_ascii())
-    {
+    if ctx.san_dns().iter().any(|v| {
+        let h = v.raw().display_lossy();
+        unicert_idna::is_idn_domain(&h) || !h.is_ascii()
+    }) {
         marks.push("SAN");
     }
     if entry
@@ -890,10 +908,10 @@ fn field_matrix_marks(entry: &CorpusEntry) -> Vec<&'static str> {
         .is_some()
     {
         // explicitText with non-ASCII or non-UTF8 encodings.
-        let texts = unicert_lint::helpers::explicit_texts(&entry.cert);
-        if texts
+        if ctx
+            .explicit_texts()
             .iter()
-            .any(|t| t.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b)))
+            .any(|t| t.bytes().iter().any(|&b| !(0x20..=0x7E).contains(&b)))
         {
             marks.push("CP");
         }
@@ -1032,8 +1050,8 @@ mod tests {
             severity: Severity::Warning,
             nc_type: NoncomplianceType::InvalidEncoding,
             new_lint: false,
-            check: Box::new(|cert| {
-                if panics_on(cert) {
+            check: Box::new(|ctx| {
+                if panics_on(ctx.cert()) {
                     panic!("injected lint panic");
                 }
                 LintStatus::Pass

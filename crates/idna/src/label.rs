@@ -135,8 +135,14 @@ pub fn a_to_u(label: &str) -> Result<String, LabelError> {
     if payload.is_empty() {
         return Err(LabelError::EmptyAcePayload);
     }
-    let u = punycode::decode(&payload.to_ascii_lowercase())
-        .map_err(LabelError::UnconvertibleALabel)?;
+    // Lowercase only when the payload actually carries uppercase; the
+    // overwhelmingly common already-lowercase payload decodes borrow-free.
+    let u = if payload.bytes().any(|b| b.is_ascii_uppercase()) {
+        punycode::decode(&payload.to_ascii_lowercase())
+    } else {
+        punycode::decode(payload)
+    }
+    .map_err(LabelError::UnconvertibleALabel)?;
     // Round trip: the canonical re-encoding must reproduce the input.
     let reencoded = punycode::encode(&u).ok_or(LabelError::RoundTripMismatch)?;
     if !reencoded.eq_ignore_ascii_case(payload) {

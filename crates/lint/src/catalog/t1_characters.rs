@@ -8,15 +8,8 @@ use super::lint;
 use crate::framework::{Lint, NoncomplianceType::InvalidCharacter, Severity::*, Source::*};
 use crate::helpers::{self, Which};
 use unicert_asn1::StringKind;
-use unicert_idna::label::{classify_a_label, ALabelStatus};
+use unicert_idna::label::ALabelStatus;
 use unicert_unicode::classify;
-
-fn dns_labels_with_status(text: &str) -> Vec<ALabelStatus> {
-    text.split('.')
-        .filter(|l| unicert_idna::label::has_ace_prefix(l))
-        .map(classify_a_label)
-        .collect()
-}
 
 /// The 22 T1 lints.
 pub fn lints() -> Vec<Lint> {
@@ -26,11 +19,10 @@ pub fn lints() -> Vec<Lint> {
             "SAN DNSName A-labels must not decode to IDNA2008-disallowed characters",
             "RFC 5890 §2.3.2.1, RFC 5892",
             Idna2008, Error, InvalidCharacter, new = true,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     match helpers::lenient_text(v) {
-                        Some(t) => !dns_labels_with_status(&t).contains(&ALabelStatus::DisallowedContent),
+                        Some(t) => !ctx.any_ace_label(t, |i| i.status == ALabelStatus::DisallowedContent),
                         None => true,
                     }
                 })
@@ -41,20 +33,20 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values must not contain control characters (NUL, ESC, DEL, ...)",
             "RFC 5280 §4.1.2.6 / X.520",
             Rfc5280, Error, InvalidCharacter, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Subject, helpers::has_no_control_chars)
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, helpers::has_no_control_chars)
         ),
         lint!(
             "e_rfc_subject_printable_string_badalpha",
             "PrintableString values must only use the PrintableString repertoire",
             "RFC 5280 §4.1.2.4, X.680",
             Rfc5280, Error, InvalidCharacter, new = false,
-            |cert| {
-                let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
-                    .filter(|v| v.kind() == Some(StringKind::Printable))
-                    .cloned()
-                    .collect();
-                helpers::check_values(&values, |v| v.decode_strict().is_ok())
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .map(|a| &a.val)
+                    .filter(|v| v.kind() == Some(StringKind::Printable));
+                helpers::check_values(values, |v| v.strict_ok())
             }
         ),
         lint!(
@@ -62,7 +54,7 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values should not carry trailing whitespace",
             "community practice (Zlint heritage)",
             Community, Warning, InvalidCharacter, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| {
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| {
                 helpers::lenient_text(v).is_none_or(|t| !t.ends_with(' '))
             })
         ),
@@ -71,7 +63,7 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values should not carry leading whitespace",
             "community practice (Zlint heritage)",
             Community, Warning, InvalidCharacter, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| {
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| {
                 helpers::lenient_text(v).is_none_or(|t| !t.starts_with(' '))
             })
         ),
@@ -80,12 +72,11 @@ pub fn lints() -> Vec<Lint> {
             "SAN DNSName A-labels must be convertible to Unicode",
             "RFC 5890 §2.3.2.1, RFC 3492",
             Rfc5890, Error, InvalidCharacter, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| match helpers::lenient_text(v) {
-                    Some(t) => !dns_labels_with_status(&t)
-                        .iter()
-                        .any(|s| matches!(s, ALabelStatus::Unconvertible | ALabelStatus::NonCanonical)),
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| match helpers::lenient_text(v) {
+                    Some(t) => !ctx.any_ace_label(t, |i| {
+                        matches!(i.status, ALabelStatus::Unconvertible | ALabelStatus::NonCanonical)
+                    }),
                     None => true,
                 })
             }
@@ -95,11 +86,10 @@ pub fn lints() -> Vec<Lint> {
             "DNSName labels must use only letters, digits, and hyphens",
             "CABF BR §7.1.4.2.1, RFC 1034 §3.5",
             CabfBr, Error, InvalidCharacter, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     helpers::lenient_text(v)
-                        .is_none_or(|t| t.is_ascii() && helpers::is_dns_repertoire(&t))
+                        .is_none_or(|t| t.is_ascii() && helpers::is_dns_repertoire(t))
                 })
             }
         ),
@@ -108,9 +98,8 @@ pub fn lints() -> Vec<Lint> {
             "SAN DNSName must not contain raw non-ASCII Unicode (IDNs must be A-labels)",
             "RFC 5280 §4.2.1.6, RFC 8399 §2.2",
             Rfc8399, Error, InvalidCharacter, new = true,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     helpers::lenient_text(v).is_none_or(|t| t.is_ascii())
                 })
             }
@@ -120,7 +109,7 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values must not embed NUL bytes",
             "RFC 5280 §4.1.2.6; CVE-2009-2408 heritage",
             Community, Error, InvalidCharacter, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| {
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| {
                 helpers::free_of(v, |c| c == '\u{0}')
             })
         ),
@@ -129,19 +118,15 @@ pub fn lints() -> Vec<Lint> {
             "Issuer DN values must not contain control characters",
             "RFC 5280 §4.1.2.4 / X.520",
             Rfc5280, Error, InvalidCharacter, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Issuer, helpers::has_no_control_chars)
+            |ctx| helpers::check_all_dn(ctx, Which::Issuer, helpers::has_no_control_chars)
         ),
         lint!(
             "e_ext_san_rfc822_invalid_characters",
             "SAN RFC822Name must not contain control characters or spaces",
             "RFC 5280 §4.2.1.6, RFC 5321",
             Rfc5280, Error, InvalidCharacter, new = true,
-            |cert| {
-                let values = helpers::san_values(cert, |n| match n {
-                    unicert_x509::GeneralName::Rfc822Name(v) => Some(v.clone()),
-                    _ => None,
-                });
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_rfc822(), |v| {
                     helpers::free_of(v, |c| classify::is_control(c) || c == ' ')
                 })
             }
@@ -151,12 +136,8 @@ pub fn lints() -> Vec<Lint> {
             "SAN URI must not contain control characters or spaces",
             "RFC 5280 §4.2.1.6, RFC 3986 §2",
             Rfc5280, Error, InvalidCharacter, new = true,
-            |cert| {
-                let values = helpers::san_values(cert, |n| match n {
-                    unicert_x509::GeneralName::Uri(v) => Some(v.clone()),
-                    _ => None,
-                });
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_uri(), |v| {
                     helpers::free_of(v, |c| classify::is_control(c) || c == ' ')
                 })
             }
@@ -166,7 +147,7 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values must not contain bidirectional control characters",
             "RFC 9549 §3, Unicode UAX #9",
             Rfc9549, Error, InvalidCharacter, new = true,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| {
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| {
                 helpers::free_of(v, classify::is_bidi_control)
             })
         ),
@@ -175,7 +156,7 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values must not contain zero-width/invisible characters",
             "RFC 8399 §2, Unicode TR #36",
             Rfc8399, Error, InvalidCharacter, new = true,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| {
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| {
                 helpers::free_of(v, classify::is_zero_width)
             })
         ),
@@ -184,17 +165,10 @@ pub fn lints() -> Vec<Lint> {
             "IssuerAltName DNSName must use only the DNS repertoire",
             "RFC 5280 §4.2.1.7",
             Rfc5280, Error, InvalidCharacter, new = true,
-            |cert| {
-                let values: Vec<_> = helpers::ian(cert)
-                    .into_iter()
-                    .filter_map(|n| match n {
-                        unicert_x509::GeneralName::DnsName(v) => Some(v),
-                        _ => None,
-                    })
-                    .collect();
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.ian_dns(), |v| {
                     helpers::lenient_text(v)
-                        .is_none_or(|t| t.is_ascii() && helpers::is_dns_repertoire(&t))
+                        .is_none_or(|t| t.is_ascii() && helpers::is_dns_repertoire(t))
                 })
             }
         ),
@@ -203,17 +177,14 @@ pub fn lints() -> Vec<Lint> {
             "UTF8String DN values must not contain C0/C1 control codes",
             "RFC 5280 §4.1.2.4 (via RFC 2279 profile)",
             Rfc5280, Error, InvalidCharacter, new = true,
-            |cert| {
-                let mut values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
-                    .cloned()
-                    .collect();
-                values.extend(helpers::all_dn_values(cert, Which::Issuer).into_iter().cloned());
-                let values: Vec<_> = values
-                    .into_iter()
-                    .filter(|v| v.kind() == Some(StringKind::Utf8))
-                    .collect();
-                helpers::check_values(&values, |v| helpers::free_of(v, classify::is_control))
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .chain(ctx.dn_attrs(Which::Issuer))
+                    .map(|a| &a.val)
+                    .filter(|v| v.kind() == Some(StringKind::Utf8));
+                helpers::check_values(values, |v| helpers::free_of(v, classify::is_control))
             }
         ),
         lint!(
@@ -221,7 +192,7 @@ pub fn lints() -> Vec<Lint> {
             "Subject DN values should use U+0020 rather than exotic whitespace (NBSP, ideographic space)",
             "community practice; Table 3 variant analysis",
             Community, Warning, InvalidCharacter, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| {
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| {
                 helpers::free_of(v, classify::is_nonstandard_whitespace)
             })
         ),
@@ -230,9 +201,10 @@ pub fn lints() -> Vec<Lint> {
             "CRLDistributionPoints URIs must not contain control characters",
             "RFC 5280 §4.2.1.13, RFC 3986",
             Rfc5280, Error, InvalidCharacter, new = true,
-            |cert| {
-                let values = helpers::crldp_uris(cert);
-                helpers::check_values(&values, |v| helpers::free_of(v, classify::is_control))
+            |ctx| {
+                helpers::check_values(ctx.crldp_uris(), |v| {
+                    helpers::free_of(v, classify::is_control)
+                })
             }
         ),
         lint!(
@@ -240,13 +212,13 @@ pub fn lints() -> Vec<Lint> {
             "NumericString values must contain only digits and space",
             "X.680 §41, RFC 5280 §4.1.2.4",
             Rfc5280, Error, InvalidCharacter, new = false,
-            |cert| {
-                let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
-                    .filter(|v| v.kind() == Some(StringKind::Numeric))
-                    .cloned()
-                    .collect();
-                helpers::check_values(&values, |v| v.decode_strict().is_ok())
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .map(|a| &a.val)
+                    .filter(|v| v.kind() == Some(StringKind::Numeric));
+                helpers::check_values(values, |v| v.strict_ok())
             }
         ),
         lint!(
@@ -254,16 +226,14 @@ pub fn lints() -> Vec<Lint> {
             "IA5String values must stay within 7-bit ASCII",
             "X.680 §41, RFC 5280 §4.2.1.6",
             Rfc5280, Error, InvalidCharacter, new = false,
-            |cert| {
-                let mut values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .map(|a| &a.val)
                     .filter(|v| v.kind() == Some(StringKind::Ia5))
-                    .cloned()
-                    .collect();
-                values.extend(helpers::san_dns_values(cert));
-                helpers::check_values(&values, |v| {
-                    v.bytes.iter().all(|&b| b < 0x80)
-                })
+                    .chain(ctx.san_dns().iter());
+                helpers::check_values(values, |v| v.bytes().iter().all(|&b| b < 0x80))
             }
         ),
         lint!(
@@ -271,16 +241,16 @@ pub fn lints() -> Vec<Lint> {
             "TeletexString values should not contain U+FFFD (evidence of earlier mis-transcoding)",
             "Table 3 'replacement of illegal characters' variant",
             Community, Warning, InvalidCharacter, new = true,
-            |cert| {
-                let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
-                    .filter(|v| v.kind() == Some(StringKind::Teletex))
-                    .cloned()
-                    .collect();
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .map(|a| &a.val)
+                    .filter(|v| v.kind() == Some(StringKind::Teletex));
                 // Teletex is decoded as Latin-1; a U+FFFD can only appear if
                 // the *bytes* spell the UTF-8 encoding of U+FFFD (EF BF BD).
-                helpers::check_values(&values, |v| {
-                    !v.bytes.windows(3).any(|w| w == [0xEF, 0xBF, 0xBD])
+                helpers::check_values(values, |v| {
+                    !v.bytes().windows(3).any(|w| w == [0xEF, 0xBF, 0xBD])
                 })
             }
         ),
@@ -289,13 +259,13 @@ pub fn lints() -> Vec<Lint> {
             "VisibleString values must not contain control characters",
             "RFC 5280 §4.1.2.4 profile; X.680 §41",
             Rfc5280, Error, InvalidCharacter, new = false,
-            |cert| {
-                let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
-                    .filter(|v| v.kind() == Some(StringKind::Visible))
-                    .cloned()
-                    .collect();
-                helpers::check_values(&values, |v| v.decode_strict().is_ok())
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .map(|a| &a.val)
+                    .filter(|v| v.kind() == Some(StringKind::Visible));
+                helpers::check_values(values, |v| v.strict_ok())
             }
         ),
     ]
@@ -304,6 +274,7 @@ pub fn lints() -> Vec<Lint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::LintContext;
     use crate::framework::{LintStatus, RunOptions};
     use unicert_asn1::oid::known;
     use unicert_asn1::{DateTime, StringKind};
@@ -312,7 +283,7 @@ mod tests {
     fn run_one(name: &str, cert: &unicert_x509::Certificate) -> LintStatus {
         let lints = lints();
         let lint = lints.iter().find(|l| l.name == name).unwrap();
-        (lint.check)(cert)
+        (lint.check)(&LintContext::new(cert))
     }
 
     fn builder() -> CertificateBuilder {

@@ -3,36 +3,16 @@
 //! Value normalization matters for DN matching and name chaining: UTF-8
 //! strings should be NFC, and IDN A-labels must round-trip cleanly through
 //! their U-label form (§4.3.1 T2).
+//!
+//! Per-label punycode/NFC verdicts come from the context's label cache
+//! ([`crate::context::LintContext::label_info`]) — one IDNA pipeline run
+//! per distinct label, shared with the T1 lints and the classify stage.
 
 use super::lint;
 use crate::framework::{Lint, NoncomplianceType::BadNormalization, Severity::*, Source::*};
 use crate::helpers::{self, Which};
-use unicert_asn1::oid::known;
 use unicert_asn1::StringKind;
-use unicert_idna::label::{a_to_u, has_ace_prefix, LabelError};
 use unicert_unicode::nfc;
-
-/// Does this DNSName text contain an A-label whose decoded U-label is not
-/// NFC? (Distinct from other IDNA violations.)
-fn has_non_nfc_label(text: &str) -> bool {
-    text.split('.').filter(|l| has_ace_prefix(l)).any(|l| {
-        // a_to_u reports NotNfc through validate_u_label; re-derive to
-        // isolate the NFC case: decode manually and check.
-        match a_to_u(l) {
-            Err(LabelError::NotNfc) => true,
-            _ => {
-                // a_to_u validates NFC before other checks may fire; also
-                // catch decodable labels whose U-label isn't NFC but that
-                // fail earlier checks.
-                if let Ok(u) = unicert_idna::punycode::decode(&l[4..].to_ascii_lowercase()) {
-                    !nfc::is_nfc(&u)
-                } else {
-                    false
-                }
-            }
-        }
-    })
-}
 
 /// The 4 T2 lints.
 pub fn lints() -> Vec<Lint> {
@@ -42,10 +22,10 @@ pub fn lints() -> Vec<Lint> {
             "IDN A-labels must decode to NFC-normalized U-labels",
             "RFC 5891 §4.2.3.1, RFC 8399 §2.2",
             Rfc5890, Error, BadNormalization, new = true,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
-                    helpers::lenient_text(v).is_none_or(|t| !has_non_nfc_label(&t))
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
+                    helpers::lenient_text(v)
+                        .is_none_or(|t| !ctx.any_ace_label(t, |i| i.non_nfc))
                 })
             }
         ),
@@ -54,16 +34,15 @@ pub fn lints() -> Vec<Lint> {
             "UTF8String subject values should be NFC-normalized",
             "RFC 5280 §4.1.2.4 (attribute normalization, UAX #15)",
             Rfc5280, Warning, BadNormalization, new = true,
-            |cert| {
-                let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                    .into_iter()
-                    .filter(|v| v.kind() == Some(StringKind::Utf8))
-                    .cloned()
-                    .collect();
-                helpers::check_values(&values, |v| match v.decode_wire() {
-                    Ok(t) => nfc::is_nfc(&t),
-                    Err(_) => true, // encoding lints own undecodable bytes
-                })
+            |ctx| {
+                let values = ctx
+                    .dn_attrs(Which::Subject)
+                    .iter()
+                    .map(|a| &a.val)
+                    .filter(|v| v.kind() == Some(StringKind::Utf8));
+                // Undecodable bytes count as normalized: encoding lints own
+                // them (matches the pre-cache decode_wire Err => true arm).
+                helpers::check_values(values, |v| v.text_is_nfc())
             }
         ),
         lint!(
@@ -71,14 +50,10 @@ pub fn lints() -> Vec<Lint> {
             "A-labels must be the canonical Punycode encoding of their U-label",
             "RFC 5891 §4.4, RFC 3492 §6",
             Rfc5890, Error, BadNormalization, new = true,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
-                    helpers::lenient_text(v).is_none_or(|t| {
-                        !t.split('.').filter(|l| has_ace_prefix(l)).any(|l| {
-                            matches!(a_to_u(l), Err(LabelError::RoundTripMismatch))
-                        })
-                    })
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
+                    helpers::lenient_text(v)
+                        .is_none_or(|t| !ctx.any_ace_label(t, |i| i.roundtrip_mismatch))
                 })
             }
         ),
@@ -87,30 +62,13 @@ pub fn lints() -> Vec<Lint> {
             "SmtpUTF8Mailbox local parts should be NFC-normalized",
             "RFC 9598 §3, RFC 6531",
             Rfc9598, Warning, BadNormalization, new = false,
-            |cert| {
-                let values = helpers::san_values(cert, |n| match n {
-                    unicert_x509::GeneralName::OtherName { type_id, value }
-                        if *type_id == known::smtp_utf8_mailbox() =>
-                    {
-                        // value is the raw [0] EXPLICIT TLV wrapping a
-                        // UTF8String; extract the inner string bytes.
-                        let mut r = unicert_asn1::Reader::new(value);
-                        let outer = r.read_tlv().ok()?;
-                        let mut c = outer.contents();
-                        let inner = c.read_tlv().ok()?;
-                        Some(unicert_x509::RawValue {
-                            tag_number: inner.tag.number,
-                            bytes: inner.value.to_vec(),
-                        })
-                    }
-                    _ => None,
-                });
-                helpers::check_values(&values, |v| match v.decode_wire() {
-                    Ok(t) => {
+            |ctx| {
+                helpers::check_values(ctx.smtp_mailboxes(), |v| match v.wire_text() {
+                    Some(t) => {
                         let local = t.split('@').next().unwrap_or("");
                         nfc::is_nfc(local)
                     }
-                    Err(_) => true,
+                    None => true,
                 })
             }
         ),
@@ -120,6 +78,7 @@ pub fn lints() -> Vec<Lint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::LintContext;
     use crate::framework::LintStatus;
     use unicert_asn1::DateTime;
     use unicert_x509::{CertificateBuilder, GeneralName, SimKey};
@@ -127,7 +86,7 @@ mod tests {
     fn run_one(name: &str, cert: &unicert_x509::Certificate) -> LintStatus {
         let lints = lints();
         let lint = lints.iter().find(|l| l.name == name).unwrap();
-        (lint.check)(cert)
+        (lint.check)(&LintContext::new(cert))
     }
 
     fn builder() -> CertificateBuilder {

@@ -5,7 +5,7 @@
 
 use super::lint;
 use crate::framework::{Lint, LintStatus, NoncomplianceType::DiscouragedField, Severity::*, Source::*};
-use crate::helpers::{self, Which};
+use crate::helpers::Which;
 use unicert_asn1::oid::known;
 
 /// The 2 T3d lints.
@@ -16,8 +16,8 @@ pub fn lints() -> Vec<Lint> {
             "Subjects should not carry more than one commonName",
             "CABF BR §7.1.4.2.2(a) (CN is discouraged; multiples compound it)",
             CabfBr, Warning, DiscouragedField, new = false,
-            |cert| {
-                let n = helpers::dn(cert, Which::Subject).count_of(&known::common_name());
+            |ctx| {
+                let n = ctx.dn(Which::Subject).count_of(&known::common_name());
                 match n {
                     0 => LintStatus::NotApplicable,
                     1 => LintStatus::Pass,
@@ -30,8 +30,8 @@ pub fn lints() -> Vec<Lint> {
             "URIs in SubjectAltName are discouraged for TLS server certificates",
             "CABF BR §7.1.4.2.1 (SAN limited to dNSName/iPAddress)",
             CabfBr, Warning, DiscouragedField, new = false,
-            |cert| {
-                let sans = helpers::san(cert);
+            |ctx| {
+                let sans = ctx.san();
                 if sans.is_empty() {
                     return LintStatus::NotApplicable;
                 }
@@ -48,13 +48,14 @@ pub fn lints() -> Vec<Lint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::LintContext;
     use unicert_asn1::DateTime;
     use unicert_x509::{CertificateBuilder, GeneralName, SimKey};
 
     fn run_one(name: &str, cert: &unicert_x509::Certificate) -> LintStatus {
         let lints = lints();
         let lint = lints.iter().find(|l| l.name == name).unwrap();
-        (lint.check)(cert)
+        (lint.check)(&LintContext::new(cert))
     }
 
     fn builder() -> CertificateBuilder {

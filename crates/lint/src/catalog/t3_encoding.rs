@@ -5,13 +5,13 @@
 //! bytes are not well-formed for the declared type.
 
 use super::lint;
+use crate::context::LintContext;
 use crate::framework::{
     Lint, LintStatus, NoncomplianceType::InvalidEncoding, Severity, Severity::*, Source, Source::*,
 };
 use crate::helpers::{self, Which};
 use unicert_asn1::oid::known;
 use unicert_asn1::{Oid, StringKind};
-use unicert_x509::{Certificate, GeneralName};
 
 /// Generate a "must be PrintableString or UTF8String" lint for one DN
 /// attribute — the paper's per-attribute rule family (the `…_not_printable_or_utf8`
@@ -31,9 +31,35 @@ fn dir_string_lint(
         severity: Severity::Error,
         nc_type: InvalidEncoding,
         new_lint,
-        check: Box::new(move |cert: &Certificate| {
-            helpers::check_attr(cert, which, &oid(), helpers::is_printable_or_utf8)
+        check: Box::new(move |ctx| {
+            helpers::check_attr(ctx, which, &oid(), helpers::is_printable_or_utf8)
         }),
+    }
+}
+
+/// Which cached GeneralName value family an IA5String rule inspects.
+#[derive(Clone, Copy)]
+enum GnFamily {
+    SanDns,
+    SanRfc822,
+    SanUri,
+    Ian,
+    Aia,
+    Sia,
+    Crldp,
+}
+
+impl GnFamily {
+    fn values<'a>(self, ctx: &'a LintContext<'_>) -> &'a [crate::context::CachedVal] {
+        match self {
+            GnFamily::SanDns => ctx.san_dns(),
+            GnFamily::SanRfc822 => ctx.san_rfc822(),
+            GnFamily::SanUri => ctx.san_uri(),
+            GnFamily::Ian => ctx.ian_strings(),
+            GnFamily::Aia => ctx.aia_uris(),
+            GnFamily::Sia => ctx.sia_uris(),
+            GnFamily::Crldp => ctx.crldp_uris(),
+        }
     }
 }
 
@@ -41,7 +67,7 @@ fn dir_string_lint(
 fn gn_ia5_lint(
     name: &'static str,
     description: &'static str,
-    extract: impl Fn(&Certificate) -> Vec<unicert_x509::RawValue> + Send + Sync + 'static,
+    family: GnFamily,
     new_lint: bool,
 ) -> Lint {
     Lint {
@@ -52,15 +78,10 @@ fn gn_ia5_lint(
         severity: Severity::Error,
         nc_type: InvalidEncoding,
         new_lint,
-        check: Box::new(move |cert: &Certificate| {
-            let values = extract(cert);
-            helpers::check_values(&values, |v| v.bytes.iter().all(|&b| b < 0x80))
+        check: Box::new(move |ctx| {
+            helpers::check_values(family.values(ctx), |v| v.bytes().iter().all(|&b| b < 0x80))
         }),
     }
-}
-
-fn san_of(cert: &Certificate, pick: fn(&GeneralName) -> Option<unicert_x509::RawValue>) -> Vec<unicert_x509::RawValue> {
-    helpers::san(cert).iter().filter_map(pick).collect()
 }
 
 /// The 48 T3b lints.
@@ -73,9 +94,8 @@ pub fn lints() -> Vec<Lint> {
         "CertificatePolicies explicitText SHOULD use UTF8String",
         "RFC 5280 §4.2.1.4",
         Rfc5280, Warning, InvalidEncoding, new = false,
-        |cert| {
-            let values = helpers::explicit_texts(cert);
-            helpers::check_values(&values, |v| v.kind() == Some(StringKind::Utf8))
+        |ctx| {
+            helpers::check_values(ctx.explicit_texts(), |v| v.kind() == Some(StringKind::Utf8))
         }
     ));
     lints.push(lint!(
@@ -83,9 +103,8 @@ pub fn lints() -> Vec<Lint> {
         "CertificatePolicies explicitText MUST NOT use IA5String",
         "RFC 5280 §4.2.1.4 (DisplayText has no IA5String option in 5280)",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| {
-            let values = helpers::explicit_texts(cert);
-            helpers::check_values(&values, |v| v.kind() != Some(StringKind::Ia5))
+        |ctx| {
+            helpers::check_values(ctx.explicit_texts(), |v| v.kind() != Some(StringKind::Ia5))
         }
     ));
     lints.push(lint!(
@@ -93,64 +112,64 @@ pub fn lints() -> Vec<Lint> {
         "Subject serialNumber must be PrintableString",
         "RFC 5280 App. A / X.520",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| helpers::check_attr(cert, Which::Subject, &known::serial_number(), helpers::is_printable)
+        |ctx| helpers::check_attr(ctx, Which::Subject, &known::serial_number(), helpers::is_printable)
     ));
     lints.push(lint!(
         "e_rfc_subject_country_not_printable",
         "Subject countryName must be PrintableString",
         "RFC 5280 App. A / X.520",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| helpers::check_attr(cert, Which::Subject, &known::country_name(), helpers::is_printable)
+        |ctx| helpers::check_attr(ctx, Which::Subject, &known::country_name(), helpers::is_printable)
     ));
     lints.push(lint!(
         "e_rfc_issuer_country_not_printable",
         "Issuer countryName must be PrintableString",
         "RFC 5280 App. A / X.520",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| helpers::check_attr(cert, Which::Issuer, &known::country_name(), helpers::is_printable)
+        |ctx| helpers::check_attr(ctx, Which::Issuer, &known::country_name(), helpers::is_printable)
     ));
     lints.push(lint!(
         "e_subject_email_address_not_ia5",
         "Subject emailAddress (PKCS#9) must be IA5String",
         "RFC 2985 / RFC 5280 App. A",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| helpers::check_attr(cert, Which::Subject, &known::email_address(), helpers::is_ia5)
+        |ctx| helpers::check_attr(ctx, Which::Subject, &known::email_address(), helpers::is_ia5)
     ));
     lints.push(lint!(
         "e_subject_domain_component_not_ia5",
         "domainComponent must be IA5String",
         "RFC 4519 §2.4 / RFC 5280 App. A",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| helpers::check_attr(cert, Which::Subject, &known::domain_component(), helpers::is_ia5)
+        |ctx| helpers::check_attr(ctx, Which::Subject, &known::domain_component(), helpers::is_ia5)
     ));
     lints.push(lint!(
         "w_subject_dn_uses_teletex_string",
         "TeletexString in new certificates is only allowed for legacy subjects",
         "RFC 5280 §4.1.2.4",
         Rfc5280, Warning, InvalidEncoding, new = false,
-        |cert| helpers::check_all_dn(cert, Which::Subject, |v| v.kind() != Some(StringKind::Teletex))
+        |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| v.kind() != Some(StringKind::Teletex))
     ));
     lints.push(lint!(
         "w_subject_dn_uses_universal_string",
         "UniversalString in new certificates is only allowed for legacy subjects",
         "RFC 5280 §4.1.2.4",
         Rfc5280, Warning, InvalidEncoding, new = false,
-        |cert| helpers::check_all_dn(cert, Which::Subject, |v| v.kind() != Some(StringKind::Universal))
+        |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| v.kind() != Some(StringKind::Universal))
     ));
     lints.push(lint!(
         "w_subject_dn_uses_bmp_string",
         "BMPString in new certificates is only allowed for legacy subjects",
         "RFC 5280 §4.1.2.4",
         Rfc5280, Warning, InvalidEncoding, new = false,
-        |cert| helpers::check_all_dn(cert, Which::Subject, |v| v.kind() != Some(StringKind::Bmp))
+        |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| v.kind() != Some(StringKind::Bmp))
     ));
     lints.push(lint!(
         "e_subject_dn_qualifier_not_printable",
         "dnQualifier must be PrintableString",
         "RFC 5280 App. A / X.520",
         Rfc5280, Error, InvalidEncoding, new = false,
-        |cert| {
-            helpers::check_attr(cert, Which::Subject, &known::dn_qualifier(), helpers::is_printable)
+        |ctx| {
+            helpers::check_attr(ctx, Which::Subject, &known::dn_qualifier(), helpers::is_printable)
         }
     ));
 
@@ -232,7 +251,7 @@ pub fn lints() -> Vec<Lint> {
         "EV jurisdictionCountryName must be PrintableString",
         "CABF EV Guidelines §9.2.4",
         CabfBr, Error, InvalidEncoding, new = true,
-        |cert| helpers::check_attr(cert, Which::Subject, &known::jurisdiction_country(), helpers::is_printable)
+        |ctx| helpers::check_attr(ctx, Which::Subject, &known::jurisdiction_country(), helpers::is_printable)
     ));
     // Issuer DirectoryString attributes (5).
     lints.push(dir_string_lint(
@@ -264,51 +283,43 @@ pub fn lints() -> Vec<Lint> {
     lints.push(gn_ia5_lint(
         "e_ext_san_dns_not_ia5string",
         "SAN DNSName bytes must be 7-bit (IA5String)",
-        |cert| san_of(cert, |n| match n { GeneralName::DnsName(v) => Some(v.clone()), _ => None }),
+        GnFamily::SanDns,
         true,
     ));
     lints.push(gn_ia5_lint(
         "e_ext_san_rfc822_not_ia5string",
         "SAN RFC822Name bytes must be 7-bit (IA5String)",
-        |cert| san_of(cert, |n| match n { GeneralName::Rfc822Name(v) => Some(v.clone()), _ => None }),
+        GnFamily::SanRfc822,
         true,
     ));
     lints.push(gn_ia5_lint(
         "e_ext_san_uri_not_ia5string",
         "SAN URI bytes must be 7-bit (IA5String)",
-        |cert| san_of(cert, |n| match n { GeneralName::Uri(v) => Some(v.clone()), _ => None }),
+        GnFamily::SanUri,
         true,
     ));
     lints.push(gn_ia5_lint(
         "e_ext_ian_name_not_ia5string",
         "IssuerAltName string forms must be 7-bit (IA5String)",
-        |cert| {
-            helpers::ian(cert)
-                .into_iter()
-                .filter_map(|n| match n {
-                    GeneralName::DnsName(v) | GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => Some(v),
-                    _ => None,
-                })
-                .collect()
-        },
+        GnFamily::Ian,
         true,
     ));
     lints.push(gn_ia5_lint(
         "e_ext_aia_uri_not_ia5string",
         "AuthorityInfoAccess URIs must be 7-bit (IA5String)",
-        |cert| helpers::access_uris(cert, &known::authority_info_access()),
+        GnFamily::Aia,
         true,
     ));
     lints.push(gn_ia5_lint(
         "e_ext_sia_uri_not_ia5string",
         "SubjectInfoAccess URIs must be 7-bit (IA5String)",
-        |cert| helpers::access_uris(cert, &known::subject_info_access()),
+        GnFamily::Sia,
         true,
     ));
     lints.push(gn_ia5_lint(
         "e_ext_crldp_uri_not_ia5string",
         "CRLDistributionPoints URIs must be 7-bit (IA5String)",
-        helpers::crldp_uris,
+        GnFamily::Crldp,
         true,
     ));
     // Wire-format well-formedness (4).
@@ -317,13 +328,15 @@ pub fn lints() -> Vec<Lint> {
         "UTF8String values must be well-formed UTF-8",
         "RFC 5280 §4.1.2.4, RFC 3629",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| {
-            let mut values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                .into_iter().cloned().collect();
-            values.extend(helpers::all_dn_values(cert, Which::Issuer).into_iter().cloned());
-            values.extend(helpers::explicit_texts(cert));
-            let values: Vec<_> = values.into_iter().filter(|v| v.kind() == Some(StringKind::Utf8)).collect();
-            helpers::check_values(&values, |v| std::str::from_utf8(&v.bytes).is_ok())
+        |ctx| {
+            let values = ctx
+                .dn_attrs(Which::Subject)
+                .iter()
+                .chain(ctx.dn_attrs(Which::Issuer))
+                .map(|a| &a.val)
+                .chain(ctx.explicit_texts().iter())
+                .filter(|v| v.kind() == Some(StringKind::Utf8));
+            helpers::check_values(values, |v| std::str::from_utf8(v.bytes()).is_ok())
         }
     ));
     lints.push(lint!(
@@ -331,14 +344,14 @@ pub fn lints() -> Vec<Lint> {
         "BMPString values must have an even byte length",
         "RFC 5280 §4.1.2.4 profile; X.690 §8.23 (UCS-2 code units)",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| {
-            let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                .into_iter()
-                .chain(helpers::all_dn_values(cert, Which::Issuer))
-                .filter(|v| v.kind() == Some(StringKind::Bmp))
-                .cloned()
-                .collect();
-            helpers::check_values(&values, |v| v.bytes.len() % 2 == 0)
+        |ctx| {
+            let values = ctx
+                .dn_attrs(Which::Subject)
+                .iter()
+                .chain(ctx.dn_attrs(Which::Issuer))
+                .map(|a| &a.val)
+                .filter(|v| v.kind() == Some(StringKind::Bmp));
+            helpers::check_values(values, |v| v.bytes().len() % 2 == 0)
         }
     ));
     lints.push(lint!(
@@ -346,14 +359,14 @@ pub fn lints() -> Vec<Lint> {
         "UniversalString values must be a multiple of four bytes",
         "RFC 5280 §4.1.2.4 profile; X.690 §8.23 (UCS-4 code units)",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| {
-            let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                .into_iter()
-                .chain(helpers::all_dn_values(cert, Which::Issuer))
-                .filter(|v| v.kind() == Some(StringKind::Universal))
-                .cloned()
-                .collect();
-            helpers::check_values(&values, |v| v.bytes.len() % 4 == 0)
+        |ctx| {
+            let values = ctx
+                .dn_attrs(Which::Subject)
+                .iter()
+                .chain(ctx.dn_attrs(Which::Issuer))
+                .map(|a| &a.val)
+                .filter(|v| v.kind() == Some(StringKind::Universal));
+            helpers::check_values(values, |v| v.bytes().len() % 4 == 0)
         }
     ));
     lints.push(lint!(
@@ -361,14 +374,14 @@ pub fn lints() -> Vec<Lint> {
         "BMPString values must not contain surrogate code units",
         "RFC 5280 §4.1.2.4 profile; X.690 §8.23, ISO/IEC 10646",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| {
-            let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                .into_iter()
-                .filter(|v| v.kind() == Some(StringKind::Bmp))
-                .cloned()
-                .collect();
-            helpers::check_values(&values, |v| {
-                !v.bytes.chunks_exact(2).any(|c| {
+        |ctx| {
+            let values = ctx
+                .dn_attrs(Which::Subject)
+                .iter()
+                .map(|a| &a.val)
+                .filter(|v| v.kind() == Some(StringKind::Bmp));
+            helpers::check_values(values, |v| {
+                !v.bytes().chunks_exact(2).any(|c| {
                     let u = u16::from_be_bytes([c[0], c[1]]);
                     (0xD800..0xE000).contains(&u)
                 })
@@ -381,7 +394,7 @@ pub fn lints() -> Vec<Lint> {
         "Subject commonName must use a DirectoryString type",
         "RFC 5280 §4.1.2.4",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| helpers::check_attr(cert, Which::Subject, &known::common_name(), |v| {
+        |ctx| helpers::check_attr(ctx, Which::Subject, &known::common_name(), |v| {
             matches!(
                 v.kind(),
                 Some(StringKind::Printable | StringKind::Utf8 | StringKind::Teletex
@@ -394,18 +407,8 @@ pub fn lints() -> Vec<Lint> {
         "SmtpUTF8Mailbox must be encoded as UTF8String",
         "RFC 9598 §3",
         Rfc9598, Error, InvalidEncoding, new = true,
-        |cert| {
-            let values = helpers::san_values(cert, |n| match n {
-                GeneralName::OtherName { type_id, value } if *type_id == known::smtp_utf8_mailbox() => {
-                    let mut r = unicert_asn1::Reader::new(value);
-                    let outer = r.read_tlv().ok()?;
-                    let mut c = outer.contents();
-                    let inner = c.read_tlv().ok()?;
-                    Some(unicert_x509::RawValue { tag_number: inner.tag.number, bytes: inner.value.to_vec() })
-                }
-                _ => None,
-            });
-            helpers::check_values(&values, |v| v.kind() == Some(StringKind::Utf8))
+        |ctx| {
+            helpers::check_values(ctx.smtp_mailboxes(), |v| v.kind() == Some(StringKind::Utf8))
         }
     ));
     lints.push(lint!(
@@ -413,9 +416,8 @@ pub fn lints() -> Vec<Lint> {
         "CertificatePolicies explicitText SHOULD NOT use BMPString",
         "RFC 5280 §4.2.1.4",
         Rfc5280, Warning, InvalidEncoding, new = true,
-        |cert| {
-            let values = helpers::explicit_texts(cert);
-            helpers::check_values(&values, |v| v.kind() != Some(StringKind::Bmp))
+        |ctx| {
+            helpers::check_values(ctx.explicit_texts(), |v| v.kind() != Some(StringKind::Bmp))
         }
     ));
     lints.push(lint!(
@@ -423,13 +425,13 @@ pub fn lints() -> Vec<Lint> {
         "DN attribute values must use an ASN.1 character string type",
         "RFC 5280 §4.1.2.4, X.680",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| {
-            let values: Vec<_> = helpers::all_dn_values(cert, Which::Subject)
-                .into_iter()
-                .chain(helpers::all_dn_values(cert, Which::Issuer))
-                .cloned()
-                .collect();
-            helpers::check_values(&values, |v| v.kind().is_some())
+        |ctx| {
+            let values = ctx
+                .dn_attrs(Which::Subject)
+                .iter()
+                .chain(ctx.dn_attrs(Which::Issuer))
+                .map(|a| &a.val);
+            helpers::check_values(values, |v| v.kind().is_some())
         }
     ));
     lints.push(lint!(
@@ -437,21 +439,10 @@ pub fn lints() -> Vec<Lint> {
         "CertificatePolicies CPS qualifier must be IA5String",
         "RFC 5280 §4.2.1.4",
         Rfc5280, Error, InvalidEncoding, new = true,
-        |cert| {
-            use unicert_x509::extensions::{ParsedExtension, PolicyQualifier};
-            let parsed = cert.tbs.extension(&known::certificate_policies()).and_then(|e| e.parse().ok());
-            let values: Vec<_> = match parsed {
-                Some(ParsedExtension::CertificatePolicies(ps)) => ps
-                    .into_iter()
-                    .flat_map(|p| p.qualifiers)
-                    .filter_map(|q| match q {
-                        PolicyQualifier::Cps(v) => Some(v),
-                        _ => None,
-                    })
-                    .collect(),
-                _ => Vec::new(),
-            };
-            helpers::check_values(&values, |v| v.kind() == Some(StringKind::Ia5) && v.bytes.iter().all(|&b| b < 0x80))
+        |ctx| {
+            helpers::check_values(ctx.cps_values(), |v| {
+                v.kind() == Some(StringKind::Ia5) && v.bytes().iter().all(|&b| b < 0x80)
+            })
         }
     ));
     lints.push(lint!(
@@ -459,12 +450,8 @@ pub fn lints() -> Vec<Lint> {
         "RFC822Name is restricted to US-ASCII; internationalized addresses require SmtpUTF8Mailbox",
         "RFC 9598 §1, RFC 8399 §2.3",
         Rfc9598, Error, InvalidEncoding, new = true,
-        |cert| {
-            let values = helpers::san_values(cert, |n| match n {
-                GeneralName::Rfc822Name(v) => Some(v.clone()),
-                _ => None,
-            });
-            helpers::check_values(&values, |v| v.bytes.iter().all(|&b| b < 0x80))
+        |ctx| {
+            helpers::check_values(ctx.san_rfc822(), |v| v.bytes().iter().all(|&b| b < 0x80))
         }
     ));
 
@@ -473,18 +460,18 @@ pub fn lints() -> Vec<Lint> {
 }
 
 // Silence the unused import warning when debug assertions are off.
-const _: fn(&Certificate) -> LintStatus = |_| LintStatus::Pass;
+const _: fn(&LintContext<'_>) -> LintStatus = |_| LintStatus::Pass;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use unicert_asn1::DateTime;
-    use unicert_x509::{CertificateBuilder, SimKey};
+    use unicert_x509::{CertificateBuilder, GeneralName, SimKey};
 
     fn run_one(name: &str, cert: &unicert_x509::Certificate) -> LintStatus {
         let lints = lints();
         let lint = lints.iter().find(|l| l.name == name).unwrap();
-        (lint.check)(cert)
+        (lint.check)(&LintContext::new(cert))
     }
 
     fn builder() -> CertificateBuilder {

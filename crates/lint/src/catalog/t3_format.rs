@@ -4,6 +4,7 @@
 //! values, malformed labels, era-mismatched time encodings.
 
 use super::lint;
+use crate::context::CachedVal;
 use crate::framework::{Lint, NoncomplianceType::IllegalFormat, Severity::*, Source::*};
 use crate::helpers::{self, Which};
 use unicert_asn1::oid::known;
@@ -16,8 +17,8 @@ const UB_LOCALITY: usize = 128;
 /// RFC 5280 §4.2.1.4: explicitText SHOULD be ≤ 200 characters.
 const UB_EXPLICIT_TEXT: usize = 200;
 
-fn char_len(v: &unicert_x509::RawValue) -> usize {
-    helpers::lenient_text(v).map(|t| t.chars().count()).unwrap_or(v.bytes.len())
+fn char_len(v: &CachedVal) -> usize {
+    helpers::lenient_text(v).map(|t| t.chars().count()).unwrap_or(v.bytes().len())
 }
 
 /// The 17 T3a lints.
@@ -28,9 +29,8 @@ pub fn lints() -> Vec<Lint> {
             "CertificatePolicies explicitText must not exceed 200 characters",
             "RFC 5280 §4.2.1.4",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::explicit_texts(cert);
-                helpers::check_values(&values, |v| char_len(v) <= UB_EXPLICIT_TEXT)
+            |ctx| {
+                helpers::check_values(ctx.explicit_texts(), |v| char_len(v) <= UB_EXPLICIT_TEXT)
             }
         ),
         lint!(
@@ -38,7 +38,7 @@ pub fn lints() -> Vec<Lint> {
             "countryName must be exactly two letters",
             "CABF BR §7.1.4.2.2, ISO 3166-1",
             CabfBr, Error, IllegalFormat, new = false,
-            |cert| helpers::check_attr(cert, Which::Subject, &known::country_name(), |v| {
+            |ctx| helpers::check_attr(ctx, Which::Subject, &known::country_name(), |v| {
                 helpers::lenient_text(v)
                     .is_some_and(|t| t.len() == 2 && t.chars().all(|c| c.is_ascii_alphabetic()))
             })
@@ -48,7 +48,7 @@ pub fn lints() -> Vec<Lint> {
             "commonName must not exceed 64 characters (ub-common-name)",
             "RFC 5280 App. A / X.520",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| helpers::check_attr(cert, Which::Subject, &known::common_name(), |v| {
+            |ctx| helpers::check_attr(ctx, Which::Subject, &known::common_name(), |v| {
                 char_len(v) <= UB_NAME
             })
         ),
@@ -57,7 +57,7 @@ pub fn lints() -> Vec<Lint> {
             "organizationName must not exceed 64 characters (ub-organization-name)",
             "RFC 5280 App. A / X.520",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| helpers::check_attr(cert, Which::Subject, &known::organization_name(), |v| {
+            |ctx| helpers::check_attr(ctx, Which::Subject, &known::organization_name(), |v| {
                 char_len(v) <= UB_NAME
             })
         ),
@@ -66,7 +66,7 @@ pub fn lints() -> Vec<Lint> {
             "localityName must not exceed 128 characters (ub-locality-name)",
             "RFC 5280 App. A / X.520",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| helpers::check_attr(cert, Which::Subject, &known::locality_name(), |v| {
+            |ctx| helpers::check_attr(ctx, Which::Subject, &known::locality_name(), |v| {
                 char_len(v) <= UB_LOCALITY
             })
         ),
@@ -75,9 +75,8 @@ pub fn lints() -> Vec<Lint> {
             "DNS labels must not exceed 63 octets",
             "RFC 1034 §3.1",
             Rfc1034, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     helpers::lenient_text(v)
                         .is_none_or(|t| t.split('.').all(|l| l.len() <= 63))
                 })
@@ -88,9 +87,8 @@ pub fn lints() -> Vec<Lint> {
             "DNS names must not exceed 253 octets",
             "RFC 1034 §3.1",
             Rfc1034, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| v.bytes.len() <= 253)
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| v.bytes().len() <= 253)
             }
         ),
         lint!(
@@ -98,9 +96,8 @@ pub fn lints() -> Vec<Lint> {
             "DNS labels must not begin or end with a hyphen",
             "RFC 5890 §2.3.1",
             Rfc5890, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     helpers::lenient_text(v).is_none_or(|t| {
                         t.split('.')
                             .filter(|l| !l.is_empty() && *l != "*")
@@ -114,8 +111,8 @@ pub fn lints() -> Vec<Lint> {
             "Serial numbers must not exceed 20 octets",
             "RFC 5280 §4.1.2.2, CABF BR §7.1",
             CabfBr, Error, IllegalFormat, new = false,
-            |cert| {
-                if cert.tbs.serial.len() <= 20 {
+            |ctx| {
+                if ctx.cert().tbs.serial.len() <= 20 {
                     crate::framework::LintStatus::Pass
                 } else {
                     crate::framework::LintStatus::Violation
@@ -127,8 +124,8 @@ pub fn lints() -> Vec<Lint> {
             "Serial numbers must be positive",
             "RFC 5280 §4.1.2.2",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| {
-                if cert.tbs.serial.iter().any(|&b| b != 0) {
+            |ctx| {
+                if ctx.cert().tbs.serial.iter().any(|&b| b != 0) {
                     crate::framework::LintStatus::Pass
                 } else {
                     crate::framework::LintStatus::Violation
@@ -140,8 +137,8 @@ pub fn lints() -> Vec<Lint> {
             "Dates through 2049 must use UTCTime; 2050+ must use GeneralizedTime",
             "RFC 5280 §4.1.2.5",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| {
-                let v = &cert.tbs.validity;
+            |ctx| {
+                let v = &ctx.cert().tbs.validity;
                 let ok = |year: i32, kind: TimeKind| {
                     if (1950..=2049).contains(&year) {
                         kind == TimeKind::Utc
@@ -161,16 +158,15 @@ pub fn lints() -> Vec<Lint> {
             "Subject attribute values must not be empty",
             "RFC 5280 §4.1.2.6 / X.520",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| helpers::check_all_dn(cert, Which::Subject, |v| !v.bytes.is_empty())
+            |ctx| helpers::check_all_dn(ctx, Which::Subject, |v| !v.bytes().is_empty())
         ),
         lint!(
             "e_rfc_dns_empty_label",
             "DNS names must not contain empty labels",
             "RFC 1034 §3.5",
             Rfc1034, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     helpers::lenient_text(v)
                         .is_none_or(|t| !t.is_empty() && t.split('.').all(|l| !l.is_empty()))
                 })
@@ -181,7 +177,7 @@ pub fn lints() -> Vec<Lint> {
             "countryName must use uppercase ISO 3166-1 alpha-2 codes",
             "CABF BR §7.1.4.2.2",
             CabfBr, Error, IllegalFormat, new = false,
-            |cert| helpers::check_attr(cert, Which::Subject, &known::country_name(), |v| {
+            |ctx| helpers::check_attr(ctx, Which::Subject, &known::country_name(), |v| {
                 helpers::lenient_text(v)
                     .is_none_or(|t| !t.chars().any(|c| c.is_ascii_lowercase()))
             })
@@ -191,9 +187,8 @@ pub fn lints() -> Vec<Lint> {
             "Wildcards must be the complete leftmost DNS label",
             "CABF BR §1.6.1 / RFC 6125 §6.4.3",
             CabfBr, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_dns_values(cert);
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_dns(), |v| {
                     helpers::lenient_text(v).is_none_or(|t| {
                         !t.contains('*')
                             || (t.starts_with("*.")
@@ -207,12 +202,8 @@ pub fn lints() -> Vec<Lint> {
             "RFC822Name must contain exactly one '@' with a non-empty domain",
             "RFC 5280 §4.2.1.6",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_values(cert, |n| match n {
-                    unicert_x509::GeneralName::Rfc822Name(v) => Some(v.clone()),
-                    _ => None,
-                });
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_rfc822(), |v| {
                     helpers::lenient_text(v).is_none_or(|t| {
                         let parts: Vec<&str> = t.split('@').collect();
                         parts.len() == 2 && !parts[0].is_empty() && !parts[1].is_empty()
@@ -225,12 +216,8 @@ pub fn lints() -> Vec<Lint> {
             "SAN URIs must be absolute (include a scheme)",
             "RFC 5280 §4.2.1.6, RFC 3986 §3",
             Rfc5280, Error, IllegalFormat, new = false,
-            |cert| {
-                let values = helpers::san_values(cert, |n| match n {
-                    unicert_x509::GeneralName::Uri(v) => Some(v.clone()),
-                    _ => None,
-                });
-                helpers::check_values(&values, |v| {
+            |ctx| {
+                helpers::check_values(ctx.san_uri(), |v| {
                     helpers::lenient_text(v).is_none_or(|t| {
                         t.split_once(':')
                             .is_some_and(|(scheme, _)| {
@@ -247,6 +234,7 @@ pub fn lints() -> Vec<Lint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::LintContext;
     use crate::framework::LintStatus;
     use unicert_asn1::{DateTime, StringKind};
     use unicert_x509::{CertificateBuilder, GeneralName, SimKey};
@@ -254,7 +242,7 @@ mod tests {
     fn run_one(name: &str, cert: &unicert_x509::Certificate) -> LintStatus {
         let lints = lints();
         let lint = lints.iter().find(|l| l.name == name).unwrap();
-        (lint.check)(cert)
+        (lint.check)(&LintContext::new(cert))
     }
 
     fn builder() -> CertificateBuilder {

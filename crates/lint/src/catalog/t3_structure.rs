@@ -17,14 +17,13 @@ pub fn lints() -> Vec<Lint> {
             "If present, the subject CN should duplicate a SAN entry (the CN itself is NOT RECOMMENDED)",
             "CABF BR §7.1.4.2.2(a)",
             CabfBr, Warning, InvalidStructure, new = false,
-            |cert| {
-                let cns = helpers::attr_values(cert, Which::Subject, &known::common_name());
+            |ctx| {
+                let cns: Vec<_> = ctx.attr_vals(Which::Subject, &known::common_name()).collect();
                 if cns.is_empty() {
                     return LintStatus::NotApplicable;
                 }
-                let san = helpers::san(cert);
                 let mut san_texts: Vec<String> = Vec::new();
-                for n in &san {
+                for n in ctx.san() {
                     match n {
                         unicert_x509::GeneralName::DnsName(v)
                         | unicert_x509::GeneralName::Rfc822Name(v)
@@ -35,7 +34,7 @@ pub fn lints() -> Vec<Lint> {
                         _ => {}
                     }
                 }
-                let all_found = cns.iter().all(|cn| {
+                let all_found = cns.iter().all(|&cn| {
                     helpers::lenient_text(cn)
                         .map(|t| san_texts.contains(&t.to_lowercase()))
                         .unwrap_or(false)
@@ -52,8 +51,8 @@ pub fn lints() -> Vec<Lint> {
             "Subject must not repeat the same attribute type (multiple CNs are owned by the extra-CN lint)",
             "RFC 5280 §4.1.2.6 / X.501 DN uniqueness",
             Rfc5280, Error, InvalidStructure, new = false,
-            |cert| {
-                let dn = &cert.tbs.subject;
+            |ctx| {
+                let dn = &ctx.cert().tbs.subject;
                 if dn.is_empty() {
                     return LintStatus::NotApplicable;
                 }
@@ -77,13 +76,14 @@ pub fn lints() -> Vec<Lint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::LintContext;
     use unicert_asn1::{DateTime, StringKind};
     use unicert_x509::{CertificateBuilder, SimKey};
 
     fn run_one(name: &str, cert: &unicert_x509::Certificate) -> LintStatus {
         let lints = lints();
         let lint = lints.iter().find(|l| l.name == name).unwrap();
-        (lint.check)(cert)
+        (lint.check)(&LintContext::new(cert))
     }
 
     fn builder() -> CertificateBuilder {

@@ -1,0 +1,694 @@
+//! The per-certificate analysis cache: decode once, lint 95 times.
+//!
+//! Every lint in the catalog used to independently re-walk the DN, re-parse
+//! the SAN/IAN/AIA/CRLDP/CertificatePolicies extensions, re-decode attribute
+//! bytes, and re-run punycode/NFC over the same DNS labels. [`LintContext`]
+//! is built once per certificate and shared by the whole catalog (and by the
+//! survey pipeline's classify and field-matrix stages): each derived artifact
+//! is computed lazily on first use and memoized for the rest of the
+//! certificate's analysis.
+//!
+//! Memoization is invalidation-free by construction — the context borrows an
+//! immutable [`Certificate`] and nothing mutates it during a run, so a cached
+//! value can never go stale. The context is intentionally `!Send`/`!Sync`
+//! (plain `OnceCell`/`RefCell`/`Rc`, no atomics): the sharded survey pipeline
+//! builds one context per certificate *inside* a worker, so cross-thread
+//! sharing never happens and the caches stay free of synchronization cost.
+//! The registry and its lint closures remain `Send + Sync` as before.
+//!
+//! Cache-effectiveness counters (`ctx.cache.hit` / `ctx.cache.miss`, labelled
+//! by field family: `san`, `dn_text`, `punycode`, `nfc`) are tallied in plain
+//! `Cell`s and flushed to the global metrics registry when the context drops,
+//! and only when metrics are enabled — the hot path never touches an atomic.
+
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::helpers::Which;
+use unicert_asn1::oid::known;
+use unicert_asn1::{Oid, StringKind};
+use unicert_idna::label::{has_ace_prefix, validate_ldh, ALabelStatus, LabelError};
+use unicert_idna::punycode;
+use unicert_unicode::nfc;
+use unicert_x509::extensions::{ParsedExtension, PolicyQualifier};
+use unicert_x509::{Certificate, DistinguishedName, GeneralName, RawValue};
+
+/// Hit/miss tally for one cached field family.
+#[derive(Debug, Default)]
+struct FamilyStats {
+    hit: Cell<u64>,
+    miss: Cell<u64>,
+}
+
+impl FamilyStats {
+    fn touch(&self, hit: bool) {
+        if hit {
+            self.hit.set(self.hit.get().saturating_add(1));
+        } else {
+            self.miss.set(self.miss.get().saturating_add(1));
+        }
+    }
+}
+
+/// Cache-effectiveness counters for one context, grouped by field family.
+///
+/// `san` covers the parsed-extension caches (SAN/IAN/AIA/SIA/CRLDP/CP and
+/// the value lists derived from them), `dn_text` the decoded DN attribute
+/// texts, `punycode` the per-label A-label cache, and `nfc` the per-value
+/// NFC verdicts.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    san: FamilyStats,
+    dn_text: FamilyStats,
+    punycode: FamilyStats,
+    nfc: FamilyStats,
+}
+
+impl CacheStats {
+    /// `(hit, miss)` for the extension family.
+    pub fn san(&self) -> (u64, u64) {
+        (self.san.hit.get(), self.san.miss.get())
+    }
+
+    /// `(hit, miss)` for the DN text family.
+    pub fn dn_text(&self) -> (u64, u64) {
+        (self.dn_text.hit.get(), self.dn_text.miss.get())
+    }
+
+    /// `(hit, miss)` for the punycode label family.
+    pub fn punycode(&self) -> (u64, u64) {
+        (self.punycode.hit.get(), self.punycode.miss.get())
+    }
+
+    /// `(hit, miss)` for the NFC verdict family.
+    pub fn nfc(&self) -> (u64, u64) {
+        (self.nfc.hit.get(), self.nfc.miss.get())
+    }
+}
+
+/// Pre-resolved `ctx.cache.*` counter handles, one pair per family.
+struct CacheCounters {
+    families: [(
+        std::sync::Arc<unicert_telemetry::Counter>,
+        std::sync::Arc<unicert_telemetry::Counter>,
+    ); 4],
+}
+
+fn cache_counters() -> &'static CacheCounters {
+    static COUNTERS: std::sync::OnceLock<CacheCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = unicert_telemetry::global();
+        let pair = |family: &str| {
+            (registry.counter("ctx.cache.hit", family), registry.counter("ctx.cache.miss", family))
+        };
+        CacheCounters { families: [pair("san"), pair("dn_text"), pair("punycode"), pair("nfc")] }
+    })
+}
+
+/// A string value with memoized decode results.
+///
+/// Wraps the original [`RawValue`] (tag + bytes, untouched) and computes the
+/// wire decode, the strict decode verdict, and the NFC verdict at most once
+/// each, no matter how many lints ask.
+#[derive(Debug)]
+pub struct CachedVal {
+    raw: RawValue,
+    wire: OnceCell<Option<Box<str>>>,
+    strict_ok: OnceCell<bool>,
+    nfc_ok: OnceCell<bool>,
+    stats: Rc<CacheStats>,
+}
+
+impl CachedVal {
+    fn new(raw: RawValue, stats: Rc<CacheStats>) -> CachedVal {
+        CachedVal {
+            raw,
+            wire: OnceCell::new(),
+            strict_ok: OnceCell::new(),
+            nfc_ok: OnceCell::new(),
+            stats,
+        }
+    }
+
+    /// The underlying raw value.
+    pub fn raw(&self) -> &RawValue {
+        &self.raw
+    }
+
+    /// The declared string kind, if the tag is a string type.
+    pub fn kind(&self) -> Option<StringKind> {
+        self.raw.kind()
+    }
+
+    /// The content octets, untouched.
+    pub fn bytes(&self) -> &[u8] {
+        &self.raw.bytes
+    }
+
+    /// Wire-format decode (`RawValue::decode_wire`), memoized. `None` means
+    /// the bytes are not decodable under the declared tag.
+    pub fn wire_text(&self) -> Option<&str> {
+        self.stats.dn_text.touch(self.wire.get().is_some());
+        self.wire
+            .get_or_init(|| self.raw.decode_wire().ok().map(String::into_boxed_str))
+            .as_deref()
+    }
+
+    /// Does the value pass a strict decode (`RawValue::decode_strict`)?
+    pub fn strict_ok(&self) -> bool {
+        self.stats.dn_text.touch(self.strict_ok.get().is_some());
+        *self.strict_ok.get_or_init(|| self.raw.decode_strict().is_ok())
+    }
+
+    /// Is the wire-decoded text NFC-normalized? Undecodable bytes count as
+    /// normalized (encoding lints own them), matching the T2 lints.
+    pub fn text_is_nfc(&self) -> bool {
+        self.stats.nfc.touch(self.nfc_ok.get().is_some());
+        *self.nfc_ok.get_or_init(|| match self.wire_text() {
+            Some(t) => nfc::is_nfc(t),
+            None => true,
+        })
+    }
+}
+
+/// One DN attribute with its cached value.
+#[derive(Debug)]
+pub struct DnAttr {
+    /// The attribute type.
+    pub oid: Oid,
+    /// The cached value.
+    pub val: CachedVal,
+}
+
+/// Everything the label cache knows about one DNS label, from a single
+/// `a_to_u` pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelInfo {
+    /// The F1 classification (`classify_a_label` equivalent).
+    pub status: ALabelStatus,
+    /// Does the label decode to a non-NFC U-label? (T2's
+    /// `has_non_nfc_label` per-label predicate.)
+    pub non_nfc: bool,
+    /// Did the full pipeline fail specifically with a round-trip mismatch?
+    pub roundtrip_mismatch: bool,
+}
+
+impl LabelInfo {
+    /// Run the IDNA pipeline once and derive every verdict the catalog asks
+    /// about. Matches `classify_a_label` / the T2 lints bit for bit.
+    fn compute(label: &str) -> LabelInfo {
+        let ldh_ok = validate_ldh(label).is_ok() && has_ace_prefix(label);
+        let converted = unicert_idna::label::a_to_u(label);
+        let status = if !ldh_ok {
+            ALabelStatus::NotALabel
+        } else {
+            match &converted {
+                Ok(_) => ALabelStatus::Valid,
+                Err(LabelError::UnconvertibleALabel(_)) | Err(LabelError::EmptyAcePayload) => {
+                    ALabelStatus::Unconvertible
+                }
+                Err(LabelError::RoundTripMismatch) => ALabelStatus::NonCanonical,
+                Err(_) => ALabelStatus::DisallowedContent,
+            }
+        };
+        // a_to_u checks NFC before other U-label rules may fire; also catch
+        // decodable labels whose U-label isn't NFC but that fail earlier
+        // pipeline stages. Lowercasing allocates only when needed.
+        let non_nfc = match &converted {
+            Err(LabelError::NotNfc) => true,
+            _ => match label.get(4..) {
+                Some(payload) => match decode_payload_lowercased(payload) {
+                    Some(u) => !nfc::is_nfc(&u),
+                    None => false,
+                },
+                None => false,
+            },
+        };
+        let roundtrip_mismatch = matches!(&converted, Err(LabelError::RoundTripMismatch));
+        LabelInfo { status, non_nfc, roundtrip_mismatch }
+    }
+}
+
+/// Punycode-decode an ACE payload, lowercasing first — without allocating
+/// an intermediate string when the payload is already lowercase.
+fn decode_payload_lowercased(payload: &str) -> Option<String> {
+    if payload.bytes().any(|b| b.is_ascii_uppercase()) {
+        punycode::decode(&payload.to_ascii_lowercase()).ok()
+    } else {
+        punycode::decode(payload).ok()
+    }
+}
+
+/// The memoized per-certificate analysis context.
+///
+/// Built once per certificate ([`LintContext::new`]) and handed to every
+/// lint `check`, to the survey classify stage, and to the field matrix.
+/// All accessors are lazy: a certificate with no SAN never pays for SAN
+/// parsing, and a lint that never runs never triggers its inputs.
+pub struct LintContext<'c> {
+    cert: &'c Certificate,
+    stats: Rc<CacheStats>,
+    /// Parse results parallel to `cert.tbs.extensions` (`None` = malformed
+    /// body). Iterating *all* entries preserves duplicate-extension
+    /// semantics for the classify stage; the first-matching-OID scan
+    /// preserves `TbsCertificate::extension` semantics for the lints.
+    parsed_exts: OnceCell<Vec<Option<ParsedExtension>>>,
+    subject: OnceCell<Vec<DnAttr>>,
+    issuer: OnceCell<Vec<DnAttr>>,
+    san_dns: OnceCell<Vec<CachedVal>>,
+    san_rfc822: OnceCell<Vec<CachedVal>>,
+    san_uri: OnceCell<Vec<CachedVal>>,
+    smtp_mailboxes: OnceCell<Vec<CachedVal>>,
+    ian_dns: OnceCell<Vec<CachedVal>>,
+    ian_strings: OnceCell<Vec<CachedVal>>,
+    aia_uris: OnceCell<Vec<CachedVal>>,
+    sia_uris: OnceCell<Vec<CachedVal>>,
+    crldp_uris: OnceCell<Vec<CachedVal>>,
+    explicit_texts: OnceCell<Vec<CachedVal>>,
+    cps_values: OnceCell<Vec<CachedVal>>,
+    labels: RefCell<HashMap<Box<str>, LabelInfo>>,
+}
+
+impl<'c> LintContext<'c> {
+    /// A fresh (everything-lazy) context for one certificate.
+    pub fn new(cert: &'c Certificate) -> LintContext<'c> {
+        LintContext {
+            cert,
+            stats: Rc::new(CacheStats::default()),
+            parsed_exts: OnceCell::new(),
+            subject: OnceCell::new(),
+            issuer: OnceCell::new(),
+            san_dns: OnceCell::new(),
+            san_rfc822: OnceCell::new(),
+            san_uri: OnceCell::new(),
+            smtp_mailboxes: OnceCell::new(),
+            ian_dns: OnceCell::new(),
+            ian_strings: OnceCell::new(),
+            aia_uris: OnceCell::new(),
+            sia_uris: OnceCell::new(),
+            crldp_uris: OnceCell::new(),
+            explicit_texts: OnceCell::new(),
+            cps_values: OnceCell::new(),
+            labels: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The certificate under analysis.
+    pub fn cert(&self) -> &'c Certificate {
+        self.cert
+    }
+
+    /// This context's cache hit/miss tallies (flushed to telemetry on drop).
+    pub fn cache_stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn cached(&self, raw: RawValue) -> CachedVal {
+        CachedVal::new(raw, Rc::clone(&self.stats))
+    }
+
+    // --- DNs ------------------------------------------------------------
+
+    /// Select a DN directly (no caching needed: the DN is already parsed).
+    pub fn dn(&self, which: Which) -> &'c DistinguishedName {
+        match which {
+            Which::Subject => &self.cert.tbs.subject,
+            Which::Issuer => &self.cert.tbs.issuer,
+        }
+    }
+
+    /// All attributes of a DN in wire order, with cached values.
+    pub fn dn_attrs(&self, which: Which) -> &[DnAttr] {
+        let cell = match which {
+            Which::Subject => &self.subject,
+            Which::Issuer => &self.issuer,
+        };
+        self.stats.dn_text.touch(cell.get().is_some());
+        cell.get_or_init(|| {
+            self.dn(which)
+                .attributes()
+                .map(|a| DnAttr { oid: a.oid.clone(), val: self.cached(a.value.clone()) })
+                .collect()
+        })
+    }
+
+    /// Cached values of one attribute type, in wire order.
+    pub fn attr_vals(&self, which: Which, oid: &Oid) -> impl Iterator<Item = &CachedVal> {
+        let oid = oid.clone();
+        self.dn_attrs(which).iter().filter(move |a| a.oid == oid).map(|a| &a.val)
+    }
+
+    // --- Extensions -----------------------------------------------------
+
+    /// Parse results for every extension, parallel to
+    /// `cert.tbs.extensions`; `None` marks a malformed body.
+    pub fn parsed_extensions(&self) -> &[Option<ParsedExtension>] {
+        self.stats.san.touch(self.parsed_exts.get().is_some());
+        self.parsed_exts
+            .get_or_init(|| self.cert.tbs.extensions.iter().map(|e| e.parse().ok()).collect())
+    }
+
+    /// The parse result of the first extension carrying `oid` — the same
+    /// extension `TbsCertificate::extension` selects.
+    fn first_parsed(&self, oid: &Oid) -> Option<&ParsedExtension> {
+        let index = self.cert.tbs.extensions.iter().position(|e| &e.oid == oid)?;
+        self.parsed_extensions().get(index)?.as_ref()
+    }
+
+    /// The SAN GeneralNames, or empty (absent or malformed SAN).
+    pub fn san(&self) -> &[GeneralName] {
+        match self.first_parsed(&known::subject_alt_name()) {
+            Some(ParsedExtension::SubjectAltName(names)) => names,
+            _ => &[],
+        }
+    }
+
+    /// The IAN GeneralNames, or empty.
+    pub fn ian(&self) -> &[GeneralName] {
+        match self.first_parsed(&known::issuer_alt_name()) {
+            Some(ParsedExtension::IssuerAltName(names)) => names,
+            _ => &[],
+        }
+    }
+
+    fn gn_list<'s>(
+        &'s self,
+        cell: &'s OnceCell<Vec<CachedVal>>,
+        names: impl Fn(&Self) -> &[GeneralName],
+        pick: impl Fn(&GeneralName) -> Option<RawValue>,
+    ) -> &'s [CachedVal] {
+        self.stats.san.touch(cell.get().is_some());
+        cell.get_or_init(|| {
+            names(self).iter().filter_map(pick).map(|v| self.cached(v)).collect()
+        })
+    }
+
+    /// SAN DNSName values.
+    pub fn san_dns(&self) -> &[CachedVal] {
+        self.gn_list(&self.san_dns, Self::san, |n| match n {
+            GeneralName::DnsName(v) => Some(v.clone()),
+            _ => None,
+        })
+    }
+
+    /// SAN RFC822Name values.
+    pub fn san_rfc822(&self) -> &[CachedVal] {
+        self.gn_list(&self.san_rfc822, Self::san, |n| match n {
+            GeneralName::Rfc822Name(v) => Some(v.clone()),
+            _ => None,
+        })
+    }
+
+    /// SAN URI values.
+    pub fn san_uri(&self) -> &[CachedVal] {
+        self.gn_list(&self.san_uri, Self::san, |n| match n {
+            GeneralName::Uri(v) => Some(v.clone()),
+            _ => None,
+        })
+    }
+
+    /// SmtpUTF8Mailbox inner values from SAN OtherNames (RFC 9598): the
+    /// UTF8String TLV unwrapped from its `[0] EXPLICIT` envelope.
+    pub fn smtp_mailboxes(&self) -> &[CachedVal] {
+        self.gn_list(&self.smtp_mailboxes, Self::san, |n| match n {
+            GeneralName::OtherName { type_id, value }
+                if *type_id == known::smtp_utf8_mailbox() =>
+            {
+                let mut r = unicert_asn1::Reader::new(value);
+                let outer = r.read_tlv().ok()?;
+                let mut c = outer.contents();
+                let inner = c.read_tlv().ok()?;
+                Some(RawValue { tag_number: inner.tag.number, bytes: inner.value.to_vec() })
+            }
+            _ => None,
+        })
+    }
+
+    /// IAN DNSName values.
+    pub fn ian_dns(&self) -> &[CachedVal] {
+        self.gn_list(&self.ian_dns, Self::ian, |n| match n {
+            GeneralName::DnsName(v) => Some(v.clone()),
+            _ => None,
+        })
+    }
+
+    /// All IAN string-bearing values (DNSName, RFC822Name, URI).
+    pub fn ian_strings(&self) -> &[CachedVal] {
+        self.gn_list(&self.ian_strings, Self::ian, |n| match n {
+            GeneralName::DnsName(v) | GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
+                Some(v.clone())
+            }
+            _ => None,
+        })
+    }
+
+    fn access_uri_list<'s>(
+        &'s self,
+        cell: &'s OnceCell<Vec<CachedVal>>,
+        oid: Oid,
+    ) -> &'s [CachedVal] {
+        self.stats.san.touch(cell.get().is_some());
+        cell.get_or_init(|| {
+            let descs = match self.first_parsed(&oid) {
+                Some(ParsedExtension::AuthorityInfoAccess(d))
+                | Some(ParsedExtension::SubjectInfoAccess(d)) => d.as_slice(),
+                _ => &[],
+            };
+            descs
+                .iter()
+                .filter_map(|d| match &d.location {
+                    GeneralName::Uri(v) => Some(self.cached(v.clone())),
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    /// AuthorityInfoAccess URIs.
+    pub fn aia_uris(&self) -> &[CachedVal] {
+        self.access_uri_list(&self.aia_uris, known::authority_info_access())
+    }
+
+    /// SubjectInfoAccess URIs.
+    pub fn sia_uris(&self) -> &[CachedVal] {
+        self.access_uri_list(&self.sia_uris, known::subject_info_access())
+    }
+
+    /// CRLDistributionPoints fullName URIs.
+    pub fn crldp_uris(&self) -> &[CachedVal] {
+        self.stats.san.touch(self.crldp_uris.get().is_some());
+        self.crldp_uris.get_or_init(|| {
+            let dps = match self.first_parsed(&known::crl_distribution_points()) {
+                Some(ParsedExtension::CrlDistributionPoints(d)) => d.as_slice(),
+                _ => &[],
+            };
+            dps.iter()
+                .flat_map(|dp| dp.full_names.iter())
+                .filter_map(|n| match n {
+                    GeneralName::Uri(v) => Some(self.cached(v.clone())),
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    /// CertificatePolicies userNotice `explicitText` values.
+    pub fn explicit_texts(&self) -> &[CachedVal] {
+        self.stats.san.touch(self.explicit_texts.get().is_some());
+        self.explicit_texts.get_or_init(|| {
+            let policies = match self.first_parsed(&known::certificate_policies()) {
+                Some(ParsedExtension::CertificatePolicies(p)) => p.as_slice(),
+                _ => &[],
+            };
+            policies
+                .iter()
+                .flat_map(|p| p.qualifiers.iter())
+                .filter_map(|q| match q {
+                    PolicyQualifier::UserNotice { explicit_text: Some(t) } => {
+                        Some(self.cached(t.clone()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    /// CertificatePolicies CPS qualifier values.
+    pub fn cps_values(&self) -> &[CachedVal] {
+        self.stats.san.touch(self.cps_values.get().is_some());
+        self.cps_values.get_or_init(|| {
+            let policies = match self.first_parsed(&known::certificate_policies()) {
+                Some(ParsedExtension::CertificatePolicies(p)) => p.as_slice(),
+                _ => &[],
+            };
+            policies
+                .iter()
+                .flat_map(|p| p.qualifiers.iter())
+                .filter_map(|q| match q {
+                    PolicyQualifier::Cps(v) => Some(self.cached(v.clone())),
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    // --- DNS labels -----------------------------------------------------
+
+    /// Everything the IDNA pipeline says about one DNS label, cached across
+    /// the whole analysis (the same label typically appears in the CN, the
+    /// SAN, and the classify stage).
+    pub fn label_info(&self, label: &str) -> LabelInfo {
+        if let Some(&info) = self.labels.borrow().get(label) {
+            self.stats.punycode.touch(true);
+            return info;
+        }
+        self.stats.punycode.touch(false);
+        let info = LabelInfo::compute(label);
+        self.labels.borrow_mut().insert(Box::from(label), info);
+        info
+    }
+
+    /// Does any ACE-prefixed label of this DNSName text satisfy `pred`?
+    pub fn any_ace_label(&self, text: &str, pred: impl Fn(LabelInfo) -> bool) -> bool {
+        text.split('.').filter(|l| has_ace_prefix(l)).any(|l| pred(self.label_info(l)))
+    }
+}
+
+impl std::fmt::Debug for LintContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintContext")
+            .field("serial", &self.cert.tbs.serial)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for LintContext<'_> {
+    fn drop(&mut self) {
+        if !unicert_telemetry::metrics_enabled() {
+            return;
+        }
+        let counters = cache_counters();
+        let families = [
+            (&self.stats.san, &counters.families[0]),
+            (&self.stats.dn_text, &counters.families[1]),
+            (&self.stats.punycode, &counters.families[2]),
+            (&self.stats.nfc, &counters.families[3]),
+        ];
+        for (stats, (hit, miss)) in families {
+            if stats.hit.get() > 0 {
+                hit.add(stats.hit.get());
+            }
+            if stats.miss.get() > 0 {
+                miss.add(stats.miss.get());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_asn1::DateTime;
+    use unicert_x509::{CertificateBuilder, SimKey};
+
+    fn builder() -> CertificateBuilder {
+        CertificateBuilder::new().validity_days(DateTime::date(2024, 6, 1).unwrap(), 90)
+    }
+
+    #[test]
+    fn san_dns_matches_direct_extraction() {
+        let cert = builder()
+            .subject_cn("a.example")
+            .add_dns_san("a.example")
+            .add_dns_san("xn--mnchen-3ya.de")
+            .build_signed(&SimKey::from_seed("ctx"));
+        let ctx = LintContext::new(&cert);
+        let direct: Vec<String> = cert.tbs.san_dns_names();
+        let cached: Vec<String> =
+            ctx.san_dns().iter().map(|v| v.raw().display_lossy()).collect();
+        assert_eq!(direct, cached);
+        // Second access must be a hit, not a recomputation.
+        let (hits_before, misses_before) = ctx.cache_stats().san();
+        let _ = ctx.san_dns();
+        let (hits_after, misses_after) = ctx.cache_stats().san();
+        assert_eq!(hits_after, hits_before + 1);
+        assert_eq!(misses_after, misses_before);
+    }
+
+    #[test]
+    fn wire_text_memoizes() {
+        let cert = builder().subject_cn("Müller").build_signed(&SimKey::from_seed("ctx"));
+        let ctx = LintContext::new(&cert);
+        let vals: Vec<_> = ctx.attr_vals(Which::Subject, &known::common_name()).collect();
+        assert_eq!(vals.len(), 1);
+        let v = vals[0];
+        assert_eq!(v.wire_text(), Some("Müller"));
+        assert_eq!(v.wire_text(), Some("Müller"));
+        assert!(v.strict_ok());
+        assert!(v.text_is_nfc());
+        let (_, misses) = ctx.cache_stats().nfc();
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn label_info_matches_classify_a_label() {
+        let cert = builder().build_signed(&SimKey::from_seed("ctx"));
+        let ctx = LintContext::new(&cert);
+        for label in [
+            "xn--mnchen-3ya",
+            "xn--99999999999",
+            "xn--www-hn0a",
+            "xn---foo",
+            "plain",
+            "xn--",
+            "XN--MNCHEN-3YA",
+        ] {
+            assert_eq!(
+                ctx.label_info(label).status,
+                unicert_idna::label::classify_a_label(label),
+                "{label}"
+            );
+        }
+        // Cached on second ask.
+        let (hits, _) = ctx.cache_stats().punycode();
+        ctx.label_info("xn--mnchen-3ya");
+        let (hits_after, _) = ctx.cache_stats().punycode();
+        assert_eq!(hits_after, hits + 1);
+    }
+
+    #[test]
+    fn label_info_non_nfc_and_roundtrip_match_t2_logic() {
+        let cert = builder().build_signed(&SimKey::from_seed("ctx"));
+        let ctx = LintContext::new(&cert);
+        let decomposed = "mu\u{308}nchen";
+        let a = format!("xn--{}", punycode::encode(decomposed).unwrap());
+        assert!(ctx.label_info(&a).non_nfc);
+        assert!(!ctx.label_info("xn--mnchen-3ya").non_nfc);
+        for label in ["xn---foo", "xn--mnchen-3ya", "xn--tda"] {
+            assert_eq!(
+                ctx.label_info(label).roundtrip_mismatch,
+                matches!(
+                    unicert_idna::label::a_to_u(label),
+                    Err(LabelError::RoundTripMismatch)
+                ),
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn absent_extensions_yield_empty_lists() {
+        let cert = builder().subject_cn("no-ext.example").build_signed(&SimKey::from_seed("ctx"));
+        let ctx = LintContext::new(&cert);
+        assert!(ctx.san_rfc822().is_empty());
+        assert!(ctx.ian_strings().is_empty());
+        assert!(ctx.aia_uris().is_empty());
+        assert!(ctx.sia_uris().is_empty());
+        assert!(ctx.crldp_uris().is_empty());
+        assert!(ctx.explicit_texts().is_empty());
+        assert!(ctx.cps_values().is_empty());
+        assert!(ctx.smtp_mailboxes().is_empty());
+    }
+}

@@ -11,6 +11,8 @@ use std::fmt;
 use unicert_asn1::DateTime;
 use unicert_x509::Certificate;
 
+use crate::context::LintContext;
+
 /// Requirement level → finding severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Severity {
@@ -163,8 +165,11 @@ pub struct Lint {
     /// Is this one of the paper's 50 newly derived lints (not covered by
     /// existing linters)?
     pub new_lint: bool,
-    /// The check itself.
-    pub check: Box<dyn Fn(&Certificate) -> LintStatus + Send + Sync>,
+    /// The check itself. Checks receive the certificate through a
+    /// memoized [`LintContext`] so expensive derivations (extension
+    /// parses, text decodes, label pipelines) are shared across the
+    /// whole catalog.
+    pub check: Box<dyn Fn(&LintContext<'_>) -> LintStatus + Send + Sync>,
 }
 
 impl fmt::Debug for Lint {
@@ -472,16 +477,25 @@ impl Registry {
     /// per-lint latency histogram. The findings are identical either way:
     /// telemetry never feeds back into the report.
     pub fn run(&self, cert: &Certificate, opts: RunOptions) -> CertReport {
+        self.run_ctx(&LintContext::new(cert), opts)
+    }
+
+    /// [`Registry::run`] against a caller-built [`LintContext`].
+    ///
+    /// Use this when the same certificate also feeds other analysis stages
+    /// (the survey's classify and field-matrix passes) so every stage
+    /// shares one decode cache.
+    pub fn run_ctx(&self, ctx: &LintContext<'_>, opts: RunOptions) -> CertReport {
         if unicert_telemetry::metrics_enabled() {
-            return self.run_instrumented(cert, opts);
+            return self.run_instrumented(ctx, opts);
         }
         let mut report = CertReport::default();
-        let issued = cert.tbs.validity.not_before;
+        let issued = ctx.cert().tbs.validity.not_before;
         for lint in &self.lints {
             if opts.enforce_effective_dates && issued < lint.effective_date() {
                 continue;
             }
-            if (lint.check)(cert) == LintStatus::Violation {
+            if (lint.check)(ctx) == LintStatus::Violation {
                 report.findings.push(Finding {
                     lint: lint.name,
                     severity: lint.severity,
@@ -504,7 +518,7 @@ impl Registry {
     /// ran (gating checks are folded in; they are a comparison each). Full
     /// per-lint timing runs on one certificate in `metrics_sample()`; the
     /// run/severity counters are exhaustive on every certificate.
-    fn run_instrumented(&self, cert: &Certificate, opts: RunOptions) -> CertReport {
+    fn run_instrumented(&self, ctx: &LintContext<'_>, opts: RunOptions) -> CertReport {
         use std::time::Instant;
         let instruments = self.instruments();
         let sequence = instruments.certs.inc_fetch();
@@ -512,14 +526,14 @@ impl Registry {
         let timed = sample <= 1 || sequence % sample == 0;
 
         let mut report = CertReport::default();
-        let issued = cert.tbs.validity.not_before;
+        let issued = ctx.cert().tbs.validity.not_before;
         let mut previous = timed.then(Instant::now);
         for (lint, instrument) in self.lints.iter().zip(&instruments.per_lint) {
             if opts.enforce_effective_dates && issued < lint.effective_date() {
                 continue;
             }
             let _span = unicert_telemetry::span!(verbose: "lint", "{}", lint.name);
-            let status = (lint.check)(cert);
+            let status = (lint.check)(ctx);
             instrument.runs.inc();
             if let Some(before) = previous {
                 let now = Instant::now();
@@ -563,6 +577,17 @@ impl Registry {
         opts: RunOptions,
         tally: &mut RunTally,
     ) -> CertReport {
+        self.run_tallied_ctx(&LintContext::new(cert), opts, tally)
+    }
+
+    /// [`Registry::run_tallied`] against a caller-built [`LintContext`] —
+    /// the survey hot loop's entry point.
+    pub fn run_tallied_ctx(
+        &self,
+        ctx: &LintContext<'_>,
+        opts: RunOptions,
+        tally: &mut RunTally,
+    ) -> CertReport {
         let timed = tally.will_time_next();
         tally.certs += 1;
         // Hoisted out of the per-lint loop: one trace-level load per cert
@@ -570,18 +595,18 @@ impl Registry {
         let verbose =
             unicert_telemetry::trace::trace_level() >= unicert_telemetry::TraceLevel::Verbose;
         if timed || verbose {
-            return self.run_tallied_timed(cert, opts, tally, timed, verbose);
+            return self.run_tallied_timed(ctx, opts, tally, timed, verbose);
         }
 
         // Fast path for the 15-in-16 untimed certificates: no clocks, no
         // span guards — just local count bumps next to the check calls.
         let mut report = CertReport::default();
-        let issued = cert.tbs.validity.not_before;
+        let issued = ctx.cert().tbs.validity.not_before;
         for (lint, count) in self.lints.iter().zip(&mut tally.counts) {
             if opts.enforce_effective_dates && issued < lint.effective_date() {
                 continue;
             }
-            let status = (lint.check)(cert);
+            let status = (lint.check)(ctx);
             *count += 1;
             if status == LintStatus::Violation {
                 match lint.severity {
@@ -602,7 +627,7 @@ impl Registry {
     /// The sampled / verbose-traced arm of [`Registry::run_tallied`].
     fn run_tallied_timed(
         &self,
-        cert: &Certificate,
+        ctx: &LintContext<'_>,
         opts: RunOptions,
         tally: &mut RunTally,
         timed: bool,
@@ -611,7 +636,7 @@ impl Registry {
         use std::time::Instant;
         let instruments = self.instruments();
         let mut report = CertReport::default();
-        let issued = cert.tbs.validity.not_before;
+        let issued = ctx.cert().tbs.validity.not_before;
         let mut previous = timed.then(Instant::now);
         for ((lint, instrument), count) in
             self.lints.iter().zip(&instruments.per_lint).zip(&mut tally.counts)
@@ -624,7 +649,7 @@ impl Registry {
             } else {
                 unicert_telemetry::SpanGuard::inert()
             };
-            let status = (lint.check)(cert);
+            let status = (lint.check)(ctx);
             *count += 1;
             if let Some(before) = previous {
                 let now = Instant::now();

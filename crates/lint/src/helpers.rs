@@ -1,5 +1,19 @@
 //! Shared predicates and field extractors used across the lint catalog.
+//!
+//! Two layers live here:
+//!
+//! - **Context-based lifters and predicates** (`check_attr`, `check_values`,
+//!   `is_printable_or_utf8`, …) operating on [`LintContext`] /
+//!   [`CachedVal`] — what the catalog uses. Decode results are memoized in
+//!   the context, so 95 lints asking about the same value pay for one
+//!   decode.
+//! - **Direct, uncached extractors** (`san`, `attr_values`, `crldp_uris`,
+//!   …) operating on a bare [`Certificate`]. These are the reference
+//!   semantics: external consumers (`unicert-threats`, differential tests)
+//!   call them, and the context-equivalence proptests pin every cached
+//!   accessor against them.
 
+use crate::context::{CachedVal, LintContext};
 use crate::framework::LintStatus;
 use unicert_asn1::oid::known;
 use unicert_asn1::{Oid, StringKind};
@@ -24,7 +38,7 @@ pub fn dn(cert: &Certificate, which: Which) -> &DistinguishedName {
     }
 }
 
-/// Values of one attribute type in a DN.
+/// Values of one attribute type in a DN (uncached reference extractor).
 pub fn attr_values<'a>(cert: &'a Certificate, which: Which, oid: &Oid) -> Vec<&'a RawValue> {
     dn(cert, which).all_values(oid)
 }
@@ -32,78 +46,52 @@ pub fn attr_values<'a>(cert: &'a Certificate, which: Which, oid: &Oid) -> Vec<&'
 /// Lift a per-value predicate over an attribute: `NotApplicable` when the
 /// attribute is absent, `Violation` when any value fails.
 pub fn check_attr(
-    cert: &Certificate,
+    ctx: &LintContext<'_>,
     which: Which,
     oid: &Oid,
-    ok: impl Fn(&RawValue) -> bool,
+    ok: impl Fn(&CachedVal) -> bool,
 ) -> LintStatus {
-    let values = attr_values(cert, which, oid);
-    if values.is_empty() {
-        return LintStatus::NotApplicable;
-    }
-    if values.iter().all(|v| ok(v)) {
-        LintStatus::Pass
-    } else {
-        LintStatus::Violation
-    }
+    check_values(ctx.attr_vals(which, oid), ok)
 }
 
 /// DirectoryString attributes must be PrintableString or UTF8String, fully
 /// conformant to the chosen type (RFC 5280 §4.1.2.4 / CABF BR 7.1.4.2).
-pub fn is_printable_or_utf8(v: &RawValue) -> bool {
-    matches!(v.kind(), Some(StringKind::Printable) | Some(StringKind::Utf8))
-        && v.decode_strict().is_ok()
+pub fn is_printable_or_utf8(v: &CachedVal) -> bool {
+    matches!(v.kind(), Some(StringKind::Printable) | Some(StringKind::Utf8)) && v.strict_ok()
 }
 
 /// PrintableString-only attributes (countryName, serialNumber, DNQualifier).
-pub fn is_printable(v: &RawValue) -> bool {
-    v.kind() == Some(StringKind::Printable) && v.decode_strict().is_ok()
+pub fn is_printable(v: &CachedVal) -> bool {
+    v.kind() == Some(StringKind::Printable) && v.strict_ok()
 }
 
 /// IA5String-only values (emailAddress, domainComponent, GN strings).
-pub fn is_ia5(v: &RawValue) -> bool {
-    v.kind() == Some(StringKind::Ia5) && v.decode_strict().is_ok()
+pub fn is_ia5(v: &CachedVal) -> bool {
+    v.kind() == Some(StringKind::Ia5) && v.strict_ok()
 }
 
 /// Decodable text, via whatever the tag claims (used by character-range
 /// checks, which want to inspect content even when the *type* is wrong).
-pub fn lenient_text(v: &RawValue) -> Option<String> {
-    v.decode_wire().ok()
-}
-
-/// Does the value's text contain a character matching `pred`?
-pub fn text_contains(v: &RawValue, pred: impl Fn(char) -> bool) -> bool {
-    lenient_text(v).is_some_and(|t| t.chars().any(&pred))
-}
-
-/// All DN string values in a DN (subject or issuer).
-pub fn all_dn_values(cert: &Certificate, which: Which) -> Vec<&RawValue> {
-    dn(cert, which).attributes().map(|a| &a.value).collect()
+/// Memoized: the first asker pays for the decode.
+pub fn lenient_text(v: &CachedVal) -> Option<&str> {
+    v.wire_text()
 }
 
 /// Lift a per-value predicate over *all* DN values.
 pub fn check_all_dn(
-    cert: &Certificate,
+    ctx: &LintContext<'_>,
     which: Which,
-    ok: impl Fn(&RawValue) -> bool,
+    ok: impl Fn(&CachedVal) -> bool,
 ) -> LintStatus {
-    let values = all_dn_values(cert, which);
-    if values.is_empty() {
-        return LintStatus::NotApplicable;
-    }
-    if values.iter().all(|v| ok(v)) {
-        LintStatus::Pass
-    } else {
-        LintStatus::Violation
-    }
+    check_values(ctx.dn_attrs(which).iter().map(|a| &a.val), ok)
 }
 
-/// The SAN GeneralNames, or empty.
+/// The SAN GeneralNames, or empty (uncached reference extractor).
 pub fn san(cert: &Certificate) -> Vec<GeneralName> {
     cert.tbs.subject_alt_names().unwrap_or_default()
 }
 
-/// The IAN GeneralNames, or empty.
+/// The IAN GeneralNames, or empty (uncached reference extractor).
 pub fn ian(cert: &Certificate) -> Vec<GeneralName> {
     match cert
         .tbs
@@ -115,7 +103,7 @@ pub fn ian(cert: &Certificate) -> Vec<GeneralName> {
     }
 }
 
-/// SAN DNSName raw values.
+/// SAN DNSName raw values (uncached reference extractor).
 pub fn san_dns_values(cert: &Certificate) -> Vec<RawValue> {
     san(cert)
         .into_iter()
@@ -126,25 +114,36 @@ pub fn san_dns_values(cert: &Certificate) -> Vec<RawValue> {
         .collect()
 }
 
-/// Lift a predicate over a list of values with the usual NA/Pass/Violation
-/// semantics.
-pub fn check_values(values: &[RawValue], ok: impl Fn(&RawValue) -> bool) -> LintStatus {
-    if values.is_empty() {
-        return LintStatus::NotApplicable;
+/// Lift a predicate over a sequence of cached values with the usual
+/// NA/Pass/Violation semantics. Short-circuits on the first failure.
+pub fn check_values<'a>(
+    values: impl IntoIterator<Item = &'a CachedVal>,
+    ok: impl Fn(&CachedVal) -> bool,
+) -> LintStatus {
+    let mut any = false;
+    for v in values {
+        any = true;
+        if !ok(v) {
+            return LintStatus::Violation;
+        }
     }
-    if values.iter().all(ok) {
+    if any {
         LintStatus::Pass
     } else {
-        LintStatus::Violation
+        LintStatus::NotApplicable
     }
 }
 
-/// GeneralName string values from SAN by selector.
-pub fn san_values(cert: &Certificate, select: impl Fn(&GeneralName) -> Option<RawValue>) -> Vec<RawValue> {
+/// GeneralName string values from SAN by selector (uncached reference
+/// extractor).
+pub fn san_values(
+    cert: &Certificate,
+    select: impl Fn(&GeneralName) -> Option<RawValue>,
+) -> Vec<RawValue> {
     san(cert).iter().filter_map(select).collect()
 }
 
-/// URIs from AIA / SIA access descriptions.
+/// URIs from AIA / SIA access descriptions (uncached reference extractor).
 pub fn access_uris(cert: &Certificate, oid: &Oid) -> Vec<RawValue> {
     let parsed = cert.tbs.extension(oid).and_then(|e| e.parse().ok());
     let descs = match parsed {
@@ -160,7 +159,7 @@ pub fn access_uris(cert: &Certificate, oid: &Oid) -> Vec<RawValue> {
         .collect()
 }
 
-/// URIs from CRLDistributionPoints fullNames.
+/// URIs from CRLDistributionPoints fullNames (uncached reference extractor).
 pub fn crldp_uris(cert: &Certificate) -> Vec<RawValue> {
     let parsed = cert
         .tbs
@@ -179,7 +178,8 @@ pub fn crldp_uris(cert: &Certificate) -> Vec<RawValue> {
         .collect()
 }
 
-/// `explicitText` values from CertificatePolicies user notices.
+/// `explicitText` values from CertificatePolicies user notices (uncached
+/// reference extractor).
 pub fn explicit_texts(cert: &Certificate) -> Vec<RawValue> {
     let parsed = cert
         .tbs
@@ -200,8 +200,8 @@ pub fn explicit_texts(cert: &Certificate) -> Vec<RawValue> {
 }
 
 /// Is the text free of the given character class?
-pub fn free_of(v: &RawValue, bad: impl Fn(char) -> bool) -> bool {
-    match lenient_text(v) {
+pub fn free_of(v: &CachedVal, bad: impl Fn(char) -> bool) -> bool {
+    match v.wire_text() {
         Some(t) => !t.chars().any(&bad),
         // Undecodable bytes are not this lint's concern (encoding lints
         // catch them).
@@ -211,7 +211,7 @@ pub fn free_of(v: &RawValue, bad: impl Fn(char) -> bool) -> bool {
 
 /// The paper's printable-characters requirement for Subject DNs: every
 /// character must be outside C0/C1/DEL.
-pub fn has_no_control_chars(v: &RawValue) -> bool {
+pub fn has_no_control_chars(v: &CachedVal) -> bool {
     free_of(v, classify::is_control)
 }
 

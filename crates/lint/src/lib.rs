@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod context;
 pub mod framework;
 pub mod helpers;
 
 pub use catalog::{all_lints, default_registry};
+pub use context::LintContext;
 pub use framework::{
     CertReport, Finding, Lint, LintStatus, NoncomplianceType, Registry, RunOptions, RunTally,
     Severity, Source,

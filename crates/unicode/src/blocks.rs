@@ -6,7 +6,9 @@
 //! blocks.
 
 use crate::category::GeneralCategory;
+use crate::index::ChunkIndex;
 use crate::tables::blocks::BLOCKS;
+use std::sync::OnceLock;
 
 /// One Unicode block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,21 +31,15 @@ pub fn block_count() -> usize {
     BLOCKS.len()
 }
 
+fn block_index() -> &'static ChunkIndex {
+    static INDEX: OnceLock<ChunkIndex> = OnceLock::new();
+    INDEX.get_or_init(|| ChunkIndex::build(BLOCKS, |&(lo, hi, _)| (lo, hi)))
+}
+
 /// The block containing `ch`, if any.
 pub fn block_of(ch: char) -> Option<Block> {
-    let cp = ch as u32;
-    BLOCKS
-        .binary_search_by(|&(lo, hi, _)| {
-            if cp < lo {
-                std::cmp::Ordering::Greater
-            } else if cp > hi {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        })
-        .ok()
-        .and_then(|i| BLOCKS.get(i))
+    block_index()
+        .find(BLOCKS, ch as u32, |&(lo, hi, _)| (lo, hi))
         .map(|&(lo, hi, name)| Block { start: lo, end: hi, name })
 }
 
@@ -107,6 +103,23 @@ mod tests {
         // Samples are unique and come from their own blocks.
         for ch in &samples {
             assert!(block_of(*ch).is_some());
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan_at_every_boundary() {
+        let linear = |cp: u32| {
+            BLOCKS
+                .iter()
+                .find(|&&(lo, hi, _)| (lo..=hi).contains(&cp))
+                .map(|&(lo, hi, name)| Block { start: lo, end: hi, name })
+        };
+        for &(lo, hi, _) in BLOCKS {
+            for cp in [lo.saturating_sub(1), lo, hi, hi.saturating_add(1)] {
+                if let Some(ch) = char::from_u32(cp) {
+                    assert_eq!(block_of(ch), linear(cp), "cp={cp:#x}");
+                }
+            }
         }
     }
 

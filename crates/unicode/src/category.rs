@@ -1,6 +1,13 @@
 //! Unicode general categories, backed by the generated range table.
 
+use crate::index::ChunkIndex;
 use crate::tables::categories::GENERAL_CATEGORY;
+use std::sync::OnceLock;
+
+fn category_index() -> &'static ChunkIndex {
+    static INDEX: OnceLock<ChunkIndex> = OnceLock::new();
+    INDEX.get_or_init(|| ChunkIndex::build(GENERAL_CATEGORY, |&(lo, hi, _)| (lo, hi)))
+}
 
 /// The 30 Unicode general categories.
 ///
@@ -59,21 +66,9 @@ impl GeneralCategory {
 
     /// The category of `ch`.
     pub fn of(ch: char) -> GeneralCategory {
-        let cp = ch as u32;
-        match GENERAL_CATEGORY.binary_search_by(|&(lo, hi, _)| {
-            if cp < lo {
-                std::cmp::Ordering::Greater
-            } else if cp > hi {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(i) => GENERAL_CATEGORY
-                .get(i)
-                .map_or(GeneralCategory::Unassigned, |e| GeneralCategory::from_index(e.2)),
-            Err(_) => GeneralCategory::Unassigned,
-        }
+        category_index()
+            .find(GENERAL_CATEGORY, ch as u32, |&(lo, hi, _)| (lo, hi))
+            .map_or(GeneralCategory::Unassigned, |e| GeneralCategory::from_index(e.2))
     }
 
     /// Letter categories (L*).
@@ -122,6 +117,23 @@ mod tests {
         assert_eq!(GeneralCategory::of('€'), CurrencySymbol);
         assert_eq!(GeneralCategory::of('\u{E000}'), PrivateUse);
         assert_eq!(GeneralCategory::of('\u{0378}'), Unassigned);
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan_at_every_boundary() {
+        let linear = |cp: u32| {
+            GENERAL_CATEGORY
+                .iter()
+                .find(|&&(lo, hi, _)| (lo..=hi).contains(&cp))
+                .map_or(Unassigned, |e| GeneralCategory::from_index(e.2))
+        };
+        for &(lo, hi, _) in GENERAL_CATEGORY {
+            for cp in [lo.saturating_sub(1), lo, hi, hi.saturating_add(1)] {
+                if let Some(ch) = char::from_u32(cp) {
+                    assert_eq!(GeneralCategory::of(ch), linear(cp), "cp={cp:#x}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub fn is_non_printable_ascii(ch: char) -> bool {
 ///
 /// This is the core test for classifying a certificate as a *Unicert*.
 pub fn has_non_printable_ascii(s: &str) -> bool {
-    s.chars().any(is_non_printable_ascii)
+    // Byte scan instead of char decode: a UTF-8 string is all printable
+    // ASCII iff every byte is in 0x20..=0x7E (multi-byte sequences always
+    // contain a byte ≥ 0x80, controls are < 0x20).
+    s.bytes().any(|b| !(0x20..=0x7E).contains(&b))
 }
 
 /// C0 control codes (U+0000–U+001F) and DEL (U+007F).

@@ -83,6 +83,10 @@ pub fn skeleton_char(ch: char) -> Option<char> {
 /// Compute the skeleton of `s`: every confusable replaced by its Latin
 /// counterpart; characters without a mapping pass through unchanged.
 pub fn skeleton(s: &str) -> String {
+    // ASCII maps to itself (skeleton_char is identity on ASCII).
+    if s.is_ascii() {
+        return s.to_owned();
+    }
     s.chars().map(|c| skeleton_char(c).unwrap_or(c)).collect()
 }
 
@@ -91,12 +95,23 @@ pub fn skeleton(s: &str) -> String {
 /// `is_homograph_pair("apple.com", "аpple.com")` is true — the second uses
 /// Cyrillic U+0430.
 pub fn is_homograph_pair(a: &str, b: &str) -> bool {
-    a != b && skeleton(a) == skeleton(b)
+    if a == b {
+        return false;
+    }
+    // Two distinct all-ASCII strings have distinct (identity) skeletons.
+    if a.is_ascii() && b.is_ascii() {
+        return false;
+    }
+    skeleton(a) == skeleton(b)
 }
 
 /// Does `s` mix Latin with confusable non-Latin letters — the classic
 /// homograph-attack signature browsers are expected to flag?
 pub fn is_mixed_script_confusable(s: &str) -> bool {
+    // All-ASCII text has no non-ASCII confusables to mix in.
+    if s.is_ascii() {
+        return false;
+    }
     let has_ascii_letter = s.chars().any(|c| c.is_ascii_alphabetic());
     let has_mapped_nonascii = s.chars().any(|c| !c.is_ascii() && skeleton_char(c).is_some());
     let all_skeletonizable = s

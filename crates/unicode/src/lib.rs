@@ -29,6 +29,7 @@ pub mod category;
 pub mod classify;
 pub mod confusables;
 pub mod encodings;
+pub mod index;
 pub mod nfc;
 #[allow(missing_docs)]
 pub mod tables;

@@ -22,6 +22,11 @@ const S_COUNT: u32 = L_COUNT * N_COUNT;
 /// Canonical combining class of `ch` (0 for starters).
 pub fn combining_class(ch: char) -> u8 {
     let cp = ch as u32;
+    // The first combining mark is U+0300; everything below (all of ASCII
+    // and Latin-1) is a starter. Skips the binary search on the hot path.
+    if cp < 0x300 {
+        return 0;
+    }
     COMBINING_CLASS
         .binary_search_by_key(&cp, |&(c, _)| c)
         .ok()
@@ -61,6 +66,10 @@ fn push_decomposed(cp: u32, out: &mut Vec<char>) {
 
 /// Canonical decomposition with canonical ordering (NFD).
 pub fn nfd(s: &str) -> String {
+    // ASCII is closed under NFD: no decompositions, all starters.
+    if s.is_ascii() {
+        return s.to_owned();
+    }
     let mut chars: Vec<char> = Vec::with_capacity(s.len());
     for c in s.chars() {
         push_decomposed(c as u32, &mut chars);
@@ -108,6 +117,10 @@ fn compose_pair(a: char, b: char) -> Option<char> {
 
 /// Normalization Form C.
 pub fn nfc(s: &str) -> String {
+    // ASCII is closed under NFC too; skip both passes.
+    if s.is_ascii() {
+        return s.to_owned();
+    }
     let decomposed: Vec<char> = nfd(s).chars().collect();
     if decomposed.is_empty() {
         return String::new();
@@ -143,6 +156,11 @@ pub fn nfc(s: &str) -> String {
 
 /// Is `s` already in NFC? (The T2 lint predicate.)
 pub fn is_nfc(s: &str) -> bool {
+    // ASCII text is NFC by construction — no allocation, one memchr-style
+    // scan. This is the overwhelmingly common case in certificate fields.
+    if s.is_ascii() {
+        return true;
+    }
     nfc(s) == s
 }
 
