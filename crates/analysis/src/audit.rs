@@ -9,7 +9,9 @@
 //! non-empty reason.
 
 use crate::lexer::{lex, LexedLine};
-use crate::{Violation, PASS_SOURCE};
+use crate::model::Workspace;
+use crate::{Finding, Violation, PASS_SOURCE};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// The crates whose `src/` trees the audit walks: the four untrusted-input
@@ -65,13 +67,15 @@ impl Rule {
 
 /// A parsed `// analysis:allow(rule, rule2) reason` annotation.
 #[derive(Debug, Clone)]
-struct Allow {
-    rules: Vec<String>,
-    reason: String,
+pub struct Allow {
+    /// Rule names the annotation suppresses.
+    pub rules: Vec<String>,
+    /// The human justification following the closing paren.
+    pub reason: String,
 }
 
 /// Parse the annotation out of a line comment, if present.
-fn parse_allow(comment: &str) -> Option<Result<Allow, String>> {
+pub fn parse_allow(comment: &str) -> Option<Result<Allow, String>> {
     let trimmed = comment.trim_start();
     let rest = trimmed.strip_prefix("analysis:allow")?;
     let rest = rest.trim_start();
@@ -93,67 +97,60 @@ fn parse_allow(comment: &str) -> Option<Result<Allow, String>> {
     Some(Ok(Allow { rules, reason }))
 }
 
-/// Audit every `.rs` file under the audited crates' `src/` trees.
+/// Audit every `.rs` file under the audited crates' `src/` trees,
+/// resolving `analysis:allow` annotations locally (audit rules only).
+///
+/// This is the standalone entry point; the engine prefers [`run_model`],
+/// which returns raw findings for central cross-pass resolution.
 pub fn run(repo_root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
+    let ws = Workspace::load(repo_root);
+    let findings = run_model(repo_root, &ws);
+    let active: BTreeSet<&str> = crate::engine::Pass::Source
+        .rules()
+        .iter()
+        .copied()
+        .collect();
+    crate::engine::resolve(&ws, findings, &active)
+}
+
+/// Raw audit findings over the audited crates' files in the workspace
+/// model (no allow resolution — the engine does that centrally).
+pub fn run_model(repo_root: &Path, ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
     for krate in AUDITED_CRATES {
-        let src = repo_root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        files.sort();
-        if files.is_empty() {
-            // An empty tree would make the audit pass vacuously — treat a
-            // missing/misnamed --root as a violation, not a clean bill.
-            violations.push(Violation {
+        let Some(info) = ws
+            .crates
+            .iter()
+            .find(|c| c.group == "crates" && c.name == krate)
+        else {
+            // A missing crate would make the audit pass vacuously — treat
+            // a misnamed --root as a violation, not a clean bill.
+            findings.push(Finding {
                 pass: PASS_SOURCE,
                 rule: "io_error",
-                location: src.display().to_string(),
+                file: repo_root
+                    .join("crates")
+                    .join(krate)
+                    .join("src")
+                    .display()
+                    .to_string(),
+                line: 0,
                 message: "no .rs files found; is --root pointing at the repo?".to_string(),
             });
             continue;
-        }
-        for file in files {
-            let rel = file
-                .strip_prefix(repo_root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            match std::fs::read_to_string(&file) {
-                Ok(text) => audit_file(&rel, &text, &mut violations),
-                Err(e) => violations.push(Violation {
-                    pass: PASS_SOURCE,
-                    rule: "io_error",
-                    location: rel,
-                    message: format!("cannot read file: {e}"),
-                }),
-            }
+        };
+        for file in &info.files {
+            findings.extend(audit_lines(&file.rel_path, &file.lines));
         }
     }
-    violations
+    findings
 }
 
-/// Recursively collect `.rs` files.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Audit one file's text (exposed for the binary's `--stdin` debugging and
-/// for unit tests).
-pub fn audit_file(rel_path: &str, text: &str, violations: &mut Vec<Violation>) {
-    let lines = lex(text);
+/// Raw findings for one file's classified lines.
+pub fn audit_lines(rel_path: &str, lines: &[LexedLine]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let len_arith_applies = LEN_ARITH_FILES.iter().any(|f| rel_path.ends_with(f));
-
-    for line in &lines {
+    for line in lines {
         if line.in_test_code {
             continue;
         }
@@ -164,66 +161,35 @@ pub fn audit_file(rel_path: &str, text: &str, violations: &mut Vec<Violation>) {
         if len_arith_applies {
             scan_len_arith(&line.code, &mut fired);
         }
-
-        let allow = line.line_comment.as_deref().and_then(parse_allow);
-        let allow = match allow {
-            Some(Err(msg)) => {
-                violations.push(Violation {
-                    pass: PASS_SOURCE,
-                    rule: Rule::AllowMissingReason.name(),
-                    location: format!("{rel_path}:{}", line.number),
-                    message: format!("malformed analysis:allow annotation: {msg}"),
-                });
-                None
-            }
-            Some(Ok(a)) => {
-                if a.reason.is_empty() {
-                    violations.push(Violation {
-                        pass: PASS_SOURCE,
-                        rule: Rule::AllowMissingReason.name(),
-                        location: format!("{rel_path}:{}", line.number),
-                        message: format!(
-                            "analysis:allow({}) has no reason — annotations must justify themselves",
-                            a.rules.join(", ")
-                        ),
-                    });
-                    None
-                } else {
-                    Some(a)
-                }
-            }
-            None => None,
-        };
-
-        if let Some(allow) = &allow {
-            for rule in &allow.rules {
-                if !fired.iter().any(|(r, _)| r.name() == rule) {
-                    violations.push(Violation {
-                        pass: PASS_SOURCE,
-                        rule: Rule::UnusedAllow.name(),
-                        location: format!("{rel_path}:{}", line.number),
-                        message: format!(
-                            "analysis:allow({rule}) names a rule that did not fire here — remove it"
-                        ),
-                    });
-                }
-            }
-        }
-
         for (rule, detail) in fired {
-            let allowed = allow
-                .as_ref()
-                .is_some_and(|a| a.rules.iter().any(|r| r == rule.name()));
-            if !allowed {
-                violations.push(Violation {
-                    pass: PASS_SOURCE,
-                    rule: rule.name(),
-                    location: format!("{rel_path}:{}", line.number),
-                    message: detail,
-                });
-            }
+            findings.push(Finding {
+                pass: PASS_SOURCE,
+                rule: rule.name(),
+                file: rel_path.to_string(),
+                line: line.number,
+                message: detail,
+            });
         }
     }
+    findings
+}
+
+/// Audit one file's text, resolving annotations against the audit's own
+/// rule set (exposed for unit tests and ad-hoc single-file checks).
+pub fn audit_file(rel_path: &str, text: &str, violations: &mut Vec<Violation>) {
+    let lines = lex(text);
+    let findings = audit_lines(rel_path, &lines);
+    let krate = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("file");
+    let ws = Workspace::from_sources(&[(krate, rel_path, text)]);
+    let active: BTreeSet<&str> = crate::engine::Pass::Source
+        .rules()
+        .iter()
+        .copied()
+        .collect();
+    violations.extend(crate::engine::resolve(&ws, findings, &active));
 }
 
 /// `.unwrap()` / `.unwrap_err()` / `.expect(` / `.expect_err(`.

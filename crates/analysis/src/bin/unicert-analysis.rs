@@ -1,21 +1,26 @@
-//! CLI entry point: run both static-analysis passes over the repository.
+//! CLI entry point: run the static-analysis passes over the repository.
 //!
 //! ```text
-//! unicert-analysis [--root <path>] [--tsv <file|->] [--pass catalog|source]
+//! unicert-analysis [--root <path>] [--pass <name>]... [--format tsv|json]
+//!                  [--out <file|->] [--tsv <file|->]
 //! ```
 //!
-//! Human diagnostics go to stderr; the TSV report goes to `--tsv` (default
-//! stdout). Exit code 0 when every invariant holds, 1 on violations, 2 on
-//! usage errors.
+//! Passes: `catalog`, `source`, `determinism`, `alloc`, `recursion`,
+//! `layering` (default: all). Human diagnostics go to stderr; the
+//! machine-readable report (TSV by default, SARIF-lite JSON with
+//! `--format json`) goes to `--out` (default stdout). `--tsv <f>` is the
+//! legacy spelling of `--format tsv --out <f>`. Exit code 0 when every
+//! invariant holds, 1 on violations, 2 on usage errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use unicert_analysis::{audit, catalog, workspace_crate_roots};
+use unicert_analysis::engine::Pass;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
-    let mut tsv_target = String::from("-");
-    let mut pass_filter: Option<String> = None;
+    let mut out_target = String::from("-");
+    let mut format = String::from("tsv");
+    let mut passes: Vec<Pass> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -25,38 +30,51 @@ fn main() -> ExitCode {
                 None => return usage("--root needs a path"),
             },
             "--tsv" => match args.next() {
-                Some(p) => tsv_target = p,
+                Some(p) => {
+                    format = "tsv".to_string();
+                    out_target = p;
+                }
                 None => return usage("--tsv needs a file path or '-'"),
             },
-            "--pass" => match args.next() {
-                Some(p) if p == "catalog" || p == "source" => pass_filter = Some(p),
-                _ => return usage("--pass must be 'catalog' or 'source'"),
+            "--out" => match args.next() {
+                Some(p) => out_target = p,
+                None => return usage("--out needs a file path or '-'"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("tsv") => format = "tsv".to_string(),
+                Some("json") => format = "json".to_string(),
+                _ => return usage("--format must be 'tsv' or 'json'"),
+            },
+            "--pass" => match args.next().as_deref().and_then(Pass::from_name) {
+                Some(p) => passes.push(p),
+                None => {
+                    return usage(
+                        "--pass must be one of catalog|source|determinism|alloc|recursion|layering",
+                    )
+                }
             },
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: unicert-analysis [--root <path>] [--tsv <file|->] [--pass catalog|source]"
-                );
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
+    if passes.is_empty() {
+        passes.extend(Pass::ALL);
+    }
 
     let root = root.unwrap_or_else(unicert_analysis::default_repo_root);
-    let mut violations = Vec::new();
-    if pass_filter.as_deref() != Some("source") {
-        violations.extend(catalog::run());
-    }
-    if pass_filter.as_deref() != Some("catalog") {
-        violations.extend(audit::run(&root));
-        violations.extend(audit::check_unsafe_attrs(&root, &workspace_crate_roots(&root)));
-    }
+    let violations = unicert_analysis::engine::run_passes(&root, &passes);
 
-    let tsv = unicert_analysis::tsv_report(&violations);
-    if tsv_target == "-" {
-        print!("{tsv}");
-    } else if let Err(e) = std::fs::write(&tsv_target, &tsv) {
-        eprintln!("unicert-analysis: cannot write {tsv_target}: {e}");
+    let rendered = match format.as_str() {
+        "json" => unicert_analysis::report::json_report(&violations),
+        _ => unicert_analysis::tsv_report(&violations),
+    };
+    if out_target == "-" {
+        print!("{rendered}");
+    } else if let Err(e) = std::fs::write(&out_target, &rendered) {
+        eprintln!("unicert-analysis: cannot write {out_target}: {e}");
         return ExitCode::from(2);
     }
     eprint!("{}", unicert_analysis::human_report(&violations));
@@ -68,8 +86,12 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "usage: unicert-analysis [--root <path>] [--pass <name>]... \
+[--format tsv|json] [--out <file|->] [--tsv <file|->]\n\
+passes: catalog source determinism alloc recursion layering (default: all)";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("unicert-analysis: {msg}");
-    eprintln!("usage: unicert-analysis [--root <path>] [--tsv <file|->] [--pass catalog|source]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }

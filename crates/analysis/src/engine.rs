@@ -1,0 +1,292 @@
+//! The rule engine: runs every source pass over one shared [`Workspace`]
+//! model and resolves `// analysis:allow(rule) reason` annotations
+//! centrally, so one grammar (and one unused-allow detector) covers the
+//! audit and all four invariant passes.
+//!
+//! Resolution semantics:
+//! - a finding on a line whose trailing annotation names its rule (with a
+//!   non-empty reason) is suppressed;
+//! - an annotation with no reason, or malformed, is itself a violation
+//!   (`allow_missing_reason`) and suppresses nothing;
+//! - an annotation naming a rule that is *active in this run* but did not
+//!   fire on that line is a violation (`unused_allow`) — stale suppressions
+//!   cannot accumulate;
+//! - an annotation naming a rule the analyzer has never heard of is
+//!   `unused_allow` too (typos must not silently disable nothing);
+//! - rules belonging to passes that did not run are left alone, so a
+//!   partial run (`--pass source`) never miscounts another pass's allows.
+
+use crate::audit::{self, parse_allow};
+use crate::config::AnalysisConfig;
+use crate::model::Workspace;
+use crate::passes::{alloc, determinism, layering, recursion};
+use crate::{catalog, Finding, Violation, PASS_SOURCE};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Every rule any source pass can emit (the allow-annotation namespace).
+pub const ALL_SOURCE_RULES: [&str; 13] = [
+    // audit
+    "unwrap",
+    "expect",
+    "panic_macro",
+    "slice_index",
+    "len_arith",
+    "unsafe_attr_missing",
+    // determinism
+    "map_iter",
+    "clock",
+    "thread_dependence",
+    "float_accum",
+    // allocation-bound
+    "unbounded_alloc",
+    // recursion
+    "unbounded_recursion",
+    // layering
+    "layer_violation",
+];
+
+/// The source passes the engine can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Catalog meta-linter (registry vs. paper).
+    Catalog,
+    /// Panic-safety source audit.
+    Source,
+    /// Determinism pass (report path must be clock/order-free).
+    Determinism,
+    /// Allocation-bound pass.
+    Alloc,
+    /// Unbounded-recursion pass.
+    Recursion,
+    /// Crate-layering pass.
+    Layering,
+}
+
+impl Pass {
+    /// All passes, in execution order.
+    pub const ALL: [Pass; 6] = [
+        Pass::Catalog,
+        Pass::Source,
+        Pass::Determinism,
+        Pass::Alloc,
+        Pass::Recursion,
+        Pass::Layering,
+    ];
+
+    /// CLI name of the pass.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Catalog => "catalog",
+            Pass::Source => "source",
+            Pass::Determinism => "determinism",
+            Pass::Alloc => "alloc",
+            Pass::Recursion => "recursion",
+            Pass::Layering => "layering",
+        }
+    }
+
+    /// Parse a CLI pass name.
+    pub fn from_name(name: &str) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The rules this pass can emit (for unused-allow scoping).
+    pub fn rules(self) -> &'static [&'static str] {
+        match self {
+            Pass::Catalog => &[],
+            Pass::Source => &[
+                "unwrap",
+                "expect",
+                "panic_macro",
+                "slice_index",
+                "len_arith",
+                "unsafe_attr_missing",
+            ],
+            Pass::Determinism => &["map_iter", "clock", "thread_dependence", "float_accum"],
+            Pass::Alloc => &["unbounded_alloc"],
+            Pass::Recursion => &["unbounded_recursion"],
+            Pass::Layering => &["layer_violation"],
+        }
+    }
+}
+
+/// Run the selected passes over `root` and resolve annotations.
+pub fn run_passes(root: &Path, passes: &[Pass]) -> Vec<Violation> {
+    let cfg = AnalysisConfig::default();
+    let ws = Workspace::load(root);
+    let mut violations = Vec::new();
+    if passes.contains(&Pass::Catalog) {
+        violations.extend(catalog::run());
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    if passes.contains(&Pass::Source) {
+        findings.extend(audit::run_model(root, &ws));
+        violations.extend(audit::check_unsafe_attrs(
+            root,
+            &crate::workspace_crate_roots(root),
+        ));
+    }
+    if passes.contains(&Pass::Determinism) {
+        findings.extend(determinism::run(&ws, &cfg));
+    }
+    if passes.contains(&Pass::Alloc) {
+        findings.extend(alloc::run(&ws, &cfg));
+    }
+    if passes.contains(&Pass::Recursion) {
+        findings.extend(recursion::run(&ws, &cfg));
+    }
+    if passes.contains(&Pass::Layering) {
+        findings.extend(layering::run(&ws, &cfg));
+    }
+
+    let active: BTreeSet<&str> = passes.iter().flat_map(|p| p.rules()).copied().collect();
+    violations.extend(resolve(&ws, findings, &active));
+    violations
+}
+
+/// Run everything (the tier-1 / CI entry point).
+pub fn run_full(root: &Path) -> Vec<Violation> {
+    run_passes(root, &Pass::ALL)
+}
+
+/// Resolve allow annotations against raw findings.
+///
+/// `active_rules` scopes unused-allow detection to the passes that ran.
+pub fn resolve(ws: &Workspace, findings: Vec<Finding>, active_rules: &BTreeSet<&str>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Index findings by (file, line).
+    let fired = |file: &str, line: usize, rule: &str| {
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.line == line && f.file == file)
+    };
+
+    // Walk every annotation in the workspace.
+    let mut suppressed: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for file in ws.files() {
+        for line in &file.lines {
+            if line.in_test_code {
+                continue;
+            }
+            let Some(parsed) = line.line_comment.as_deref().and_then(parse_allow) else {
+                continue;
+            };
+            let loc = format!("{}:{}", file.rel_path, line.number);
+            match parsed {
+                Err(msg) => violations.push(Violation {
+                    pass: PASS_SOURCE,
+                    rule: "allow_missing_reason",
+                    location: loc,
+                    message: format!("malformed analysis:allow annotation: {msg}"),
+                }),
+                Ok(allow) => {
+                    if allow.reason.is_empty() {
+                        violations.push(Violation {
+                            pass: PASS_SOURCE,
+                            rule: "allow_missing_reason",
+                            location: loc,
+                            message: format!(
+                                "analysis:allow({}) has no reason — annotations must justify themselves",
+                                allow.rules.join(", ")
+                            ),
+                        });
+                        continue;
+                    }
+                    for rule in &allow.rules {
+                        let known = ALL_SOURCE_RULES.contains(&rule.as_str());
+                        if !known {
+                            violations.push(Violation {
+                                pass: PASS_SOURCE,
+                                rule: "unused_allow",
+                                location: loc.clone(),
+                                message: format!(
+                                    "analysis:allow({rule}) names an unknown rule — known rules: {}",
+                                    ALL_SOURCE_RULES.join(", ")
+                                ),
+                            });
+                            continue;
+                        }
+                        if fired(&file.rel_path, line.number, rule) {
+                            suppressed.insert((
+                                file.rel_path.clone(),
+                                line.number,
+                                rule.clone(),
+                            ));
+                        } else if active_rules.contains(rule.as_str()) {
+                            violations.push(Violation {
+                                pass: PASS_SOURCE,
+                                rule: "unused_allow",
+                                location: loc.clone(),
+                                message: format!(
+                                    "analysis:allow({rule}) names a rule that did not fire here — remove it"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for f in findings {
+        if suppressed.contains(&(f.file.clone(), f.line, f.rule.to_string())) {
+            continue;
+        }
+        violations.push(Violation {
+            pass: f.pass,
+            rule: f.rule,
+            location: format!("{}:{}", f.file, f.line),
+            message: f.message,
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    #[test]
+    fn cross_pass_allow_resolves() {
+        // A determinism allow on a clock line: suppressed by the engine,
+        // and NOT reported as unused by a source-only rule scope.
+        let src = "fn build() -> SurveyReport {\n    let t = Instant::now(); // analysis:allow(clock) wall time never reaches report bytes\n    SurveyReport::default()\n}\n";
+        let ws = Workspace::from_sources(&[("core", "crates/core/src/survey.rs", src)]);
+        let cfg = AnalysisConfig::default();
+        let findings = crate::passes::determinism::run(&ws, &cfg);
+        assert_eq!(findings.len(), 1);
+        let active: BTreeSet<&str> = Pass::Determinism.rules().iter().copied().collect();
+        let v = resolve(&ws, findings, &active);
+        assert!(v.is_empty(), "{v:?}");
+
+        // Source-only scope: the clock allow is out of scope, not "unused".
+        let active: BTreeSet<&str> = Pass::Source.rules().iter().copied().collect();
+        let v = resolve(&ws, Vec::new(), &active);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_rule_names_are_flagged() {
+        let src = "fn f() {} // analysis:allow(hashmap_iteration) typo'd rule name\n";
+        let ws = Workspace::from_sources(&[("core", "crates/core/src/x.rs", src)]);
+        let active: BTreeSet<&str> = Pass::Source.rules().iter().copied().collect();
+        let v = resolve(&ws, Vec::new(), &active);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unused_allow");
+        assert!(v[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn stale_allow_in_active_scope_is_unused() {
+        let src = "fn f() {} // analysis:allow(clock) nothing fires here\n";
+        let ws = Workspace::from_sources(&[("core", "crates/core/src/x.rs", src)]);
+        let active: BTreeSet<&str> = Pass::Determinism.rules().iter().copied().collect();
+        let v = resolve(&ws, Vec::new(), &active);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unused_allow");
+    }
+}

@@ -1,6 +1,7 @@
 //! `unicert-analysis` — the S12 static-analysis subsystem.
 //!
-//! Two passes turn the repo's prose promises into enforced invariants:
+//! A rule engine of six passes turns the repo's prose promises into
+//! enforced invariants:
 //!
 //! 1. **Catalog meta-linter** ([`catalog`]): the live 95-lint registry must
 //!    match every published property of the paper's catalog — Table 1
@@ -10,21 +11,40 @@
 //!    substrates promise zero panics on untrusted input (DESIGN.md §2);
 //!    the audit lexes their sources and flags `unwrap`/`expect`,
 //!    panic-family macros, non-literal slice indexing, and unchecked
-//!    length arithmetic in reader hot paths. Vetted sites carry
-//!    `// analysis:allow(<rule>) reason` annotations, which must name the
-//!    firing rule and give a non-empty reason.
+//!    length arithmetic in reader hot paths.
+//! 3. **Determinism pass** ([`passes::determinism`]): survey reports are
+//!    byte-identical across runs and thread counts (PR 2), so nothing on
+//!    the report path may read clocks, iterate unordered maps, depend on
+//!    thread identity/count, or accumulate floats.
+//! 4. **Allocation-bound pass** ([`passes::alloc`]): no allocation may be
+//!    sized by a parsed-input value without a visible `ParseBudget`/
+//!    `min`/`clamp` bound (PR 4's reader guarantee, workspace-wide).
+//! 5. **Unbounded-recursion pass** ([`passes::recursion`]): recursion in
+//!    the parser substrates must carry a depth or budget parameter.
+//! 6. **Crate-layering pass** ([`passes::layering`]): manifests and `use`
+//!    graphs must respect the unicode→idna→asn1→x509→lint→core→bench DAG.
 //!
-//! Both passes produce [`Violation`]s, rendered as a TSV report
-//! ([`tsv_report`]) and human `file:line` diagnostics ([`human_report`]).
-//! `tests/static_analysis.rs` runs them under `cargo test`, and the
-//! `unicert-analysis` binary runs them in CI.
+//! All passes share the [`model`] source model (token stream, `fn` items,
+//! `use` graph) and the `// analysis:allow(<rule>) reason` escape hatch,
+//! resolved centrally by [`engine`] — annotations must name the firing
+//! rule, give a non-empty reason, and go stale loudly (`unused_allow`).
+//! Violations render as TSV ([`tsv_report`]), human `file:line`
+//! diagnostics ([`human_report`]), and a SARIF-lite JSON report
+//! ([`report::json_report`]) uploaded as a CI artifact.
+//! `tests/static_analysis.rs` runs everything under `cargo test`, and the
+//! `unicert-analysis` binary runs it in CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod catalog;
+pub mod config;
+pub mod engine;
 pub mod lexer;
+pub mod model;
+pub mod passes;
+pub mod report;
 
 use std::path::{Path, PathBuf};
 
@@ -32,17 +52,44 @@ use std::path::{Path, PathBuf};
 pub const PASS_CATALOG: &str = "catalog";
 /// Pass label for source-audit violations.
 pub const PASS_SOURCE: &str = "source";
+/// Pass label for determinism violations (report path must be clock-free,
+/// order-stable, and thread-independent).
+pub const PASS_DETERMINISM: &str = "determinism";
+/// Pass label for allocation-bound violations.
+pub const PASS_ALLOC: &str = "alloc";
+/// Pass label for unbounded-recursion violations.
+pub const PASS_RECURSION: &str = "recursion";
+/// Pass label for crate-layering violations.
+pub const PASS_LAYERING: &str = "layering";
 
 /// One static-analysis finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Which pass produced it (`catalog` or `source`).
+    /// Which pass produced it (`catalog`, `source`, `determinism`,
+    /// `alloc`, `recursion`, or `layering`).
     pub pass: &'static str,
     /// Machine-readable rule name (stable; used in `analysis:allow`).
     pub rule: &'static str,
     /// `file:line` for source findings, lint name or `registry` for
     /// catalog findings.
     pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One raw source-pass finding, pre-annotation-resolution: the engine
+/// matches these against `// analysis:allow(rule) reason` annotations and
+/// converts the survivors into [`Violation`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pass produced it.
+    pub pass: &'static str,
+    /// Machine-readable rule name.
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: usize,
     /// Human-readable explanation.
     pub message: String,
 }
@@ -81,15 +128,11 @@ pub fn workspace_crate_roots(repo_root: &Path) -> Vec<PathBuf> {
     roots
 }
 
-/// Run both passes and the crate-root hygiene check.
+/// Run every pass — catalog, audit, determinism, allocation-bound,
+/// recursion, layering — plus the crate-root hygiene check, with
+/// annotations resolved centrally across all passes.
 pub fn run_all(repo_root: &Path) -> Vec<Violation> {
-    let mut violations = catalog::run();
-    violations.extend(audit::run(repo_root));
-    violations.extend(audit::check_unsafe_attrs(
-        repo_root,
-        &workspace_crate_roots(repo_root),
-    ));
-    violations
+    engine::run_full(repo_root)
 }
 
 /// Render violations as TSV: `pass<TAB>rule<TAB>location<TAB>message`.

@@ -1,0 +1,295 @@
+//! Pass 4 — the allocation-bound pass.
+//!
+//! PR 4 guaranteed that the ASN.1 reader never allocates past its
+//! `ParseBudget`; this pass extends that guarantee's *shape* to every
+//! crate: any `with_capacity`/`reserve`/`vec![…; n]`/`resize` whose size
+//! expression derives from an unproven identifier — rather than a literal,
+//! a `const`, the `.len()`/`.capacity()` of data already in memory, or an
+//! expression visibly clamped by a budget/`min`/`clamp` bound — is flagged.
+//! Attacker-declared lengths (DER length octets, counts parsed out of
+//! input) must be clamped before they size an allocation.
+
+use super::{balanced_paren_arg, is_ident_char, push};
+use crate::config::AnalysisConfig;
+use crate::model::Workspace;
+use crate::{Finding, PASS_ALLOC};
+
+/// Allocation sized by an unproven (potentially parsed-input) expression.
+pub const RULE_UNBOUNDED_ALLOC: &str = "unbounded_alloc";
+
+/// Substrings that prove an expression is clamped/budgeted.
+const CLAMP_MARKERS: [&str; 6] = [".min(", "remaining", "budget", "Budget", ".clamp(", "MAX"];
+
+/// Idents that never carry attacker-controlled magnitude on their own.
+const NEUTRAL_IDENTS: [&str; 20] = [
+    "as", "usize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32",
+    "f64", "self", "Self", "true", "false", "std", "core",
+];
+
+/// Run the allocation-bound pass over every crate's library + bin sources.
+pub fn run(ws: &Workspace, _cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in ws.crates.iter().filter(|c| c.group == "crates") {
+        for file in &krate.files {
+            for line in &file.lines {
+                if line.in_test_code {
+                    continue;
+                }
+                scan_line(&line.code, &file.rel_path, line.number, &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+fn scan_line(code: &str, file: &str, line: usize, out: &mut Vec<Finding>) {
+    for callee in ["with_capacity", "reserve_exact", "reserve", "resize"] {
+        let mut start = 0;
+        while let Some(found) = code[start..].find(callee) {
+            let at = start + found;
+            let before_ok = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(is_ident_char);
+            let open = at + callee.len();
+            start = open;
+            if !before_ok || code.as_bytes().get(open) != Some(&b'(') {
+                continue;
+            }
+            let Some(args) = balanced_paren_arg(code, open) else {
+                continue;
+            };
+            // `resize(new_len, fill)` — only the first argument sizes.
+            let size_expr = match callee {
+                "resize" => top_level_first_arg(&args),
+                _ => args.clone(),
+            };
+            if let Some(culprit) = unbounded_ident(&size_expr) {
+                push(
+                    out,
+                    PASS_ALLOC,
+                    RULE_UNBOUNDED_ALLOC,
+                    file,
+                    line,
+                    format!(
+                        "`{callee}({})` sizes an allocation from `{culprit}` with no visible \
+                         ParseBudget/min/clamp bound — clamp parsed-input sizes first",
+                        size_expr.trim()
+                    ),
+                );
+            }
+        }
+    }
+    // `vec![elem; n]` — the repeat count after the top-level `;`.
+    let mut start = 0;
+    while let Some(found) = code[start..].find("vec!") {
+        let at = start + found;
+        start = at + 4;
+        let rest = &code[at + 4..];
+        let (open_char, close_char) = match rest.chars().next() {
+            Some('[') => ('[', ']'),
+            Some('(') => ('(', ')'),
+            _ => continue,
+        };
+        let mut depth = 0i32;
+        let mut semi = None;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            if c == open_char || c == '[' || c == '(' {
+                depth += 1;
+            } else if c == close_char || c == ']' || c == ')' {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            } else if c == ';' && depth == 1 {
+                semi = Some(i);
+            }
+        }
+        if let (Some(semi), Some(end)) = (semi, end) {
+            let count_expr = &rest[semi + 1..end];
+            if let Some(culprit) = unbounded_ident(count_expr) {
+                push(
+                    out,
+                    PASS_ALLOC,
+                    RULE_UNBOUNDED_ALLOC,
+                    file,
+                    line,
+                    format!(
+                        "`vec![…; {}]` repeat count derives from `{culprit}` with no visible \
+                         ParseBudget/min/clamp bound — clamp parsed-input sizes first",
+                        count_expr.trim()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// First top-level (comma-split) argument of an argument list.
+fn top_level_first_arg(args: &str) -> String {
+    let mut depth = 0i32;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '<' => depth += 1,
+            ')' | ']' | '>' => depth -= 1,
+            ',' if depth == 0 => return args[..i].to_string(),
+            _ => {}
+        }
+    }
+    args.to_string()
+}
+
+/// The first identifier in `expr` that is *not* provably bounded, if any.
+///
+/// Bounded means: a clamp marker appears anywhere in the expression; or the
+/// identifier is a cast/primitive keyword, an ALL_CAPS const, a method name
+/// (preceded by `.`), or the receiver of `.len()`/`.capacity()`/`.count()`
+/// (sizes of data already in memory cannot exceed what was already read).
+pub fn unbounded_ident(expr: &str) -> Option<String> {
+    if CLAMP_MARKERS.iter().any(|m| expr.contains(m)) {
+        return None;
+    }
+    let chars: Vec<char> = expr.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if !(chars[i].is_alphabetic() || chars[i] == '_') {
+            // Skip numbers (and their suffixes) wholesale.
+            if chars[i].is_ascii_digit() {
+                while i < chars.len() && (is_ident_char(chars[i]) || chars[i] == '.') {
+                    i += 1;
+                }
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() && is_ident_char(chars[i]) {
+            i += 1;
+        }
+        let ident: String = chars[start..i].iter().collect();
+        // Method / field position: preceded by `.` — the receiver decides.
+        let preceded_by_dot = expr[..byte_offset(expr, start)]
+            .trim_end()
+            .ends_with('.');
+        if preceded_by_dot {
+            continue;
+        }
+        if NEUTRAL_IDENTS.contains(&ident.as_str()) {
+            continue;
+        }
+        if ident
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue; // const
+        }
+        // Receiver of an in-memory-size call? Walk the field-access chain:
+        // `krate.files.len()` is as bounded as `files.len()`.
+        let mut after = &expr[byte_offset(expr, i)..];
+        // Path segment: `mem::size_of` style — the tail decides.
+        let mut is_size_receiver = after.starts_with("::");
+        while !is_size_receiver {
+            if [".len()", ".capacity()", ".count()"]
+                .iter()
+                .any(|m| after.starts_with(m))
+            {
+                is_size_receiver = true;
+                break;
+            }
+            let Some(rest) = after.strip_prefix('.') else {
+                break;
+            };
+            let seg: usize = rest
+                .chars()
+                .take_while(|c| is_ident_char(*c))
+                .map(char::len_utf8)
+                .sum();
+            // Only plain `.field` hops: a mid-chain call yields an
+            // unknown value, so stop and flag.
+            if seg == 0 || rest[seg..].starts_with('(') {
+                break;
+            }
+            after = &rest[seg..];
+        }
+        if is_size_receiver {
+            continue;
+        }
+        return Some(ident);
+    }
+    None
+}
+
+/// Byte offset of char index `ci` in `s`.
+fn byte_offset(s: &str, ci: usize) -> usize {
+    s.char_indices()
+        .nth(ci)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("asn1", "crates/asn1/src/reader.rs", src)]);
+        run(&ws, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn len_derived_capacity_is_bounded() {
+        assert!(findings("let v = Vec::with_capacity(der.len() + 8);\n").is_empty());
+        assert!(findings("let s = String::with_capacity(text.len() * 3 / 4);\n").is_empty());
+        // Field chains ending in a size call are equally bounded…
+        assert!(findings("let v = vec![0u8; krate.files.len()];\n").is_empty());
+        // …but a mid-chain method call yields an unknown value.
+        let f = findings("let v = vec![0u8; hdr.declared().0];\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn const_and_literal_are_bounded() {
+        assert!(findings("let v = Vec::with_capacity(SHARD_COUNT);\n").is_empty());
+        assert!(findings("let v = Vec::with_capacity(95);\n").is_empty());
+    }
+
+    #[test]
+    fn parsed_length_is_flagged() {
+        let f = findings("let v = Vec::with_capacity(declared_len);\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_UNBOUNDED_ALLOC);
+    }
+
+    #[test]
+    fn clamped_length_is_bounded() {
+        assert!(findings("let v = Vec::with_capacity(declared_len.min(reader.remaining()));\n")
+            .is_empty());
+        assert!(findings("let v = Vec::with_capacity(n.min(1024));\n").is_empty());
+    }
+
+    #[test]
+    fn vec_macro_repeat_count() {
+        let f = findings("let v = vec![0u8; n];\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(findings("let v = vec![0u8; 16];\n").is_empty());
+        assert!(findings("let v = vec![0u8; buf.len()];\n").is_empty());
+    }
+
+    #[test]
+    fn resize_first_arg_only() {
+        let f = findings("buf.resize(new_size, 0xff);\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(findings("buf.resize(buf.len() + 4, fill_byte);\n").is_empty());
+    }
+
+    #[test]
+    fn reserve_is_covered() {
+        let f = findings("out.reserve(count);\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Pass 6 — the crate-layering pass.
+//!
+//! The workspace's crates form a deliberate DAG
+//! (unicode→idna→asn1→x509→lint→core→bench, telemetry and chaos as
+//! leaves). A refactor that quietly inverts a layer — lint reaching into
+//! core, a substrate importing telemetry it shouldn't — would compile fine
+//! and only hurt later. This pass checks both *declared* dependencies (the
+//! `[dependencies]` section of each Cargo.toml) and *used* dependencies
+//! (`use unicert_x`/qualified paths in non-test code) against the allowed
+//! table in [`AnalysisConfig::allowed_deps`]. Dev-dependencies are exempt:
+//! dev cycles are legal in cargo and used deliberately by the proptests.
+
+use super::push;
+use crate::config::AnalysisConfig;
+use crate::model::Workspace;
+use crate::{Finding, PASS_LAYERING};
+
+/// A declared or used dependency outside the allowed DAG.
+pub const RULE_LAYER_VIOLATION: &str = "layer_violation";
+
+/// Run the layering pass over every crate (shims included).
+pub fn run(ws: &Workspace, cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in &ws.crates {
+        let Some(allowed) = cfg.allowed_deps.get(krate.name.as_str()) else {
+            push(
+                &mut findings,
+                PASS_LAYERING,
+                RULE_LAYER_VIOLATION,
+                &krate.manifest_rel,
+                1,
+                format!(
+                    "crate `{}` is not in the layering configuration — add it to \
+                     AnalysisConfig::allowed_deps with its allowed dependencies",
+                    krate.name
+                ),
+            );
+            continue;
+        };
+        for dep in &krate.deps {
+            if !allowed.contains(&dep.name.as_str()) {
+                push(
+                    &mut findings,
+                    PASS_LAYERING,
+                    RULE_LAYER_VIOLATION,
+                    &krate.manifest_rel,
+                    dep.line,
+                    format!(
+                        "`{}` may not depend on `{}` — allowed layer deps: [{}]",
+                        krate.name,
+                        dep.name,
+                        allowed.join(", ")
+                    ),
+                );
+            }
+        }
+        for file in &krate.files {
+            for use_ref in &file.uses {
+                if use_ref.krate == krate.name {
+                    continue;
+                }
+                if !allowed.contains(&use_ref.krate.as_str()) {
+                    push(
+                        &mut findings,
+                        PASS_LAYERING,
+                        RULE_LAYER_VIOLATION,
+                        &file.rel_path,
+                        use_ref.line,
+                        format!(
+                            "`{}` references crate `{}` outside its allowed layer deps [{}]",
+                            krate.name,
+                            use_ref.krate,
+                            allowed.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{analyze_source, CrateInfo, ManifestDep, Workspace};
+
+    fn ws_with(name: &str, deps: &[&str], src: &str) -> Workspace {
+        Workspace {
+            crates: vec![CrateInfo {
+                name: name.to_string(),
+                group: "crates".to_string(),
+                manifest_rel: format!("crates/{name}/Cargo.toml"),
+                deps: deps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| ManifestDep {
+                        name: (*d).to_string(),
+                        line: i + 1,
+                    })
+                    .collect(),
+                files: vec![analyze_source(
+                    name,
+                    &format!("crates/{name}/src/lib.rs"),
+                    src,
+                )],
+            }],
+        }
+    }
+
+    #[test]
+    fn allowed_deps_pass() {
+        let ws = ws_with("idna", &["unicode"], "use unicert_unicode::nfc;\n");
+        assert!(run(&ws, &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn inverted_layer_in_manifest_fires() {
+        let ws = ws_with("unicode", &["lint"], "");
+        let f = run(&ws, &AnalysisConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_LAYER_VIOLATION);
+        assert!(f[0].file.ends_with("Cargo.toml"));
+    }
+
+    #[test]
+    fn undeclared_use_fires_at_source_line() {
+        let ws = ws_with("idna", &["unicode"], "fn f() { unicert_core::survey::run(); }\n");
+        let f = run(&ws, &AnalysisConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].file.ends_with("lib.rs"));
+    }
+
+    #[test]
+    fn test_code_uses_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use unicert_chaos::Mutator;\n}\n";
+        let ws = ws_with("asn1", &[], src);
+        assert!(run(&ws, &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unknown_crate_is_reported() {
+        let ws = ws_with("sidecar", &[], "");
+        let f = run(&ws, &AnalysisConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("layering configuration"));
+    }
+}

@@ -1,0 +1,77 @@
+//! The invariant passes that run over the [`crate::model`] source model.
+//!
+//! Each pass is a pure function `(&Workspace, &AnalysisConfig) -> Vec<Finding>`
+//! producing *raw* findings; `// analysis:allow(rule) reason` suppression
+//! and unused-allow detection happen centrally in [`crate::engine`], so a
+//! single annotation grammar covers every pass.
+
+pub mod alloc;
+pub mod determinism;
+pub mod layering;
+pub mod recursion;
+
+use crate::Finding;
+
+/// Identifier characters, shared by the line-scanning helpers below.
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The identifier ending immediately before byte offset `at` in `code`
+/// (skipping whitespace), if any.
+pub(crate) fn ident_ending_before(code: &str, at: usize) -> Option<String> {
+    let head = &code[..at];
+    let trimmed = head.trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, _)| i)
+        .unwrap_or(end);
+    if start == end {
+        None
+    } else {
+        Some(trimmed[start..end].to_string())
+    }
+}
+
+/// Extract a balanced-paren argument list starting right after an opening
+/// `(` at byte offset `open` in `code`; returns the interior text.
+pub(crate) fn balanced_paren_arg(code: &str, open: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes.get(open), Some(&b'('));
+    let mut depth = 0i32;
+    for (i, c) in code[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(code[open + 1..open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Push a finding, keeping construction sites terse.
+pub(crate) fn push(
+    out: &mut Vec<Finding>,
+    pass: &'static str,
+    rule: &'static str,
+    file: &str,
+    line: usize,
+    message: String,
+) {
+    out.push(Finding {
+        pass,
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+    });
+}

@@ -1,0 +1,360 @@
+//! Pass 5 — the unbounded-recursion pass.
+//!
+//! Hostile DER nests: a certificate is a tree, and every recursive descent
+//! over attacker bytes needs a depth or budget parameter or it is a stack
+//! bomb (PR 4's `nesting_bomb` mutation class exists precisely to probe
+//! this). This pass builds the per-crate call graph for the parser
+//! substrates (`asn1`, `x509`) and the mutation engine (`chaos`), finds
+//! strongly-connected components (direct and mutual recursion), and flags
+//! every cycle in which *no* participant carries a recognizable bound — a
+//! `depth`/`budget`/`limit`/`fuel` parameter, a `Reader` (which threads
+//! `ParseBudget` and its own depth counter), or a body reference to a
+//! depth/budget field or `MAX_DEPTH`-style constant.
+//!
+//! Call edges use the model's [`CallKind`] classification so same-named
+//! methods on different types don't weld into phantom cycles: bare calls
+//! resolve to same-file definitions (or a crate-unique one); `self.f(…)`/
+//! `Self::f(…)` resolve within the file; `Q::f(…)` resolves crate-wide only
+//! when `Q` is a type or module *defined in this crate* (or `crate` itself);
+//! `recv.f(…)` on a non-`self` receiver resolves nowhere — a foreign type's
+//! method is not this crate's recursion.
+
+use super::push;
+use crate::config::AnalysisConfig;
+use crate::model::{CallKind, Workspace};
+use crate::{Finding, PASS_RECURSION};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Recursion cycle with no depth/budget bound.
+pub const RULE_UNBOUNDED_RECURSION: &str = "unbounded_recursion";
+
+/// Substrings in a participant's params or body that prove the cycle is
+/// resource-bounded.
+const BOUND_MARKERS: [&str; 7] = [
+    "depth", "budget", "Budget", "fuel", "limit", "remaining", "Reader",
+];
+
+/// Run the recursion pass over the configured crates.
+pub fn run(ws: &Workspace, cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in ws
+        .crates
+        .iter()
+        .filter(|c| cfg.recursion_crates.contains(&c.name.as_str()))
+    {
+        // Flat fn table for this crate, indexed crate-wide and per file.
+        let mut fns: Vec<(usize, usize)> = Vec::new(); // (file idx, fn idx)
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut per_file_names: Vec<BTreeMap<&str, Vec<usize>>> =
+            vec![BTreeMap::new(); krate.files.len()];
+        for (fi, file) in krate.files.iter().enumerate() {
+            for (gi, item) in file.fns.iter().enumerate() {
+                let id = fns.len();
+                fns.push((fi, gi));
+                by_name.entry(item.name.as_str()).or_default().push(id);
+                per_file_names[fi]
+                    .entry(item.name.as_str())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        // Qualifier name → files that could host its items: files defining
+        // the type/module, plus the file *named after* it (Rust's
+        // `mod helpers;` puts the items in `helpers.rs`).
+        let mut qualifier_files: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+        for (fi, file) in krate.files.iter().enumerate() {
+            for t in &file.type_defs {
+                qualifier_files.entry(t.as_str()).or_default().insert(fi);
+            }
+            if let Some(stem) = file
+                .rel_path
+                .rsplit('/')
+                .next()
+                .and_then(|n| n.strip_suffix(".rs"))
+            {
+                qualifier_files.entry(stem).or_default().insert(fi);
+            }
+        }
+
+        let edges: Vec<Vec<usize>> = fns
+            .iter()
+            .map(|&(fi, gi)| {
+                let mut out: Vec<usize> = Vec::new();
+                for call in &krate.files[fi].fns[gi].calls {
+                    let name = call.name.as_str();
+                    match call.kind {
+                        // `recv.f(…)`: receiver type unknown — no edge.
+                        CallKind::Method => {}
+                        // `self.f(…)` / `Self::f(…)`: same impl, same file.
+                        CallKind::SelfMethod => {
+                            if let Some(ids) = per_file_names[fi].get(name) {
+                                out.extend_from_slice(ids);
+                            }
+                        }
+                        // Bare `f(…)`: same-file definitions, or the single
+                        // crate-wide definition when the name is unique.
+                        CallKind::Plain => {
+                            if let Some(ids) = per_file_names[fi].get(name) {
+                                out.extend_from_slice(ids);
+                            } else if let Some(ids) =
+                                by_name.get(name).filter(|ids| ids.len() == 1)
+                            {
+                                out.extend_from_slice(ids);
+                            }
+                        }
+                        // `Q::f(…)`: only when `Q` is defined in this crate,
+                        // and only to definitions in `Q`'s own file(s) — a
+                        // crate-wide net welds same-named constructors on
+                        // different types into phantom cycles.
+                        CallKind::Qualified => {
+                            let q = call.qualifier.as_deref();
+                            if q == Some("crate") {
+                                if let Some(ids) = by_name.get(name) {
+                                    out.extend_from_slice(ids);
+                                }
+                            } else if let Some(host_files) =
+                                q.and_then(|q| qualifier_files.get(q))
+                            {
+                                if let Some(ids) = by_name.get(name) {
+                                    out.extend(
+                                        ids.iter()
+                                            .filter(|&&id| host_files.contains(&fns[id].0))
+                                            .copied(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+
+        for scc in tarjan_sccs(&edges) {
+            let cyclic = scc.len() > 1
+                || (scc.len() == 1 && edges[scc[0]].contains(&scc[0]));
+            if !cyclic {
+                continue;
+            }
+            let bounded = scc.iter().any(|&id| {
+                let (fi, gi) = fns[id];
+                let item = &krate.files[fi].fns[gi];
+                BOUND_MARKERS
+                    .iter()
+                    .any(|m| item.params.contains(m) || item.text.contains(m))
+            });
+            if bounded {
+                continue;
+            }
+            let names: Vec<&str> = scc
+                .iter()
+                .map(|&id| {
+                    let (fi, gi) = fns[id];
+                    krate.files[fi].fns[gi].name.as_str()
+                })
+                .collect();
+            for &id in &scc {
+                let (fi, gi) = fns[id];
+                let item = &krate.files[fi].fns[gi];
+                push(
+                    &mut findings,
+                    PASS_RECURSION,
+                    RULE_UNBOUNDED_RECURSION,
+                    &krate.files[fi].rel_path,
+                    item.sig_line,
+                    format!(
+                        "`{}` participates in recursion cycle {{{}}} with no depth/budget \
+                         parameter — hostile nesting can exhaust the stack",
+                        item.name,
+                        names.join(" -> ")
+                    ),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Iterative Tarjan SCC over an adjacency list; returns components with
+/// nodes in ascending order, components ordered by their smallest node.
+fn tarjan_sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut index = vec![usize::MAX; edges.len()];
+    let mut low = vec![0usize; edges.len()];
+    let mut on_stack = vec![false; edges.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    for root in 0..edges.len() {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(*child) {
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            // v is finished.
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut comp = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort_unstable();
+                sccs.push(comp);
+            }
+        }
+    }
+    sccs.sort_by_key(|c| c.first().copied().unwrap_or(usize::MAX));
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("asn1", "crates/asn1/src/der.rs", src)]);
+        run(&ws, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn direct_recursion_without_bound_fires() {
+        let f = findings("fn descend(input: &[u8]) {\n    descend(input);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_UNBOUNDED_RECURSION);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn depth_parameter_bounds_it() {
+        assert!(findings("fn descend(input: &[u8], depth: usize) {\n    descend(input, depth + 1);\n}\n").is_empty());
+    }
+
+    #[test]
+    fn reader_parameter_bounds_it() {
+        assert!(findings("fn descend(r: &mut Reader<'_>) {\n    descend(r);\n}\n").is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_is_detected() {
+        let f = findings("fn a(x: &[u8]) { b(x); }\nfn b(x: &[u8]) { a(x); }\n");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("a -> b"));
+    }
+
+    #[test]
+    fn mutual_recursion_bounded_by_one_member() {
+        let f = findings("fn a(x: &[u8]) { b(x); }\nfn b(x: &[u8]) { if x.len() < limit_check() { a(x); } }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_recursive_code_is_clean() {
+        assert!(findings("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n").is_empty());
+    }
+
+    #[test]
+    fn foreign_method_with_same_name_is_not_an_edge() {
+        // `w.write_time(…)` dispatches on `w`'s type, which this crate
+        // cannot see — a free fn of the same name is not recursion.
+        let f = findings("fn write_time(w: &mut W, t: u64) {\n    w.write_time(t);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn foreign_qualified_path_is_not_an_edge() {
+        // `fmt::Display::fmt` is std's trait, not this crate's `fmt`.
+        let f = findings("fn fmt(x: &T, f: &mut F) {\n    fmt::Display::fmt(x, f);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn crate_local_qualified_path_is_an_edge() {
+        // `helpers::b` resolves into `helpers.rs` (mod-named file);
+        // `crate::a` resolves crate-wide.
+        let ws = Workspace::from_sources(&[
+            ("asn1", "crates/asn1/src/a.rs", "pub fn a(x: u8) { helpers::b(x); }\n"),
+            ("asn1", "crates/asn1/src/helpers.rs", "pub fn b(x: u8) { crate::a(x); }\n"),
+        ]);
+        let f = run(&ws, &AnalysisConfig::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("a -> b"), "{f:?}");
+    }
+
+    #[test]
+    fn same_named_constructors_on_different_types_do_not_weld() {
+        // `B::new` lives in b.rs; calling it from a.rs must not create an
+        // edge to a.rs's own unrelated `new`.
+        let ws = Workspace::from_sources(&[
+            (
+                "asn1",
+                "crates/asn1/src/a.rs",
+                "pub struct A;\nimpl A { pub fn new() -> A { B::new(); A } }\n",
+            ),
+            (
+                "asn1",
+                "crates/asn1/src/b.rs",
+                "pub struct B;\nimpl B { pub fn new() -> B { A::new(); B } }\n",
+            ),
+        ]);
+        // a.rs's A::new → b.rs's B::new → a.rs's A::new *is* a real mutual
+        // cycle here; but each qualified call resolves only into the
+        // qualifier's file, so the SCC names exactly these two.
+        let f = run(&ws, &AnalysisConfig::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn self_method_recursion_is_detected() {
+        let f = findings(
+            "impl Node {\n    fn walk(&self) {\n        self.walk();\n    }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn plain_call_to_unique_cross_file_def_is_an_edge() {
+        let ws = Workspace::from_sources(&[
+            ("asn1", "crates/asn1/src/a.rs", "pub fn ping(x: u8) { pong(x); }\n"),
+            ("asn1", "crates/asn1/src/b.rs", "pub fn pong(x: u8) { ping(x); }\n"),
+        ]);
+        let f = run(&ws, &AnalysisConfig::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_skipped() {
+        let ws = Workspace::from_sources(&[(
+            "monitors",
+            "crates/monitors/src/lib.rs",
+            "fn descend(x: &[u8]) { descend(x); }\n",
+        )]);
+        assert!(run(&ws, &AnalysisConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Machine-readable findings reports.
+//!
+//! The JSON report follows a SARIF-lite shape — `tool` / `results` with
+//! `ruleId`, `level`, `message.text`, and `physicalLocation` — so CI can
+//! upload it as an artifact and downstream tooling can diff runs without
+//! parsing TSV. Violation order is the engine's deterministic pass/file
+//! order, so two runs over the same tree produce byte-identical reports.
+
+use crate::Violation;
+
+/// Render violations as a SARIF-lite JSON report.
+pub fn json_report(violations: &[Violation]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": { \"name\": \"unicert-analysis\", \"version\": \"");
+    out.push_str(env!("CARGO_PKG_VERSION"));
+    out.push_str("\" },\n");
+
+    // Summary: total + per-pass counts (deterministic order).
+    let mut passes: Vec<&str> = violations.iter().map(|v| v.pass).collect();
+    passes.sort_unstable();
+    passes.dedup();
+    out.push_str("  \"summary\": { \"violations\": ");
+    out.push_str(&violations.len().to_string());
+    out.push_str(", \"by_pass\": {");
+    for (i, pass) in passes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let count = violations.iter().filter(|v| v.pass == *pass).count();
+        out.push_str(&format!(" \"{}\": {}", json_escape(pass), count));
+    }
+    out.push_str(" } },\n");
+
+    out.push_str("  \"results\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { \"ruleId\": \"");
+        out.push_str(&json_escape(&format!("{}/{}", v.pass, v.rule)));
+        out.push_str("\", \"level\": \"error\", \"message\": { \"text\": \"");
+        out.push_str(&json_escape(&v.message));
+        out.push_str("\" }, \"locations\": [ { \"physicalLocation\": ");
+        let (uri, line) = split_location(&v.location);
+        out.push_str("{ \"artifactLocation\": { \"uri\": \"");
+        out.push_str(&json_escape(uri));
+        out.push_str("\" }");
+        if let Some(line) = line {
+            out.push_str(&format!(", \"region\": {{ \"startLine\": {line} }}"));
+        }
+        out.push_str(" } } ] }");
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Split a `path:line` location; catalog locations (lint names) have no
+/// numeric suffix and map to a bare artifact URI.
+fn split_location(location: &str) -> (&str, Option<usize>) {
+    if let Some((head, tail)) = location.rsplit_once(':') {
+        if let Ok(line) = tail.parse::<usize>() {
+            return (head, Some(line));
+        }
+    }
+    (location, None)
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_escaping() {
+        let violations = vec![Violation {
+            pass: "determinism",
+            rule: "clock",
+            location: "crates/core/src/survey.rs:139".to_string(),
+            message: "uses \"Instant::now\"".to_string(),
+        }];
+        let json = json_report(&violations);
+        assert!(json.contains("\"ruleId\": \"determinism/clock\""));
+        assert!(json.contains("\"uri\": \"crates/core/src/survey.rs\""));
+        assert!(json.contains("\"startLine\": 139"));
+        assert!(json.contains("uses \\\"Instant::now\\\""));
+        assert!(json.contains("\"violations\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = json_report(&[]);
+        assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn catalog_locations_have_no_region() {
+        let violations = vec![Violation {
+            pass: "catalog",
+            rule: "total_count",
+            location: "registry".to_string(),
+            message: "drift".to_string(),
+        }];
+        let json = json_report(&violations);
+        assert!(json.contains("\"uri\": \"registry\""));
+        assert!(!json.contains("startLine"));
+    }
+}

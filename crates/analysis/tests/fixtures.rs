@@ -1,0 +1,141 @@
+//! Seeded-violation fixtures: every rule in the engine's namespace fires
+//! on its fixture at exactly the expected `file:line`, and an
+//! `analysis:allow` annotation on that line suppresses it.
+//!
+//! Fixture sources live in `tests/fixtures/` as *data* — they are lexed
+//! and analyzed, never compiled — so each can seed exactly one violation
+//! without tripping the real workspace run (which only scans `src/`).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use unicert_analysis::config::AnalysisConfig;
+use unicert_analysis::engine::{self};
+use unicert_analysis::model::Workspace;
+use unicert_analysis::passes::{alloc, determinism, layering, recursion};
+use unicert_analysis::{audit, Violation};
+
+/// (fixture file, host crate, repo-relative path the fixture pretends to
+/// live at, expected rule, expected line).
+const FIXTURES: &[(&str, &str, &str, &str, usize)] = &[
+    ("unwrap.rs", "asn1", "crates/asn1/src/fixture.rs", "unwrap", 4),
+    ("expect.rs", "asn1", "crates/asn1/src/fixture.rs", "expect", 4),
+    ("panic_macro.rs", "asn1", "crates/asn1/src/fixture.rs", "panic_macro", 4),
+    ("slice_index.rs", "asn1", "crates/asn1/src/fixture.rs", "slice_index", 4),
+    // len_arith only audits the DER-reader hot paths, so the fixture is
+    // addressed as one of them.
+    ("len_arith.rs", "asn1", "crates/asn1/src/reader.rs", "len_arith", 5),
+    ("map_iter.rs", "core", "crates/core/src/fixture.rs", "map_iter", 5),
+    ("clock.rs", "core", "crates/core/src/fixture.rs", "clock", 4),
+    (
+        "thread_dependence.rs",
+        "core",
+        "crates/core/src/fixture.rs",
+        "thread_dependence",
+        4,
+    ),
+    ("float_accum.rs", "core", "crates/core/src/fixture.rs", "float_accum", 6),
+    (
+        "unbounded_alloc.rs",
+        "x509",
+        "crates/x509/src/fixture.rs",
+        "unbounded_alloc",
+        4,
+    ),
+    (
+        "unbounded_recursion.rs",
+        "asn1",
+        "crates/asn1/src/fixture.rs",
+        "unbounded_recursion",
+        4,
+    ),
+    (
+        "layer_violation.rs",
+        "unicode",
+        "crates/unicode/src/fixture.rs",
+        "layer_violation",
+        3,
+    ),
+];
+
+fn load_fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Run every source pass (audit + the four invariant passes) over one
+/// in-memory file and resolve annotations with the full rule namespace.
+fn analyze(krate: &str, rel: &str, text: &str) -> Vec<Violation> {
+    let ws = Workspace::from_sources(&[(krate, rel, text)]);
+    let cfg = AnalysisConfig::default();
+    let mut findings = Vec::new();
+    if audit::AUDITED_CRATES.contains(&krate) {
+        for file in ws.files() {
+            findings.extend(audit::audit_lines(&file.rel_path, &file.lines));
+        }
+    }
+    findings.extend(determinism::run(&ws, &cfg));
+    findings.extend(alloc::run(&ws, &cfg));
+    findings.extend(recursion::run(&ws, &cfg));
+    findings.extend(layering::run(&ws, &cfg));
+    let active: BTreeSet<&str> = engine::ALL_SOURCE_RULES.iter().copied().collect();
+    engine::resolve(&ws, findings, &active)
+}
+
+#[test]
+fn every_rule_fires_on_its_seeded_fixture() {
+    for &(file, krate, rel, rule, line) in FIXTURES {
+        let text = load_fixture(file);
+        let violations = analyze(krate, rel, &text);
+        assert_eq!(
+            violations.len(),
+            1,
+            "fixture {file} must seed exactly one violation, got: {violations:?}"
+        );
+        assert_eq!(violations[0].rule, rule, "fixture {file}: {violations:?}");
+        assert_eq!(
+            violations[0].location,
+            format!("{rel}:{line}"),
+            "fixture {file}: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn an_allow_annotation_suppresses_each_seeded_violation() {
+    for &(file, krate, rel, rule, line) in FIXTURES {
+        let text = load_fixture(file);
+        // Append the allow to the exact line the rule fires on.
+        let annotated: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == line {
+                    format!("{l} // analysis:allow({rule}) fixture demonstrates suppression\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let violations = analyze(krate, rel, &annotated);
+        assert!(
+            violations.is_empty(),
+            "fixture {file} with allow({rule}) must be clean, got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_list_covers_every_source_rule() {
+    // `unsafe_attr_missing` is a crate-root check (exercised in
+    // tests/static_analysis.rs), not a line-level fixture.
+    let covered: BTreeSet<&str> = FIXTURES.iter().map(|f| f.3).collect();
+    for rule in engine::ALL_SOURCE_RULES {
+        if rule == "unsafe_attr_missing" {
+            continue;
+        }
+        assert!(covered.contains(rule), "no seeded fixture for rule {rule}");
+    }
+}

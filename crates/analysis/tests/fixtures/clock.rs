@@ -1,0 +1,7 @@
+//! Seeded violation: `clock` must fire on line 4.
+
+pub fn build() -> SurveyReport {
+    let started = Instant::now();
+    drop(started);
+    SurveyReport::default()
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: `expect` must fire on line 4.
+
+pub fn f(x: Option<u8>) -> u8 {
+    x.expect("boom")
+}

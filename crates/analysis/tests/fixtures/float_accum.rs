@@ -1,0 +1,9 @@
+//! Seeded violation: `float_accum` must fire on line 6.
+
+pub fn build(values: &[u64]) -> SurveyReport {
+    let mut acc = 0.0;
+    for v in values {
+        acc += *v as f64;
+    }
+    SurveyReport::default()
+}

@@ -1,0 +1,3 @@
+//! Seeded violation: `layer_violation` must fire on line 3 — `unicode` is
+//! the bottom layer and may not depend on `x509`.
+use unicert_x509::Certificate;

@@ -1,0 +1,6 @@
+//! Seeded violation: `len_arith` must fire on line 5 (the fixture is
+//! addressed as a DER-reader hot path, where length arithmetic is audited).
+
+pub fn f(pos: usize, len: usize) -> usize {
+    pos + len
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: `map_iter` must fire on line 5.
+
+pub fn build(counts: HashMap<String, u64>) -> SurveyReport {
+    let mut out = SurveyReport::default();
+    for k in counts.keys() {
+        out.note(k);
+    }
+    out
+}

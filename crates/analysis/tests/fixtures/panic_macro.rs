@@ -1,0 +1,5 @@
+//! Seeded violation: `panic_macro` must fire on line 4.
+
+pub fn f() -> u8 {
+    panic!("nope")
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: `slice_index` must fire on line 4.
+
+pub fn f(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: `thread_dependence` must fire on line 4.
+
+pub fn build() -> SurveyReport {
+    let shards = std::thread::available_parallelism();
+    drop(shards);
+    SurveyReport::default()
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: `unbounded_alloc` must fire on line 4.
+
+pub fn read_value(declared_len: usize) -> Vec<u8> {
+    Vec::with_capacity(declared_len)
+}

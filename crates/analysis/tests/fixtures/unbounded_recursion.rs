@@ -1,0 +1,8 @@
+//! Seeded violation: `unbounded_recursion` must fire on line 4 (the
+//! participant's signature line).
+
+pub fn descend(input: &[u8]) {
+    if let Some((_, rest)) = input.split_first() {
+        descend(rest);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the analyzer's lexer and line classification.
+//!
+//! The whole engine stands on the lexer's two promises: (1) line structure
+//! is preserved (finding N on line L means source line L), and (2) comment
+//! and string-literal interiors are blanked out of `code`, so no pass can
+//! fire on text the compiler never executes.
+
+use proptest::prelude::*;
+use unicert_analysis::audit;
+use unicert_analysis::lexer::lex;
+use unicert_analysis::model::{analyze_source, tokenize};
+
+proptest! {
+    /// One `LexedLine` per input line, numbered 1..=n, whatever the input
+    /// — quotes, braces, and half-open literals included.
+    #[test]
+    fn lexer_preserves_line_structure(
+        lines in proptest::collection::vec("[ -~]{0,40}", 0..12)
+    ) {
+        let src = lines.join("\n");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.len(), src.lines().count());
+        for (i, l) in lexed.iter().enumerate() {
+            prop_assert_eq!(l.number, i + 1);
+        }
+    }
+
+    /// Panic-prone text inside a string literal is invisible to the code
+    /// channel and produces no audit findings.
+    #[test]
+    fn string_interiors_produce_no_findings(payload in "[a-z0-9 ]{0,20}") {
+        let src = format!("let msg = \"{payload}.unwrap() panic!(boom)\";\n");
+        let lexed = lex(&src);
+        prop_assert!(!lexed[0].code.contains("unwrap"), "{:?}", lexed[0]);
+        prop_assert!(!lexed[0].code.contains("panic"), "{:?}", lexed[0]);
+        let findings = audit::audit_lines("crates/asn1/src/reader.rs", &lexed);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// The same holds for raw strings, where `\"` does not escape.
+    #[test]
+    fn raw_string_interiors_produce_no_findings(payload in "[a-z0-9 ]{0,20}") {
+        let src = format!("let msg = r#\"{payload}.unwrap() buf[i]\"#;\n");
+        let lexed = lex(&src);
+        prop_assert!(!lexed[0].code.contains("unwrap"), "{:?}", lexed[0]);
+        let findings = audit::audit_lines("crates/asn1/src/reader.rs", &lexed);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// Comment text is routed to the comment channel, not `code`.
+    #[test]
+    fn comment_interiors_produce_no_findings(payload in "[a-z0-9 ]{0,20}") {
+        let src = format!("helper(); // {payload} x.unwrap() buf[i]\n");
+        let lexed = lex(&src);
+        prop_assert!(!lexed[0].code.contains("unwrap"), "{:?}", lexed[0]);
+        let findings = audit::audit_lines("crates/asn1/src/reader.rs", &lexed);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// Tokenization round-trip: every token's line number points at a line
+    /// whose code actually contains the token text, and analysis is
+    /// deterministic (two runs agree exactly).
+    #[test]
+    fn tokens_anchor_to_their_lines(
+        names in proptest::collection::vec("[a-z_][a-z0-9_]{0,8}", 1..6)
+    ) {
+        let src: String = names
+            .iter()
+            .map(|n| format!("fn {n}() {{ inner_{n}(); }}\n"))
+            .collect();
+        let lexed = lex(&src);
+        let tokens = tokenize(&lexed);
+        for tok in &tokens {
+            let line = &lexed[tok.line - 1];
+            prop_assert!(
+                line.code.contains(tok.text.as_str()),
+                "token {:?} not on line {}: {:?}",
+                tok.text,
+                tok.line,
+                line.code
+            );
+        }
+        let a = analyze_source("t", "crates/t/src/lib.rs", &src);
+        let b = analyze_source("t", "crates/t/src/lib.rs", &src);
+        prop_assert_eq!(a.fns.len(), b.fns.len());
+        for (fa, fb) in a.fns.iter().zip(&b.fns) {
+            prop_assert_eq!(&fa.name, &fb.name);
+            prop_assert_eq!(&fa.calls, &fb.calls);
+        }
+    }
+}

@@ -302,7 +302,7 @@ impl Mutator {
         oid.extend_from_slice(&encode_len(size));
         // 0xFF arcs have the continuation bit set: the value never
         // terminates, no matter how long the parser walks.
-        oid.resize(oid.len() + size, 0xff);
+        oid.resize(oid.len() + size, 0xff); // analysis:allow(unbounded_alloc) size is rng-chosen within gen_range bounds (≤16 KiB), not parsed input
         self.splice_site(der, &oid)
     }
 
@@ -311,7 +311,7 @@ impl Mutator {
         let mut s = vec![0x0c]; // UTF8String
         s.extend_from_slice(&encode_len(size));
         // Lone continuation bytes: maximally invalid UTF-8.
-        s.resize(s.len() + size, 0x80);
+        s.resize(s.len() + size, 0x80); // analysis:allow(unbounded_alloc) size is rng-chosen within gen_range bounds (≤32 KiB), not parsed input
         self.splice_site(der, &s)
     }
 

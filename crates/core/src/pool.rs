@@ -183,7 +183,7 @@ where
                     // outside it, under catch_unwind), so Err here only
                     // means the producer iterator itself panicked — treat
                     // it as end of input.
-                    let wait_start = instruments.as_ref().map(|_| Instant::now());
+                    let wait_start = instruments.as_ref().map(|_| Instant::now()); // analysis:allow(clock) telemetry-gated wait timing; histogram nanos never reach report bytes
                     let next = match source.lock() {
                         Ok(mut it) => it.next(),
                         Err(_) => None,
@@ -194,7 +194,7 @@ where
                     let Some((index, item)) = next else { break };
                     let task_span =
                         unicert_telemetry::span!(verbose: "pool.task", "{index}");
-                    let exec_start = instruments.as_ref().map(|_| Instant::now());
+                    let exec_start = instruments.as_ref().map(|_| Instant::now()); // analysis:allow(clock) telemetry-gated task timing; histogram nanos never reach report bytes
                     let out = catch_unwind(AssertUnwindSafe(|| map(item)));
                     drop(task_span);
                     if let (Some(ins), Some(started)) = (&instruments, exec_start) {

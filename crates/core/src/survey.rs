@@ -136,7 +136,7 @@ fn stage_mark(
     histogram: Option<&std::sync::Arc<unicert_telemetry::Histogram>>,
 ) {
     if let (Some(started), Some(histogram)) = (stamp.as_mut(), histogram) {
-        let now = Instant::now();
+        let now = Instant::now(); // analysis:allow(clock) stage timing feeds telemetry histograms only, never report bytes
         let nanos = now.duration_since(*started).as_nanos();
         histogram.record(u64::try_from(nanos).unwrap_or(u64::MAX));
         *started = now;

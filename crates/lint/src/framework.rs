@@ -321,7 +321,7 @@ impl RunOptions {
             std::env::var("UNICERT_THREADS").ok().and_then(|v| v.parse().ok())
         });
         let n = configured.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) // analysis:allow(thread_dependence) worker-count default only; shard merge is order-independent (PR 2)
         });
         n.max(1)
     }
@@ -536,7 +536,7 @@ impl Registry {
             let status = (lint.check)(ctx);
             instrument.runs.inc();
             if let Some(before) = previous {
-                let now = Instant::now();
+                let now = Instant::now(); // analysis:allow(clock) per-lint latency feeds telemetry histograms only, never report bytes
                 instrument
                     .latency
                     .record(u64::try_from(now.duration_since(before).as_nanos()).unwrap_or(u64::MAX));
@@ -652,7 +652,7 @@ impl Registry {
             let status = (lint.check)(ctx);
             *count += 1;
             if let Some(before) = previous {
-                let now = Instant::now();
+                let now = Instant::now(); // analysis:allow(clock) per-lint latency feeds telemetry histograms only, never report bytes
                 instrument
                     .latency
                     .record(u64::try_from(now.duration_since(before).as_nanos()).unwrap_or(u64::MAX));

@@ -1,12 +1,13 @@
 //! Tier-1 enforcement of the static-analysis invariants (S12).
 //!
-//! Running under `cargo test` makes the catalog meta-lints and the
-//! panic-safety source audit part of the repo's baseline: a drive-by edit
-//! that reintroduces an `unwrap()` in the DER reader, or a catalog change
-//! that breaks a Table 1 count, fails the build here with the same
-//! `file:line` diagnostics the `unicert-analysis` binary prints.
+//! Running under `cargo test` makes all six passes — catalog meta-lints,
+//! panic-safety audit, determinism, allocation bounds, recursion bounds,
+//! and crate layering — part of the repo's baseline: a drive-by edit that
+//! reintroduces an `unwrap()` in the DER reader, puts a clock read on the
+//! report path, or inverts a layer dependency fails the build here with
+//! the same `file:line` diagnostics the `unicert-analysis` binary prints.
 
-use unicert_analysis::{audit, catalog, workspace_crate_roots};
+use unicert_analysis::{audit, catalog, engine, report, workspace_crate_roots};
 
 /// Pass 1: the live registry matches every published catalog property.
 #[test]
@@ -92,6 +93,45 @@ fn allow_annotations_are_policed() {
         &mut violations,
     );
     assert!(violations.iter().any(|v| v.rule == "unused_allow"), "{violations:?}");
+}
+
+/// The whole engine — all six passes with central annotation resolution —
+/// is clean over the live workspace. This is the invariant CI enforces.
+#[test]
+fn full_engine_is_clean() {
+    let root = unicert_analysis::default_repo_root();
+    let violations = unicert_analysis::run_all(&root);
+    assert!(
+        violations.is_empty(),
+        "engine violations:\n{}",
+        unicert_analysis::human_report(&violations)
+    );
+}
+
+/// A partial run (`--pass determinism`) must not misreport another pass's
+/// allow annotations as unused: the workspace carries audit allows, and a
+/// determinism-only run leaves them alone.
+#[test]
+fn partial_runs_do_not_misflag_other_passes_allows() {
+    let root = unicert_analysis::default_repo_root();
+    let violations = engine::run_passes(&root, &[engine::Pass::Determinism]);
+    assert!(
+        violations.is_empty(),
+        "determinism-only violations:\n{}",
+        unicert_analysis::human_report(&violations)
+    );
+}
+
+/// The SARIF-lite JSON report over the clean workspace parses shape-wise:
+/// a tool block, a zero-violation summary, and an empty results array.
+#[test]
+fn json_report_over_workspace_is_clean_and_well_formed() {
+    let root = unicert_analysis::default_repo_root();
+    let json = report::json_report(&unicert_analysis::run_all(&root));
+    assert!(json.contains("\"tool\""), "{json}");
+    assert!(json.contains("\"unicert-analysis\""), "{json}");
+    assert!(json.contains("\"violations\": 0"), "{json}");
+    assert!(json.contains("\"results\": []"), "{json}");
 }
 
 /// The catalog pass detects a registry that drifts from the paper: an
