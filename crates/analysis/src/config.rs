@@ -78,6 +78,7 @@ impl Default for AnalysisConfig {
                 "lint/src/catalog/",
                 "lint/src/context.rs",
                 "lint/src/helpers.rs",
+                "lint/src/profiles/",
             ],
             recursion_crates: vec!["asn1", "x509", "chaos"],
             allowed_deps: allowed,

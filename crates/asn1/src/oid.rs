@@ -261,6 +261,26 @@ pub mod known {
         eku_server_auth = [1, 3, 6, 1, 5, 5, 7, 3, 1], "serverAuth", "id-kp-serverAuth";
         /// `extendedKeyUsage` clientAuth — 1.3.6.1.5.5.7.3.2.
         eku_client_auth = [1, 3, 6, 1, 5, 5, 7, 3, 2], "clientAuth", "id-kp-clientAuth";
+        /// `id-pe-logotype` (RFC 3709/9399) — 1.3.6.1.5.5.7.1.12.
+        logotype = [1, 3, 6, 1, 5, 5, 7, 1, 12], "logotype", "id-pe-logotype";
+        /// `extendedKeyUsage` BIMI brand indicator — 1.3.6.1.5.5.7.3.31.
+        eku_bimi = [1, 3, 6, 1, 5, 5, 7, 3, 31], "BIMI", "id-kp-BrandIndicatorforMessageIdentification";
+        /// BIMI mark-certificate policy — 1.3.6.1.4.1.53087.1.1.
+        bimi_mark_cert_policy = [1, 3, 6, 1, 4, 1, 53087, 1, 1], "markCertPolicy", "bimi-mark-certificate-policy";
+        /// BIMI subject markType — 1.3.6.1.4.1.53087.1.13.
+        bimi_mark_type = [1, 3, 6, 1, 4, 1, 53087, 1, 13], "markType", "bimi-markType";
+        /// BIMI trademarkOfficeName — 1.3.6.1.4.1.53087.1.2.
+        bimi_trademark_office = [1, 3, 6, 1, 4, 1, 53087, 1, 2], "trademarkOffice", "bimi-trademarkOfficeName";
+        /// BIMI trademarkCountryOrRegionName — 1.3.6.1.4.1.53087.1.3.
+        bimi_trademark_country = [1, 3, 6, 1, 4, 1, 53087, 1, 3], "trademarkCountry", "bimi-trademarkCountryOrRegionName";
+        /// BIMI trademarkRegistration — 1.3.6.1.4.1.53087.1.4.
+        bimi_trademark_id = [1, 3, 6, 1, 4, 1, 53087, 1, 4], "trademarkRegistration", "bimi-trademarkRegistration";
+        /// BIMI statuteCountryOrRegionName — 1.3.6.1.4.1.53087.3.2.
+        bimi_statute_country = [1, 3, 6, 1, 4, 1, 53087, 3, 2], "statuteCountry", "bimi-statuteCountryOrRegionName";
+        /// BIMI statuteCitation — 1.3.6.1.4.1.53087.3.5.
+        bimi_statute_citation = [1, 3, 6, 1, 4, 1, 53087, 3, 5], "statuteCitation", "bimi-statuteCitation";
+        /// BIMI priorUseMarkSourceURL — 1.3.6.1.4.1.53087.5.1.
+        bimi_prior_use_url = [1, 3, 6, 1, 4, 1, 53087, 5, 1], "priorUseURL", "bimi-priorUseMarkSourceURL";
     }
 }
 

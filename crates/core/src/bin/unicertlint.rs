@@ -1,9 +1,12 @@
-//! `unicertlint` — lint certificates from files against the 95-rule
-//! Unicert registry (the Zlint-style CLI the paper's recommendations
-//! propose releasing).
+//! `unicertlint` — lint certificates from files against a named
+//! compliance profile (the Zlint-style CLI the paper's recommendations
+//! propose releasing). The default profile is the 95-rule `webpki`
+//! Unicert catalog; select another with `--profile <name>` or the
+//! `UNICERT_PROFILE` environment variable (unknown names fall back to
+//! the default).
 //!
 //! ```text
-//! unicertlint [--ungated] [--quiet] <cert.pem|cert.der>...
+//! unicertlint [--ungated] [--quiet] [--profile <name>] <cert.pem|cert.der>...
 //! unicertlint --demo            # lint a built-in noncompliant example
 //! ```
 //!
@@ -44,7 +47,8 @@ fn demo_certificate() -> Certificate {
 }
 
 fn lint_one(name: &str, cert: &Certificate, opts: RunOptions, quiet: bool) -> usize {
-    let registry = unicert::corpus::lint_registry();
+    let registry = unicert::lint::profiles::registry(opts.effective_profile())
+        .unwrap_or_else(unicert::corpus::lint_registry);
     let report = registry.run(cert, opts);
     let class = unicert::classify::classify(cert);
     println!(
@@ -71,20 +75,37 @@ fn main() {
     let mut quiet = false;
     let mut demo = false;
     let mut paths: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let usage = "usage: unicertlint [--ungated] [--quiet] [--profile <name>] <cert.pem|cert.der>... | --demo";
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ungated" => opts.enforce_effective_dates = false,
             "--quiet" => quiet = true,
             "--demo" => demo = true,
+            "--profile" => {
+                // Resolve now so a typo'd name is a usage error here, not a
+                // silent fallback at lint time.
+                let name = args.next().unwrap_or_default();
+                match unicert::lint::profiles::find(&name) {
+                    Some(p) => opts.profile = Some(p.name),
+                    None => {
+                        eprintln!("error: unknown profile {name:?}; registered profiles:");
+                        for p in unicert::lint::profiles::all() {
+                            eprintln!("  {} — {}", p.name, p.description);
+                        }
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: unicertlint [--ungated] [--quiet] <cert.pem|cert.der>... | --demo");
+                eprintln!("{usage}");
                 std::process::exit(0);
             }
             p => paths.push(p.to_string()),
         }
     }
     if !demo && paths.is_empty() {
-        eprintln!("usage: unicertlint [--ungated] [--quiet] <cert.pem|cert.der>... | --demo");
+        eprintln!("{usage}");
         std::process::exit(2);
     }
 

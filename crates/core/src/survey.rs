@@ -202,7 +202,7 @@ pub struct ValiditySamples {
 }
 
 /// The survey result.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct SurveyReport {
     /// CT entries inspected (including precertificates).
     pub entries: usize,
@@ -240,6 +240,41 @@ pub struct SurveyReport {
     /// [`ParseOutcome::class`] → count, for inputs fed through the raw-DER
     /// path ([`run_bytes`]); empty for pre-parsed corpus runs.
     pub parse_outcomes: BTreeMap<&'static str, usize>,
+    /// Compliance profile the report was linted under (`""` until a run
+    /// path tags it; the default `webpki` renders invisibly in `Debug` so
+    /// pre-profile report fingerprints stay valid).
+    pub profile: &'static str,
+}
+
+impl std::fmt::Debug for SurveyReport {
+    /// Mirrors the derived `Debug` rendering field for field, appending
+    /// `profile` only for non-default profiles. The report fingerprint
+    /// ([`SurveyReport::fingerprint`]) hashes this rendering, and guarded
+    /// baselines (`tests/bench_baseline/`) predate the profile field — a
+    /// default-profile report must keep rendering exactly as it did then.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("SurveyReport");
+        s.field("entries", &self.entries)
+            .field("precerts_filtered", &self.precerts_filtered)
+            .field("total", &self.total)
+            .field("idn_certs", &self.idn_certs)
+            .field("trusted_total", &self.trusted_total)
+            .field("noncompliant", &self.noncompliant)
+            .field("noncompliant_trusted", &self.noncompliant_trusted)
+            .field("noncompliant_by_new_lints", &self.noncompliant_by_new_lints)
+            .field("by_type", &self.by_type)
+            .field("by_lint", &self.by_lint)
+            .field("by_issuer", &self.by_issuer)
+            .field("by_year", &self.by_year)
+            .field("validity", &self.validity)
+            .field("field_matrix", &self.field_matrix)
+            .field("quarantine", &self.quarantine)
+            .field("parse_outcomes", &self.parse_outcomes);
+        if !self.profile.is_empty() && self.profile != unicert_lint::DEFAULT_PROFILE {
+            s.field("profile", &self.profile);
+        }
+        s.finish()
+    }
 }
 
 /// Survey options.
@@ -318,6 +353,11 @@ impl SurveyReport {
     /// reports *in shard order* yields exactly the single-pass report:
     /// `run(a ++ b) == merge(run(a), run(b))`.
     pub fn merge(&mut self, other: SurveyReport) {
+        // The profile is a run-wide property, identical in every shard;
+        // first non-empty tag wins (shards built before tagging carry "").
+        if self.profile.is_empty() {
+            self.profile = other.profile;
+        }
         self.entries += other.entries;
         self.precerts_filtered += other.precerts_filtered;
         self.total += other.total;
@@ -608,9 +648,20 @@ fn accumulate(
     stage_mark(&mut stamp, stages.map(|s| &s.aggregate));
 }
 
-/// Run the survey over a corpus stream on the calling thread.
+/// Resolve the lint registry a run's options select: the shared registry
+/// of `opts.lint.effective_profile()` (explicit option, `UNICERT_PROFILE`
+/// environment variable, or the `webpki` default).
+fn resolve_registry(opts: &SurveyOptions) -> &'static unicert_lint::Registry {
+    // `effective_profile` only returns registered names, so the fallback
+    // arm is belt-and-braces.
+    unicert_lint::profiles::registry(opts.lint.effective_profile())
+        .unwrap_or_else(unicert_corpus::lint_registry)
+}
+
+/// Run the survey over a corpus stream on the calling thread, linting
+/// under the profile `opts.lint` selects.
 pub fn run(entries: impl Iterator<Item = CorpusEntry>, opts: SurveyOptions) -> SurveyReport {
-    run_with(unicert_corpus::lint_registry(), entries, opts)
+    run_with(resolve_registry(&opts), entries, opts)
 }
 
 /// [`run`] with an explicit lint registry.
@@ -630,6 +681,7 @@ pub fn run_with(
         accumulate(&mut report, registry, index as u64, &entry, &opts, telemetry.as_mut());
     }
     ShardTelemetry::flush(telemetry, registry);
+    report.profile = registry.profile_name();
     report
 }
 
@@ -654,7 +706,7 @@ pub fn run_parallel(
     if threads <= 1 {
         return run(entries, opts);
     }
-    let registry = unicert_corpus::lint_registry();
+    let registry = resolve_registry(&opts);
     let _span = unicert_telemetry::span!("survey.run_parallel", "threads={threads}");
     let shard_size = opts.lint.effective_shard_size();
     let shards = crate::pool::map_ordered(entries.chunked(shard_size), threads, |chunk| {
@@ -676,7 +728,9 @@ pub fn run_parallel(
         ShardTelemetry::flush(telemetry, registry);
         shard
     });
-    merge_in_order(shards)
+    let mut merged = merge_in_order(shards);
+    merged.profile = registry.profile_name();
+    merged
 }
 
 /// Run the survey over an in-memory corpus slice on a sharded worker pool.
@@ -685,7 +739,7 @@ pub fn run_parallel(
 /// sub-slices (`slice.chunks()`), so there is no producer serialization at
 /// all — this is the path the throughput benchmark measures.
 pub fn run_parallel_slice(entries: &[CorpusEntry], opts: SurveyOptions) -> SurveyReport {
-    run_parallel_slice_with(unicert_corpus::lint_registry(), entries, opts)
+    run_parallel_slice_with(resolve_registry(&opts), entries, opts)
 }
 
 /// [`run_parallel_slice`] with an explicit lint registry — the sharded
@@ -704,6 +758,7 @@ pub fn run_parallel_slice_with(
             accumulate(&mut report, registry, index as u64, entry, &opts, telemetry.as_mut());
         }
         ShardTelemetry::flush(telemetry, registry);
+        report.profile = registry.profile_name();
         return report;
     }
     let _span =
@@ -728,7 +783,9 @@ pub fn run_parallel_slice_with(
         ShardTelemetry::flush(telemetry, registry);
         shard
     });
-    merge_in_order(shards)
+    let mut merged = merge_in_order(shards);
+    merged.profile = registry.profile_name();
+    merged
 }
 
 /// Fold one raw DER input into `report` — the kernel of the hostile-input
@@ -789,7 +846,7 @@ fn accumulate_bytes(
 /// panic the process: parse-stage panics quarantine with stage `"parse"`
 /// and a `#<index>` cert id.
 pub fn run_bytes(ders: &[Vec<u8>], opts: SurveyOptions, budget: &ParseBudget) -> SurveyReport {
-    let registry = unicert_corpus::lint_registry();
+    let registry = resolve_registry(&opts);
     let mut telemetry = ShardTelemetry::if_enabled(registry);
     let _span = unicert_telemetry::span!("survey.run_bytes");
     let mut report = SurveyReport::default();
@@ -805,6 +862,7 @@ pub fn run_bytes(ders: &[Vec<u8>], opts: SurveyOptions, budget: &ParseBudget) ->
         );
     }
     ShardTelemetry::flush(telemetry, registry);
+    report.profile = registry.profile_name();
     report
 }
 
@@ -816,7 +874,7 @@ pub fn run_parallel_bytes(
     opts: SurveyOptions,
     budget: &ParseBudget,
 ) -> SurveyReport {
-    let registry = unicert_corpus::lint_registry();
+    let registry = resolve_registry(&opts);
     let threads = opts.lint.effective_threads();
     if threads <= 1 {
         return run_bytes(ders, opts, budget);
@@ -843,7 +901,9 @@ pub fn run_parallel_bytes(
         ShardTelemetry::flush(telemetry, registry);
         shard
     });
-    merge_in_order(shards)
+    let mut merged = merge_in_order(shards);
+    merged.profile = registry.profile_name();
+    merged
 }
 
 /// Fold per-shard reports, already sorted in shard order, into one.

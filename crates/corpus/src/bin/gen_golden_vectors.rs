@@ -1,16 +1,21 @@
-//! Regenerates the golden lint-vector conformance corpus in `tests/vectors/`.
+//! Regenerates the golden lint-vector conformance corpora in
+//! `tests/vectors/<profile>/`.
 //!
-//! One DER certificate per registered catalog lint, each hand-crafted to
+//! One subdirectory per registered compliance profile, holding one DER
+//! certificate per lint of that profile's registry, each hand-crafted to
 //! trigger that lint (plus whatever related lints unavoidably co-fire), and
-//! one clean control certificate with zero findings. The manifest records
+//! one clean control certificate with zero findings. Each manifest records
 //! the *complete* expected finding set per vector; `tests/golden_lints.rs`
-//! replays every vector through the registry and asserts byte-exact
-//! agreement, so any behavioral drift in a lint — intended or not — shows
-//! up as a diff against a committed artifact.
+//! replays every vector through its profile's registry and asserts
+//! byte-exact agreement, so any behavioral drift in a lint — intended or
+//! not — shows up as a diff against a committed artifact.
 //!
-//! Adding a catalog lint without a recipe here makes this binary panic, and
-//! adding one without a committed vector fails the golden test; the two
-//! guards keep catalog and conformance corpus in lockstep.
+//! Adding a catalog lint without a recipe here makes this binary exit
+//! non-zero, and adding one without a committed vector fails the golden
+//! test; the two guards keep every profile's catalog and conformance
+//! corpus in lockstep. `webpki` recipes live in [`recipe`] below; `bimi`
+//! recipes are the deterministic [`unicert_corpus::bimi::vector_builder`]
+//! defect shapes.
 //!
 //! Usage: `cargo run -p unicert-corpus --bin gen_golden_vectors`
 
@@ -18,8 +23,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use unicert_asn1::oid::known;
 use unicert_asn1::{DateTime, Oid, StringKind, Tag, TimeKind, Writer};
-use unicert_corpus::lint_registry;
-use unicert_lint::RunOptions;
+use unicert_corpus::BimiDefect;
+use unicert_lint::{profiles, Registry, RunOptions};
 use unicert_x509::extensions::{
     authority_info_access, certificate_policies, crl_distribution_points, issuer_alt_name,
     subject_info_access, AccessDescription, PolicyInformation, PolicyQualifier,
@@ -435,35 +440,60 @@ fn findings_field(report: &unicert_lint::CertReport) -> String {
         .join(";")
 }
 
-fn run() -> Result<(), String> {
-    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/vectors");
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+/// The per-profile recipe dispatch: a builder violating exactly `lint`
+/// under that profile's registry, or `None` when the profile gained a lint
+/// with no recipe.
+fn profile_recipe(profile: &str, lint: &str) -> Option<CertificateBuilder> {
+    match profile {
+        "webpki" => recipe(lint),
+        // Every BIMI lint (including the two shared WebPKI rules) has a
+        // seeded-defect shape in the corpus crate; reuse it verbatim so
+        // golden vectors and generator defects cannot drift apart.
+        "bimi" => BimiDefect::ALL
+            .into_iter()
+            .find(|d| d.expected_lint() == lint)
+            .map(|d| unicert_corpus::bimi::vector_builder(Some(d))),
+        _ => None,
+    }
+}
 
-    let registry = lint_registry();
+/// The clean control for a profile: zero findings under that registry.
+fn profile_control(profile: &str) -> Option<CertificateBuilder> {
+    match profile {
+        "webpki" => {
+            Some(base().subject_cn("clean.example.com").add_dns_san("clean.example.com"))
+        }
+        "bimi" => Some(unicert_corpus::bimi::vector_builder(None)),
+        _ => None,
+    }
+}
+
+fn write_profile(out_dir: &PathBuf, profile: &str, registry: &Registry) -> Result<(), String> {
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let key = SimKey::from_seed("golden-vector-ca");
     let mut manifest = String::new();
 
     // The clean control certificate: zero findings, by construction.
-    let control = base()
-        .subject_cn("clean.example.com")
-        .add_dns_san("clean.example.com")
+    let control = profile_control(profile)
+        .ok_or_else(|| format!("no clean-control recipe for profile {profile}"))?
         .build_signed(&key);
     let report = registry.run(&control, RunOptions::default());
     if !report.findings.is_empty() {
-        return Err(format!("control cert not clean: {:?}", report.findings));
+        return Err(format!("{profile}: control cert not clean: {:?}", report.findings));
     }
     std::fs::write(out_dir.join("clean_control.der"), &control.raw)
         .map_err(|e| format!("write clean_control.der: {e}"))?;
     let _ = writeln!(manifest, "clean_control\t");
 
     for lint in registry.iter() {
-        let builder = recipe(lint.name)
-            .ok_or_else(|| format!("no golden-vector recipe for lint {} — add one", lint.name))?;
+        let builder = profile_recipe(profile, lint.name).ok_or_else(|| {
+            format!("no golden-vector recipe for {profile} lint {} — add one", lint.name)
+        })?;
         let cert = builder.build_signed(&key);
         let report = registry.run(&cert, RunOptions::default());
         if !report.findings.iter().any(|f| f.lint == lint.name) {
             return Err(format!(
-                "{}: vector does not trigger its lint; findings: {:?}",
+                "{profile}/{}: vector does not trigger its lint; findings: {:?}",
                 lint.name, report.findings
             ));
         }
@@ -475,6 +505,16 @@ fn run() -> Result<(), String> {
     std::fs::write(out_dir.join("manifest.tsv"), manifest)
         .map_err(|e| format!("write manifest.tsv: {e}"))?;
     println!("wrote {} vectors + control to {}", registry.len(), out_dir.display());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let vectors_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/vectors");
+    for profile in profiles::all() {
+        let registry = profiles::registry(profile.name)
+            .ok_or_else(|| format!("profile {} has no shared registry", profile.name))?;
+        write_profile(&vectors_root.join(profile.name), profile.name, registry)?;
+    }
     Ok(())
 }
 

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bimi;
 pub mod chunked;
 pub mod defects;
 pub mod generator;
@@ -22,13 +23,12 @@ pub mod trend;
 pub mod trust;
 pub mod variants;
 
+pub use bimi::{BimiConfig, BimiDefect, BimiEntry, BimiGenerator};
 pub use chunked::{Chunks, CorpusChunk, IntoChunks};
 pub use defects::Defect;
 pub use generator::{CertMeta, CorpusConfig, CorpusEntry, CorpusGenerator};
 pub use issuers::{IssuancePolicy, IssuerProfile, TrustStatus};
 pub use variants::{VariantPair, VariantStrategy};
-
-use std::sync::OnceLock;
 
 /// Uniformly pick one element of a non-empty slice.
 ///
@@ -39,8 +39,10 @@ pub(crate) fn pick<T: Copy>(rng: &mut impl rand::Rng, items: &[T]) -> T {
 }
 
 /// The shared default lint registry (building 95 boxed lints is cheap but
-/// not free; callers across the workspace reuse one instance).
+/// not free; callers across the workspace reuse one instance). Since the
+/// profile refactor this is the `webpki` profile's shared registry —
+/// callers wanting another catalog go through
+/// [`unicert_lint::profiles::registry`].
 pub fn lint_registry() -> &'static unicert_lint::Registry {
-    static REGISTRY: OnceLock<unicert_lint::Registry> = OnceLock::new();
-    REGISTRY.get_or_init(unicert_lint::default_registry)
+    unicert_lint::profiles::default_registry_static()
 }

@@ -294,11 +294,16 @@ pub struct RunOptions {
     /// `UNICERT_SHARD_SIZE` environment variable, falling back to
     /// [`RunOptions::DEFAULT_SHARD_SIZE`].
     pub shard_size: usize,
+    /// Compliance profile selecting the lint catalog. `None` resolves to
+    /// the `UNICERT_PROFILE` environment variable, falling back to the
+    /// default [`crate::profiles::DEFAULT_PROFILE`] (`"webpki"`). Unknown
+    /// names fall back to the default rather than failing the run.
+    pub profile: Option<&'static str>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { enforce_effective_dates: true, threads: None, shard_size: 0 }
+        RunOptions { enforce_effective_dates: true, threads: None, shard_size: 0, profile: None }
     }
 }
 
@@ -335,6 +340,24 @@ impl RunOptions {
             std::env::var("UNICERT_SHARD_SIZE").ok().and_then(|v| v.parse().ok())
         };
         configured.unwrap_or(Self::DEFAULT_SHARD_SIZE).max(1)
+    }
+
+    /// Resolve the compliance profile: explicit option, then the
+    /// `UNICERT_PROFILE` environment variable (matched against the
+    /// registered profile names), then the default profile. Always a
+    /// registered profile name.
+    pub fn effective_profile(&self) -> &'static str {
+        if let Some(name) = self.profile {
+            return crate::profiles::find(name)
+                .map(|p| p.name)
+                .unwrap_or(crate::profiles::DEFAULT_PROFILE);
+        }
+        match std::env::var("UNICERT_PROFILE") {
+            Ok(v) => crate::profiles::find(&v)
+                .map(|p| p.name)
+                .unwrap_or(crate::profiles::DEFAULT_PROFILE),
+            Err(_) => crate::profiles::DEFAULT_PROFILE,
+        }
     }
 }
 
@@ -409,10 +432,23 @@ impl RunTally {
 }
 
 /// The lint registry.
-#[derive(Default)]
 pub struct Registry {
     lints: Vec<Lint>,
     instruments: std::sync::OnceLock<Instruments>,
+    /// Name of the compliance profile the registry was built from.
+    /// Hand-assembled registries (fault-injection tests) keep the default
+    /// name so their reports render exactly as before profiles existed.
+    profile: &'static str,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            lints: Vec::new(),
+            instruments: std::sync::OnceLock::new(),
+            profile: crate::profiles::DEFAULT_PROFILE,
+        }
+    }
 }
 
 impl fmt::Debug for Registry {
@@ -425,6 +461,24 @@ impl Registry {
     /// Empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Build the registry of a named compliance profile, or `None` for an
+    /// unregistered name. The result is a fresh instance; pipelines that
+    /// want the shared per-process copy go through
+    /// [`crate::profiles::registry`] instead.
+    pub fn for_profile(name: &str) -> Option<Registry> {
+        crate::profiles::find(name).map(|p| p.build_registry())
+    }
+
+    /// The compliance profile this registry was built from.
+    pub fn profile_name(&self) -> &'static str {
+        self.profile
+    }
+
+    /// Stamp the profile name (used by the profile table's builder).
+    pub(crate) fn set_profile_name(&mut self, name: &'static str) {
+        self.profile = name;
     }
 
     /// Register a lint; names must be unique.

@@ -29,6 +29,7 @@ pub mod catalog;
 pub mod context;
 pub mod framework;
 pub mod helpers;
+pub mod profiles;
 
 pub use catalog::{all_lints, default_registry};
 pub use context::LintContext;
@@ -36,3 +37,4 @@ pub use framework::{
     CertReport, Finding, Lint, LintStatus, NoncomplianceType, Registry, RunOptions, RunTally,
     Severity, Source,
 };
+pub use profiles::{Profile, DEFAULT_PROFILE};

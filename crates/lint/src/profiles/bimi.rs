@@ -1,0 +1,292 @@
+//! The BIMI/VMC compliance catalog (SNIPPETS.md Snippet 1).
+//!
+//! Verified Mark Certificates carry the brand logo shown next to
+//! authenticated mail. The BIMI Group's certificate guidelines profile
+//! RFC 5280 with mark-specific requirements: the mark-certificate policy
+//! OID, the BIMI extended key usage, the RFC 9399 logotype extension, and
+//! a family of subject-DN attributes documenting the legal basis of the
+//! mark (trademark registration, statute, or prior use). The catalog
+//! below transcribes the checks the Snippet 1 CT-log analyzer applies,
+//! under this crate's lint framework.
+//!
+//! Two lints are *shared* with the `webpki` profile by name
+//! (`w_cab_subject_common_name_not_in_san`,
+//! `e_subject_organization_not_printable_or_utf8`): VMCs are still WebPKI
+//! subscriber certificates, so those rules apply unchanged — they are
+//! pulled from the default catalog rather than re-implemented, which is
+//! what makes the profile-equivalence property ("shared lints yield
+//! identical findings") hold by construction.
+
+use crate::catalog::lint;
+use crate::context::LintContext;
+use crate::framework::{Lint, LintStatus, NoncomplianceType, Severity, Source};
+use crate::helpers::{check_attr, is_printable, is_printable_or_utf8, Which};
+use unicert_asn1::oid::known;
+use unicert_asn1::Oid;
+use unicert_x509::extensions::ParsedExtension;
+
+/// Lint names the BIMI profile imports verbatim from the `webpki` catalog.
+const SHARED_WEBPKI_LINTS: [&str; 2] =
+    ["w_cab_subject_common_name_not_in_san", "e_subject_organization_not_printable_or_utf8"];
+
+/// The parse result of the first extension carrying `oid` — same selection
+/// rule as `TbsCertificate::extension`, but through the context's memoized
+/// parse table.
+fn first_parsed<'a>(ctx: &'a LintContext<'_>, oid: &Oid) -> Option<&'a ParsedExtension> {
+    let index = ctx.cert().tbs.extensions.iter().position(|e| &e.oid == oid)?;
+    ctx.parsed_extensions().get(index)?.as_ref()
+}
+
+/// The EKU purpose list, if the certificate has a well-formed EKU.
+fn eku_purposes<'a>(ctx: &'a LintContext<'_>) -> Option<&'a [Oid]> {
+    match first_parsed(ctx, &known::ext_key_usage()) {
+        Some(ParsedExtension::ExtKeyUsage(purposes)) => Some(purposes),
+        _ => None,
+    }
+}
+
+/// Does the subject DN carry at least one value of `oid`?
+fn has_subject_attr(ctx: &LintContext<'_>, oid: &Oid) -> bool {
+    ctx.attr_vals(Which::Subject, oid).next().is_some()
+}
+
+/// The 15-lint BIMI/VMC catalog (13 mark-specific + 2 shared WebPKI).
+pub fn all_lints() -> Vec<Lint> {
+    let mut lints = vec![
+        lint!(
+            "e_bimi_mark_certificate_policy_missing",
+            "VMC certificatePolicies must assert the mark-certificate policy 1.3.6.1.4.1.53087.1.1",
+            "BIMI VMC Guidelines §2.2",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| match first_parsed(ctx, &known::certificate_policies()) {
+                Some(ParsedExtension::CertificatePolicies(policies)) => {
+                    if policies.iter().any(|p| p.policy_id == known::bimi_mark_cert_policy()) {
+                        LintStatus::Pass
+                    } else {
+                        LintStatus::Violation
+                    }
+                }
+                _ => LintStatus::Violation,
+            }
+        ),
+        lint!(
+            "e_bimi_eku_missing",
+            "VMC extendedKeyUsage must include id-kp-BrandIndicatorforMessageIdentification (1.3.6.1.5.5.7.3.31)",
+            "BIMI VMC Guidelines §2.3",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| match eku_purposes(ctx) {
+                Some(purposes) if purposes.contains(&known::eku_bimi()) => LintStatus::Pass,
+                _ => LintStatus::Violation,
+            }
+        ),
+        lint!(
+            "w_bimi_eku_extraneous_purpose",
+            "VMC extendedKeyUsage should carry only the BIMI purpose",
+            "BIMI VMC Guidelines §2.3",
+            Source::Community,
+            Severity::Warning,
+            NoncomplianceType::DiscouragedField,
+            new = false,
+            |ctx: &LintContext<'_>| match eku_purposes(ctx) {
+                None => LintStatus::NotApplicable,
+                Some(purposes) => {
+                    if purposes.iter().any(|p| *p != known::eku_bimi()) {
+                        LintStatus::Violation
+                    } else {
+                        LintStatus::Pass
+                    }
+                }
+            }
+        ),
+        lint!(
+            "e_bimi_logotype_missing",
+            "VMC must carry the RFC 9399 logotype extension (1.3.6.1.5.5.7.1.12) with the mark image",
+            "BIMI VMC Guidelines §2.4 / RFC 9399 §4",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| match ctx.cert().tbs.extension(&known::logotype()) {
+                Some(_) => LintStatus::Pass,
+                None => LintStatus::Violation,
+            }
+        ),
+        lint!(
+            "e_bimi_logotype_critical",
+            "The logotype extension must not be marked critical",
+            "RFC 9399 §4",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::IllegalFormat,
+            new = false,
+            |ctx: &LintContext<'_>| match ctx.cert().tbs.extension(&known::logotype()) {
+                None => LintStatus::NotApplicable,
+                Some(ext) if ext.critical => LintStatus::Violation,
+                Some(_) => LintStatus::Pass,
+            }
+        ),
+        lint!(
+            "e_bimi_mark_type_missing",
+            "VMC subject DN must carry the markType attribute (1.3.6.1.4.1.53087.1.13)",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                if has_subject_attr(ctx, &known::bimi_mark_type()) {
+                    LintStatus::Pass
+                } else {
+                    LintStatus::Violation
+                }
+            }
+        ),
+        lint!(
+            "e_bimi_mark_type_not_printable_or_utf8",
+            "markType values must be PrintableString or UTF8String",
+            "BIMI VMC Guidelines §2.1 / RFC 5280 §4.1.2.4",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidEncoding,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                check_attr(ctx, Which::Subject, &known::bimi_mark_type(), is_printable_or_utf8)
+            }
+        ),
+        lint!(
+            "e_bimi_trademark_registration_incomplete",
+            "Trademark attributes travel as a set: office, country, and registration number all present or all absent",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                let present = [
+                    has_subject_attr(ctx, &known::bimi_trademark_office()),
+                    has_subject_attr(ctx, &known::bimi_trademark_country()),
+                    has_subject_attr(ctx, &known::bimi_trademark_id()),
+                ];
+                match present.iter().filter(|&&p| p).count() {
+                    0 => LintStatus::NotApplicable,
+                    3 => LintStatus::Pass,
+                    _ => LintStatus::Violation,
+                }
+            }
+        ),
+        lint!(
+            "e_bimi_trademark_country_not_two_letters",
+            "trademarkCountryOrRegionName must be a two-letter code",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::IllegalFormat,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                check_attr(ctx, Which::Subject, &known::bimi_trademark_country(), |v| {
+                    v.wire_text()
+                        .is_some_and(|t| t.len() == 2 && t.bytes().all(|b| b.is_ascii_alphabetic()))
+                })
+            }
+        ),
+        lint!(
+            "e_bimi_trademark_id_not_printable",
+            "trademarkRegistration must be a conformant PrintableString",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidEncoding,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                check_attr(ctx, Which::Subject, &known::bimi_trademark_id(), is_printable)
+            }
+        ),
+        lint!(
+            "e_bimi_statute_citation_missing_country",
+            "statuteCitation requires the accompanying statuteCountryOrRegionName",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                if !has_subject_attr(ctx, &known::bimi_statute_citation()) {
+                    LintStatus::NotApplicable
+                } else if has_subject_attr(ctx, &known::bimi_statute_country()) {
+                    LintStatus::Pass
+                } else {
+                    LintStatus::Violation
+                }
+            }
+        ),
+        lint!(
+            "w_bimi_prior_use_url_not_https",
+            "priorUseMarkSourceURL should be an https:// URL",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Warning,
+            NoncomplianceType::IllegalFormat,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                check_attr(ctx, Which::Subject, &known::bimi_prior_use_url(), |v| {
+                    v.wire_text().is_some_and(|t| t.starts_with("https://"))
+                })
+            }
+        ),
+        lint!(
+            "e_bimi_san_dns_missing",
+            "VMC subjectAltName must carry at least one dNSName for the asserting domain",
+            "BIMI VMC Guidelines §2.1",
+            Source::Community,
+            Severity::Error,
+            NoncomplianceType::InvalidStructure,
+            new = false,
+            |ctx: &LintContext<'_>| {
+                if ctx.san_dns().is_empty() {
+                    LintStatus::Violation
+                } else {
+                    LintStatus::Pass
+                }
+            }
+        ),
+    ];
+    lints.extend(
+        crate::catalog::all_lints()
+            .into_iter()
+            .filter(|l| SHARED_WEBPKI_LINTS.contains(&l.name)),
+    );
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimi_catalog_shape() {
+        let lints = all_lints();
+        assert_eq!(lints.len(), 15);
+        let bimi_specific = lints.iter().filter(|l| l.name.contains("_bimi_")).count();
+        assert_eq!(bimi_specific, 13);
+        for shared in SHARED_WEBPKI_LINTS {
+            assert!(lints.iter().any(|l| l.name == shared), "missing shared lint {shared}");
+        }
+        // Mark-specific lints are community-sourced and not part of the
+        // paper's 50 new WebPKI lints.
+        for l in lints.iter().filter(|l| l.name.contains("_bimi_")) {
+            assert_eq!(l.source, Source::Community, "{}", l.name);
+            assert!(!l.new_lint, "{}", l.name);
+        }
+        let mut names: Vec<_> = lints.iter().map(|l| l.name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

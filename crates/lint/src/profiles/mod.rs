@@ -1,0 +1,162 @@
+//! Named compliance profiles: selectable lint catalogs behind one
+//! [`Registry`] abstraction.
+//!
+//! The paper's 95-lint WebPKI catalog ([`crate::catalog`]) is the default
+//! `webpki` profile; the `bimi` profile ([`bimi`]) transcribes the BIMI
+//! Group's Verified Mark Certificate requirements. Profiles are selected
+//! by name — via [`Registry::for_profile`], via
+//! [`crate::RunOptions::profile`], or via the `UNICERT_PROFILE`
+//! environment variable — and selection swaps *whole catalogs*: a lint
+//! shared between two profiles (by name) carries identical metadata and an
+//! identical check in both, so profile choice never changes what any
+//! individual lint means.
+
+use crate::framework::{Lint, Registry};
+use std::sync::OnceLock;
+
+pub mod bimi;
+
+/// The profile every pipeline uses unless told otherwise.
+pub const DEFAULT_PROFILE: &str = "webpki";
+
+/// A named, selectable lint catalog.
+pub struct Profile {
+    /// Selection key (`webpki`, `bimi`).
+    pub name: &'static str,
+    /// One-line description for docs and reports.
+    pub description: &'static str,
+    /// Catalog constructor. Must be deterministic: every call yields the
+    /// same lints in the same order.
+    build: fn() -> Vec<Lint>,
+}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profile").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl Profile {
+    /// A fresh copy of the profile's catalog, in registration order.
+    pub fn lints(&self) -> Vec<Lint> {
+        (self.build)()
+    }
+
+    /// Build a fresh [`Registry`] carrying this profile's catalog.
+    pub fn build_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.set_profile_name(self.name);
+        for lint in self.lints() {
+            reg.register(lint);
+        }
+        reg
+    }
+}
+
+/// The registered profiles, default first.
+static PROFILES: [Profile; 2] = [
+    Profile {
+        name: "webpki",
+        description: "the paper's 95-lint WebPKI internationalization catalog (Table 1)",
+        build: crate::catalog::all_lints,
+    },
+    Profile {
+        name: "bimi",
+        description: "BIMI/VMC mark-certificate requirements (SNIPPETS Snippet 1 catalog)",
+        build: bimi::all_lints,
+    },
+];
+
+/// All registered profiles, default first.
+pub fn all() -> &'static [Profile] {
+    &PROFILES
+}
+
+/// Look up a profile by name (exact, case-sensitive — profile names are
+/// lowercase identifiers).
+pub fn find(name: &str) -> Option<&'static Profile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// The shared per-process registry of a named profile. Registries are
+/// built once on first use (boxing ~95 check closures is cheap but not
+/// free) and live for the process lifetime, mirroring what
+/// `unicert_corpus::lint_registry` always did for the default catalog.
+pub fn registry(name: &str) -> Option<&'static Registry> {
+    static REGISTRIES: OnceLock<Vec<Registry>> = OnceLock::new();
+    let built = REGISTRIES.get_or_init(|| PROFILES.iter().map(Profile::build_registry).collect());
+    PROFILES.iter().position(|p| p.name == name).and_then(|i| built.get(i))
+}
+
+/// The shared registry of the default (`webpki`) profile — infallible.
+pub fn default_registry_static() -> &'static Registry {
+    match registry(DEFAULT_PROFILE) {
+        Some(reg) => reg,
+        // Unreachable: DEFAULT_PROFILE is the first PROFILES entry.
+        None => {
+            static FALLBACK: OnceLock<Registry> = OnceLock::new();
+            FALLBACK.get_or_init(crate::catalog::default_registry)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_the_full_webpki_catalog() {
+        let reg = Registry::for_profile("webpki").expect("webpki registered");
+        assert_eq!(reg.len(), 95);
+        assert_eq!(reg.profile_name(), "webpki");
+        // Identical lint names, in the same order, as the legacy entry point.
+        let legacy = crate::catalog::default_registry();
+        let a: Vec<_> = reg.iter().map(|l| l.name).collect();
+        let b: Vec<_> = legacy.iter().map(|l| l.name).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_profile_is_none() {
+        assert!(Registry::for_profile("zlint").is_none());
+        assert!(find("WEBPKI").is_none(), "names are case-sensitive identifiers");
+    }
+
+    #[test]
+    fn shared_registries_are_stable_instances() {
+        let a = registry("bimi").expect("bimi registered");
+        let b = registry("bimi").expect("bimi registered");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.profile_name(), "bimi");
+        assert!(std::ptr::eq(default_registry_static(), registry("webpki").unwrap()));
+    }
+
+    #[test]
+    fn effective_profile_resolution() {
+        use crate::framework::RunOptions;
+        let opts = RunOptions { profile: Some("bimi"), ..RunOptions::default() };
+        assert_eq!(opts.effective_profile(), "bimi");
+        let opts = RunOptions { profile: Some("no-such-profile"), ..RunOptions::default() };
+        assert_eq!(opts.effective_profile(), DEFAULT_PROFILE);
+    }
+
+    #[test]
+    fn shared_lints_carry_identical_metadata() {
+        // Profile selection must only add/remove whole catalogs: any lint
+        // name present in several profiles means the same rule everywhere.
+        for (i, p) in PROFILES.iter().enumerate() {
+            for q in &PROFILES[i + 1..] {
+                let a = p.build_registry();
+                for lint in q.build_registry().iter() {
+                    if let Some(twin) = a.get(lint.name) {
+                        assert_eq!(twin.severity, lint.severity, "{}", lint.name);
+                        assert_eq!(twin.nc_type, lint.nc_type, "{}", lint.name);
+                        assert_eq!(twin.source.label(), lint.source.label(), "{}", lint.name);
+                        assert_eq!(twin.new_lint, lint.new_lint, "{}", lint.name);
+                        assert_eq!(twin.citation, lint.citation, "{}", lint.name);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -7,18 +7,22 @@
 //!   certificate-parsing behaviour;
 //! * [`generator`] — the single-mutation test-Unicert generator;
 //! * [`inference`] — decoding-method inference (Table 4);
-//! * [`escaping`] — character-checking and escaping analysis (Table 5).
+//! * [`escaping`] — character-checking and escaping analysis (Table 5);
+//! * [`differential`] — the fuzz entry point: hostile DER through the
+//!   budgeted parser and all nine profiles, tallied per mutation class.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod differential;
 pub mod escaping;
 pub mod generator;
 pub mod inference;
 pub mod profiles;
 
 pub use context::{DupChoice, Field, ParseOutcome};
+pub use differential::{ClassMatrix, ProfileCell};
 pub use escaping::Verdict;
 pub use inference::{infer, DecodingFlags, Inference};
 pub use profiles::{all_profiles, LibraryProfile};

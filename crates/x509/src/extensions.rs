@@ -412,6 +412,45 @@ pub fn key_usage(bits: &BitString) -> Extension {
     Extension { oid: known::key_usage(), critical: true, value: w.into_bytes() }
 }
 
+/// Build an ExtendedKeyUsage extension: a SEQUENCE of purpose OIDs.
+pub fn ext_key_usage(purposes: &[Oid]) -> Extension {
+    let mut w = Writer::new();
+    w.write_sequence(|w| {
+        for p in purposes {
+            w.write_oid(p);
+        }
+    });
+    Extension { oid: known::ext_key_usage(), critical: false, value: w.into_bytes() }
+}
+
+/// Build a minimal logotype extension (RFC 9399 shape: a subjectLogo
+/// carrying one indirect image reference by URI). The lint catalog only
+/// inspects presence and criticality; the body is a faithful-enough
+/// `[2] subjectLogo → direct → image → LogotypeDetails{mediaType, uri}`
+/// skeleton for differential mutation to chew on.
+pub fn logotype(uri: &str) -> Extension {
+    let mut w = Writer::new();
+    w.write_sequence(|w| {
+        // subjectLogo [2] EXPLICIT LogotypeInfo ::= direct [0] LogotypeData
+        w.write_constructed(Tag::context_constructed(2), |w| {
+            w.write_constructed(Tag::context_constructed(0), |w| {
+                w.write_sequence(|w| {
+                    // image SEQUENCE OF LogotypeImage → one LogotypeDetails.
+                    w.write_sequence(|w| {
+                        w.write_sequence(|w| {
+                            w.write_string(unicert_asn1::StringKind::Ia5, "image/svg+xml");
+                            w.write_sequence(|w| {
+                                w.write_string(unicert_asn1::StringKind::Ia5, uri);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    });
+    Extension { oid: known::logotype(), critical: false, value: w.into_bytes() }
+}
+
 /// Build the CT precertificate poison extension.
 pub fn ct_poison() -> Extension {
     let mut w = Writer::new();

@@ -1,14 +1,17 @@
 //! The §5 differential parsing analysis: run the decoding-method inference
 //! over the nine TLS-library profiles (Table 4), the character-checking and
-//! escaping analysis (Table 5), and demonstrate the §5.1 BMPString
-//! hostname-misread and the §5.2 SAN subfield forgery.
+//! escaping analysis (Table 5), demonstrate the §5.1 BMPString
+//! hostname-misread and the §5.2 SAN subfield forgery, and finish with a
+//! seeded slice of the differential fuzzing harness (mutation class ×
+//! profile divergence — `bench_differential` runs the full grid).
 //!
 //! ```text
 //! cargo run -p unicert-core --example differential_parsing
 //! ```
 
-use unicert::asn1::StringKind;
-use unicert::parsers::{all_profiles, escaping, infer, Field, Inference};
+use unicert::asn1::{ParseBudget, StringKind};
+use unicert::corpus::{CorpusConfig, CorpusGenerator};
+use unicert::parsers::{all_profiles, differential, escaping, infer, Field, Inference};
 use unicert::x509::EscapingStandard;
 
 fn main() {
@@ -87,5 +90,31 @@ fn main() {
                 if f == l { "EXPLOITABLE" } else { "distinct" }
             );
         }
+    }
+
+    println!("\n== Differential fuzzing harness: one seeded mutation class ==");
+    let base: Vec<Vec<u8>> = CorpusGenerator::new(CorpusConfig {
+        size: 100,
+        seed: 42,
+        precert_fraction: 0.0,
+        latent_defects: true,
+    })
+    .map(|e| e.cert.raw)
+    .collect();
+    let mut mutator = unicert_chaos::Mutator::new(42);
+    let hostile: Vec<Vec<u8>> = base
+        .iter()
+        .map(|der| mutator.mutate(der, unicert_chaos::MutationClass::BitFlip))
+        .collect();
+    let matrix = differential::run_class("bit_flip", &hostile, &ParseBudget::default());
+    println!(
+        "  {} inputs: {} unparsed, {} values extracted, {} divergent, {} escaped panics",
+        matrix.inputs, matrix.unparsed, matrix.values, matrix.divergent, matrix.escaped_panics
+    );
+    for (name, cell) in &matrix.cells {
+        println!(
+            "  {:<20} text={:<5} error={:<5} unsupported={}",
+            name, cell.text, cell.error, cell.unsupported
+        );
     }
 }

@@ -1,10 +1,13 @@
 //! Integration: the differential parsing harness against the nine library
-//! profiles — the Table 4/5 matrices and the §5 attack demonstrations.
+//! profiles — the Table 4/5 matrices, the §5 attack demonstrations, and
+//! the seeded chaos sweep (every mutation class × every profile).
 
-use unicert::asn1::StringKind;
+use unicert::asn1::{ParseBudget, StringKind};
+use unicert::corpus::{BimiConfig, BimiGenerator, CorpusConfig, CorpusGenerator};
 use unicert::parsers::generator::{self, TestCase};
-use unicert::parsers::{all_profiles, escaping, infer, Field, Inference, ParseOutcome};
+use unicert::parsers::{all_profiles, differential, escaping, infer, Field, Inference, ParseOutcome};
 use unicert::x509::EscapingStandard;
+use unicert_chaos::{MutationClass, Mutator};
 
 fn inference_cell(lib: &str, kind: StringKind, field: Field) -> Inference {
     let profiles = all_profiles();
@@ -158,6 +161,83 @@ fn crl_spoofing_primitive_via_pyopenssl() {
             assert!(t.contains('.')); // the control became a dot
         }
         other => panic!("{other:?}"),
+    }
+}
+
+/// A small seeded base batch: WebPKI subscriber certs plus BIMI-shaped
+/// VMCs, so mutants exercise both corpus shapes.
+fn seeded_base(size: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut base: Vec<Vec<u8>> = CorpusGenerator::new(CorpusConfig {
+        size,
+        seed,
+        precert_fraction: 0.0,
+        latent_defects: true,
+    })
+    .map(|e| e.cert.raw)
+    .collect();
+    base.extend(
+        BimiGenerator::new(BimiConfig { size: size / 4, seed, ..BimiConfig::default() })
+            .map(|e| e.cert.raw),
+    );
+    base
+}
+
+#[test]
+fn seeded_sweep_every_mutation_class_against_every_profile() {
+    // The full grid: all ten chaos mutation classes, each replayed against
+    // all nine library profiles through the differential harness. Every
+    // profile call must come back as one of the profile's two declared
+    // `ParseOutcome`s (text or error) or be declined as unsupported —
+    // tallies covering every extracted value proves no third path exists —
+    // and no panic may cross the harness guard.
+    let base = seeded_base(80, 42);
+    let budget = ParseBudget::default();
+    let profile_names: Vec<&str> = all_profiles().iter().map(|p| p.name()).collect();
+
+    let mut total_values = 0usize;
+    for (class_idx, class) in MutationClass::ALL.into_iter().enumerate() {
+        let mut mutator = Mutator::new(42u64.wrapping_add(class_idx as u64));
+        let hostile: Vec<Vec<u8>> = base.iter().map(|der| mutator.mutate(der, class)).collect();
+        let matrix = differential::run_class(class.label(), &hostile, &budget);
+
+        assert_eq!(matrix.escaped_panics, 0, "{}: escaped panic", class.label());
+        assert_eq!(matrix.inputs, hostile.len(), "{}", class.label());
+        assert_eq!(matrix.cells.len(), profile_names.len(), "{}", class.label());
+        for name in &profile_names {
+            let cell = matrix.cells.get(name).unwrap_or_else(|| {
+                panic!("{}: no cell for profile {name}", class.label())
+            });
+            assert_eq!(
+                cell.text + cell.error + cell.unsupported,
+                matrix.values,
+                "{}/{name}: some value left the declared outcome set",
+                class.label()
+            );
+        }
+        total_values += matrix.values;
+    }
+    // The sweep must actually exercise the profiles: at least one class
+    // leaves parseable certificates whose values reach the libraries.
+    assert!(total_values > 0, "no mutation class produced replayable values");
+}
+
+#[test]
+fn seeded_sweep_matrices_are_thread_count_invariant() {
+    // Serial and sharded divergence matrices must be byte-identical at
+    // every thread count — the determinism gate `bench_differential`
+    // enforces at scale, checked here on the combined hostile batch.
+    let base = seeded_base(40, 7);
+    let budget = ParseBudget::default();
+    let mut combined = Vec::with_capacity(base.len() * MutationClass::ALL.len());
+    for (class_idx, class) in MutationClass::ALL.into_iter().enumerate() {
+        let mut mutator = Mutator::new(7u64.wrapping_add(class_idx as u64));
+        combined.extend(base.iter().map(|der| mutator.mutate(der, class)));
+    }
+    let serial = differential::run_class("combined", &combined, &budget);
+    assert_eq!(serial.escaped_panics, 0);
+    for threads in [1usize, 2, 4, 8] {
+        let sharded = differential::run_class_sharded("combined", &combined, &budget, threads);
+        assert_eq!(serial, sharded, "threads={threads}: matrix diverged");
     }
 }
 
