@@ -38,7 +38,7 @@ pub mod writer;
 pub use bitstring::BitString;
 pub use error::{Error, Result};
 pub use oid::Oid;
-pub use reader::{BudgetState, ParseBudget, Reader, Tlv};
+pub use reader::{BudgetState, ParseBudget, Reader, Span, Tlv};
 pub use strings::StringKind;
 pub use tag::{Class, Tag};
 pub use time::{DateTime, TimeKind};

@@ -104,6 +104,45 @@ impl BudgetState {
     }
 }
 
+/// A half-open byte range `[offset, offset + len)` into a parse input.
+///
+/// Spans are the unit of evidence provenance: every structural element a
+/// [`Reader`] yields can be located back in the original DER buffer without
+/// copying any bytes. Offsets are absolute within the buffer handed to the
+/// *root* reader — nested readers created by [`Reader::read_nested`] carry
+/// their base offset forward, so a span taken ten levels deep still indexes
+/// the outermost input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte, absolute within the root input.
+    pub offset: usize,
+    /// Length of the range in bytes.
+    pub len: usize,
+}
+
+impl Span {
+    /// One byte past the end of the range.
+    pub fn end(&self) -> usize {
+        self.offset.saturating_add(self.len)
+    }
+
+    /// True when `other` lies entirely within this range.
+    pub fn contains(&self, other: &Span) -> bool {
+        other.offset >= self.offset && other.end() <= self.end()
+    }
+
+    /// True when the ranges share at least one byte.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.offset < other.end() && other.offset < self.end()
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}..{})", self.offset, self.end())
+    }
+}
+
 /// One decoded TLV element, borrowing the input buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tlv<'a> {
@@ -140,13 +179,25 @@ pub struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
     depth: usize,
+    base: usize,
     budget: Option<&'a BudgetState>,
 }
 
 impl<'a> Reader<'a> {
     /// Start reading at the beginning of `input`.
     pub fn new(input: &'a [u8]) -> Reader<'a> {
-        Reader { input, pos: 0, depth: 0, budget: None }
+        Reader { input, pos: 0, depth: 0, base: 0, budget: None }
+    }
+
+    /// Start reading `input` that is known to sit at absolute byte offset
+    /// `base` of some enclosing buffer, so that [`Reader::offset`] and the
+    /// spans of [`Reader::read_tlv_spanned`] index the enclosing buffer.
+    ///
+    /// Used by evidence capture to re-walk a slice (e.g. an extension's
+    /// OCTET STRING contents) while keeping provenance anchored to the
+    /// original certificate DER.
+    pub fn with_base(input: &'a [u8], base: usize) -> Reader<'a> {
+        Reader { input, pos: 0, depth: 0, base, budget: None }
     }
 
     /// Start reading `input` with every decoded element charged against
@@ -155,12 +206,18 @@ impl<'a> Reader<'a> {
     /// cumulative across the whole parse — call [`ParseBudget::admit`] on
     /// the input first to enforce `max_input`.
     pub fn with_budget(input: &'a [u8], budget: &'a BudgetState) -> Reader<'a> {
-        Reader { input, pos: 0, depth: 0, budget: Some(budget) }
+        Reader { input, pos: 0, depth: 0, base: 0, budget: Some(budget) }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.input.len() - self.pos
+    }
+
+    /// The cursor's absolute byte offset: position within this reader's
+    /// slice plus the base offset inherited from enclosing readers.
+    pub fn offset(&self) -> usize {
+        self.base.saturating_add(self.pos)
     }
 
     /// True when every byte has been consumed.
@@ -284,6 +341,18 @@ impl<'a> Reader<'a> {
         Ok(Tlv { tag, value, raw })
     }
 
+    /// Read the next complete TLV element together with the absolute byte
+    /// range it occupies (identifier + length + content octets).
+    ///
+    /// The span indexes the buffer handed to the root reader (see
+    /// [`Reader::with_base`]); evidence capture uses it to anchor findings
+    /// to concrete input bytes.
+    pub fn read_tlv_spanned(&mut self) -> Result<(Span, Tlv<'a>)> {
+        let start = self.offset();
+        let tlv = self.read_tlv()?;
+        Ok((Span { offset: start, len: tlv.raw.len() }, tlv))
+    }
+
     /// Read the next element and require tag `expected`.
     pub fn read_expected(&mut self, expected: Tag) -> Result<Tlv<'a>> {
         let tlv = self.read_tlv()?;
@@ -332,8 +401,16 @@ impl<'a> Reader<'a> {
             return Err(Error::DepthExceeded { limit: MAX_DEPTH });
         }
         let tlv = self.read_expected(tag)?;
-        let mut inner =
-            Reader { input: tlv.value, pos: 0, depth: self.depth + 1, budget: self.budget };
+        // The content octets end where the element ends, so they start at
+        // the current absolute offset minus the value length.
+        let value_base = self.offset().saturating_sub(tlv.value.len());
+        let mut inner = Reader {
+            input: tlv.value,
+            pos: 0,
+            depth: self.depth + 1,
+            base: value_base,
+            budget: self.budget,
+        };
         let out = f(&mut inner)?;
         inner.finish()?;
         Ok(out)
@@ -535,6 +612,50 @@ mod tests {
         r.finish().unwrap();
         assert_eq!((a.as_slice(), b.as_slice()), (&[0x05][..], &[0x07][..]));
         assert_eq!(budget.elements_used(), 3);
+    }
+
+    #[test]
+    fn spans_index_the_root_buffer_through_nesting() {
+        // SEQUENCE { INTEGER 05, SEQUENCE { INTEGER 07 } }
+        let der = [0x30, 0x08, 0x02, 0x01, 0x05, 0x30, 0x03, 0x02, 0x01, 0x07];
+        let mut r = Reader::new(&der);
+        let spans = r
+            .read_sequence(|seq| {
+                assert_eq!(seq.offset(), 2, "content starts after the outer header");
+                let (a, _) = seq.read_tlv_spanned()?;
+                let inner = seq.read_sequence(|inner| {
+                    let (b, tlv) = inner.read_tlv_spanned()?;
+                    assert_eq!(tlv.value, &[0x07]);
+                    Ok(b)
+                })?;
+                Ok((a, inner))
+            })
+            .unwrap();
+        assert_eq!(spans.0, Span { offset: 2, len: 3 });
+        assert_eq!(spans.1, Span { offset: 7, len: 3 });
+        assert_eq!(&der[spans.1.offset..spans.1.end()], &[0x02, 0x01, 0x07]);
+    }
+
+    #[test]
+    fn with_base_shifts_spans() {
+        let der = [0x02, 0x01, 0x05];
+        let mut r = Reader::with_base(&der, 100);
+        let (span, _) = r.read_tlv_spanned().unwrap();
+        assert_eq!(span, Span { offset: 100, len: 3 });
+        assert_eq!(r.offset(), 103);
+    }
+
+    #[test]
+    fn span_geometry() {
+        let outer = Span { offset: 4, len: 10 };
+        let inner = Span { offset: 6, len: 3 };
+        let after = Span { offset: 14, len: 2 };
+        assert_eq!(outer.end(), 14);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.overlaps(&inner));
+        assert!(!outer.overlaps(&after));
+        assert_eq!(inner.to_string(), "[6..9)");
     }
 
     #[test]

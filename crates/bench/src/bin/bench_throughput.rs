@@ -20,6 +20,15 @@
 //! baseline `certs_per_sec` per configuration — and the run **fails**
 //! (exit 1) if the baseline recorded a report fingerprint and the current
 //! survey's fingerprint differs: timing may drift, the report may not.
+//!
+//! Two further flags close the observability loop:
+//!
+//! * `--min-speedup <ratio>` (requires `--baseline`): fail (exit 1) when
+//!   any configuration measured in both runs fell below `ratio` × the
+//!   baseline throughput — CI passes `0.9` to catch >10% regressions.
+//! * `--history <json>`: append one run record (id, corpus, fingerprint,
+//!   per-configuration certs/sec) to a cumulative trajectory file, so
+//!   throughput is comparable *across* PRs, not just against one baseline.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +46,55 @@ struct Sample {
     /// Gauge label under `bench.wall_ns` — the timing source of record.
     metric: String,
     threads: usize,
+}
+
+/// Append one run record to the cumulative history file. The file is a
+/// JSON object whose `runs` array grows by one line per invocation; prior
+/// records are carried over verbatim (line-oriented, like
+/// [`Baseline::parse`] — the shape is our own).
+fn append_history(
+    path: &str,
+    fingerprint: &str,
+    corpus_size: usize,
+    seed: u64,
+    rates: &[(String, f64)],
+) {
+    let mut prior: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        prior.extend(
+            text.lines().filter(|l| l.contains("\"id\":")).map(|l| {
+                l.trim().trim_end_matches(',').to_string()
+            }),
+        );
+    }
+    // Run id: wall-clock seconds since the epoch — unique enough for an
+    // append-only log, and meaningful as a timestamp.
+    let id = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut rate_fields = String::new();
+    for (metric, rate) in rates {
+        let _ = write!(rate_fields, ", \"{metric}\": {rate:.1}");
+    }
+    let record = format!(
+        "{{\"id\": \"run-{id}\", \"corpus_size\": {corpus_size}, \"seed\": {seed}, \
+         \"fingerprint\": \"{fingerprint}\"{rate_fields}}}"
+    );
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"survey_pipeline_throughput_history\",");
+    let _ = writeln!(json, "  \"runs\": [");
+    for line in &prior {
+        let _ = writeln!(json, "    {line},");
+    }
+    let _ = writeln!(json, "    {record}");
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("appended run-{id} to {path} ({} prior runs)", prior.len()),
+        Err(e) => eprintln!("warning: cannot write history {path}: {e}"),
+    }
 }
 
 /// Time one survey configuration, record the wall clock into the registry,
@@ -74,6 +132,17 @@ fn main() {
     let _telemetry = unicert_bench::telemetry_args();
     let config = corpus_args(100_000);
     let baseline_path = flag_arg("--baseline");
+    let min_speedup: Option<f64> = flag_arg("--min-speedup").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bad --min-speedup {v:?} (expected a ratio, e.g. 0.9)");
+            std::process::exit(2);
+        })
+    });
+    if min_speedup.is_some() && baseline_path.is_none() {
+        eprintln!("--min-speedup requires --baseline");
+        std::process::exit(2);
+    }
+    let history_path = flag_arg("--history");
     let baseline = baseline_path.as_ref().map(|path| {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -156,6 +225,9 @@ fn main() {
             s.mode, s.threads, s.metric, secs, rate, speedup
         );
     }
+    // Configurations measured in both runs whose throughput ratio fell
+    // below the `--min-speedup` floor.
+    let mut regressions: Vec<(String, f64)> = Vec::new();
     let fingerprint_mismatch = if let Some(b) = &baseline {
         let _ = writeln!(json, "  ],");
         let mismatch = b.fingerprint.as_ref().is_some_and(|f| *f != fingerprint);
@@ -195,6 +267,9 @@ fn main() {
                     "speedup      {:<8} threads={:<2} {:>6.3}x vs baseline",
                     s.mode, s.threads, ratio
                 );
+                if min_speedup.is_some_and(|floor| ratio < floor) {
+                    regressions.push((format!("{} threads={}", s.mode, s.threads), ratio));
+                }
             }
         }
         let _ = writeln!(json, "    ]");
@@ -208,11 +283,32 @@ fn main() {
 
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
+    if let Some(path) = &history_path {
+        let rates: Vec<(String, f64)> = samples
+            .iter()
+            .map(|s| {
+                let secs = wall_secs(&s.metric);
+                let rate = if secs > 0.0 { corpus.len() as f64 / secs } else { 0.0 };
+                (s.metric.clone(), rate)
+            })
+            .collect();
+        append_history(path, &fingerprint, corpus.len(), config.seed, &rates);
+    }
     if fingerprint_mismatch {
         eprintln!(
             "FATAL: survey report fingerprint {fingerprint} diverged from the baseline's — \
              the pipeline's output changed, not just its speed"
         );
+        std::process::exit(1);
+    }
+    if !regressions.is_empty() {
+        for (config_name, ratio) in &regressions {
+            eprintln!(
+                "FATAL: {config_name} ran at {ratio:.3}x the baseline throughput \
+                 (floor: {:.3}x)",
+                min_speedup.unwrap_or(0.0)
+            );
+        }
         std::process::exit(1);
     }
 }

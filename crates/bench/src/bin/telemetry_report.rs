@@ -11,8 +11,13 @@
 //!
 //! ```text
 //! cargo run --release -p unicert-bench --bin telemetry_report \
-//!     [-- size seed] [--metrics-out m.json] [--trace-out t.ndjson]
+//!     [-- size seed] [--format tsv|json] \
+//!     [--metrics-out m.json] [--trace-out t.ndjson]
 //! ```
+//!
+//! The stage-breakdown and context-cache summaries printed to stdout go
+//! through the shared [`unicert_bench::cli`] renderer, so `--format` here
+//! behaves exactly as it does in `explain`.
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +27,7 @@ use unicert::corpus::{CorpusEntry, CorpusGenerator};
 use unicert::lint::RunOptions;
 use unicert::survey::{self, SurveyOptions};
 use unicert::telemetry::{self, HistogramSnapshot, MemorySink, Snapshot, Stopwatch, TraceLevel};
+use unicert_bench::cli::{self, Records};
 use unicert_bench::corpus_args;
 
 fn histogram_json(h: &HistogramSnapshot) -> String {
@@ -69,6 +75,7 @@ fn stage_breakdown(snapshot: &Snapshot) -> Vec<(&'static str, &HistogramSnapshot
 
 fn main() {
     let _telemetry = unicert_bench::telemetry_args();
+    let format = cli::output_format();
     let config = corpus_args(20_000);
     // Worker-balance metrics need a real pool even on a 1-core runner.
     let machine = RunOptions::default().effective_threads();
@@ -234,6 +241,8 @@ fn main() {
 
     write_histogram_array(&mut json, "slowest_lints", &slowest);
 
+    let mut stage_records =
+        Records::new(&["stage", "count", "per_cert_ns", "share_pct", "p50_ns", "p99_ns"]);
     let _ = writeln!(json, "  \"stage_breakdown\": [");
     for (i, (label, h)) in stages.iter().enumerate() {
         let comma = if i + 1 < stages.len() { "," } else { "" };
@@ -250,6 +259,14 @@ fn main() {
             h.quantile(0.5),
             h.quantile(0.99)
         );
+        stage_records.push(vec![
+            (*label).to_owned(),
+            h.count.to_string(),
+            format!("{cost:.1}"),
+            format!("{share:.1}"),
+            h.quantile(0.5).to_string(),
+            h.quantile(0.99).to_string(),
+        ]);
     }
     let _ = writeln!(json, "  ],");
 
@@ -258,6 +275,7 @@ fn main() {
     // a lint reading an already-decoded value; a miss is the one decode that
     // populated it.
     const CACHE_FAMILIES: [&str; 4] = ["san", "dn_text", "punycode", "nfc"];
+    let mut cache_records = Records::new(&["family", "hits", "misses", "hit_rate_pct"]);
     let _ = writeln!(json, "  \"context_cache\": [");
     for (i, family) in CACHE_FAMILIES.iter().enumerate() {
         let comma = if i + 1 < CACHE_FAMILIES.len() { "," } else { "" };
@@ -270,9 +288,18 @@ fn main() {
             "    {{\"family\": \"{family}\", \"hits\": {hits}, \"misses\": {misses}, \
              \"hit_rate_pct\": {rate:.1}}}{comma}"
         );
-        println!("cache {family:<9} {hits:>12} hits {misses:>12} misses  {rate:>5.1}% hit rate");
+        cache_records.push(vec![
+            (*family).to_owned(),
+            hits.to_string(),
+            misses.to_string(),
+            format!("{rate:.1}"),
+        ]);
     }
     let _ = writeln!(json, "  ],");
+    println!("# stage breakdown");
+    print!("{}", stage_records.render(format));
+    println!("# context cache");
+    print!("{}", cache_records.render(format));
 
     // Worker busy counters only accumulate in the (single) parallel pass,
     // so the pool wall gauge from that pass is the right denominator.

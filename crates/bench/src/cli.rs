@@ -1,0 +1,191 @@
+//! The shared `--format tsv|json` CLI surface.
+//!
+//! Every bench binary that renders record-shaped output to stdout resolves
+//! the flag through [`output_format`] and renders through [`Records`], so
+//! the flag spelling, the default, the error behaviour, and the two
+//! serializations stay identical across binaries (`explain` and
+//! `telemetry_report` today).
+
+use unicert::telemetry::snapshot::escape_json;
+
+/// The two record serializations the binaries share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Tab-separated values: one header line, one line per record. The
+    /// default — pipeline-friendly and diff-stable.
+    #[default]
+    Tsv,
+    /// A JSON array of objects, one per record, every value a string.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parse a `--format` value.
+    pub fn parse(s: &str) -> Option<OutputFormat> {
+        match s {
+            "tsv" => Some(OutputFormat::Tsv),
+            "json" => Some(OutputFormat::Json),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this format.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutputFormat::Tsv => "tsv",
+            OutputFormat::Json => "json",
+        }
+    }
+}
+
+/// Resolve `--format tsv|json` (also `--format=…`) from argv. Defaults to
+/// TSV when the flag is absent; exits with status 2 on an unknown value so
+/// a typo never silently falls back.
+pub fn output_format() -> OutputFormat {
+    match crate::flag_arg("--format") {
+        None => OutputFormat::default(),
+        Some(v) => OutputFormat::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --format {v:?} (expected tsv or json)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// A column-labelled record set rendered in either [`OutputFormat`].
+///
+/// Cells are strings; numbers should be pre-formatted by the caller so the
+/// TSV and JSON renderings agree byte-for-byte on every value.
+#[derive(Debug, Clone)]
+pub struct Records {
+    columns: &'static [&'static str],
+    rows: Vec<Vec<String>>,
+}
+
+impl Records {
+    /// An empty record set with the given column labels.
+    pub fn new(columns: &'static [&'static str]) -> Records {
+        Records { columns, rows: Vec::new() }
+    }
+
+    /// Append one record. Shorter rows render as empty trailing cells;
+    /// extra cells are dropped.
+    pub fn push(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the record set empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render in `format`, with a trailing newline.
+    pub fn render(&self, format: OutputFormat) -> String {
+        match format {
+            OutputFormat::Tsv => self.render_tsv(),
+            OutputFormat::Json => self.render_json(),
+        }
+    }
+
+    fn cell<'a>(&self, row: &'a [String], col: usize) -> &'a str {
+        row.get(col).map(String::as_str).unwrap_or("")
+    }
+
+    fn render_tsv(&self) -> String {
+        let mut out = self.columns.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            for (i, _) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                // Keep TSV one-record-per-line even for hostile cell text.
+                for c in self.cell(row, i).chars() {
+                    match c {
+                        '\t' => out.push_str("\\t"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        c => out.push(c),
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (i, col) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&escape_json(col));
+                out.push_str("\": \"");
+                out.push_str(&escape_json(self.cell(row, i)));
+                out.push('"');
+            }
+            out.push('}');
+            if r + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(OutputFormat::parse("tsv"), Some(OutputFormat::Tsv));
+        assert_eq!(OutputFormat::parse("json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::parse("yaml"), None);
+        assert_eq!(OutputFormat::default().name(), "tsv");
+    }
+
+    #[test]
+    fn tsv_escapes_separators() {
+        let mut r = Records::new(&["a", "b"]);
+        r.push(vec!["x\ty".into(), "line\nbreak".into()]);
+        let tsv = r.render(OutputFormat::Tsv);
+        assert_eq!(tsv, "a\tb\nx\\ty\tline\\nbreak\n");
+    }
+
+    #[test]
+    fn json_escapes_and_parses_back() {
+        let mut r = Records::new(&["name", "value"]);
+        r.push(vec!["quote\"back\\slash".into(), "ctrl\u{1}".into()]);
+        r.push(vec!["plain".into(), String::new()]);
+        let json = r.render(OutputFormat::Json);
+        let parsed = crate::json::parse(&json).expect("valid JSON");
+        let arr = parsed.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("name").and_then(crate::json::Value::as_str),
+            Some("quote\"back\\slash")
+        );
+        assert_eq!(arr[0].get("value").and_then(crate::json::Value::as_str), Some("ctrl\u{1}"));
+        assert_eq!(arr[1].get("value").and_then(crate::json::Value::as_str), Some(""));
+    }
+
+    #[test]
+    fn ragged_rows_render_consistently() {
+        let mut r = Records::new(&["a", "b", "c"]);
+        r.push(vec!["1".into()]);
+        assert_eq!(r.render(OutputFormat::Tsv), "a\tb\tc\n1\t\t\n");
+        let json = r.render(OutputFormat::Json);
+        assert!(json.contains("\"b\": \"\""));
+    }
+}

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cli;
+pub mod json;
 pub mod table;
 
 use std::path::PathBuf;

@@ -80,6 +80,11 @@ pub struct QuarantineEntry {
     pub stage: &'static str,
     /// Stringified panic payload.
     pub detail: String,
+    /// Flight-recorder dump: the worker's last-N pipeline events before the
+    /// panic (see `unicert_telemetry::flight`). Deterministic at any thread
+    /// count because the ring is cleared per certificate; empty when the
+    /// recorder is disabled (`UNICERT_FLIGHT=0`).
+    pub flight: Vec<String>,
 }
 
 /// Pre-resolved per-stage latency histograms for the survey hot loop
@@ -412,9 +417,11 @@ impl SurveyReport {
     }
 }
 
-/// Record a contained panic: one [`QuarantineEntry`] plus (metrics on) a
-/// `survey.quarantined{stage}` tick. Telemetry stays inert — the counter
-/// mirrors the report, never feeds it.
+/// Record a contained panic: one [`QuarantineEntry`] carrying this worker's
+/// flight-recorder dump, plus (metrics on) a `survey.quarantined{stage}`
+/// tick. Telemetry stays inert — the counter mirrors the report, never
+/// feeds it. The flight dump *is* report content, but it is a pure function
+/// of the certificate (the ring is cleared per unit), so determinism holds.
 fn push_quarantine(
     report: &mut SurveyReport,
     index: u64,
@@ -425,7 +432,8 @@ fn push_quarantine(
     if unicert_telemetry::metrics_enabled() {
         unicert_telemetry::global().counter("survey.quarantined", stage).inc();
     }
-    report.quarantine.push(QuarantineEntry { index, cert_id, stage, detail });
+    let flight = unicert_telemetry::flight::dump();
+    report.quarantine.push(QuarantineEntry { index, cert_id, stage, detail, flight });
 }
 
 /// Lowercase-hex serial number — the quarantine `cert_id` for a parsed
@@ -467,6 +475,9 @@ fn accumulate(
     opts: &SurveyOptions,
     telemetry: Option<&mut ShardTelemetry>,
 ) {
+    // One certificate = one flight-recorder unit: clear this worker's ring
+    // so a later quarantine dump holds exactly this certificate's history.
+    unicert_telemetry::flight::begin_unit(index);
     report.entries += 1;
     // §4.1: precertificates are filtered out by the poison extension.
     if entry.cert.tbs.is_precertificate() {
@@ -489,6 +500,7 @@ fn accumulate(
     // certificate's context, which is dropped with the quarantined cert.
     let ctx = unicert_lint::LintContext::new(&entry.cert);
 
+    unicert_telemetry::flight::record("stage", "classify", 0);
     let class = match catch_unwind(AssertUnwindSafe(|| classify::classify_ctx(&ctx))) {
         Ok(class) => class,
         Err(payload) => {
@@ -498,6 +510,7 @@ fn accumulate(
     };
     stage_mark(&mut stamp, stages.map(|s| &s.classify));
 
+    unicert_telemetry::flight::record("stage", "lint", 0);
     let lint_run = catch_unwind(AssertUnwindSafe(|| match tally {
         Some(tally) => registry.run_tallied_ctx(&ctx, opts.lint, tally),
         None => registry.run_ctx(&ctx, opts.lint),
@@ -513,6 +526,7 @@ fn accumulate(
     stage_mark(&mut stamp, stages.map(|s| &s.lint));
 
     let marks = if opts.field_matrix {
+        unicert_telemetry::flight::record("stage", "field_matrix", 0);
         match catch_unwind(AssertUnwindSafe(|| field_matrix_marks(entry, &ctx))) {
             Ok(marks) => Some(marks),
             Err(payload) => {
@@ -805,6 +819,12 @@ fn accumulate_bytes(
     budget: &ParseBudget,
     telemetry: Option<&mut ShardTelemetry>,
 ) {
+    // Begin the unit before parsing so a parse-stage panic dumps a ring
+    // holding only this input's history. `accumulate` re-begins the same
+    // unit for inputs that parse, dropping this breadcrumb — harmless,
+    // since the parse stage is over by then.
+    unicert_telemetry::flight::begin_unit(index);
+    unicert_telemetry::flight::record("stage", "parse", der.len() as u64);
     let parsed = catch_unwind(AssertUnwindSafe(|| {
         Certificate::parse_der_budgeted(der, budget).map(|cert| {
             let meta = CertMeta::inferred(&cert);
@@ -1164,6 +1184,7 @@ mod tests {
                 cert_id: hex_serial(&entries[index as usize].cert.tbs.serial),
                 stage: "lint",
                 detail: "injected lint panic".to_string(),
+                flight: Vec::new(),
             })
             .collect();
 
@@ -1174,7 +1195,31 @@ mod tests {
                 .collect()
         });
         for (report, threads) in reports.iter().zip([1, 2, 4, 8]) {
-            assert_eq!(report, &expected, "threads={threads}");
+            // Every quarantine entry must carry a flight dump naming the
+            // panicking lint and this certificate's unit id…
+            let mut stripped = report.clone();
+            for q in &mut stripped.quarantine {
+                assert!(!q.flight.is_empty(), "index {} has no flight dump", q.index);
+                assert!(
+                    q.flight[0].starts_with(&format!("unit {} ", q.index)),
+                    "index {}: {:?}",
+                    q.index,
+                    q.flight[0]
+                );
+                assert!(
+                    q.flight.iter().any(|l| l == "context x_chaos_injected_panic"),
+                    "index {}: {:?}",
+                    q.index,
+                    q.flight
+                );
+                q.flight.clear();
+            }
+            // …and everything else must match the serial no-panic expectation.
+            assert_eq!(stripped, expected, "threads={threads}");
+        }
+        // The dumps themselves are deterministic across thread counts.
+        for (report, threads) in reports.iter().zip([1, 2, 4, 8]).skip(1) {
+            assert_eq!(report.quarantine, reports[0].quarantine, "threads={threads}");
         }
     }
 
@@ -1243,6 +1288,13 @@ mod tests {
         assert!(!report.quarantine.is_empty());
         for q in &report.quarantine {
             assert!(panics_on(&entries[q.index as usize].cert), "index {}", q.index);
+            // The flight dump's unit id is the same global stream index.
+            assert!(
+                q.flight.first().is_some_and(|l| l.starts_with(&format!("unit {} ", q.index))),
+                "index {}: {:?}",
+                q.index,
+                q.flight
+            );
         }
         // Stream order: indexes strictly increase across shard merges.
         for pair in report.quarantine.windows(2) {

@@ -25,14 +25,15 @@ use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use crate::framework::Evidence;
 use crate::helpers::Which;
 use unicert_asn1::oid::known;
-use unicert_asn1::{Oid, StringKind};
+use unicert_asn1::{Oid, Span, StringKind};
 use unicert_idna::label::{has_ace_prefix, validate_ldh, ALabelStatus, LabelError};
 use unicert_idna::punycode;
 use unicert_unicode::nfc;
 use unicert_x509::extensions::{ParsedExtension, PolicyQualifier};
-use unicert_x509::{Certificate, DistinguishedName, GeneralName, RawValue};
+use unicert_x509::{CertSpans, Certificate, DistinguishedName, GeneralName, RawValue};
 
 /// Hit/miss tally for one cached field family.
 #[derive(Debug, Default)]
@@ -106,11 +107,39 @@ fn cache_counters() -> &'static CacheCounters {
     })
 }
 
+/// Where a cached value sits in the certificate DER, plus its decoded
+/// forms — precomputed when an evidence-mode context is built, shared by
+/// reference with every [`CachedVal`] derived from that element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Origin {
+    /// Byte range of the value's TLV in the certificate DER.
+    pub span: Span,
+    /// Structural path, e.g. `tbs.subject.attr[0].value`.
+    pub tlv_path: String,
+    /// Lossy wire decode of the value.
+    pub raw: String,
+    /// NFC normalization of `raw`, when it differs.
+    pub normalized: Option<String>,
+}
+
+/// The origins a lint's check touched since the last `begin_check`.
+type TouchLog = Rc<RefCell<Vec<Rc<Origin>>>>;
+
+/// Evidence-mode state: the certificate's span map (when capturable) and
+/// the per-check touch log the framework drains into findings.
+struct EvidenceState {
+    spans: Option<CertSpans>,
+    touched: TouchLog,
+}
+
 /// A string value with memoized decode results.
 ///
 /// Wraps the original [`RawValue`] (tag + bytes, untouched) and computes the
 /// wire decode, the strict decode verdict, and the NFC verdict at most once
-/// each, no matter how many lints ask.
+/// each, no matter how many lints ask. In evidence mode the value also
+/// carries its [`Origin`]; every accessor then logs the touch so the
+/// framework can attribute byte ranges to the finding of the lint that
+/// asked.
 #[derive(Debug)]
 pub struct CachedVal {
     raw: RawValue,
@@ -118,37 +147,62 @@ pub struct CachedVal {
     strict_ok: OnceCell<bool>,
     nfc_ok: OnceCell<bool>,
     stats: Rc<CacheStats>,
+    /// `(origin, touch log)` — populated only in evidence mode.
+    provenance: Option<(Rc<Origin>, TouchLog)>,
 }
 
 impl CachedVal {
-    fn new(raw: RawValue, stats: Rc<CacheStats>) -> CachedVal {
+    fn new(
+        raw: RawValue,
+        stats: Rc<CacheStats>,
+        provenance: Option<(Rc<Origin>, TouchLog)>,
+    ) -> CachedVal {
         CachedVal {
             raw,
             wire: OnceCell::new(),
             strict_ok: OnceCell::new(),
             nfc_ok: OnceCell::new(),
             stats,
+            provenance,
         }
+    }
+
+    /// Log this value into the current check's touch set (evidence mode
+    /// only; a no-op branch on the hot path).
+    #[inline]
+    fn touch_origin(&self) {
+        if let Some((origin, log)) = &self.provenance {
+            log.borrow_mut().push(Rc::clone(origin));
+        }
+    }
+
+    /// This value's byte-range origin, when captured in evidence mode.
+    pub fn origin(&self) -> Option<&Origin> {
+        self.provenance.as_ref().map(|(o, _)| o.as_ref())
     }
 
     /// The underlying raw value.
     pub fn raw(&self) -> &RawValue {
+        self.touch_origin();
         &self.raw
     }
 
     /// The declared string kind, if the tag is a string type.
     pub fn kind(&self) -> Option<StringKind> {
+        self.touch_origin();
         self.raw.kind()
     }
 
     /// The content octets, untouched.
     pub fn bytes(&self) -> &[u8] {
+        self.touch_origin();
         &self.raw.bytes
     }
 
     /// Wire-format decode (`RawValue::decode_wire`), memoized. `None` means
     /// the bytes are not decodable under the declared tag.
     pub fn wire_text(&self) -> Option<&str> {
+        self.touch_origin();
         self.stats.dn_text.touch(self.wire.get().is_some());
         self.wire
             .get_or_init(|| self.raw.decode_wire().ok().map(String::into_boxed_str))
@@ -157,6 +211,7 @@ impl CachedVal {
 
     /// Does the value pass a strict decode (`RawValue::decode_strict`)?
     pub fn strict_ok(&self) -> bool {
+        self.touch_origin();
         self.stats.dn_text.touch(self.strict_ok.get().is_some());
         *self.strict_ok.get_or_init(|| self.raw.decode_strict().is_ok())
     }
@@ -164,6 +219,7 @@ impl CachedVal {
     /// Is the wire-decoded text NFC-normalized? Undecodable bytes count as
     /// normalized (encoding lints own them), matching the T2 lints.
     pub fn text_is_nfc(&self) -> bool {
+        self.touch_origin();
         self.stats.nfc.touch(self.nfc_ok.get().is_some());
         *self.nfc_ok.get_or_init(|| match self.wire_text() {
             Some(t) => nfc::is_nfc(t),
@@ -268,11 +324,31 @@ pub struct LintContext<'c> {
     explicit_texts: OnceCell<Vec<CachedVal>>,
     cps_values: OnceCell<Vec<CachedVal>>,
     labels: RefCell<HashMap<Box<str>, LabelInfo>>,
+    /// Evidence-mode state; `None` on the survey hot path.
+    evidence: Option<EvidenceState>,
 }
 
 impl<'c> LintContext<'c> {
     /// A fresh (everything-lazy) context for one certificate.
     pub fn new(cert: &'c Certificate) -> LintContext<'c> {
+        Self::build(cert, None)
+    }
+
+    /// A context that additionally captures byte-range provenance: the
+    /// certificate's span map is walked up front ([`CertSpans::capture`]),
+    /// every cached value carries its [`Origin`], and the registry drains
+    /// the values each check touched into [`Evidence`] on its findings.
+    ///
+    /// Strictly off the survey hot path — use [`LintContext::new`] there.
+    pub fn with_evidence(cert: &'c Certificate) -> LintContext<'c> {
+        let state = EvidenceState {
+            spans: CertSpans::capture(&cert.raw).ok(),
+            touched: Rc::new(RefCell::new(Vec::new())),
+        };
+        Self::build(cert, Some(state))
+    }
+
+    fn build(cert: &'c Certificate, evidence: Option<EvidenceState>) -> LintContext<'c> {
         LintContext {
             cert,
             stats: Rc::new(CacheStats::default()),
@@ -291,6 +367,7 @@ impl<'c> LintContext<'c> {
             explicit_texts: OnceCell::new(),
             cps_values: OnceCell::new(),
             labels: RefCell::new(HashMap::new()),
+            evidence,
         }
     }
 
@@ -304,8 +381,135 @@ impl<'c> LintContext<'c> {
         &self.stats
     }
 
-    fn cached(&self, raw: RawValue) -> CachedVal {
-        CachedVal::new(raw, Rc::clone(&self.stats))
+    // --- Evidence -------------------------------------------------------
+
+    /// Was this context built with [`LintContext::with_evidence`]?
+    pub fn evidence_enabled(&self) -> bool {
+        self.evidence.is_some()
+    }
+
+    /// The certificate's span map, when evidence mode captured one.
+    pub fn cert_spans(&self) -> Option<&CertSpans> {
+        self.evidence.as_ref().and_then(|e| e.spans.as_ref())
+    }
+
+    /// Clear the touch log before a lint's check runs (framework only).
+    pub(crate) fn begin_check(&self) {
+        if let Some(ev) = &self.evidence {
+            ev.touched.borrow_mut().clear();
+        }
+    }
+
+    /// Drain the origins the last check touched into [`Evidence`] entries,
+    /// deduplicated in touch order. A check that touched nothing trackable
+    /// (it read the certificate struct directly) yields one whole-TBS
+    /// fallback so every finding still carries an in-bounds span.
+    pub(crate) fn drain_evidence(&self, citation: &'static str) -> Vec<Evidence> {
+        let Some(ev) = &self.evidence else {
+            return Vec::new();
+        };
+        let mut touched = ev.touched.borrow_mut();
+        let mut seen: Vec<*const Origin> = Vec::new();
+        let mut out = Vec::new();
+        for origin in touched.drain(..) {
+            let ptr = Rc::as_ptr(&origin);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            out.push(Evidence {
+                span: origin.span,
+                tlv_path: origin.tlv_path.clone(),
+                raw: origin.raw.clone(),
+                normalized: origin.normalized.clone(),
+                citation,
+            });
+        }
+        if out.is_empty() {
+            let span = match &ev.spans {
+                Some(s) => s.tbs,
+                None => Span { offset: 0, len: self.cert.raw.len() },
+            };
+            out.push(Evidence {
+                span,
+                tlv_path: "tbs".to_string(),
+                raw: String::new(),
+                normalized: None,
+                citation,
+            });
+        }
+        out
+    }
+
+    /// Build an [`Origin`] for a value at `span`, precomputing its decoded
+    /// forms (evidence mode only, so the cost is off the hot path).
+    fn make_origin(&self, raw: &RawValue, span: Span, tlv_path: String) -> Rc<Origin> {
+        let raw_text = raw.display_lossy();
+        let normalized = {
+            let n = nfc::nfc(&raw_text);
+            if n == raw_text {
+                None
+            } else {
+                Some(n)
+            }
+        };
+        Rc::new(Origin { span, tlv_path, raw: raw_text, normalized })
+    }
+
+    /// Provenance pair for a value whose origin resolver succeeds, shared
+    /// with the context's touch log. `None` when evidence is off.
+    fn provenance(
+        &self,
+        raw: &RawValue,
+        resolve: impl FnOnce(&CertSpans) -> Option<(Span, String)>,
+    ) -> Option<(Rc<Origin>, TouchLog)> {
+        let ev = self.evidence.as_ref()?;
+        let (span, path) = match ev.spans.as_ref().and_then(resolve) {
+            Some(hit) => hit,
+            // Span map unavailable (hostile DER the walker refused):
+            // anchor to the whole certificate rather than dropping
+            // provenance entirely.
+            None => (Span { offset: 0, len: self.cert.raw.len() }, "certificate".to_string()),
+        };
+        Some((self.make_origin(raw, span, path), Rc::clone(&ev.touched)))
+    }
+
+    /// Origin resolver for the `child`-th top-level element inside the
+    /// first extension carrying `oid`, falling back to the extension's
+    /// value span when the child wasn't individually mapped.
+    fn ext_child_resolver(
+        &self,
+        oid: &Oid,
+        child: usize,
+    ) -> impl FnOnce(&CertSpans) -> Option<(Span, String)> + '_ {
+        let oid = oid.clone();
+        move |spans: &CertSpans| {
+            let idx = self.cert.tbs.extensions.iter().position(|e| e.oid == oid)?;
+            let ext = spans.extension(idx)?;
+            match ext.children.get(child) {
+                Some(span) => Some((*span, spans.ext_child_path(idx, child))),
+                None => Some((ext.value, spans.ext_path(idx))),
+            }
+        }
+    }
+
+    /// Cache a value that came from extension `oid`'s `child`-th element.
+    fn cached_ext(&self, raw: RawValue, oid: &Oid, child: usize) -> CachedVal {
+        let provenance = self.provenance(&raw, self.ext_child_resolver(oid, child));
+        CachedVal::new(raw, Rc::clone(&self.stats), provenance)
+    }
+
+    /// Cache the `idx`-th attribute value of a DN.
+    fn cached_dn(&self, raw: RawValue, which: Which, idx: usize) -> CachedVal {
+        let provenance = self.provenance(&raw, |spans| {
+            let (attrs, name) = match which {
+                Which::Subject => (&spans.subject_attrs, "subject"),
+                Which::Issuer => (&spans.issuer_attrs, "issuer"),
+            };
+            let span = *attrs.get(idx)?;
+            Some((span, CertSpans::dn_attr_path(name, idx)))
+        });
+        CachedVal::new(raw, Rc::clone(&self.stats), provenance)
     }
 
     // --- DNs ------------------------------------------------------------
@@ -328,7 +532,11 @@ impl<'c> LintContext<'c> {
         cell.get_or_init(|| {
             self.dn(which)
                 .attributes()
-                .map(|a| DnAttr { oid: a.oid.clone(), val: self.cached(a.value.clone()) })
+                .enumerate()
+                .map(|(i, a)| DnAttr {
+                    oid: a.oid.clone(),
+                    val: self.cached_dn(a.value.clone(), which, i),
+                })
                 .collect()
         })
     }
@@ -375,18 +583,25 @@ impl<'c> LintContext<'c> {
     fn gn_list<'s>(
         &'s self,
         cell: &'s OnceCell<Vec<CachedVal>>,
+        ext_oid: Oid,
         names: impl Fn(&Self) -> &[GeneralName],
         pick: impl Fn(&GeneralName) -> Option<RawValue>,
     ) -> &'s [CachedVal] {
         self.stats.san.touch(cell.get().is_some());
         cell.get_or_init(|| {
-            names(self).iter().filter_map(pick).map(|v| self.cached(v)).collect()
+            // Enumerate *before* the pick filter: a GeneralName's position
+            // in the extension SEQUENCE is its child span index.
+            names(self)
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| pick(n).map(|v| self.cached_ext(v, &ext_oid, i)))
+                .collect()
         })
     }
 
     /// SAN DNSName values.
     pub fn san_dns(&self) -> &[CachedVal] {
-        self.gn_list(&self.san_dns, Self::san, |n| match n {
+        self.gn_list(&self.san_dns, known::subject_alt_name(), Self::san, |n| match n {
             GeneralName::DnsName(v) => Some(v.clone()),
             _ => None,
         })
@@ -394,7 +609,7 @@ impl<'c> LintContext<'c> {
 
     /// SAN RFC822Name values.
     pub fn san_rfc822(&self) -> &[CachedVal] {
-        self.gn_list(&self.san_rfc822, Self::san, |n| match n {
+        self.gn_list(&self.san_rfc822, known::subject_alt_name(), Self::san, |n| match n {
             GeneralName::Rfc822Name(v) => Some(v.clone()),
             _ => None,
         })
@@ -402,7 +617,7 @@ impl<'c> LintContext<'c> {
 
     /// SAN URI values.
     pub fn san_uri(&self) -> &[CachedVal] {
-        self.gn_list(&self.san_uri, Self::san, |n| match n {
+        self.gn_list(&self.san_uri, known::subject_alt_name(), Self::san, |n| match n {
             GeneralName::Uri(v) => Some(v.clone()),
             _ => None,
         })
@@ -411,7 +626,7 @@ impl<'c> LintContext<'c> {
     /// SmtpUTF8Mailbox inner values from SAN OtherNames (RFC 9598): the
     /// UTF8String TLV unwrapped from its `[0] EXPLICIT` envelope.
     pub fn smtp_mailboxes(&self) -> &[CachedVal] {
-        self.gn_list(&self.smtp_mailboxes, Self::san, |n| match n {
+        self.gn_list(&self.smtp_mailboxes, known::subject_alt_name(), Self::san, |n| match n {
             GeneralName::OtherName { type_id, value }
                 if *type_id == known::smtp_utf8_mailbox() =>
             {
@@ -427,7 +642,7 @@ impl<'c> LintContext<'c> {
 
     /// IAN DNSName values.
     pub fn ian_dns(&self) -> &[CachedVal] {
-        self.gn_list(&self.ian_dns, Self::ian, |n| match n {
+        self.gn_list(&self.ian_dns, known::issuer_alt_name(), Self::ian, |n| match n {
             GeneralName::DnsName(v) => Some(v.clone()),
             _ => None,
         })
@@ -435,7 +650,7 @@ impl<'c> LintContext<'c> {
 
     /// All IAN string-bearing values (DNSName, RFC822Name, URI).
     pub fn ian_strings(&self) -> &[CachedVal] {
-        self.gn_list(&self.ian_strings, Self::ian, |n| match n {
+        self.gn_list(&self.ian_strings, known::issuer_alt_name(), Self::ian, |n| match n {
             GeneralName::DnsName(v) | GeneralName::Rfc822Name(v) | GeneralName::Uri(v) => {
                 Some(v.clone())
             }
@@ -457,8 +672,9 @@ impl<'c> LintContext<'c> {
             };
             descs
                 .iter()
-                .filter_map(|d| match &d.location {
-                    GeneralName::Uri(v) => Some(self.cached(v.clone())),
+                .enumerate()
+                .filter_map(|(i, d)| match &d.location {
+                    GeneralName::Uri(v) => Some(self.cached_ext(v.clone(), &oid, i)),
                     _ => None,
                 })
                 .collect()
@@ -483,10 +699,14 @@ impl<'c> LintContext<'c> {
                 Some(ParsedExtension::CrlDistributionPoints(d)) => d.as_slice(),
                 _ => &[],
             };
+            let oid = known::crl_distribution_points();
             dps.iter()
-                .flat_map(|dp| dp.full_names.iter())
-                .filter_map(|n| match n {
-                    GeneralName::Uri(v) => Some(self.cached(v.clone())),
+                .enumerate()
+                .flat_map(|(i, dp)| dp.full_names.iter().map(move |n| (i, n)))
+                .filter_map(|(i, n)| match n {
+                    // The DistributionPoint's index is the child span; the
+                    // URI sits inside it (fullName isn't mapped deeper).
+                    GeneralName::Uri(v) => Some(self.cached_ext(v.clone(), &oid, i)),
                     _ => None,
                 })
                 .collect()
@@ -501,12 +721,14 @@ impl<'c> LintContext<'c> {
                 Some(ParsedExtension::CertificatePolicies(p)) => p.as_slice(),
                 _ => &[],
             };
+            let oid = known::certificate_policies();
             policies
                 .iter()
-                .flat_map(|p| p.qualifiers.iter())
-                .filter_map(|q| match q {
+                .enumerate()
+                .flat_map(|(i, p)| p.qualifiers.iter().map(move |q| (i, q)))
+                .filter_map(|(i, q)| match q {
                     PolicyQualifier::UserNotice { explicit_text: Some(t) } => {
-                        Some(self.cached(t.clone()))
+                        Some(self.cached_ext(t.clone(), &oid, i))
                     }
                     _ => None,
                 })
@@ -522,11 +744,13 @@ impl<'c> LintContext<'c> {
                 Some(ParsedExtension::CertificatePolicies(p)) => p.as_slice(),
                 _ => &[],
             };
+            let oid = known::certificate_policies();
             policies
                 .iter()
-                .flat_map(|p| p.qualifiers.iter())
-                .filter_map(|q| match q {
-                    PolicyQualifier::Cps(v) => Some(self.cached(v.clone())),
+                .enumerate()
+                .flat_map(|(i, p)| p.qualifiers.iter().map(move |q| (i, q)))
+                .filter_map(|(i, q)| match q {
+                    PolicyQualifier::Cps(v) => Some(self.cached_ext(v.clone(), &oid, i)),
                     _ => None,
                 })
                 .collect()
@@ -676,6 +900,49 @@ mod tests {
                 "{label}"
             );
         }
+    }
+
+    #[test]
+    fn evidence_mode_attaches_in_bounds_spans() {
+        let decomposed = "mu\u{308}nchen"; // non-NFC CN text
+        let cert = builder()
+            .subject_cn(decomposed)
+            .add_dns_san("a.example")
+            .build_signed(&SimKey::from_seed("ctx-ev"));
+        let registry = crate::catalog::default_registry();
+        let opts = crate::framework::RunOptions { evidence: true, ..Default::default() };
+        let report = registry.run(&cert, opts);
+        assert!(report.is_noncompliant());
+        for f in &report.findings {
+            assert!(!f.evidence.is_empty(), "{} has no evidence", f.lint);
+            for e in &f.evidence {
+                assert!(e.span.len > 0, "{} empty span", f.lint);
+                assert!(e.span.end() <= cert.raw.len(), "{} span out of bounds", f.lint);
+                assert!(!e.tlv_path.is_empty());
+            }
+        }
+        // The NFC lints read the CN through the cache, so at least one
+        // finding must anchor to the subject attribute value, carrying
+        // both the wire text and its normalization.
+        let cn_ev = report
+            .findings
+            .iter()
+            .flat_map(|f| f.evidence.iter())
+            .find(|e| e.tlv_path.contains("subject.attr"))
+            .expect("no finding anchored to the subject CN");
+        assert_eq!(cn_ev.raw, decomposed);
+        assert_eq!(cn_ev.normalized.as_deref(), Some("münchen"));
+    }
+
+    #[test]
+    fn evidence_off_leaves_findings_bare() {
+        let cert = builder()
+            .subject_cn("mu\u{308}nchen")
+            .build_signed(&SimKey::from_seed("ctx-ev"));
+        let registry = crate::catalog::default_registry();
+        let report = registry.run(&cert, crate::framework::RunOptions::default());
+        assert!(report.is_noncompliant());
+        assert!(report.findings.iter().all(|f| f.evidence.is_empty()));
     }
 
     #[test]

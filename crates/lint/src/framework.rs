@@ -225,6 +225,27 @@ impl Lint {
     }
 }
 
+/// Structured provenance attached to a [`Finding`] in evidence mode: the
+/// byte range and TLV path of the input the lint actually read, the raw
+/// (lossy-decoded) value, its NFC normalization when that differs, and the
+/// lint's citation. See DESIGN.md §13.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// Byte range in the certificate DER the finding is anchored to.
+    pub span: unicert_asn1::Span,
+    /// Structural path of the element, e.g. `tbs.subject.attr[0].value` or
+    /// `tbs.ext[3](2.5.29.17).item[1]`; `tbs` when the lint read the
+    /// certificate directly rather than through a cached value.
+    pub tlv_path: String,
+    /// The value as decoded from the wire (lossy; empty for whole-TBS
+    /// fallback evidence).
+    pub raw: String,
+    /// The NFC normalization of `raw`, when it differs from `raw`.
+    pub normalized: Option<String>,
+    /// The fired lint's citation, e.g. `RFC 5280 §4.1.2.4`.
+    pub citation: &'static str,
+}
+
 /// One finding: a lint that fired on a certificate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -236,6 +257,10 @@ pub struct Finding {
     pub nc_type: NoncomplianceType,
     /// Was the lint one of the 50 new ones?
     pub new_lint: bool,
+    /// Byte-range provenance, populated only in evidence mode
+    /// ([`RunOptions::evidence`] or a context built with
+    /// [`LintContext::with_evidence`]); empty on the survey hot path.
+    pub evidence: Vec<Evidence>,
 }
 
 /// Per-certificate lint report.
@@ -299,11 +324,22 @@ pub struct RunOptions {
     /// default [`crate::profiles::DEFAULT_PROFILE`] (`"webpki"`). Unknown
     /// names fall back to the default rather than failing the run.
     pub profile: Option<&'static str>,
+    /// Capture byte-range provenance: [`Registry::run`] builds the context
+    /// with [`LintContext::with_evidence`] so every finding carries
+    /// [`Evidence`]. Off by default — the survey hot path and the guarded
+    /// fingerprint never pay for provenance.
+    pub evidence: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { enforce_effective_dates: true, threads: None, shard_size: 0, profile: None }
+        RunOptions {
+            enforce_effective_dates: true,
+            threads: None,
+            shard_size: 0,
+            profile: None,
+            evidence: false,
+        }
     }
 }
 
@@ -531,6 +567,9 @@ impl Registry {
     /// per-lint latency histogram. The findings are identical either way:
     /// telemetry never feeds back into the report.
     pub fn run(&self, cert: &Certificate, opts: RunOptions) -> CertReport {
+        if opts.evidence {
+            return self.run_ctx(&LintContext::with_evidence(cert), opts);
+        }
         self.run_ctx(&LintContext::new(cert), opts)
     }
 
@@ -545,16 +584,32 @@ impl Registry {
         }
         let mut report = CertReport::default();
         let issued = ctx.cert().tbs.validity.not_before;
+        let evidence_on = ctx.evidence_enabled();
+        let flight = unicert_telemetry::flight::flight_enabled();
         for lint in &self.lints {
             if opts.enforce_effective_dates && issued < lint.effective_date() {
                 continue;
             }
+            if flight {
+                unicert_telemetry::flight::set_context(lint.name);
+            }
+            if evidence_on {
+                ctx.begin_check();
+            }
             if (lint.check)(ctx) == LintStatus::Violation {
+                if flight {
+                    unicert_telemetry::flight::record("violation", lint.name, 0);
+                }
                 report.findings.push(Finding {
                     lint: lint.name,
                     severity: lint.severity,
                     nc_type: lint.nc_type,
                     new_lint: lint.new_lint,
+                    evidence: if evidence_on {
+                        ctx.drain_evidence(lint.citation)
+                    } else {
+                        Vec::new()
+                    },
                 });
             }
         }
@@ -581,12 +636,20 @@ impl Registry {
 
         let mut report = CertReport::default();
         let issued = ctx.cert().tbs.validity.not_before;
+        let evidence_on = ctx.evidence_enabled();
+        let flight = unicert_telemetry::flight::flight_enabled();
         let mut previous = timed.then(Instant::now);
         for (lint, instrument) in self.lints.iter().zip(&instruments.per_lint) {
             if opts.enforce_effective_dates && issued < lint.effective_date() {
                 continue;
             }
             let _span = unicert_telemetry::span!(verbose: "lint", "{}", lint.name);
+            if flight {
+                unicert_telemetry::flight::set_context(lint.name);
+            }
+            if evidence_on {
+                ctx.begin_check();
+            }
             let status = (lint.check)(ctx);
             instrument.runs.inc();
             if let Some(before) = previous {
@@ -601,11 +664,19 @@ impl Registry {
                     Severity::Error => instruments.errors.inc(),
                     Severity::Warning => instruments.warnings.inc(),
                 }
+                if flight {
+                    unicert_telemetry::flight::record("violation", lint.name, 0);
+                }
                 report.findings.push(Finding {
                     lint: lint.name,
                     severity: lint.severity,
                     nc_type: lint.nc_type,
                     new_lint: lint.new_lint,
+                    evidence: if evidence_on {
+                        ctx.drain_evidence(lint.citation)
+                    } else {
+                        Vec::new()
+                    },
                 });
             }
         }
@@ -631,6 +702,9 @@ impl Registry {
         opts: RunOptions,
         tally: &mut RunTally,
     ) -> CertReport {
+        if opts.evidence {
+            return self.run_tallied_ctx(&LintContext::with_evidence(cert), opts, tally);
+        }
         self.run_tallied_ctx(&LintContext::new(cert), opts, tally)
     }
 
@@ -656,9 +730,17 @@ impl Registry {
         // span guards — just local count bumps next to the check calls.
         let mut report = CertReport::default();
         let issued = ctx.cert().tbs.validity.not_before;
+        let evidence_on = ctx.evidence_enabled();
+        let flight = unicert_telemetry::flight::flight_enabled();
         for (lint, count) in self.lints.iter().zip(&mut tally.counts) {
             if opts.enforce_effective_dates && issued < lint.effective_date() {
                 continue;
+            }
+            if flight {
+                unicert_telemetry::flight::set_context(lint.name);
+            }
+            if evidence_on {
+                ctx.begin_check();
             }
             let status = (lint.check)(ctx);
             *count += 1;
@@ -667,11 +749,19 @@ impl Registry {
                     Severity::Error => tally.errors += 1,
                     Severity::Warning => tally.warnings += 1,
                 }
+                if flight {
+                    unicert_telemetry::flight::record("violation", lint.name, 0);
+                }
                 report.findings.push(Finding {
                     lint: lint.name,
                     severity: lint.severity,
                     nc_type: lint.nc_type,
                     new_lint: lint.new_lint,
+                    evidence: if evidence_on {
+                        ctx.drain_evidence(lint.citation)
+                    } else {
+                        Vec::new()
+                    },
                 });
             }
         }
@@ -691,6 +781,8 @@ impl Registry {
         let instruments = self.instruments();
         let mut report = CertReport::default();
         let issued = ctx.cert().tbs.validity.not_before;
+        let evidence_on = ctx.evidence_enabled();
+        let flight = unicert_telemetry::flight::flight_enabled();
         let mut previous = timed.then(Instant::now);
         for ((lint, instrument), count) in
             self.lints.iter().zip(&instruments.per_lint).zip(&mut tally.counts)
@@ -703,6 +795,12 @@ impl Registry {
             } else {
                 unicert_telemetry::SpanGuard::inert()
             };
+            if flight {
+                unicert_telemetry::flight::set_context(lint.name);
+            }
+            if evidence_on {
+                ctx.begin_check();
+            }
             let status = (lint.check)(ctx);
             *count += 1;
             if let Some(before) = previous {
@@ -717,11 +815,19 @@ impl Registry {
                     Severity::Error => tally.errors += 1,
                     Severity::Warning => tally.warnings += 1,
                 }
+                if flight {
+                    unicert_telemetry::flight::record("violation", lint.name, 0);
+                }
                 report.findings.push(Finding {
                     lint: lint.name,
                     severity: lint.severity,
                     nc_type: lint.nc_type,
                     new_lint: lint.new_lint,
+                    evidence: if evidence_on {
+                        ctx.drain_evidence(lint.citation)
+                    } else {
+                        Vec::new()
+                    },
                 });
             }
         }

@@ -32,9 +32,9 @@ pub mod helpers;
 pub mod profiles;
 
 pub use catalog::{all_lints, default_registry};
-pub use context::LintContext;
+pub use context::{LintContext, Origin};
 pub use framework::{
-    CertReport, Finding, Lint, LintStatus, NoncomplianceType, Registry, RunOptions, RunTally,
-    Severity, Source,
+    CertReport, Evidence, Finding, Lint, LintStatus, NoncomplianceType, Registry, RunOptions,
+    RunTally, Severity, Source,
 };
 pub use profiles::{Profile, DEFAULT_PROFILE};

@@ -1,0 +1,229 @@
+//! Flight recorder: a fixed-size, lock-free, per-worker ring buffer of
+//! recent pipeline events, dumped post-mortem when a certificate is
+//! quarantined.
+//!
+//! The survey processes each certificate entirely on one worker thread, so
+//! a thread-local ring that is cleared at the start of every unit of work
+//! (`begin_unit`) holds exactly that certificate's recent history — no
+//! cross-thread interleaving, which is what makes quarantine dumps
+//! **deterministic at any thread count**. Events carry no timestamps and
+//! no thread ids for the same reason: a dump is a pure function of the
+//! certificate and the registry, never of scheduling.
+//!
+//! Recording is cheap enough to leave on by default (a relaxed atomic
+//! load, one thread-local access, and an array store — no locks, no heap
+//! allocation, no clock reads); set `UNICERT_FLIGHT=0` to turn it off.
+//! The ring is bounded at [`RING_CAPACITY`] events; older events are
+//! overwritten, so a dump is the *last-N* window before the failure.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Maximum events retained per worker; older events are overwritten.
+pub const RING_CAPACITY: usize = 32;
+
+static FLIGHT_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable flight recording (default: enabled).
+pub fn set_flight_enabled(on: bool) {
+    FLIGHT_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is flight recording enabled? One relaxed load.
+#[inline]
+pub fn flight_enabled() -> bool {
+    FLIGHT_ENABLED.load(Ordering::Relaxed)
+}
+
+/// One recorded event. `seq` restarts at 0 for every unit of work, so
+/// dumps are comparable across runs and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FlightEvent {
+    seq: u32,
+    kind: &'static str,
+    label: &'static str,
+    value: u64,
+}
+
+const EMPTY_EVENT: FlightEvent = FlightEvent { seq: 0, kind: "", label: "", value: 0 };
+
+struct Ring {
+    buf: [FlightEvent; RING_CAPACITY],
+    /// Total events recorded since the last `begin_unit` (also the next seq).
+    recorded: u32,
+    /// Identifier of the current unit of work (global cert index).
+    unit: u64,
+}
+
+impl Ring {
+    const fn new() -> Ring {
+        Ring { buf: [EMPTY_EVENT; RING_CAPACITY], recorded: 0, unit: 0 }
+    }
+
+    fn clear(&mut self, unit: u64) {
+        self.recorded = 0;
+        self.unit = unit;
+    }
+
+    fn push(&mut self, kind: &'static str, label: &'static str, value: u64) {
+        let seq = self.recorded;
+        let slot = (seq as usize) % RING_CAPACITY;
+        if let Some(cell) = self.buf.get_mut(slot) {
+            *cell = FlightEvent { seq, kind, label, value };
+        }
+        self.recorded = seq.saturating_add(1);
+    }
+
+    /// Render oldest→newest as `"<seq> <kind> <label>=<value>"` lines.
+    fn dump(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(RING_CAPACITY + 2);
+        out.push(format!("unit {} events {}", self.unit, self.recorded));
+        let newest = self.recorded as usize;
+        let oldest = newest.saturating_sub(RING_CAPACITY);
+        for seq in oldest..newest {
+            let slot = seq % RING_CAPACITY;
+            if let Some(ev) = self.buf.get(slot) {
+                out.push(format!("{:04} {} {}={}", ev.seq, ev.kind, ev.label, ev.value));
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+    /// The most recently announced work context (e.g. the lint currently
+    /// running), rendered into dumps without costing a ring write per lint.
+    static CONTEXT: Cell<&'static str> = const { Cell::new("") };
+}
+
+/// Start a new unit of work (one certificate): clear this worker's ring
+/// and record the unit id. A no-op when recording is disabled.
+pub fn begin_unit(unit: u64) {
+    if !flight_enabled() {
+        return;
+    }
+    RING.with(|r| {
+        if let Ok(mut ring) = r.try_borrow_mut() {
+            ring.clear(unit);
+        }
+    });
+    CONTEXT.with(|c| c.set(""));
+}
+
+/// Record one event into this worker's ring. A no-op when disabled.
+#[inline]
+pub fn record(kind: &'static str, label: &'static str, value: u64) {
+    if !flight_enabled() {
+        return;
+    }
+    RING.with(|r| {
+        if let Ok(mut ring) = r.try_borrow_mut() {
+            ring.push(kind, label, value);
+        }
+    });
+}
+
+/// Announce the current work context (e.g. the name of the lint about to
+/// run). Cheaper than [`record`] — a single thread-local store — and
+/// surfaced as the final `context <label>` line of a dump, so a panic
+/// mid-lint names the lint without a ring write per check.
+#[inline]
+pub fn set_context(label: &'static str) {
+    if !flight_enabled() {
+        return;
+    }
+    CONTEXT.with(|c| c.set(label));
+}
+
+/// Dump this worker's ring, oldest event first: a `unit <id> events <n>`
+/// header, one line per retained event, and a trailing `context <label>`
+/// line when a context was announced. Returns an empty vector when
+/// recording is disabled.
+pub fn dump() -> Vec<String> {
+    if !flight_enabled() {
+        return Vec::new();
+    }
+    let mut out = RING.with(|r| match r.try_borrow() {
+        Ok(ring) => ring.dump(),
+        Err(_) => Vec::new(),
+    });
+    let ctx = CONTEXT.with(|c| c.get());
+    if !ctx.is_empty() {
+        out.push(format!("context {ctx}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that toggle the global enable flag.
+    fn flight_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn dump_replays_events_in_order() {
+        let _guard = flight_lock();
+        set_flight_enabled(true);
+        begin_unit(7);
+        record("stage", "classify", 0);
+        record("stage", "lint", 0);
+        record("violation", "e_example", 2);
+        set_context("e_example");
+        let dump = dump();
+        assert_eq!(
+            dump,
+            vec![
+                "unit 7 events 3".to_string(),
+                "0000 stage classify=0".to_string(),
+                "0001 stage lint=0".to_string(),
+                "0002 violation e_example=2".to_string(),
+                "context e_example".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_window() {
+        let _guard = flight_lock();
+        set_flight_enabled(true);
+        begin_unit(1);
+        for i in 0..(RING_CAPACITY as u64 + 5) {
+            record("tick", "i", i);
+        }
+        let dump = dump();
+        // Header + RING_CAPACITY events.
+        assert_eq!(dump.len(), 1 + RING_CAPACITY);
+        assert_eq!(dump[0], format!("unit 1 events {}", RING_CAPACITY + 5));
+        // Oldest retained event is #5, newest is #RING_CAPACITY+4.
+        assert_eq!(dump[1], "0005 tick i=5");
+        assert!(dump[RING_CAPACITY].starts_with(&format!("{:04} tick", RING_CAPACITY + 4)));
+    }
+
+    #[test]
+    fn begin_unit_resets_the_window() {
+        let _guard = flight_lock();
+        set_flight_enabled(true);
+        begin_unit(1);
+        record("stage", "lint", 0);
+        set_context("w_left_over");
+        begin_unit(2);
+        let dump = dump();
+        assert_eq!(dump, vec!["unit 2 events 0".to_string()]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_silent() {
+        let _guard = flight_lock();
+        set_flight_enabled(false);
+        begin_unit(9);
+        record("stage", "lint", 0);
+        set_context("x");
+        assert!(dump().is_empty());
+        set_flight_enabled(true);
+    }
+}

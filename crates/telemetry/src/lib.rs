@@ -38,13 +38,19 @@
 //! | `UNICERT_METRICS_SAMPLE` | per-lint latency sampling interval (default 16, `1` = every cert) |
 //! | `UNICERT_TRACE` | trace level: `0`/`off`, `1`/`spans`, `2`/`verbose` |
 //! | `UNICERT_TRACE_OUT` | NDJSON event sink path; implies level ≥ spans |
+//! | `UNICERT_FLIGHT` | `0`/`false`/`off` disables the [`flight`] recorder (default on) |
 //!
-//! [`init_from_env`] applies all five; the bench binaries layer
+//! [`init_from_env`] applies all six; the bench binaries layer
 //! `--metrics-out` / `--trace-out` flags on top (see `unicert-bench`).
+//!
+//! A fourth piece, the **flight recorder** ([`flight`]), is a fixed-size
+//! lock-free per-worker ring of recent pipeline events that the survey
+//! dumps into quarantine entries — see DESIGN.md §13.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
 pub mod snapshot;
 pub mod trace;
@@ -143,6 +149,9 @@ fn env_truthy(key: &str) -> bool {
 /// the metric flag and sampling interval, set the trace level, and install
 /// an [`NdjsonSink`] when a trace output path is configured.
 pub fn init_from_env() -> EnvInit {
+    if let Ok(v) = std::env::var("UNICERT_FLIGHT") {
+        flight::set_flight_enabled(!matches!(v.trim(), "0" | "false" | "off" | "no"));
+    }
     let metrics_out = env_path("UNICERT_METRICS_OUT");
     if metrics_out.is_some() || env_truthy("UNICERT_METRICS") {
         set_metrics_enabled(true);

@@ -1,0 +1,150 @@
+//! JSON contract tests for the two telemetry exporters: the NDJSON trace
+//! sink and the metrics snapshot. Both emit JSON by hand (the workspace
+//! has no third-party crates), so these tests pin the escaping rules and
+//! the document shape that downstream consumers — `BENCH_*.json` readers,
+//! the bench harness's own parser — rely on.
+
+#![forbid(unsafe_code)]
+
+use unicert_telemetry::snapshot::escape_json;
+use unicert_telemetry::trace::Collector;
+use unicert_telemetry::{Event, NdjsonSink, Registry};
+
+/// A label exercising every class the escaper must handle: quote,
+/// backslash, the named control escapes, and an unnamed C0 control.
+const HOSTILE: &str = "q\"uote\\back\nline\rret\ttab\u{1}bell\u{1f}unit";
+
+/// Minimal structural validator: brackets/braces balance outside strings,
+/// strings terminate, and every backslash inside a string starts a legal
+/// JSON escape. Not a full parser — just enough to reject the output
+/// corruption modes a hand-rolled emitter can produce (raw control
+/// characters, unescaped quotes, truncated documents).
+fn assert_wellformed(text: &str) {
+    let bytes = text.as_bytes();
+    let mut depth: Vec<u8> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth.push(bytes[i]),
+            b'}' => assert_eq!(depth.pop(), Some(b'{'), "unbalanced }} at byte {i}"),
+            b']' => assert_eq!(depth.pop(), Some(b'['), "unbalanced ] at byte {i}"),
+            b'"' => {
+                i += 1;
+                loop {
+                    assert!(i < bytes.len(), "unterminated string");
+                    match bytes[i] {
+                        b'"' => break,
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).copied().unwrap_or(0);
+                            assert!(
+                                matches!(
+                                    esc,
+                                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' | b'u'
+                                ),
+                                "illegal escape \\{} at byte {i}",
+                                char::from(esc)
+                            );
+                            i += if esc == b'u' { 5 } else { 1 };
+                        }
+                        c if c < 0x20 => panic!("raw control byte {c:#04x} inside string"),
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    assert!(depth.is_empty(), "unclosed brackets at end of document");
+}
+
+#[test]
+fn escape_json_covers_every_hostile_class() {
+    let escaped = escape_json(HOSTILE);
+    assert_eq!(
+        escaped,
+        "q\\\"uote\\\\back\\nline\\rret\\ttab\\u0001bell\\u001funit"
+    );
+    // Idempotence on clean text.
+    assert_eq!(escape_json("plain münchen ascii"), "plain münchen ascii");
+}
+
+#[test]
+fn event_json_line_escapes_hostile_detail() {
+    let event = Event {
+        name: "lint.latency",
+        detail: HOSTILE.to_owned(),
+        start_micros: 12,
+        duration_nanos: 34,
+        thread: 5,
+    };
+    let line = event.to_json_line();
+    assert_wellformed(&line);
+    assert!(line.contains("\\\"uote"), "quote not escaped: {line}");
+    assert!(line.contains("\\\\back"), "backslash not escaped: {line}");
+    assert!(line.contains("\\u0001bell"), "C0 control not escaped: {line}");
+    assert!(!line.contains('\n'), "NDJSON line must be newline-free: {line}");
+}
+
+#[test]
+fn ndjson_sink_writes_one_wellformed_line_per_event() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("unicert_json_contract_{}.ndjson", std::process::id()));
+    let sink = NdjsonSink::create(&path).expect("create sink");
+    for i in 0..3u64 {
+        sink.record(&Event {
+            name: "survey.shard",
+            detail: format!("{HOSTILE}#{i}"),
+            start_micros: i,
+            duration_nanos: i * 10,
+            thread: 0,
+        });
+    }
+    sink.flush();
+    let text = std::fs::read_to_string(&path).expect("read sink output");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per event");
+    for (i, line) in lines.iter().enumerate() {
+        assert_wellformed(line);
+        assert!(line.starts_with("{\"span\": \"survey.shard\""), "line {i}: {line}");
+        assert!(line.contains(&format!("#{i}\"")), "detail order preserved: {line}");
+    }
+}
+
+#[test]
+fn snapshot_export_has_the_documented_schema() {
+    let registry = Registry::new();
+    registry.counter("ctx.cache.hit", HOSTILE).add(7);
+    registry.gauge("bench.wall_ns", "serial").set(123);
+    let h = registry.histogram("lint.latency_ns", "e_example");
+    h.record(100);
+    h.record(200_000);
+
+    let json = registry.snapshot().to_json();
+    assert_wellformed(&json);
+
+    // Top level: exactly the three documented arrays, in order.
+    let counters_at = json.find("\"counters\": [").expect("counters array");
+    let gauges_at = json.find("\"gauges\": [").expect("gauges array");
+    let histograms_at = json.find("\"histograms\": [").expect("histograms array");
+    assert!(counters_at < gauges_at && gauges_at < histograms_at);
+
+    // Counter/gauge records carry name, label, value — label escaped.
+    assert!(json.contains("{\"name\": \"ctx.cache.hit\", \"label\": \"q\\\"uote"));
+    assert!(json.contains("\"value\": 7}"));
+    assert!(json.contains("{\"name\": \"bench.wall_ns\", \"label\": \"serial\", \"value\": 123}"));
+
+    // Histogram records carry the precomputed quantiles and sparse buckets.
+    for key in ["\"count\": 2", "\"sum\": 200100", "\"mean\": ", "\"p50\": ", "\"p90\": ",
+        "\"p99\": ", "\"max\": 200000", "\"buckets\": ["] {
+        assert!(json.contains(key), "missing {key} in histogram record:\n{json}");
+    }
+    // Two recorded values in different buckets → two sparse [bound, count]
+    // pairs.
+    let hist_section = &json[histograms_at..];
+    let buckets = hist_section.find("\"buckets\": [").expect("buckets key");
+    let tail = &hist_section[buckets..];
+    assert!(tail.contains(", 1]"), "sparse pairs with per-bucket counts: {tail}");
+}

@@ -21,6 +21,7 @@ pub mod name_constraints;
 pub mod pem;
 pub mod sha256;
 pub mod sign;
+pub mod spans;
 pub mod value;
 
 pub use builder::CertificateBuilder;
@@ -32,4 +33,5 @@ pub use extensions::{Extension, ParsedExtension};
 pub use general_name::GeneralName;
 pub use name::{AttributeTypeAndValue, DistinguishedName, Rdn};
 pub use sign::SimKey;
+pub use spans::{CertSpans, ExtensionSpans};
 pub use value::RawValue;
