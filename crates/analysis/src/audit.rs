@@ -16,9 +16,10 @@ use std::path::{Path, PathBuf};
 
 /// The crates whose `src/` trees the audit walks: the four untrusted-input
 /// substrates plus `telemetry`, which runs inline on every pipeline worker
-/// and must never be the thing that takes the survey down.
-pub const AUDITED_CRATES: [&str; 9] =
-    ["asn1", "x509", "idna", "unicode", "telemetry", "core", "lint", "corpus", "chaos"];
+/// and must never be the thing that takes the survey down, and `store`,
+/// which parses hostile on-disk state back into the survey.
+pub const AUDITED_CRATES: [&str; 10] =
+    ["asn1", "x509", "idna", "unicode", "telemetry", "core", "lint", "corpus", "chaos", "store"];
 
 /// Files whose length arithmetic is additionally audited (`len_arith`).
 /// These are the DER reader hot paths every untrusted byte flows through.

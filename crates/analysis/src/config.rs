@@ -65,7 +65,11 @@ impl Default for AnalysisConfig {
                 "monitors", "threats", "rand",
             ],
         );
-        allowed.insert("bench", vec!["core", "chaos", "telemetry", "rand"]);
+        allowed.insert(
+            "store",
+            vec!["core", "lint", "x509", "asn1", "corpus", "telemetry"],
+        );
+        allowed.insert("bench", vec!["core", "chaos", "store", "telemetry", "rand"]);
         allowed.insert("analysis", vec!["asn1", "lint"]);
         // Shims are leaves; proptest builds on the rand shim.
         allowed.insert("rand", vec![]);

@@ -1,0 +1,108 @@
+//! Exact-at-limit boundary tests for `ParseBudget`.
+//!
+//! Each budget axis (`max_input`, `max_elements`, `max_tlv_bytes`) is
+//! exercised on both sides of its boundary: consumption exactly *at* the
+//! limit must be accepted, one unit *past* it must fail with the
+//! `BudgetExceeded` error naming that axis. The exact consumption of the
+//! probe input is measured first through the `BudgetState` accessors, so
+//! the tests stay correct if the probe changes shape.
+
+use unicert_asn1::{BudgetState, Error, ParseBudget, Reader};
+
+/// `SEQUENCE { INTEGER 1, INTEGER 2, INTEGER 3 }` — 4 TLV elements
+/// (the sequence plus three integers), 11 input bytes.
+const PROBE: [u8; 11] = [
+    0x30, 0x09, 0x02, 0x01, 0x01, 0x02, 0x01, 0x02, 0x02, 0x01, 0x03,
+];
+
+/// Fully parse the probe, charging the given budget state.
+fn walk(state: &BudgetState) -> unicert_asn1::Result<()> {
+    let mut r = Reader::with_budget(&PROBE, state);
+    r.read_sequence(|inner| {
+        while !inner.is_empty() {
+            inner.read_tlv()?;
+        }
+        Ok(())
+    })?;
+    r.finish()
+}
+
+/// Measure the probe's exact budget consumption under unconstrained limits.
+fn measured() -> (u64, u64) {
+    let state = ParseBudget::default().start();
+    walk(&state).expect("probe parses under default budget");
+    (state.elements_used(), state.tlv_bytes_used())
+}
+
+#[test]
+fn max_input_exactly_at_limit_is_admitted() {
+    let budget = ParseBudget { max_input: PROBE.len(), ..ParseBudget::default() };
+    assert_eq!(budget.admit(&PROBE), Ok(()));
+    // And the parse itself still runs to completion.
+    let state = budget.start();
+    assert_eq!(walk(&state), Ok(()));
+}
+
+#[test]
+fn max_input_one_byte_over_limit_is_rejected() {
+    let budget = ParseBudget { max_input: PROBE.len() - 1, ..ParseBudget::default() };
+    assert_eq!(budget.admit(&PROBE), Err(Error::BudgetExceeded { resource: "input_bytes" }));
+    // Zero admits nothing but the empty input.
+    let none = ParseBudget { max_input: 0, ..ParseBudget::default() };
+    assert_eq!(none.admit(&[]), Ok(()));
+    assert_eq!(none.admit(&[0x05, 0x00]), Err(Error::BudgetExceeded { resource: "input_bytes" }));
+}
+
+#[test]
+fn max_elements_exactly_at_limit_is_accepted() {
+    let (elements, _) = measured();
+    assert_eq!(elements, 4, "probe shape changed — revisit the boundary constants");
+    let state = ParseBudget { max_elements: elements, ..ParseBudget::default() }.start();
+    assert_eq!(walk(&state), Ok(()));
+    assert_eq!(state.elements_used(), elements, "at-limit parse must consume the full budget");
+}
+
+#[test]
+fn max_elements_one_under_limit_is_rejected() {
+    let (elements, _) = measured();
+    let state = ParseBudget { max_elements: elements - 1, ..ParseBudget::default() }.start();
+    assert_eq!(walk(&state), Err(Error::BudgetExceeded { resource: "elements" }));
+}
+
+#[test]
+fn max_tlv_bytes_exactly_at_limit_is_accepted() {
+    let (_, tlv_bytes) = measured();
+    let state = ParseBudget { max_tlv_bytes: tlv_bytes, ..ParseBudget::default() }.start();
+    assert_eq!(walk(&state), Ok(()));
+    assert_eq!(state.tlv_bytes_used(), tlv_bytes, "at-limit parse must consume the full budget");
+}
+
+#[test]
+fn max_tlv_bytes_one_under_limit_is_rejected() {
+    let (_, tlv_bytes) = measured();
+    let state = ParseBudget { max_tlv_bytes: tlv_bytes - 1, ..ParseBudget::default() }.start();
+    assert_eq!(walk(&state), Err(Error::BudgetExceeded { resource: "tlv_bytes" }));
+}
+
+/// The two charged axes trip independently: relaxing one does not mask
+/// the other's boundary.
+#[test]
+fn axes_trip_independently_at_their_own_boundaries() {
+    let (elements, tlv_bytes) = measured();
+    // Elements at limit, bytes one under: the byte axis must fire.
+    let state = ParseBudget {
+        max_elements: elements,
+        max_tlv_bytes: tlv_bytes - 1,
+        ..ParseBudget::default()
+    }
+    .start();
+    assert_eq!(walk(&state), Err(Error::BudgetExceeded { resource: "tlv_bytes" }));
+    // Bytes at limit, elements one under: the element axis must fire.
+    let state = ParseBudget {
+        max_elements: elements - 1,
+        max_tlv_bytes: tlv_bytes,
+        ..ParseBudget::default()
+    }
+    .start();
+    assert_eq!(walk(&state), Err(Error::BudgetExceeded { resource: "elements" }));
+}

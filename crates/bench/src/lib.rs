@@ -73,6 +73,13 @@ impl Drop for TelemetryGuard {
 /// on top — flags win over environment. Either flag implies the matching
 /// subsystem on.
 pub fn telemetry_args() -> TelemetryGuard {
+    // Strict env handling for binaries (DESIGN.md §14 satellite rule):
+    // a malformed UNICERT_* variable is a usage error in every harness
+    // binary, not a silent library fallback.
+    if let Err(problems) = unicert::lint::RunOptions::validate_env() {
+        eprintln!("error: invalid environment:\n{problems}");
+        std::process::exit(2);
+    }
     let env = telemetry::init_from_env();
     let mut metrics_out = env.metrics_out;
     let mut args = std::env::args().skip(1);

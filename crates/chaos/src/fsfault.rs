@@ -1,0 +1,263 @@
+//! File-level corruption injectors for persistent-store robustness tests.
+//!
+//! The DER mutator ([`crate::mutate`]) attacks hostile *input*; this module
+//! attacks hostile *state* — the on-disk artifacts a crashed or bit-rotted
+//! machine hands back to a resumed survey (`unicert-store` segments,
+//! manifests, and checkpoints). Four fault classes cover the taxonomy the
+//! store's corruption detector must classify:
+//!
+//! * [`StoreFault::TornWrite`] — truncate the file mid-body, as a crash
+//!   during a non-atomic write would;
+//! * [`StoreFault::BitRot`] — flip a few bits in the body, leaving the
+//!   length intact;
+//! * [`StoreFault::Tamper`] — rewrite one payload character, the smallest
+//!   content change that must still break an integrity check;
+//! * [`StoreFault::VersionSkew`] — bump the format-version digit in the
+//!   header line, as reading a future (or ancient) format version would.
+//!
+//! The injectors are layout-agnostic: they only assume the store-file
+//! convention that the first line (up to the first `\n`, or the first
+//! [`HEADER_SCAN`] bytes) is an ASCII header carrying the format version,
+//! and everything after it is payload. Each injection is deterministic in
+//! `(path contents, seed)`, so a corrupt store found in CI reconstructs
+//! locally byte-for-byte — the same replay contract as the DER mutator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::path::Path;
+
+/// How many leading bytes are searched for the header newline (and, for
+/// [`StoreFault::VersionSkew`], the version digit).
+pub const HEADER_SCAN: usize = 64;
+
+/// One class of file-level damage. See the module docs for the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Truncate the file somewhere after its header line.
+    TornWrite,
+    /// Flip 1–4 random bits after the header line.
+    BitRot,
+    /// Rewrite one alphanumeric payload byte to a different one.
+    Tamper,
+    /// Increment the version digit in the header line.
+    VersionSkew,
+}
+
+impl StoreFault {
+    /// Every fault class, in a stable order for sweeps.
+    pub const ALL: [StoreFault; 4] =
+        [StoreFault::TornWrite, StoreFault::BitRot, StoreFault::Tamper, StoreFault::VersionSkew];
+
+    /// Stable lowercase label for manifests, reports, and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreFault::TornWrite => "torn_write",
+            StoreFault::BitRot => "bit_rot",
+            StoreFault::Tamper => "tamper",
+            StoreFault::VersionSkew => "version_skew",
+        }
+    }
+}
+
+/// End of the header region: one past the first `\n` within the first
+/// [`HEADER_SCAN`] bytes, or `min(len, HEADER_SCAN)` for headerless blobs.
+fn header_end(data: &[u8]) -> usize {
+    data.iter()
+        .take(HEADER_SCAN)
+        .position(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or_else(|| data.len().min(HEADER_SCAN))
+}
+
+/// Apply `fault` to the file at `path` in place.
+///
+/// Returns a one-line human-readable description of the damage done, or an
+/// [`io::Error`] when the file cannot be read/written or is too small to
+/// host the fault (e.g. truncating a file that is all header).
+pub fn inject(path: &Path, fault: StoreFault, seed: u64) -> io::Result<String> {
+    match fault {
+        StoreFault::TornWrite => torn_write(path, seed),
+        StoreFault::BitRot => bit_rot(path, seed),
+        StoreFault::Tamper => tamper(path, seed),
+        StoreFault::VersionSkew => version_skew(path),
+    }
+}
+
+/// Truncate the file at a seed-chosen offset strictly inside its payload,
+/// simulating a crash mid-write. The header line survives so the torn file
+/// still *looks like* a store file — the interesting case for detection.
+pub fn torn_write(path: &Path, seed: u64) -> io::Result<String> {
+    let data = std::fs::read(path)?;
+    let start = header_end(&data);
+    if data.len() <= start + 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "file has no payload to tear",
+        ));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cut = rng.gen_range(start + 1..data.len());
+    let torn = data.get(..cut).unwrap_or(&data).to_vec();
+    std::fs::write(path, &torn)?;
+    Ok(format!("torn_write: truncated {} -> {} bytes", data.len(), cut))
+}
+
+/// Flip 1–4 seed-chosen bits after the header line, leaving the file
+/// length unchanged — the silent-media-decay case.
+pub fn bit_rot(path: &Path, seed: u64) -> io::Result<String> {
+    let mut data = std::fs::read(path)?;
+    let start = header_end(&data);
+    if data.len() <= start {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "file has no payload to rot",
+        ));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let flips = rng.gen_range(1..=4usize);
+    let mut flipped = Vec::with_capacity(flips.min(4));
+    for _ in 0..flips {
+        let at = rng.gen_range(start..data.len());
+        let bit = rng.gen_range(0..8u32);
+        if let Some(b) = data.get_mut(at) {
+            *b ^= 1u8 << bit;
+            flipped.push(at);
+        }
+    }
+    std::fs::write(path, &data)?;
+    Ok(format!("bit_rot: flipped bits at offsets {flipped:?}"))
+}
+
+/// Rewrite one seed-chosen alphanumeric payload byte to a different
+/// alphanumeric byte — a minimal content edit (a count, a fingerprint hex
+/// digit) that any integrity check worth having must catch.
+pub fn tamper(path: &Path, seed: u64) -> io::Result<String> {
+    let mut data = std::fs::read(path)?;
+    let start = header_end(&data);
+    let candidates: Vec<usize> = data
+        .iter()
+        .enumerate()
+        .skip(start)
+        .filter(|(_, b)| b.is_ascii_alphanumeric())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "file has no alphanumeric payload to tamper with",
+        ));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pick = rng.gen_range(0..candidates.len());
+    let at = candidates.get(pick).copied().unwrap_or(start);
+    let Some(b) = data.get_mut(at) else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "tamper offset out of range"));
+    };
+    let old = *b;
+    // Rotate within the class so the result is a *different* same-class
+    // byte: '9'→'0', 'z'→'a', etc. — the framing stays plausible.
+    *b = match old {
+        b'0'..=b'8' | b'a'..=b'y' | b'A'..=b'Y' => old + 1,
+        b'9' => b'0',
+        b'z' => b'a',
+        _ => b'A',
+    };
+    let new = *b;
+    std::fs::write(path, &data)?;
+    Ok(format!("tamper: byte at {at} {:?} -> {:?}", old as char, new as char))
+}
+
+/// Increment the last ASCII digit in the header line (mod 10), turning
+/// e.g. `unicert-store segment v1` into `... v2` — a file written by a
+/// different format version. Fails when the header carries no digit.
+pub fn version_skew(path: &Path) -> io::Result<String> {
+    let mut data = std::fs::read(path)?;
+    let end = header_end(&data);
+    let at = data
+        .get(..end)
+        .unwrap_or(&data)
+        .iter()
+        .rposition(|b| b.is_ascii_digit());
+    let Some(at) = at else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "header line carries no version digit to skew",
+        ));
+    };
+    let Some(b) = data.get_mut(at) else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "skew offset out of range"));
+    };
+    let old = *b;
+    *b = if old == b'9' { b'0' } else { old + 1 };
+    let new = *b;
+    std::fs::write(path, &data)?;
+    Ok(format!("version_skew: header digit at {at} {:?} -> {:?}", old as char, new as char))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("unicert-fsfault-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const SAMPLE: &[u8] = b"unicert-store segment v1\npayload payload payload 1234567890\n";
+
+    #[test]
+    fn torn_write_truncates_after_header() {
+        let path = scratch("torn", SAMPLE);
+        let desc = torn_write(&path, 7).unwrap();
+        let out = std::fs::read(&path).unwrap();
+        assert!(out.len() < SAMPLE.len(), "{desc}");
+        assert!(out.starts_with(b"unicert-store segment v1\n"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_rot_preserves_length_and_header() {
+        let path = scratch("rot", SAMPLE);
+        bit_rot(&path, 7).unwrap();
+        let out = std::fs::read(&path).unwrap();
+        assert_eq!(out.len(), SAMPLE.len());
+        assert!(out.starts_with(b"unicert-store segment v1\n"));
+        assert_ne!(out.as_slice(), SAMPLE);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tamper_changes_exactly_one_byte() {
+        let path = scratch("tamper", SAMPLE);
+        tamper(&path, 7).unwrap();
+        let out = std::fs::read(&path).unwrap();
+        assert_eq!(out.len(), SAMPLE.len());
+        let diffs = out.iter().zip(SAMPLE).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_skew_bumps_header_digit() {
+        let path = scratch("skew", SAMPLE);
+        version_skew(&path).unwrap();
+        let out = std::fs::read(&path).unwrap();
+        assert!(out.starts_with(b"unicert-store segment v2\n"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injections_are_deterministic_per_seed() {
+        for fault in StoreFault::ALL {
+            let a = scratch(&format!("det-a-{}", fault.label()), SAMPLE);
+            let b = scratch(&format!("det-b-{}", fault.label()), SAMPLE);
+            inject(&a, fault, 99).unwrap();
+            inject(&b, fault, 99).unwrap();
+            assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap(), "{}", fault.label());
+            std::fs::remove_file(&a).ok();
+            std::fs::remove_file(&b).ok();
+        }
+    }
+}

@@ -12,7 +12,10 @@
 //!   input, TLV-aware where the class calls for it (mutations land on real
 //!   element boundaries, not just random offsets);
 //! * [`vectors`] — the small golden set of malformed inputs checked into
-//!   `tests/vectors/malformed/`, with their expected parse-outcome classes.
+//!   `tests/vectors/malformed/`, with their expected parse-outcome classes;
+//! * [`fsfault`] — file-level corruption injectors (torn writes, bit rot,
+//!   content tamper, version skew) for the persistent-store robustness
+//!   harness, equally deterministic per `(contents, seed)`.
 //!
 //! Mutated output is always bounded: no mutation emits more than the input
 //! plus [`mutate::MAX_GROWTH`] bytes, so a fuzz loop's memory stays flat no
@@ -25,7 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fsfault;
 pub mod mutate;
 pub mod vectors;
 
+pub use fsfault::StoreFault;
 pub use mutate::{MutationClass, Mutator};

@@ -12,11 +12,27 @@
 //!
 //! Exit status: 0 = all compliant, 1 = findings, 2 = usage/parse error.
 
+use unicert::asn1::ParseBudget;
 use unicert::lint::{RunOptions, Severity};
 use unicert::x509::{pem, Certificate};
 
 fn load_certificate(path: &str) -> Result<Certificate, String> {
+    let budget = ParseBudget::default();
     let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if data.is_empty() {
+        return Err(format!("{path}: empty input file"));
+    }
+    // One certificate per file: anything past the single-cert parse budget
+    // is rejected up front with a size, not fed to the parser. (PEM decode
+    // can only shrink the payload, so checking the file size bounds both
+    // encodings.)
+    if data.len() > budget.max_input {
+        return Err(format!(
+            "{path}: input is {} bytes, over the {}-byte single-certificate limit",
+            data.len(),
+            budget.max_input
+        ));
+    }
     let der = if data.starts_with(b"-----BEGIN") || data.windows(10).take(200).any(|w| w == b"-----BEGIN") {
         let text = String::from_utf8_lossy(&data);
         let (label, der) = pem::decode(&text).map_err(|e| format!("{path}: PEM: {e}"))?;
@@ -27,7 +43,7 @@ fn load_certificate(path: &str) -> Result<Certificate, String> {
     } else {
         data
     };
-    Certificate::parse_der(&der).map_err(|e| format!("{path}: DER: {e}"))
+    Certificate::parse_der_budgeted(&der, &budget).map_err(|e| format!("{path}: DER: {e}"))
 }
 
 fn demo_certificate() -> Certificate {
@@ -71,6 +87,12 @@ fn lint_one(name: &str, cert: &Certificate, opts: RunOptions, quiet: bool) -> us
 }
 
 fn main() {
+    // Strict env handling for binaries: a malformed UNICERT_* variable is
+    // a usage error here, not a silent library fallback.
+    if let Err(problems) = RunOptions::validate_env() {
+        eprintln!("error: invalid environment:\n{problems}");
+        std::process::exit(2);
+    }
     let mut opts = RunOptions::default();
     let mut quiet = false;
     let mut demo = false;

@@ -75,8 +75,10 @@ pub struct QuarantineEntry {
     /// Certificate identity: lowercase-hex serial number, or `#<index>`
     /// when the input never parsed far enough to have one.
     pub cert_id: String,
-    /// Pipeline stage that panicked: `"parse"`, `"classify"`, `"lint"`, or
-    /// `"field_matrix"`.
+    /// Pipeline stage that failed: `"parse"`, `"classify"`, `"lint"`,
+    /// `"field_matrix"`, or — for whole shards of a persistent corpus the
+    /// store layer could not read back intact — `"store"` (see
+    /// [`STAGE_LABELS`]).
     pub stage: &'static str,
     /// Stringified panic payload.
     pub detail: String,
@@ -85,6 +87,46 @@ pub struct QuarantineEntry {
     /// count because the ring is cleared per certificate; empty when the
     /// recorder is disabled (`UNICERT_FLIGHT=0`).
     pub flight: Vec<String>,
+}
+
+/// The closed set of [`QuarantineEntry::stage`] labels. Checkpoint
+/// deserialization (`unicert-store`) re-interns stage strings against this
+/// table so a loaded report carries the same `&'static str` values a fresh
+/// run would.
+pub const STAGE_LABELS: [&str; 5] =
+    ["parse", "classify", "lint", "field_matrix", "store"];
+
+/// The closed set of [`SurveyReport::field_matrix`] field labels (Figure 4
+/// columns), in the order `field_matrix_marks` can emit them.
+pub const FIELD_LABELS: [&str; 9] =
+    ["CN", "O", "OU", "L", "ST", "STREET", "serialNumber", "SAN", "CP"];
+
+/// The closed set of [`ParseOutcome::class`] labels: `"ok"`, the
+/// [`unicert_asn1::Error::class`] taxonomy, and the budget/depth/panic
+/// outcome classes.
+pub const OUTCOME_CLASSES: [&str; 11] = [
+    "ok",
+    "truncated",
+    "bad_tag",
+    "bad_length",
+    "trailing_data",
+    "depth_exceeded",
+    "bad_oid",
+    "bad_value",
+    "budget",
+    "oversized",
+    "quarantined",
+];
+
+/// Re-intern a runtime string against a closed `&'static str` label table
+/// ([`STAGE_LABELS`], [`FIELD_LABELS`], [`OUTCOME_CLASSES`]). Returns
+/// `None` for labels outside the table — deserializers treat that as a
+/// corrupt record, never as a new label.
+pub fn intern_label(
+    label: &str,
+    table: &'static [&'static str],
+) -> Option<&'static str> {
+    table.iter().find(|&&t| t == label).copied()
 }
 
 /// Pre-resolved per-stage latency histograms for the survey hot loop
@@ -763,13 +805,40 @@ pub fn run_parallel_slice_with(
     entries: &[CorpusEntry],
     opts: SurveyOptions,
 ) -> SurveyReport {
+    run_parallel_slice_from(registry, entries, opts, 0)
+}
+
+/// [`run_parallel_slice_with`] over a slice that starts at global stream
+/// position `base` rather than 0.
+///
+/// This is the incremental-survey building block (`unicert-store`): a
+/// persistent corpus is surveyed one store shard at a time, and each
+/// shard's entries must carry their *global* indexes so quarantine lists
+/// from resumed runs merge into exactly the one-shot list. Internal
+/// chunking still follows `opts.lint.effective_shard_size()`, so the
+/// result is byte-identical for any thread count and independent of how
+/// the caller cuts the stream into slices (the shard-merge invariant,
+/// DESIGN.md §7).
+pub fn run_parallel_slice_from(
+    registry: &unicert_lint::Registry,
+    entries: &[CorpusEntry],
+    opts: SurveyOptions,
+    base: u64,
+) -> SurveyReport {
     let threads = opts.lint.effective_threads();
     if threads <= 1 {
         let _span = unicert_telemetry::span!("survey.run_parallel_slice", "threads=1");
         let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut report = SurveyReport::default();
         for (index, entry) in entries.iter().enumerate() {
-            accumulate(&mut report, registry, index as u64, entry, &opts, telemetry.as_mut());
+            accumulate(
+                &mut report,
+                registry,
+                base + index as u64,
+                entry,
+                &opts,
+                telemetry.as_mut(),
+            );
         }
         ShardTelemetry::flush(telemetry, registry);
         report.profile = registry.profile_name();
@@ -783,12 +852,12 @@ pub fn run_parallel_slice_with(
         let _span = unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.len());
         let mut telemetry = ShardTelemetry::if_enabled(registry);
         let mut shard = SurveyReport::default();
-        let base = chunk_idx as u64 * shard_size as u64;
+        let chunk_base = base + chunk_idx as u64 * shard_size as u64;
         for (offset, entry) in chunk.iter().enumerate() {
             accumulate(
                 &mut shard,
                 registry,
-                base + offset as u64,
+                chunk_base + offset as u64,
                 entry,
                 &opts,
                 telemetry.as_mut(),

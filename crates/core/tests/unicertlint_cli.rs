@@ -1,0 +1,116 @@
+//! Exit-status contract of the `unicertlint` binary (0 = compliant,
+//! 1 = findings, 2 = usage/environment/input error), driven end to end
+//! through the compiled executable.
+//!
+//! Every degenerate input class the CLI documents gets one test:
+//! unreadable path, empty file, over-the-budget file, and a malformed
+//! `UNICERT_*` environment. Each must fail *loudly* (exit 2 plus a
+//! stderr line naming the offender) rather than fall back silently.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Run the binary with a scrubbed `UNICERT_*` environment plus overrides.
+fn unicertlint(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_unicertlint"));
+    for name in ["UNICERT_THREADS", "UNICERT_SHARD_SIZE", "UNICERT_PROFILE"] {
+        cmd.env_remove(name);
+    }
+    for (name, value) in env {
+        cmd.env(name, value);
+    }
+    cmd.args(args).output().expect("spawn unicertlint")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn scratch_file(name: &str, contents: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("unicertlint-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write scratch file");
+    path
+}
+
+#[test]
+fn demo_certificate_has_findings_and_exits_one() {
+    let out = unicertlint(&["--demo", "--quiet"], &[]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = unicertlint(&[], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unreadable_input_exits_two_and_names_the_path() {
+    let missing = std::env::temp_dir().join("unicertlint-cli-definitely-missing.der");
+    std::fs::remove_file(&missing).ok();
+    let path = missing.to_string_lossy().into_owned();
+    let out = unicertlint(&[&path], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains(&path), "stderr must name the unreadable path: {err}");
+}
+
+#[test]
+fn empty_input_exits_two_with_explicit_diagnosis() {
+    let path = scratch_file("empty", b"");
+    let out = unicertlint(&[&path.to_string_lossy()], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("empty input file"), "stderr: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn oversized_input_exits_two_before_parsing() {
+    // One byte past the 1 MiB single-certificate parse budget.
+    let path = scratch_file("huge", &vec![0x30u8; (1 << 20) + 1]);
+    let out = unicertlint(&[&path.to_string_lossy()], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("single-certificate limit"), "stderr: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn garbage_der_exits_two_as_parse_error() {
+    let path = scratch_file("garbage", b"this is not DER at all");
+    let out = unicertlint(&[&path.to_string_lossy()], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("error:"), "stderr: {}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn malformed_environment_exits_two_and_names_the_variable() {
+    for (name, value) in [
+        ("UNICERT_THREADS", "fuor"),
+        ("UNICERT_SHARD_SIZE", "0"),
+        ("UNICERT_PROFILE", "no-such-profile"),
+    ] {
+        let out = unicertlint(&["--demo"], &[(name, value)]);
+        assert_eq!(out.status.code(), Some(2), "{name}={value} must exit 2");
+        let err = stderr(&out);
+        assert!(err.contains(name), "{name}={value}: stderr must name it: {err}");
+    }
+    // A well-formed environment still lints.
+    let out = unicertlint(
+        &["--demo", "--quiet"],
+        &[("UNICERT_THREADS", "2"), ("UNICERT_PROFILE", "webpki")],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unknown_profile_flag_exits_two_and_lists_profiles() {
+    let out = unicertlint(&["--profile", "nope", "--demo"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown profile"), "stderr: {err}");
+    assert!(err.contains("webpki"), "stderr must list registered profiles: {err}");
+}

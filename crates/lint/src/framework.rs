@@ -354,9 +354,57 @@ impl RunOptions {
         RunOptions { enforce_effective_dates: false, ..RunOptions::default() }
     }
 
+    /// Validate the shared environment knobs (`UNICERT_THREADS`,
+    /// `UNICERT_SHARD_SIZE`, `UNICERT_PROFILE`) *strictly*.
+    ///
+    /// The library resolvers below are lenient by design — a malformed
+    /// value falls back along the documented chain so embedding code never
+    /// fails on a stray variable. Binaries want the opposite: a typo'd
+    /// `UNICERT_THREADS=fuor` silently running serial is a misconfiguration
+    /// the operator should hear about. Every `unicert` binary calls this on
+    /// startup and exits with status 2 on `Err`, which carries one line per
+    /// offending variable.
+    ///
+    /// Strict rules: `UNICERT_THREADS` and `UNICERT_SHARD_SIZE`, when set,
+    /// must parse as integers ≥ 1; `UNICERT_PROFILE`, when set, must name a
+    /// registered profile. Unset variables are always fine.
+    pub fn validate_env() -> Result<(), String> {
+        let mut problems = Vec::new();
+        for name in ["UNICERT_THREADS", "UNICERT_SHARD_SIZE"] {
+            if let Ok(v) = std::env::var(name) {
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => {}
+                    _ => problems.push(format!(
+                        "{name}={v:?} is not a positive integer"
+                    )),
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("UNICERT_PROFILE") {
+            if crate::profiles::find(&v).is_none() {
+                let names: Vec<&str> =
+                    crate::profiles::all().iter().map(|p| p.name).collect();
+                problems.push(format!(
+                    "UNICERT_PROFILE={v:?} is not a registered profile (registered: {})",
+                    names.join(", ")
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("\n"))
+        }
+    }
+
     /// Resolve the worker-thread count: explicit option, then the
     /// `UNICERT_THREADS` environment variable, then the machine's available
     /// parallelism. Always at least 1.
+    ///
+    /// Lenient fallback rule (see [`RunOptions::validate_env`] for the
+    /// strict binary-facing check): a `UNICERT_THREADS` value that does not
+    /// parse as an integer is ignored — resolution falls through to the
+    /// machine's parallelism — and `0` is clamped to 1.
     pub fn effective_threads(&self) -> usize {
         let configured = self.threads.or_else(|| {
             std::env::var("UNICERT_THREADS").ok().and_then(|v| v.parse().ok())
@@ -369,6 +417,11 @@ impl RunOptions {
 
     /// Resolve the shard size: explicit option, then `UNICERT_SHARD_SIZE`,
     /// then [`RunOptions::DEFAULT_SHARD_SIZE`]. Always at least 1.
+    ///
+    /// Lenient fallback rule: an unparsable `UNICERT_SHARD_SIZE` is
+    /// ignored (resolution falls through to the default) and `0` is
+    /// clamped to 1. Binaries reject such values up front via
+    /// [`RunOptions::validate_env`].
     pub fn effective_shard_size(&self) -> usize {
         let configured = if self.shard_size > 0 {
             Some(self.shard_size)
@@ -382,6 +435,11 @@ impl RunOptions {
     /// `UNICERT_PROFILE` environment variable (matched against the
     /// registered profile names), then the default profile. Always a
     /// registered profile name.
+    ///
+    /// Lenient fallback rule: an unregistered name (from either source)
+    /// resolves to the default profile rather than failing the run.
+    /// Binaries reject unknown `UNICERT_PROFILE` values up front via
+    /// [`RunOptions::validate_env`].
     pub fn effective_profile(&self) -> &'static str {
         if let Some(name) = self.profile {
             return crate::profiles::find(name)

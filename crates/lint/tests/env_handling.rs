@@ -1,0 +1,94 @@
+//! Environment-variable contract of the execution knobs.
+//!
+//! Two documented layers (see `RunOptions` docs):
+//!
+//! * **Strict** — `RunOptions::validate_env` is what every binary calls on
+//!   startup; a malformed `UNICERT_*` variable must produce an error that
+//!   names it (the binary then exits 2).
+//! * **Lenient** — the `effective_*` resolvers embed in library code and
+//!   must never fail: malformed values fall back along the documented
+//!   chain (explicit option → env → default).
+//!
+//! Everything lives in ONE `#[test]` because the process environment is
+//! global and the test harness runs tests on parallel threads.
+
+use unicert_lint::profiles::DEFAULT_PROFILE;
+use unicert_lint::RunOptions;
+
+fn clear() {
+    for name in ["UNICERT_THREADS", "UNICERT_SHARD_SIZE", "UNICERT_PROFILE"] {
+        std::env::remove_var(name);
+    }
+}
+
+#[test]
+fn strict_validation_and_lenient_fallbacks() {
+    clear();
+    let opts = RunOptions::default();
+
+    // Unset environment: valid, and every resolver lands on its default.
+    assert_eq!(RunOptions::validate_env(), Ok(()));
+    assert_eq!(opts.effective_shard_size(), RunOptions::DEFAULT_SHARD_SIZE);
+    assert_eq!(opts.effective_profile(), DEFAULT_PROFILE);
+    assert!(opts.effective_threads() >= 1);
+
+    // Well-formed values: valid, and resolvers honor them.
+    std::env::set_var("UNICERT_THREADS", "3");
+    std::env::set_var("UNICERT_SHARD_SIZE", "77");
+    std::env::set_var("UNICERT_PROFILE", DEFAULT_PROFILE);
+    assert_eq!(RunOptions::validate_env(), Ok(()));
+    assert_eq!(opts.effective_threads(), 3);
+    assert_eq!(opts.effective_shard_size(), 77);
+    assert_eq!(opts.effective_profile(), DEFAULT_PROFILE);
+
+    // Explicit options always beat the environment.
+    let explicit = RunOptions {
+        threads: Some(5),
+        shard_size: 11,
+        profile: Some(DEFAULT_PROFILE),
+        ..RunOptions::default()
+    };
+    assert_eq!(explicit.effective_threads(), 5);
+    assert_eq!(explicit.effective_shard_size(), 11);
+
+    // Malformed integers: strict check names each offending variable;
+    // lenient resolvers fall through to the defaults.
+    for bad in ["fuor", "-1", "0", "1.5", ""] {
+        std::env::set_var("UNICERT_THREADS", bad);
+        std::env::set_var("UNICERT_SHARD_SIZE", bad);
+        std::env::remove_var("UNICERT_PROFILE");
+        let err = RunOptions::validate_env()
+            .expect_err(&format!("value {bad:?} must fail strict validation"));
+        assert!(err.contains("UNICERT_THREADS"), "{bad:?}: {err}");
+        assert!(err.contains("UNICERT_SHARD_SIZE"), "{bad:?}: {err}");
+        // Lenient rule: unparsable → fall through; 0 → clamped to 1.
+        let threads = opts.effective_threads();
+        assert!(threads >= 1, "threads resolved to {threads} under {bad:?}");
+        let expected_shard =
+            if bad == "0" { 1 } else { RunOptions::DEFAULT_SHARD_SIZE };
+        assert_eq!(opts.effective_shard_size(), expected_shard, "under {bad:?}");
+    }
+
+    // Unknown profile: strict check lists the registered names; lenient
+    // resolver falls back to the default profile.
+    clear();
+    std::env::set_var("UNICERT_PROFILE", "no-such-profile");
+    let err = RunOptions::validate_env().expect_err("unknown profile must fail");
+    assert!(err.contains("UNICERT_PROFILE"), "{err}");
+    assert!(err.contains(DEFAULT_PROFILE), "error must list registered profiles: {err}");
+    assert_eq!(opts.effective_profile(), DEFAULT_PROFILE);
+    // ... even when asked for explicitly.
+    let unknown = RunOptions { profile: Some("also-missing"), ..RunOptions::default() };
+    assert_eq!(unknown.effective_profile(), DEFAULT_PROFILE);
+
+    // One bad variable among good ones: the error names only the bad one.
+    clear();
+    std::env::set_var("UNICERT_THREADS", "2");
+    std::env::set_var("UNICERT_SHARD_SIZE", "abc");
+    let err = RunOptions::validate_env().expect_err("one bad variable must fail");
+    assert!(!err.contains("UNICERT_THREADS"), "{err}");
+    assert!(err.contains("UNICERT_SHARD_SIZE"), "{err}");
+
+    clear();
+    assert_eq!(RunOptions::validate_env(), Ok(()));
+}

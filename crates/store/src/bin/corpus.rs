@@ -1,0 +1,268 @@
+//! `corpus` — freeze, grow, verify, and survey persistent corpus stores.
+//!
+//! ```text
+//! corpus freeze --out <dir> [--certs N] [--seed S] [--shard-size K]
+//! corpus append --store <dir> [--certs N] [--seed S]
+//! corpus verify --store <dir>
+//! corpus survey --store <dir> --checkpoints <dir> [--threads N] [--no-field-matrix]
+//! ```
+//!
+//! * `freeze` generates the deterministic corpus (same generator and
+//!   defaults as the benchmarks: 20k certificates, seed 42) and writes it
+//!   as a segmented store.
+//! * `append` grows an existing store with freshly generated shards.
+//! * `verify` fully validates every shard and reports per-shard health;
+//!   exits 1 when any shard is corrupt.
+//! * `survey` runs (or resumes) the incremental survey, committing one
+//!   checkpoint per shard, and prints the merged report fingerprint.
+//!
+//! Exit status: 0 = success, 1 = corruption found (`verify`), 2 =
+//! usage/environment error.
+
+use std::path::PathBuf;
+use unicert::survey::SurveyOptions;
+use unicert_corpus::{CorpusConfig, CorpusEntry, CorpusGenerator};
+use unicert_lint::RunOptions;
+use unicert_store::{resume, CorpusStore, ResumeOptions, ShardStatus};
+
+const USAGE: &str = "usage: corpus <freeze|append|verify|survey> [options]
+  freeze --out <dir> [--certs N] [--seed S] [--shard-size K]
+  append --store <dir> [--certs N] [--seed S]
+  verify --store <dir>
+  survey --store <dir> --checkpoints <dir> [--threads N] [--no-field-matrix]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parsed command line: every flag any subcommand accepts.
+struct Args {
+    out: Option<PathBuf>,
+    store: Option<PathBuf>,
+    checkpoints: Option<PathBuf>,
+    certs: usize,
+    seed: u64,
+    shard_size: usize,
+    threads: Option<usize>,
+    field_matrix: bool,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Args {
+    let mut parsed = Args {
+        out: None,
+        store: None,
+        checkpoints: None,
+        certs: 20_000,
+        seed: 42,
+        shard_size: 2_500,
+        threads: None,
+        field_matrix: true,
+    };
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        match args.next() {
+            Some(v) => v,
+            None => usage_error(&format!("{flag} needs a value")),
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => parsed.out = Some(PathBuf::from(value(&mut args, "--out"))),
+            "--store" => parsed.store = Some(PathBuf::from(value(&mut args, "--store"))),
+            "--checkpoints" => {
+                parsed.checkpoints = Some(PathBuf::from(value(&mut args, "--checkpoints")));
+            }
+            "--certs" => {
+                parsed.certs = match value(&mut args, "--certs").parse() {
+                    Ok(n) => n,
+                    Err(_) => usage_error("--certs needs a non-negative integer"),
+                };
+            }
+            "--seed" => {
+                parsed.seed = match value(&mut args, "--seed").parse() {
+                    Ok(n) => n,
+                    Err(_) => usage_error("--seed needs a non-negative integer"),
+                };
+            }
+            "--shard-size" => {
+                parsed.shard_size = match value(&mut args, "--shard-size").parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => usage_error("--shard-size needs a positive integer"),
+                };
+            }
+            "--threads" => {
+                parsed.threads = match value(&mut args, "--threads").parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => usage_error("--threads needs a positive integer"),
+                };
+            }
+            "--no-field-matrix" => parsed.field_matrix = false,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    parsed
+}
+
+fn generate(certs: usize, seed: u64) -> Vec<CorpusEntry> {
+    CorpusGenerator::new(CorpusConfig {
+        size: certs,
+        seed,
+        precert_fraction: 0.0,
+        latent_defects: true,
+    })
+    .collect()
+}
+
+fn cmd_freeze(args: Args) -> i32 {
+    let Some(out) = args.out else { usage_error("freeze needs --out <dir>") };
+    let entries = generate(args.certs, args.seed);
+    match CorpusStore::freeze(&out, &entries, args.shard_size) {
+        Ok(store) => {
+            let m = store.manifest();
+            println!(
+                "froze {} certificates (seed {}) into {} shards at {}",
+                m.total,
+                args.seed,
+                m.shards.len(),
+                out.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_append(args: Args) -> i32 {
+    let Some(dir) = args.store else { usage_error("append needs --store <dir>") };
+    let mut store = match CorpusStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let before = store.manifest().shards.len();
+    let entries = generate(args.certs, args.seed);
+    match store.append(&entries) {
+        Ok(()) => {
+            let m = store.manifest();
+            println!(
+                "appended {} certificates (seed {}) as {} new shards; store now {} certificates",
+                entries.len(),
+                args.seed,
+                m.shards.len() - before,
+                m.total
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_verify(args: Args) -> i32 {
+    let Some(dir) = args.store else { usage_error("verify needs --store <dir>") };
+    let store = match CorpusStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if store.manifest_rebuilt() {
+        println!("note: manifest was missing or corrupt; rebuilt from segment files");
+    }
+    let health = store.verify();
+    let mut bad = 0usize;
+    for h in &health {
+        match &h.corruption {
+            None => println!("shard {:05} {} ({} certs): ok", h.index, h.file, h.count),
+            Some(c) => {
+                bad += 1;
+                println!("shard {:05} {} ({} certs): CORRUPT {c}", h.index, h.file, h.count);
+            }
+        }
+    }
+    println!("{} shards verified, {} corrupt", health.len() - bad, bad);
+    i32::from(bad > 0)
+}
+
+fn cmd_survey(args: Args) -> i32 {
+    let Some(dir) = args.store.clone() else { usage_error("survey needs --store <dir>") };
+    let Some(ckpts) = args.checkpoints.clone() else {
+        usage_error("survey needs --checkpoints <dir>")
+    };
+    let store = match CorpusStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let opts = ResumeOptions {
+        survey: SurveyOptions {
+            lint: RunOptions { threads: args.threads, ..RunOptions::default() },
+            field_matrix: args.field_matrix,
+        },
+        stop_after: None,
+    };
+    match resume::survey_incremental(&store, &ckpts, opts) {
+        Ok(run) => {
+            if run.manifest_rebuilt {
+                println!("note: manifest was missing or corrupt; rebuilt from segment files");
+            }
+            for s in &run.shards {
+                let status = match s.status {
+                    ShardStatus::Resumed => "resumed".to_string(),
+                    ShardStatus::Surveyed => "surveyed".to_string(),
+                    ShardStatus::Corrupt(class) => format!("CORRUPT ({class})"),
+                };
+                println!("shard {:05} [{}..{}): {status}", s.index, s.start, s.start + s.count as u64);
+            }
+            println!(
+                "{} resumed, {} surveyed, {} corrupt; {} certificates, {} noncompliant",
+                run.resumed,
+                run.surveyed,
+                run.corrupt,
+                run.report.total,
+                run.report.noncompliant
+            );
+            println!("report fingerprint: {:016x}", run.report.fingerprint());
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn main() {
+    // Strict env handling for binaries: a malformed UNICERT_* variable is
+    // a usage error here, not a silent library fallback.
+    if let Err(problems) = RunOptions::validate_env() {
+        eprintln!("error: invalid environment:\n{problems}");
+        std::process::exit(2);
+    }
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage_error("missing subcommand") };
+    let args = parse_args(argv);
+    let code = match command.as_str() {
+        "freeze" => cmd_freeze(args),
+        "append" => cmd_append(args),
+        "verify" => cmd_verify(args),
+        "survey" => cmd_survey(args),
+        other => usage_error(&format!("unknown subcommand {other:?}")),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,278 @@
+//! The store manifest: the index of shards a survey walks.
+//!
+//! `store.manifest` is a line-oriented text file:
+//!
+//! ```text
+//! unicert-store manifest v1
+//! shard_size 2500
+//! total 20000
+//! shard 0 shard-00000.seg 0 2500 1633127 0123456789abcdef
+//! shard 1 shard-00001.seg 2500 2500 1633410 fedcba9876543210
+//! ...
+//! fnv 0011223344556677
+//! ```
+//!
+//! Each `shard` row carries the shard index, segment file name, the global
+//! start index of its first certificate, the record count, the segment
+//! file's byte size, and the FNV-1a 64 fingerprint of the segment file's
+//! full on-disk bytes. The trailing `fnv` row fingerprints every preceding
+//! byte of the manifest itself, so manifest corruption is detected the same
+//! way segment corruption is.
+//!
+//! A manifest that fails validation is *recoverable* state, not an error:
+//! [`crate::CorpusStore::open`] rebuilds one in memory from the
+//! self-validating segment files (see `store.rs`).
+
+use crate::fnv64;
+
+/// The exact header line every version-1 manifest starts with.
+pub const MANIFEST_HEADER: &str = "unicert-store manifest v1";
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "store.manifest";
+
+/// One shard row of the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Zero-based shard index (also encoded in the segment header).
+    pub index: usize,
+    /// Segment file name relative to the store directory.
+    pub file: String,
+    /// Global index of the shard's first certificate.
+    pub start: u64,
+    /// Number of certificates in the shard.
+    pub count: usize,
+    /// Exact byte size of the segment file.
+    pub bytes: u64,
+    /// FNV-1a 64 fingerprint of the segment file's full bytes.
+    pub fingerprint: u64,
+}
+
+/// The parsed (or rebuilt) store manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Nominal shard size the store was frozen with (the last shard, and
+    /// appended shards, may be smaller).
+    pub shard_size: usize,
+    /// Total certificate count across all shards.
+    pub total: u64,
+    /// Shard rows in index order.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl Manifest {
+    /// Render the manifest to its on-disk text form, including the
+    /// self-check trailer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("shard_size {}\n", self.shard_size));
+        out.push_str(&format!("total {}\n", self.total));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {} {} {} {} {} {:016x}\n",
+                s.index, s.file, s.start, s.count, s.bytes, s.fingerprint
+            ));
+        }
+        let fp = fnv64(out.as_bytes());
+        out.push_str(&format!("fnv {fp:016x}\n"));
+        out
+    }
+
+    /// Parse manifest bytes, validating the header, the self-check
+    /// trailer, and row coherence (contiguous indexes and start offsets,
+    /// totals adding up). Any failure returns a one-line reason; callers
+    /// treat that as "rebuild from segments", not as a fatal error.
+    pub fn parse(data: &[u8]) -> Result<Manifest, String> {
+        let text = std::str::from_utf8(data).map_err(|_| "manifest is not UTF-8".to_string())?;
+        let mut shard_size: Option<usize> = None;
+        let mut total: Option<u64> = None;
+        let mut shards: Vec<ShardInfo> = Vec::new();
+        let mut saw_header = false;
+        let mut saw_trailer = false;
+        let mut consumed = 0usize;
+        for line in text.lines() {
+            if saw_trailer {
+                return Err("manifest has content after its fnv trailer".to_string());
+            }
+            let mut fields = line.split(' ');
+            let keyword = fields.next().unwrap_or_default();
+            if !saw_header {
+                if line == MANIFEST_HEADER {
+                    saw_header = true;
+                    consumed += line.len() + 1;
+                    continue;
+                }
+                if line.starts_with("unicert-store manifest v") {
+                    return Err(format!("unsupported manifest version: {line:?}"));
+                }
+                return Err("unrecognized manifest header".to_string());
+            }
+            match keyword {
+                "shard_size" => {
+                    shard_size = fields.next().and_then(|v| v.parse().ok());
+                    if shard_size.is_none() {
+                        return Err("manifest shard_size row is malformed".to_string());
+                    }
+                }
+                "total" => {
+                    total = fields.next().and_then(|v| v.parse().ok());
+                    if total.is_none() {
+                        return Err("manifest total row is malformed".to_string());
+                    }
+                }
+                "shard" => {
+                    let index: Option<usize> = fields.next().and_then(|v| v.parse().ok());
+                    let file = fields.next().map(str::to_string);
+                    let start: Option<u64> = fields.next().and_then(|v| v.parse().ok());
+                    let count: Option<usize> = fields.next().and_then(|v| v.parse().ok());
+                    let bytes: Option<u64> = fields.next().and_then(|v| v.parse().ok());
+                    let fingerprint = fields
+                        .next()
+                        .and_then(|v| u64::from_str_radix(v, 16).ok());
+                    let extra = fields.next().is_some();
+                    match (index, file, start, count, bytes, fingerprint, extra) {
+                        (
+                            Some(index),
+                            Some(file),
+                            Some(start),
+                            Some(count),
+                            Some(bytes),
+                            Some(fingerprint),
+                            false,
+                        ) => shards.push(ShardInfo { index, file, start, count, bytes, fingerprint }),
+                        _ => return Err(format!("manifest shard row is malformed: {line:?}")),
+                    }
+                }
+                "fnv" => {
+                    let stored = fields
+                        .next()
+                        .and_then(|v| u64::from_str_radix(v, 16).ok())
+                        .ok_or_else(|| "manifest fnv trailer is malformed".to_string())?;
+                    let actual = fnv64(data.get(..consumed).unwrap_or_default());
+                    if stored != actual {
+                        return Err(format!(
+                            "manifest self-check {actual:016x} != stored trailer {stored:016x}"
+                        ));
+                    }
+                    saw_trailer = true;
+                }
+                _ => return Err(format!("unrecognized manifest row: {line:?}")),
+            }
+            consumed += line.len() + 1;
+        }
+        if !saw_header {
+            return Err("manifest is empty".to_string());
+        }
+        if !saw_trailer {
+            return Err("manifest is missing its fnv trailer".to_string());
+        }
+        let shard_size = shard_size.ok_or("manifest is missing shard_size")?;
+        let total = total.ok_or("manifest is missing total")?;
+        let manifest = Manifest { shard_size, total, shards };
+        manifest.check_coherence()?;
+        Ok(manifest)
+    }
+
+    /// Structural sanity: indexes contiguous from zero, starts cumulative,
+    /// counts summing to `total`.
+    fn check_coherence(&self) -> Result<(), String> {
+        let mut expect_start = 0u64;
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.index != i {
+                return Err(format!("manifest shard {i} carries index {}", s.index));
+            }
+            if s.start != expect_start {
+                return Err(format!(
+                    "manifest shard {i} starts at {} but previous shards cover {expect_start}",
+                    s.start
+                ));
+            }
+            expect_start += s.count as u64;
+        }
+        if expect_start != self.total {
+            return Err(format!(
+                "manifest total {} != sum of shard counts {expect_start}",
+                self.total
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            shard_size: 4,
+            total: 10,
+            shards: vec![
+                ShardInfo {
+                    index: 0,
+                    file: "shard-00000.seg".to_string(),
+                    start: 0,
+                    count: 4,
+                    bytes: 1234,
+                    fingerprint: 0xdead_beef_0000_0001,
+                },
+                ShardInfo {
+                    index: 1,
+                    file: "shard-00001.seg".to_string(),
+                    start: 4,
+                    count: 4,
+                    bytes: 1250,
+                    fingerprint: 0xdead_beef_0000_0002,
+                },
+                ShardInfo {
+                    index: 2,
+                    file: "shard-00002.seg".to_string(),
+                    start: 8,
+                    count: 2,
+                    bytes: 700,
+                    fingerprint: 0xdead_beef_0000_0003,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let rendered = m.render();
+        assert_eq!(Manifest::parse(rendered.as_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn tampered_manifest_fails_self_check() {
+        let rendered = sample().render();
+        let tampered = rendered.replacen("total 10", "total 11", 1);
+        let err = Manifest::parse(tampered.as_bytes()).unwrap_err();
+        assert!(err.contains("self-check"), "{err}");
+    }
+
+    #[test]
+    fn version_skewed_manifest_is_rejected() {
+        let rendered = sample().render().replacen("manifest v1", "manifest v2", 1);
+        let err = Manifest::parse(rendered.as_bytes()).unwrap_err();
+        assert!(err.contains("unsupported manifest version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_manifest_is_rejected() {
+        let rendered = sample().render();
+        let cut = &rendered.as_bytes()[..rendered.len() - 20];
+        assert!(Manifest::parse(cut).is_err());
+    }
+
+    #[test]
+    fn incoherent_rows_are_rejected() {
+        let mut m = sample();
+        m.shards[2].start = 9;
+        let rendered = m.render();
+        let err = Manifest::parse(rendered.as_bytes()).unwrap_err();
+        assert!(err.contains("previous shards cover"), "{err}");
+    }
+}

@@ -1,0 +1,407 @@
+//! Segment-file framing: the columnar on-disk form of one corpus shard.
+//!
+//! Layout (version 1):
+//!
+//! ```text
+//! "unicert-store segment v1\n"          ASCII header line
+//! u32le shard_index
+//! u32le record_count
+//! record × record_count:
+//!     u32le der_len,  der bytes         the certificate, exactly as built
+//!     u32le meta_len, meta bytes        tab-framed metadata columns
+//! u64le fnv                             FNV-1a 64 over everything above
+//! ```
+//!
+//! The trailing fingerprint makes every segment *self-validating*: a
+//! manifest lost to corruption can be rebuilt from the segments alone.
+//! Decoding never trusts a length field further than the bytes actually
+//! present — a hostile or torn length prefix classifies as corruption, it
+//! never drives an allocation or an out-of-bounds read.
+//!
+//! Metadata columns persist exactly the fields the survey's aggregation
+//! kernel reads (`issuer_org`, `trust`) plus the descriptive fields
+//! (`issued`, `validity_days`, `is_idn_cert`, `is_precert`). The
+//! generator-internal `injected`/`latent` defect bookkeeping is *dropped*
+//! at freeze: it is survey-invisible (nothing downstream of the generator
+//! reads it), and its defect enum does not map injectively to lint names,
+//! so persisting it would pin a generator detail into the format for
+//! nothing. A loaded entry carries `injected: None, latent: false`.
+
+use crate::{escape, fnv64, unescape, Corruption};
+use unicert_asn1::{DateTime, ParseBudget};
+use unicert_corpus::{CertMeta, CorpusEntry, TrustStatus};
+use unicert_x509::Certificate;
+
+/// The exact header line every version-1 segment file starts with.
+pub const SEGMENT_HEADER: &str = "unicert-store segment v1\n";
+
+/// Prefix shared by every segment format version — a file starting with
+/// this but not with [`SEGMENT_HEADER`] is a version-skewed segment.
+pub const SEGMENT_HEADER_FAMILY: &str = "unicert-store segment v";
+
+/// Canonical file name for shard `index`: `shard-00042.seg`.
+pub fn segment_file_name(index: usize) -> String {
+    format!("shard-{index:05}.seg")
+}
+
+/// Encode one shard's entries into segment-file bytes (header, records,
+/// trailing fingerprint).
+pub fn encode_segment(index: usize, entries: &[CorpusEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SEGMENT_HEADER.as_bytes());
+    out.extend_from_slice(&(index as u32).to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for entry in entries {
+        let der = &entry.cert.raw;
+        out.extend_from_slice(&(der.len() as u32).to_le_bytes());
+        out.extend_from_slice(der);
+        let meta = encode_meta(&entry.meta);
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(meta.as_bytes());
+    }
+    let fp = fnv64(&out);
+    out.extend_from_slice(&fp.to_le_bytes());
+    out
+}
+
+/// Take the next `len` bytes, or `None` when the file runs out first.
+fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(len)?;
+    let slice = data.get(*pos..end)?;
+    *pos = end;
+    Some(slice)
+}
+
+/// Take the next little-endian u32 length/count field.
+fn take_u32(data: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes = take(data, pos, 4)?;
+    Some(u32::from_le_bytes([
+        *bytes.first()?,
+        *bytes.get(1)?,
+        *bytes.get(2)?,
+        *bytes.get(3)?,
+    ]))
+}
+
+/// Decode and fully validate one segment file against its manifest row.
+///
+/// `expected_bytes`/`expected_fingerprint` come from the manifest; pass
+/// `None` when rebuilding a manifest (the self-trailer still validates the
+/// content). Checks run in the fixed classification priority order
+/// documented on [`Corruption`].
+pub fn decode_segment(
+    data: &[u8],
+    expected_index: usize,
+    expected_bytes: Option<u64>,
+    expected_fingerprint: Option<u64>,
+) -> Result<Vec<CorpusEntry>, Corruption> {
+    let header_len = SEGMENT_HEADER.len();
+    // 1. Gross framing: header + index + count + trailer minimum.
+    if data.len() < header_len + 4 + 4 + 8 {
+        return Err(Corruption::TornWrite(format!(
+            "segment is {} bytes, shorter than the minimum framing",
+            data.len()
+        )));
+    }
+    // 2. Header / format version.
+    let header = data.get(..header_len).unwrap_or_default();
+    if header != SEGMENT_HEADER.as_bytes() {
+        if data.starts_with(SEGMENT_HEADER_FAMILY.as_bytes()) {
+            let line: String = data
+                .iter()
+                .take(48)
+                .take_while(|&&b| b != b'\n')
+                .map(|&b| b as char)
+                .collect();
+            return Err(Corruption::VersionSkew(format!(
+                "unsupported segment version: {line:?} (this build reads v1)"
+            )));
+        }
+        return Err(Corruption::FingerprintMismatch(
+            "unrecognized segment header".to_string(),
+        ));
+    }
+    // 3. Size vs the manifest's byte count.
+    if let Some(expected) = expected_bytes {
+        if (data.len() as u64) < expected {
+            return Err(Corruption::TornWrite(format!(
+                "segment is {} of {expected} manifest bytes",
+                data.len()
+            )));
+        }
+        if (data.len() as u64) > expected {
+            return Err(Corruption::FingerprintMismatch(format!(
+                "segment is {} bytes, larger than the {expected} the manifest records",
+                data.len()
+            )));
+        }
+    }
+    // 4. Whole-file fingerprint vs the manifest.
+    if let Some(expected) = expected_fingerprint {
+        let actual = fnv64(data);
+        if actual != expected {
+            return Err(Corruption::FingerprintMismatch(format!(
+                "segment fingerprint {actual:016x} != manifest {expected:016x}"
+            )));
+        }
+    }
+    // 5. Self-validating trailer: FNV over everything before the last 8
+    // bytes must equal those 8 bytes.
+    let body_len = data.len() - 8;
+    let body = data.get(..body_len).unwrap_or_default();
+    let trailer = data.get(body_len..).unwrap_or_default();
+    let mut trailer_bytes = [0u8; 8];
+    for (dst, src) in trailer_bytes.iter_mut().zip(trailer) {
+        *dst = *src;
+    }
+    let stored = u64::from_le_bytes(trailer_bytes);
+    let actual = fnv64(body);
+    if stored != actual {
+        return Err(Corruption::FingerprintMismatch(format!(
+            "segment self-check {actual:016x} != stored trailer {stored:016x}"
+        )));
+    }
+    // 6. Record structure.
+    let mut pos = header_len;
+    let index = take_u32(body, &mut pos).map(|v| v as usize);
+    let count = take_u32(body, &mut pos).map(|v| v as usize);
+    let (Some(index), Some(count)) = (index, count) else {
+        return Err(Corruption::TornWrite("segment header fields truncated".to_string()));
+    };
+    if index != expected_index {
+        return Err(Corruption::FingerprintMismatch(format!(
+            "segment carries shard index {index}, expected {expected_index}"
+        )));
+    }
+    let budget = ParseBudget::default();
+    let mut entries = Vec::new();
+    for record in 0..count {
+        let frame_err = || {
+            Corruption::TornWrite(format!(
+                "record {record} of {count} overruns the segment"
+            ))
+        };
+        let Some(der_len) = take_u32(body, &mut pos) else { return Err(frame_err()) };
+        let Some(der) = take(body, &mut pos, der_len as usize) else {
+            return Err(frame_err());
+        };
+        let Some(meta_len) = take_u32(body, &mut pos) else { return Err(frame_err()) };
+        let Some(meta_bytes) = take(body, &mut pos, meta_len as usize) else {
+            return Err(frame_err());
+        };
+        let cert = Certificate::parse_der_budgeted(der, &budget).map_err(|e| {
+            Corruption::FingerprintMismatch(format!(
+                "record {record}: certificate does not parse ({})",
+                e.class()
+            ))
+        })?;
+        let meta_text = std::str::from_utf8(meta_bytes).map_err(|_| {
+            Corruption::FingerprintMismatch(format!("record {record}: metadata is not UTF-8"))
+        })?;
+        let meta = decode_meta(meta_text).map_err(|detail| {
+            Corruption::FingerprintMismatch(format!("record {record}: {detail}"))
+        })?;
+        entries.push(CorpusEntry { cert, meta });
+    }
+    if pos != body_len {
+        return Err(Corruption::FingerprintMismatch(format!(
+            "segment carries {} trailing bytes after record {count}",
+            body_len - pos
+        )));
+    }
+    Ok(entries)
+}
+
+/// Best-effort header peek for manifest rebuild: `(shard_index, count)`
+/// from the fixed-offset fields, when the file is long enough to hold them.
+pub fn peek_header(data: &[u8]) -> Option<(usize, usize)> {
+    if !data.starts_with(SEGMENT_HEADER.as_bytes()) {
+        return None;
+    }
+    let mut pos = SEGMENT_HEADER.len();
+    let index = take_u32(data, &mut pos)? as usize;
+    let count = take_u32(data, &mut pos)? as usize;
+    Some((index, count))
+}
+
+/// Stable label for a [`TrustStatus`] metadata column.
+pub(crate) fn trust_label(trust: TrustStatus) -> &'static str {
+    match trust {
+        TrustStatus::Public => "public",
+        TrustStatus::Regional => "regional",
+        TrustStatus::Untrusted => "untrusted",
+    }
+}
+
+/// Reverse of [`trust_label`].
+pub(crate) fn parse_trust(label: &str) -> Option<TrustStatus> {
+    match label {
+        "public" => Some(TrustStatus::Public),
+        "regional" => Some(TrustStatus::Regional),
+        "untrusted" => Some(TrustStatus::Untrusted),
+        _ => None,
+    }
+}
+
+/// `YYYY-MM-DDTHH:MM:SS` — the metadata column form of a [`DateTime`].
+fn encode_datetime(dt: &DateTime) -> String {
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+        dt.year, dt.month, dt.day, dt.hour, dt.minute, dt.second
+    )
+}
+
+/// Reverse of [`encode_datetime`], revalidating field ranges.
+fn parse_datetime(s: &str) -> Option<DateTime> {
+    let (date, time) = s.split_once('T')?;
+    let mut date_parts = date.splitn(3, '-');
+    let year: i32 = date_parts.next()?.parse().ok()?;
+    let month: u8 = date_parts.next()?.parse().ok()?;
+    let day: u8 = date_parts.next()?.parse().ok()?;
+    let mut time_parts = time.splitn(3, ':');
+    let hour: u8 = time_parts.next()?.parse().ok()?;
+    let minute: u8 = time_parts.next()?.parse().ok()?;
+    let second: u8 = time_parts.next()?.parse().ok()?;
+    DateTime::new(year, month, day, hour, minute, second).ok()
+}
+
+/// Encode the survey-visible metadata columns as one tab-framed line.
+pub fn encode_meta(meta: &CertMeta) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}",
+        escape(&meta.issuer_org),
+        trust_label(meta.trust),
+        encode_datetime(&meta.issued),
+        meta.validity_days,
+        u8::from(meta.is_idn_cert),
+        u8::from(meta.is_precert),
+    )
+}
+
+/// Reverse of [`encode_meta`]. The generator-only `injected`/`latent`
+/// fields come back as `None`/`false` (see the module docs).
+pub fn decode_meta(line: &str) -> Result<CertMeta, String> {
+    let mut cols = line.split('\t');
+    let issuer_org = cols
+        .next()
+        .and_then(unescape)
+        .ok_or("metadata issuer column is malformed")?;
+    let trust = cols
+        .next()
+        .and_then(parse_trust)
+        .ok_or("metadata trust column is malformed")?;
+    let issued = cols
+        .next()
+        .and_then(parse_datetime)
+        .ok_or("metadata issued column is malformed")?;
+    let validity_days: i64 = cols
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or("metadata validity column is malformed")?;
+    let is_idn_cert = match cols.next() {
+        Some("0") => false,
+        Some("1") => true,
+        _ => return Err("metadata idn column is malformed".to_string()),
+    };
+    let is_precert = match cols.next() {
+        Some("0") => false,
+        Some("1") => true,
+        _ => return Err("metadata precert column is malformed".to_string()),
+    };
+    if cols.next().is_some() {
+        return Err("metadata line carries extra columns".to_string());
+    }
+    Ok(CertMeta {
+        issuer_org,
+        trust,
+        issued,
+        validity_days,
+        is_idn_cert,
+        injected: None,
+        latent: false,
+        is_precert,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicert_corpus::{CorpusConfig, CorpusGenerator};
+
+    fn entries(n: usize) -> Vec<CorpusEntry> {
+        CorpusGenerator::new(CorpusConfig {
+            size: n,
+            seed: 9,
+            precert_fraction: 0.25,
+            latent_defects: true,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn segment_round_trips() {
+        let original = entries(20);
+        let bytes = encode_segment(3, &original);
+        let decoded = decode_segment(&bytes, 3, Some(bytes.len() as u64), Some(fnv64(&bytes)))
+            .unwrap();
+        assert_eq!(decoded.len(), original.len());
+        for (d, o) in decoded.iter().zip(&original) {
+            assert_eq!(d.cert, o.cert);
+            assert_eq!(d.meta.issuer_org, o.meta.issuer_org);
+            assert_eq!(d.meta.trust, o.meta.trust);
+            assert_eq!(d.meta.issued, o.meta.issued);
+            assert_eq!(d.meta.validity_days, o.meta.validity_days);
+            assert_eq!(d.meta.is_idn_cert, o.meta.is_idn_cert);
+            assert_eq!(d.meta.is_precert, o.meta.is_precert);
+            // Generator bookkeeping is deliberately dropped at freeze.
+            assert_eq!(d.meta.injected, None);
+            assert!(!d.meta.latent);
+        }
+    }
+
+    #[test]
+    fn truncation_classifies_as_torn_write() {
+        let bytes = encode_segment(0, &entries(8));
+        let torn = &bytes[..bytes.len() / 2];
+        let err = decode_segment(torn, 0, Some(bytes.len() as u64), None).unwrap_err();
+        assert_eq!(err.class(), "torn_write");
+    }
+
+    #[test]
+    fn body_flip_classifies_as_fingerprint_mismatch() {
+        let mut bytes = encode_segment(0, &entries(8));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err =
+            decode_segment(&bytes, 0, Some(bytes.len() as u64), None).unwrap_err();
+        assert_eq!(err.class(), "fingerprint_mismatch");
+    }
+
+    #[test]
+    fn header_digit_bump_classifies_as_version_skew() {
+        let mut bytes = encode_segment(0, &entries(4));
+        let at = SEGMENT_HEADER.len() - 2; // the '1' in "v1\n"
+        bytes[at] = b'7';
+        let err = decode_segment(&bytes, 0, None, None).unwrap_err();
+        assert_eq!(err.class(), "version_skew");
+    }
+
+    #[test]
+    fn wrong_shard_index_is_detected() {
+        let bytes = encode_segment(2, &entries(4));
+        let err = decode_segment(&bytes, 5, None, None).unwrap_err();
+        assert_eq!(err.class(), "fingerprint_mismatch");
+        assert!(err.detail().contains("shard index 2"));
+    }
+
+    #[test]
+    fn meta_round_trips_unicode_issuers() {
+        for entry in entries(40) {
+            let encoded = encode_meta(&entry.meta);
+            let decoded = decode_meta(&encoded).unwrap();
+            assert_eq!(decoded.issuer_org, entry.meta.issuer_org);
+            assert_eq!(decoded.trust, entry.meta.trust);
+            assert_eq!(decoded.issued, entry.meta.issued);
+        }
+    }
+}
