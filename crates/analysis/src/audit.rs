@@ -22,8 +22,15 @@ pub const AUDITED_CRATES: [&str; 10] =
     ["asn1", "x509", "idna", "unicode", "telemetry", "core", "lint", "corpus", "chaos", "store"];
 
 /// Files whose length arithmetic is additionally audited (`len_arith`).
-/// These are the DER reader hot paths every untrusted byte flows through.
-pub const LEN_ARITH_FILES: [&str; 2] = ["asn1/src/reader.rs", "asn1/src/tag.rs"];
+/// These are the DER reader hot paths every untrusted byte flows through —
+/// the budgeted reader, tag/length decoding, the lazy TLV cursor, and the
+/// zero-copy certificate view built on top of them.
+pub const LEN_ARITH_FILES: [&str; 4] = [
+    "asn1/src/reader.rs",
+    "asn1/src/tag.rs",
+    "asn1/src/cursor.rs",
+    "x509/src/view.rs",
+];
 
 /// Identifier fragments that mark a value as length-typed.
 const LENGTH_IDENT_PARTS: [&str; 8] =

@@ -19,6 +19,14 @@ impl BitString {
 
     /// Parse BIT STRING content octets.
     pub fn from_der_value(value: &[u8]) -> Result<BitString> {
+        let (unused, data) = BitString::split_der_value(value)?;
+        Ok(BitString { unused_bits: unused, bytes: data.to_vec() })
+    }
+
+    /// Validate BIT STRING content octets and split them into
+    /// `(unused_bits, data)` without copying — the zero-copy view's form
+    /// of [`BitString::from_der_value`], sharing its exact checks.
+    pub fn split_der_value(value: &[u8]) -> Result<(u8, &[u8])> {
         let (&unused, data) = value.split_first().ok_or(Error::InvalidBitString)?;
         if unused > 7 || (data.is_empty() && unused != 0) {
             return Err(Error::InvalidBitString);
@@ -30,7 +38,7 @@ impl BitString {
                 return Err(Error::InvalidBitString);
             }
         }
-        Ok(BitString { unused_bits: unused, bytes: data.to_vec() })
+        Ok((unused, data))
     }
 
     /// Encode to content octets.

@@ -1,0 +1,284 @@
+//! A lazy, spanned TLV cursor: walk a DER tree without materializing it.
+//!
+//! [`Cursor`] points at one TLV element of a borrowed input buffer and
+//! exposes its tag, absolute [`Span`], and content octets as borrowed
+//! slices. Children are decoded one header at a time as the [`Children`]
+//! iterator advances — nothing below the current element is touched until
+//! a consumer asks, so walking the top of a 1 MiB certificate costs three
+//! header decodes, not a tree build.
+//!
+//! This is the substrate of the zero-copy certificate view
+//! (`unicert_x509::CertView`): the view keeps cursors/slices where the
+//! owned model keeps `Vec<u8>`s. Spans are absolute within the root input
+//! (the same [`Span`] machinery evidence capture uses), so a cursor ten
+//! levels deep still indexes the original buffer.
+//!
+//! Budget and depth limits mirror [`Reader`]: every decoded header charges
+//! the same [`BudgetState`], and descending past [`MAX_DEPTH`] fails with
+//! the same `DepthExceeded` error the eager parser returns.
+
+use crate::error::{Error, Result};
+use crate::reader::{BudgetState, Reader, Span, MAX_DEPTH};
+use crate::tag::Tag;
+
+/// One TLV element of a DER buffer, addressed lazily.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    tag: Tag,
+    span: Span,
+    value: &'a [u8],
+    raw: &'a [u8],
+    depth: usize,
+    budget: Option<&'a BudgetState>,
+}
+
+impl<'a> Cursor<'a> {
+    /// Parse `input` as exactly one element (no trailing bytes) and point
+    /// at it.
+    pub fn root(input: &'a [u8]) -> Result<Cursor<'a>> {
+        Self::root_inner(input, None)
+    }
+
+    /// [`Cursor::root`] under a parse budget: this header and every child
+    /// header decoded through the cursor charges `budget`.
+    pub fn root_budgeted(input: &'a [u8], budget: &'a BudgetState) -> Result<Cursor<'a>> {
+        Self::root_inner(input, Some(budget))
+    }
+
+    fn root_inner(input: &'a [u8], budget: Option<&'a BudgetState>) -> Result<Cursor<'a>> {
+        let mut r = match budget {
+            Some(state) => Reader::with_budget(input, state),
+            None => Reader::new(input),
+        };
+        let (span, tlv) = r.read_tlv_spanned()?;
+        r.finish()?;
+        Ok(Cursor { tag: tlv.tag, span, value: tlv.value, raw: tlv.raw, depth: 0, budget })
+    }
+
+    /// The element's tag.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Absolute byte range of the whole TLV within the root input.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Absolute byte range of the content octets alone.
+    pub fn value_span(&self) -> Span {
+        Span { offset: self.span.offset.saturating_add(self.header_len()), len: self.value.len() }
+    }
+
+    /// The content octets.
+    pub fn value(&self) -> &'a [u8] {
+        self.value
+    }
+
+    /// The full TLV bytes (header + content).
+    pub fn raw(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Length of the tag + length header octets.
+    pub fn header_len(&self) -> usize {
+        self.raw.len().saturating_sub(self.value.len())
+    }
+
+    /// Iterate this element's immediate children, decoding one header per
+    /// step. Each child carries an absolute span; iteration errors surface
+    /// as `Some(Err(_))` exactly where the malformed header sits.
+    ///
+    /// Descending below [`MAX_DEPTH`] yields `DepthExceeded`, matching the
+    /// eager reader's recursion limit.
+    pub fn children(&self) -> Children<'a> {
+        let exhausted = self.depth + 1 > MAX_DEPTH;
+        Children {
+            reader: Reader::nested_at(
+                self.value,
+                self.span.offset.saturating_add(self.header_len()),
+                self.depth + 1,
+                self.budget,
+            ),
+            depth: self.depth + 1,
+            budget: self.budget,
+            failed: false,
+            depth_exceeded: exhausted,
+        }
+    }
+
+    /// The `n`-th immediate child, if the first `n + 1` children decode.
+    pub fn child(&self, n: usize) -> Result<Option<Cursor<'a>>> {
+        for (i, child) in self.children().enumerate() {
+            let child = child?;
+            if i == n {
+                return Ok(Some(child));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Lazy iterator over a [`Cursor`]'s immediate children.
+#[derive(Debug)]
+pub struct Children<'a> {
+    reader: Reader<'a>,
+    depth: usize,
+    budget: Option<&'a BudgetState>,
+    /// A decode error ends iteration permanently (after yielding it once).
+    failed: bool,
+    depth_exceeded: bool,
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = Result<Cursor<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if self.depth_exceeded {
+            self.failed = true;
+            return Some(Err(Error::DepthExceeded { limit: MAX_DEPTH }));
+        }
+        if self.reader.is_empty() {
+            return None;
+        }
+        match self.reader.read_tlv_spanned() {
+            Ok((span, tlv)) => Some(Ok(Cursor {
+                tag: tlv.tag,
+                span,
+                value: tlv.value,
+                raw: tlv.raw,
+                depth: self.depth,
+                budget: self.budget,
+            })),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::ParseBudget;
+    use crate::tag::tags;
+    use crate::writer::Writer;
+
+    fn sample() -> Vec<u8> {
+        let mut w = Writer::new();
+        w.write_sequence(|w| {
+            w.write_u64(7);
+            w.write_octet_string(b"abc");
+            w.write_sequence(|w| {
+                w.write_bool(true);
+            });
+        });
+        w.into_bytes()
+    }
+
+    #[test]
+    fn walks_children_with_absolute_spans() {
+        let der = sample();
+        let root = Cursor::root(&der).unwrap();
+        assert_eq!(root.tag(), tags::SEQUENCE);
+        assert_eq!(root.span().offset, 0);
+        assert_eq!(root.span().len, der.len());
+        let kids: Vec<_> = root.children().map(|c| c.unwrap()).collect();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(kids[0].tag(), tags::INTEGER);
+        assert_eq!(kids[0].value(), &[7]);
+        assert_eq!(kids[1].tag(), tags::OCTET_STRING);
+        assert_eq!(kids[1].value(), b"abc");
+        // Spans index the root buffer.
+        for k in &kids {
+            assert_eq!(&der[k.span().offset..k.span().end()], k.raw());
+            let vs = k.value_span();
+            assert_eq!(&der[vs.offset..vs.end()], k.value());
+        }
+        // Grandchild spans stay absolute too.
+        let grand: Vec<_> = kids[2].children().map(|c| c.unwrap()).collect();
+        assert_eq!(grand.len(), 1);
+        assert_eq!(grand[0].tag(), tags::BOOLEAN);
+        assert_eq!(&der[grand[0].span().offset..grand[0].span().end()], grand[0].raw());
+    }
+
+    #[test]
+    fn child_indexing() {
+        let der = sample();
+        let root = Cursor::root(&der).unwrap();
+        assert_eq!(root.child(1).unwrap().unwrap().tag(), tags::OCTET_STRING);
+        assert!(root.child(3).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_like_parse_single() {
+        let mut der = sample();
+        der.push(0x00);
+        assert!(matches!(Cursor::root(&der), Err(Error::TrailingData { .. })));
+    }
+
+    #[test]
+    fn malformed_child_surfaces_once_then_stops() {
+        // SEQUENCE containing a truncated inner element.
+        let der = [0x30, 0x02, 0x04, 0x05];
+        let root = Cursor::root(&der).unwrap();
+        let mut kids = root.children();
+        assert!(kids.next().unwrap().is_err());
+        assert!(kids.next().is_none());
+    }
+
+    #[test]
+    fn charges_the_shared_budget() {
+        let der = sample();
+        let state = ParseBudget::default().start();
+        let root = Cursor::root_budgeted(&der, &state).unwrap();
+        let before = state.elements_used();
+        let n = root.children().count();
+        assert_eq!(n, 3);
+        assert_eq!(state.elements_used(), before + 3);
+
+        // A tiny element budget fails mid-iteration, same as the reader.
+        let tiny = ParseBudget { max_elements: 2, ..ParseBudget::default() }.start();
+        let root = Cursor::root_budgeted(&der, &tiny).unwrap();
+        let results: Vec<_> = root.children().collect();
+        assert!(results.iter().any(|r| {
+            matches!(r, Err(Error::BudgetExceeded { resource: "elements" }))
+        }));
+    }
+
+    #[test]
+    fn depth_limit_matches_reader() {
+        // 65 nested SEQUENCEs: one deeper than MAX_DEPTH.
+        let mut der = vec![0x05, 0x00]; // NULL at the bottom
+        for _ in 0..(MAX_DEPTH + 1) {
+            let mut outer = Vec::with_capacity(der.len() + 3);
+            outer.push(0x30);
+            if der.len() < 128 {
+                outer.push(der.len() as u8);
+            } else {
+                // Long-form length; the body stays under 256 bytes here.
+                outer.push(0x81);
+                outer.push(der.len() as u8);
+            }
+            outer.extend_from_slice(&der);
+            der = outer;
+        }
+        let mut cursor = Cursor::root(&der).unwrap();
+        let mut err = None;
+        for _ in 0..(MAX_DEPTH + 1) {
+            match cursor.children().next() {
+                Some(Ok(child)) => cursor = child,
+                Some(Err(e)) => {
+                    err = Some(e);
+                    break;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(err, Some(Error::DepthExceeded { limit: MAX_DEPTH }));
+    }
+}

@@ -3,31 +3,87 @@
 use crate::error::{Error, Result};
 use std::fmt;
 
+/// Inline capacity: every OID in the X.509 dictionary (and essentially every
+/// OID seen on the wire) fits in 22 content octets, so the common case never
+/// touches the heap. Chosen so `size_of::<Oid>()` matches the old
+/// `Vec<u8>`-backed layout (24 bytes).
+const INLINE_CAP: usize = 22;
+
+/// Storage for the DER content octets: small OIDs live inline on the stack,
+/// pathological ones spill to the heap.
+#[derive(Clone)]
+enum Repr {
+    /// The first `len` bytes of `buf` are the content octets.
+    Inline {
+        /// Number of valid bytes in `buf`.
+        len: u8,
+        /// Inline content octets (zero-padded past `len`).
+        buf: [u8; INLINE_CAP],
+    },
+    /// Heap storage for OIDs longer than [`INLINE_CAP`].
+    Heap(Box<[u8]>),
+}
+
 /// An OBJECT IDENTIFIER, stored as its DER content octets.
 ///
 /// Storing the wire form keeps comparisons and re-encoding trivial; the arc
-/// sequence is decoded on demand.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// sequence is decoded on demand. The representation is a small-buffer
+/// optimization: dictionary OIDs (`known::*`) and everything certificates
+/// carry in practice are built, cloned, and compared without allocating.
+#[derive(Clone)]
 pub struct Oid {
-    der: Vec<u8>,
+    repr: Repr,
 }
 
 impl Oid {
+    /// Build from raw content octets already validated by the caller.
+    fn from_bytes(der: &[u8]) -> Oid {
+        if der.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            for (dst, src) in buf.iter_mut().zip(der) {
+                *dst = *src;
+            }
+            Oid { repr: Repr::Inline { len: der.len() as u8, buf } }
+        } else {
+            Oid { repr: Repr::Heap(der.into()) }
+        }
+    }
+
     /// Build from an arc sequence, e.g. `&[2, 5, 4, 3]` for `id-at-commonName`.
     ///
     /// Returns `None` for sequences that cannot be encoded (fewer than two
     /// arcs, or first/second arcs out of range).
     pub fn from_arcs(arcs: &[u64]) -> Option<Oid> {
-        if arcs.len() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39) {
+        let (&a0, &a1) = (arcs.first()?, arcs.get(1)?);
+        if a0 > 2 || (a0 < 2 && a1 > 39) {
             return None;
         }
-        let mut der = Vec::new();
-        let first = arcs[0] * 40 + arcs[1];
-        push_base128(&mut der, first);
-        for &arc in &arcs[2..] {
-            push_base128(&mut der, arc);
+        let first = a0 * 40 + a1;
+        let total = arcs.get(2..).map_or(0, |rest| {
+            rest.iter().map(|&a| base128_len(a)).sum::<usize>()
+        }) + base128_len(first);
+        if total <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            let mut at = 0usize;
+            let mut emit = |b: u8| {
+                if let Some(slot) = buf.get_mut(at) {
+                    *slot = b;
+                }
+                at += 1;
+            };
+            for_each_base128(first, &mut emit);
+            for &arc in arcs.get(2..).unwrap_or(&[]) {
+                for_each_base128(arc, &mut emit);
+            }
+            Some(Oid { repr: Repr::Inline { len: total as u8, buf } })
+        } else {
+            let mut der = Vec::with_capacity(total); // analysis:allow(unbounded_alloc) capacity is the exact encoded length of caller-supplied arcs on the builder path, not attacker-controlled input
+            for_each_base128(first, |b| der.push(b));
+            for &arc in arcs.get(2..).unwrap_or(&[]) {
+                for_each_base128(arc, |b| der.push(b));
+            }
+            Some(Oid { repr: Repr::Heap(der.into()) })
         }
-        Some(Oid { der })
     }
 
     /// Parse DER content octets (the V of the OID's TLV).
@@ -53,7 +109,7 @@ impl Oid {
                 at_arc_start = true;
             }
         }
-        Ok(Oid { der: der.to_vec() })
+        Ok(Oid::from_bytes(der))
     }
 
     /// Parse a dotted-decimal string like `"2.5.4.3"`.
@@ -64,13 +120,16 @@ impl Oid {
 
     /// The DER content octets.
     pub fn as_der_value(&self) -> &[u8] {
-        &self.der
+        match &self.repr {
+            Repr::Inline { len, buf } => buf.get(..usize::from(*len)).unwrap_or(buf),
+            Repr::Heap(der) => der,
+        }
     }
 
     /// Decode the arc sequence.
     pub fn arcs(&self) -> Vec<u64> {
         let mut arcs = Vec::new();
-        let mut iter = self.der.iter();
+        let mut iter = self.as_der_value().iter();
         let mut cur: u64 = 0;
         let mut first = true;
         for &b in iter.by_ref() {
@@ -113,14 +172,47 @@ impl Oid {
     }
 }
 
-fn push_base128(out: &mut Vec<u8>, v: u64) {
+// Equality, ordering, and hashing all go through the content octets so an
+// inline and a heap `Oid` with the same wire form are indistinguishable.
+impl PartialEq for Oid {
+    fn eq(&self, other: &Oid) -> bool {
+        self.as_der_value() == other.as_der_value()
+    }
+}
+
+impl Eq for Oid {}
+
+impl std::hash::Hash for Oid {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_der_value().hash(state);
+    }
+}
+
+impl PartialOrd for Oid {
+    fn partial_cmp(&self, other: &Oid) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Oid {
+    fn cmp(&self, other: &Oid) -> std::cmp::Ordering {
+        self.as_der_value().cmp(other.as_der_value())
+    }
+}
+
+/// Number of base-128 septets `v` encodes to.
+fn base128_len(v: u64) -> usize {
+    1 + (1..10).rev().find(|&i| (v >> (7 * i)) & 0x7F != 0).unwrap_or(0)
+}
+
+fn for_each_base128(v: u64, mut emit: impl FnMut(u8)) {
     // 10 septets cover a u64; emit most-significant first with the
     // continuation bit on every octet but the last.
     let top = (1..10).rev().find(|&i| (v >> (7 * i)) & 0x7F != 0).unwrap_or(0);
     for i in (1..=top).rev() {
-        out.push(((v >> (7 * i)) & 0x7F) as u8 | 0x80);
+        emit(((v >> (7 * i)) & 0x7F) as u8 | 0x80);
     }
-    out.push((v & 0x7F) as u8);
+    emit((v & 0x7F) as u8);
 }
 
 impl fmt::Debug for Oid {
@@ -149,7 +241,14 @@ pub mod known {
             $(
                 $(#[$doc])*
                 pub fn $name() -> Oid {
-                    Oid::from_arcs(&[$($arc),+]).expect("static OID is valid") // analysis:allow(expect) arcs are compile-time constants validated by tests
+                    // Encode once per process; afterwards each call is an
+                    // atomic load plus an inline-buffer memcpy (no heap).
+                    static CACHED: std::sync::OnceLock<Oid> = std::sync::OnceLock::new();
+                    CACHED
+                        .get_or_init(|| {
+                            Oid::from_arcs(&[$($arc),+]).expect("static OID is valid") // analysis:allow(expect) arcs are compile-time constants validated by tests
+                        })
+                        .clone()
                 }
             )+
 

@@ -93,6 +93,14 @@ impl BudgetState {
         Ok(())
     }
 
+    /// Check `input` against the originating budget's `max_input`, as
+    /// [`ParseBudget::admit`] does. Lets a caller that holds only the
+    /// started state (e.g. the zero-copy certificate view, whose borrows
+    /// thread through the state) run the same admission check.
+    pub fn admit(&self, input: &[u8]) -> Result<()> {
+        self.limits.admit(input)
+    }
+
     /// TLV elements decoded so far.
     pub fn elements_used(&self) -> u64 {
         self.elements.get()
@@ -207,6 +215,18 @@ impl<'a> Reader<'a> {
     /// the input first to enforce `max_input`.
     pub fn with_budget(input: &'a [u8], budget: &'a BudgetState) -> Reader<'a> {
         Reader { input, pos: 0, depth: 0, base: 0, budget: Some(budget) }
+    }
+
+    /// A reader over nested content octets at absolute offset `base` and
+    /// nesting depth `depth`, sharing an optional budget — the lazy
+    /// cursor's way of descending one level (`crate::cursor`).
+    pub(crate) fn nested_at(
+        input: &'a [u8],
+        base: usize,
+        depth: usize,
+        budget: Option<&'a BudgetState>,
+    ) -> Reader<'a> {
+        Reader { input, pos: 0, depth, base, budget }
     }
 
     /// Bytes not yet consumed.

@@ -10,9 +10,9 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use unicert_asn1::{DateTime, ParseBudget};
-use unicert_corpus::{CertMeta, CorpusEntry, TrustStatus};
+use unicert_corpus::{CertMeta, CorpusEntry, RawEntry, TrustStatus};
 use unicert_lint::{NoncomplianceType, RunOptions, Severity};
-use unicert_x509::Certificate;
+use unicert_x509::CertView;
 
 /// Outcome taxonomy for one raw-DER input fed to the hostile-input survey
 /// path ([`run_bytes`] / [`run_parallel_bytes`]).
@@ -22,7 +22,7 @@ use unicert_x509::Certificate;
 /// mirror them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParseOutcome {
-    /// Parsed into a [`Certificate`] and continued through the pipeline.
+    /// Parsed into a certificate view and continued through the pipeline.
     Ok,
     /// Rejected with a structural error; carries the coarse error class
     /// from [`unicert_asn1::Error::class`] (`"truncated"`, `"bad_tag"`,
@@ -526,6 +526,49 @@ fn accumulate(
         report.precerts_filtered += 1;
         return;
     }
+    // One decode-once context shared by classification, the 95-lint run,
+    // and the field-matrix scan. A panic in any stage only poisons this
+    // certificate's context, which is dropped with the quarantined cert.
+    let ctx = unicert_lint::LintContext::new(&entry.cert);
+    accumulate_ctx(report, registry, index, &ctx, &entry.meta, opts, telemetry);
+}
+
+/// [`accumulate`] over the zero-copy [`CertView`] — the borrowed hot path.
+/// Same stages, same quarantine containment, same report bytes as the
+/// owned kernel on the same DER.
+fn accumulate_view(
+    report: &mut SurveyReport,
+    registry: &unicert_lint::Registry,
+    index: u64,
+    view: &CertView<'_>,
+    meta: &CertMeta,
+    opts: &SurveyOptions,
+    telemetry: Option<&mut ShardTelemetry>,
+) {
+    unicert_telemetry::flight::begin_unit(index);
+    report.entries += 1;
+    // §4.1: precertificates are filtered out by the poison extension.
+    if view.is_precertificate() {
+        report.precerts_filtered += 1;
+        return;
+    }
+    let ctx = unicert_lint::LintContext::from_view(view);
+    accumulate_ctx(report, registry, index, &ctx, meta, opts, telemetry);
+}
+
+/// The source-agnostic aggregation kernel: everything after the
+/// precertificate filter, reading the certificate exclusively through the
+/// [`unicert_lint::LintContext`] accessors so the owned and borrowed paths
+/// share one fold.
+fn accumulate_ctx(
+    report: &mut SurveyReport,
+    registry: &unicert_lint::Registry,
+    index: u64,
+    ctx: &unicert_lint::LintContext<'_>,
+    meta: &CertMeta,
+    opts: &SurveyOptions,
+    telemetry: Option<&mut ShardTelemetry>,
+) {
     report.total += 1;
 
     let (stages, tally) = match telemetry {
@@ -537,16 +580,11 @@ fn accumulate(
     let timed = tally.as_ref().is_some_and(|t| t.will_time_next());
     let mut stamp = timed.then(Instant::now);
 
-    // One decode-once context shared by classification, the 95-lint run,
-    // and the field-matrix scan. A panic in any stage only poisons this
-    // certificate's context, which is dropped with the quarantined cert.
-    let ctx = unicert_lint::LintContext::new(&entry.cert);
-
     unicert_telemetry::flight::record("stage", "classify", 0);
-    let class = match catch_unwind(AssertUnwindSafe(|| classify::classify_ctx(&ctx))) {
+    let class = match catch_unwind(AssertUnwindSafe(|| classify::classify_ctx(ctx))) {
         Ok(class) => class,
         Err(payload) => {
-            let id = hex_serial(&entry.cert.tbs.serial);
+            let id = hex_serial(ctx.serial());
             return push_quarantine(report, index, id, "classify", payload_string(&*payload));
         }
     };
@@ -554,13 +592,13 @@ fn accumulate(
 
     unicert_telemetry::flight::record("stage", "lint", 0);
     let lint_run = catch_unwind(AssertUnwindSafe(|| match tally {
-        Some(tally) => registry.run_tallied_ctx(&ctx, opts.lint, tally),
-        None => registry.run_ctx(&ctx, opts.lint),
+        Some(tally) => registry.run_tallied_ctx(ctx, opts.lint, tally),
+        None => registry.run_ctx(ctx, opts.lint),
     }));
     let lint_report = match lint_run {
         Ok(lint_report) => lint_report,
         Err(payload) => {
-            let id = hex_serial(&entry.cert.tbs.serial);
+            let id = hex_serial(ctx.serial());
             return push_quarantine(report, index, id, "lint", payload_string(&*payload));
         }
     };
@@ -569,10 +607,10 @@ fn accumulate(
 
     let marks = if opts.field_matrix {
         unicert_telemetry::flight::record("stage", "field_matrix", 0);
-        match catch_unwind(AssertUnwindSafe(|| field_matrix_marks(entry, &ctx))) {
+        match catch_unwind(AssertUnwindSafe(|| field_matrix_marks(ctx))) {
             Ok(marks) => Some(marks),
             Err(payload) => {
-                let id = hex_serial(&entry.cert.tbs.serial);
+                let id = hex_serial(ctx.serial());
                 return push_quarantine(
                     report,
                     index,
@@ -592,16 +630,16 @@ fn accumulate(
     if class.is_idn_cert() {
         report.idn_certs += 1;
     }
-    let trusted = entry.meta.trust == TrustStatus::Public;
+    let trusted = meta.trust == TrustStatus::Public;
     if trusted {
         report.trusted_total += 1;
     }
 
-    let issued = entry.cert.tbs.validity.not_before;
-    let expires = entry.cert.tbs.validity.not_after;
+    let issued = ctx.validity().not_before;
+    let expires = ctx.validity().not_after;
     let recent = issued.year >= RECENT_FROM;
     let alive_now = expires.year >= ALIVE_FROM && issued <= SURVEY_CUTOFF;
-    let validity_days = entry.cert.tbs.validity.period_days();
+    let validity_days = ctx.validity().period_days();
 
     // Figure 3 samples.
     if nc {
@@ -633,9 +671,9 @@ fn accumulate(
     // Table 2.
     let is_ = report
         .by_issuer
-        .entry(entry.meta.issuer_org.clone())
+        .entry(meta.issuer_org.clone())
         .or_insert_with(|| IssuerStats {
-            trust: entry.meta.trust,
+            trust: meta.trust,
             total: 0,
             noncompliant: 0,
             recent_noncompliant: 0,
@@ -699,7 +737,7 @@ fn accumulate(
 
     // Figure 4 matrix.
     if let Some(marks) = marks {
-        apply_field_matrix(report, &entry.meta.issuer_org, nc, &marks);
+        apply_field_matrix(report, &meta.issuer_org, nc, &marks);
     }
     stage_mark(&mut stamp, stages.map(|s| &s.aggregate));
 }
@@ -871,6 +909,102 @@ pub fn run_parallel_slice_from(
     merged
 }
 
+/// Fold one borrowed record into `report`: parse its DER into a
+/// [`CertView`] and run the view kernel. The parse uses the default
+/// [`ParseBudget`] — the same budget the store's segment decoder already
+/// validated every record against — so for records from a validated
+/// segment the parse cannot fail.
+fn accumulate_record(
+    report: &mut SurveyReport,
+    registry: &unicert_lint::Registry,
+    index: u64,
+    entry: &RawEntry<'_>,
+    opts: &SurveyOptions,
+    telemetry: Option<&mut ShardTelemetry>,
+) {
+    let budget = ParseBudget::default();
+    let state = budget.start();
+    match CertView::parse_der_budgeted(entry.der, &state) {
+        Ok(view) => {
+            accumulate_view(report, registry, index, &view, &entry.meta, opts, telemetry);
+        }
+        Err(e) => {
+            // Unreachable for records out of a validated segment (decoding
+            // already proved each one parses); quarantine instead of
+            // panicking so a caller feeding unvalidated records degrades
+            // to one skipped certificate.
+            unicert_telemetry::flight::begin_unit(index);
+            report.entries += 1;
+            push_quarantine(
+                report,
+                index,
+                format!("#{index}"),
+                "parse",
+                format!("record does not parse ({})", e.class()),
+            );
+        }
+    }
+}
+
+/// [`run_parallel_slice_from`] over zero-copy records: each certificate is
+/// parsed into a [`CertView`] of its borrowed DER at lint time — no owned
+/// [`unicert_x509::Certificate`] tree, no per-certificate copy of the DER.
+/// Chunking, global indexing, and merge order are identical to the owned
+/// entry point, so a store-resumed survey through this path stays
+/// byte-identical to a one-shot in-memory survey of the same corpus at any
+/// thread count (the shard-merge invariant, DESIGN.md §7).
+pub fn run_parallel_records_from(
+    registry: &unicert_lint::Registry,
+    records: &[RawEntry<'_>],
+    opts: SurveyOptions,
+    base: u64,
+) -> SurveyReport {
+    let threads = opts.lint.effective_threads();
+    if threads <= 1 {
+        let _span = unicert_telemetry::span!("survey.run_parallel_records", "threads=1");
+        let mut telemetry = ShardTelemetry::if_enabled(registry);
+        let mut report = SurveyReport::default();
+        for (index, entry) in records.iter().enumerate() {
+            accumulate_record(
+                &mut report,
+                registry,
+                base + index as u64,
+                entry,
+                &opts,
+                telemetry.as_mut(),
+            );
+        }
+        ShardTelemetry::flush(telemetry, registry);
+        report.profile = registry.profile_name();
+        return report;
+    }
+    let _span =
+        unicert_telemetry::span!("survey.run_parallel_records", "threads={threads}");
+    let shard_size = opts.lint.effective_shard_size();
+    let chunks = records.chunks(shard_size).enumerate();
+    let shards = crate::pool::map_ordered(chunks, threads, |(chunk_idx, chunk)| {
+        let _span = unicert_telemetry::span!(verbose: "survey.shard", "{}", chunk.len());
+        let mut telemetry = ShardTelemetry::if_enabled(registry);
+        let mut shard = SurveyReport::default();
+        let chunk_base = base + chunk_idx as u64 * shard_size as u64;
+        for (offset, entry) in chunk.iter().enumerate() {
+            accumulate_record(
+                &mut shard,
+                registry,
+                chunk_base + offset as u64,
+                entry,
+                &opts,
+                telemetry.as_mut(),
+            );
+        }
+        ShardTelemetry::flush(telemetry, registry);
+        shard
+    });
+    let mut merged = merge_in_order(shards);
+    merged.profile = registry.profile_name();
+    merged
+}
+
 /// Fold one raw DER input into `report` — the kernel of the hostile-input
 /// survey paths [`run_bytes`] / [`run_parallel_bytes`].
 ///
@@ -894,10 +1028,14 @@ fn accumulate_bytes(
     // since the parse stage is over by then.
     unicert_telemetry::flight::begin_unit(index);
     unicert_telemetry::flight::record("stage", "parse", der.len() as u64);
+    // Zero-copy decode: the view borrows `der` (through the budget state),
+    // so nothing is copied out of the input on the hot path. Error values
+    // and charge order are identical to `Certificate::parse_der_budgeted`.
+    let state = budget.start();
     let parsed = catch_unwind(AssertUnwindSafe(|| {
-        Certificate::parse_der_budgeted(der, budget).map(|cert| {
-            let meta = CertMeta::inferred(&cert);
-            CorpusEntry { cert, meta }
+        CertView::parse_der_budgeted(der, &state).map(|view| {
+            let meta = CertMeta::inferred_view(&view);
+            (view, meta)
         })
     }));
     let class = match &parsed {
@@ -920,8 +1058,8 @@ fn accumulate_bytes(
             // survey. Still an inspected entry.
             report.entries += 1;
         }
-        Ok(Ok(entry)) => {
-            accumulate(report, registry, index, &entry, opts, telemetry);
+        Ok(Ok((view, meta))) => {
+            accumulate_view(report, registry, index, &view, &meta, opts, telemetry);
         }
     }
 }
@@ -1011,12 +1149,15 @@ fn merge_in_order(shards: Vec<SurveyReport>) -> SurveyReport {
     merged
 }
 
-/// Field labels of `entry` carrying internationalized content — the pure
-/// half of the Figure 4 matrix, computed before any report mutation so a
-/// panic here quarantines the certificate without leaving a half-applied
-/// row behind. Duplicate labels are preserved (one per attribute).
-fn field_matrix_marks(entry: &CorpusEntry, ctx: &unicert_lint::LintContext<'_>) -> Vec<&'static str> {
+/// Field labels of the certificate carrying internationalized content —
+/// the pure half of the Figure 4 matrix, computed before any report
+/// mutation so a panic here quarantines the certificate without leaving a
+/// half-applied row behind. Duplicate labels are preserved (one per
+/// attribute). Reads exclusively through the context so the owned and
+/// borrowed survey paths share it.
+fn field_matrix_marks(ctx: &unicert_lint::LintContext<'_>) -> Vec<&'static str> {
     use unicert_asn1::oid::known;
+    use unicert_lint::helpers::Which;
     let mut marks = Vec::new();
     let field_label = |oid: &unicert_asn1::Oid| -> Option<&'static str> {
         if *oid == known::common_name() {
@@ -1037,9 +1178,9 @@ fn field_matrix_marks(entry: &CorpusEntry, ctx: &unicert_lint::LintContext<'_>) 
             None
         }
     };
-    for attr in entry.cert.tbs.subject.attributes() {
+    for attr in ctx.dn_attrs(Which::Subject) {
         if let Some(label) = field_label(&attr.oid) {
-            if attr.value.bytes.iter().any(|&b| !(0x20..=0x7E).contains(&b)) {
+            if attr.val.bytes().iter().any(|&b| !(0x20..=0x7E).contains(&b)) {
                 marks.push(label);
             }
         }
@@ -1050,12 +1191,7 @@ fn field_matrix_marks(entry: &CorpusEntry, ctx: &unicert_lint::LintContext<'_>) 
     }) {
         marks.push("SAN");
     }
-    if entry
-        .cert
-        .tbs
-        .extension(&known::certificate_policies())
-        .is_some()
-    {
+    if ctx.has_extension(&known::certificate_policies()) {
         // explicitText with non-ASCII or non-UTF8 encodings.
         if ctx
             .explicit_texts()

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use unicert_asn1::oid::known;
 use unicert_asn1::{DateTime, StringKind};
 use unicert_x509::extensions::{authority_info_access, AccessDescription};
-use unicert_x509::{Certificate, CertificateBuilder, GeneralName, SimKey};
+use unicert_x509::{Certificate, CertView, CertificateBuilder, GeneralName, SimKey};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +86,28 @@ impl CertMeta {
             is_precert: cert.tbs.is_precertificate(),
         }
     }
+
+    /// [`CertMeta::inferred`] over the zero-copy [`CertView`]: identical
+    /// field values for the same DER, no owned tree materialized. The
+    /// survey's borrowed hot path relies on this equivalence for its
+    /// byte-identical-reports invariant.
+    pub fn inferred_view(view: &CertView<'_>) -> CertMeta {
+        let issuer_org = view
+            .issuer
+            .organization()
+            .or_else(|| view.issuer.common_name())
+            .unwrap_or_else(|| "(unknown issuer)".to_string());
+        CertMeta {
+            issuer_org,
+            trust: TrustStatus::Untrusted,
+            issued: view.validity.not_before,
+            validity_days: view.validity.period_days(),
+            is_idn_cert: false,
+            injected: None,
+            latent: false,
+            is_precert: view.is_precertificate(),
+        }
+    }
 }
 
 /// One corpus entry.
@@ -93,6 +115,20 @@ impl CertMeta {
 pub struct CorpusEntry {
     /// The certificate (parsed model + raw DER).
     pub cert: Certificate,
+    /// Ground-truth metadata.
+    pub meta: CertMeta,
+}
+
+/// A [`CorpusEntry`] that has not been decoded yet: the certificate's raw
+/// DER borrowed from wherever it already lives (a segment read buffer, a
+/// memory-mapped corpus), plus its owned metadata. This is the currency of
+/// the zero-copy survey path — the DER is parsed into a
+/// [`unicert_x509::CertView`] at lint time instead of being copied into an
+/// owned [`Certificate`] up front.
+#[derive(Debug, Clone)]
+pub struct RawEntry<'a> {
+    /// The certificate, exactly as encoded.
+    pub der: &'a [u8],
     /// Ground-truth metadata.
     pub meta: CertMeta,
 }
@@ -360,8 +396,8 @@ fn expected_nc_factor(lo: i32, hi: i32) -> f64 {
     let mut acc = 0.0;
     for y in lo..=hi {
         let w = trend::year_weight(y);
-        weight_sum += w; // analysis:allow(float_accum) sequential loop over a fixed year range — order is identical every run
-        acc += w * trend::nc_year_factor(y); // analysis:allow(float_accum) sequential loop over a fixed year range — order is identical every run
+        weight_sum += w;
+        acc += w * trend::nc_year_factor(y);
     }
     if weight_sum <= 0.0 {
         1.0

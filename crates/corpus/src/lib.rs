@@ -26,7 +26,7 @@ pub mod variants;
 pub use bimi::{BimiConfig, BimiDefect, BimiEntry, BimiGenerator};
 pub use chunked::{Chunks, CorpusChunk, IntoChunks};
 pub use defects::Defect;
-pub use generator::{CertMeta, CorpusConfig, CorpusEntry, CorpusGenerator};
+pub use generator::{CertMeta, CorpusConfig, CorpusEntry, CorpusGenerator, RawEntry};
 pub use issuers::{IssuancePolicy, IssuerProfile, TrustStatus};
 pub use variants::{VariantPair, VariantStrategy};
 

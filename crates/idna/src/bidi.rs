@@ -76,30 +76,43 @@ pub fn is_rtl_label(label: &str) -> bool {
 /// * RTL labels: only R/AL/AN/EN/NSM/Other; not both EN and AN; last
 ///   non-NSM character R/AL/EN/AN.
 pub fn satisfies_bidi_rule(label: &str) -> bool {
-    let chars: Vec<char> = label.chars().collect();
-    if chars.is_empty() {
+    // One streaming pass: the rule only needs the first class, whether each
+    // class occurs at all, and the last non-NSM class.
+    let mut first: Option<BidiClass> = None;
+    let (mut has_rtl, mut has_an, mut has_en, mut has_l) = (false, false, false, false);
+    let mut last_non_nsm: Option<BidiClass> = None;
+    for c in label.chars() {
+        let class = bidi_class(c);
+        first.get_or_insert(class);
+        match class {
+            BidiClass::Rtl => has_rtl = true,
+            BidiClass::An => has_an = true,
+            BidiClass::En => has_en = true,
+            BidiClass::L => has_l = true,
+            BidiClass::Nsm | BidiClass::Other => {}
+        }
+        if class != BidiClass::Nsm {
+            last_non_nsm = Some(class);
+        }
+    }
+    if first.is_none() {
         return true;
     }
-    let classes: Vec<BidiClass> = chars.iter().map(|&c| bidi_class(c)).collect();
-    let has_rtl = classes.contains(&BidiClass::Rtl);
-    let has_an = classes.contains(&BidiClass::An);
     if !has_rtl && !has_an {
         // Pure LTR label: fine as long as it doesn't *start* with a digit
         // when RTL material is absent — plain rule 1 relaxation for LDH.
         return true;
     }
-    let last_strong = classes.iter().rev().find(|&&c| c != BidiClass::Nsm).copied();
-    if classes[0] == BidiClass::Rtl {
+    if first == Some(BidiClass::Rtl) {
         // RTL label.
-        let has_en = classes.contains(&BidiClass::En);
         if has_en && has_an {
             return false; // rule 4
         }
-        if classes.contains(&BidiClass::L) {
+        if has_l {
             return false; // rule 2: no strong L
         }
         matches!(
-            last_strong,
+            last_non_nsm,
             Some(BidiClass::Rtl) | Some(BidiClass::En) | Some(BidiClass::An)
         )
     } else {

@@ -2,6 +2,8 @@
 //! (RFC 5890/5891/5892).
 
 use crate::punycode;
+use std::sync::OnceLock;
+use unicert_unicode::index::ChunkIndex;
 use unicert_unicode::nfc;
 use unicert_unicode::tables::idna::{IDNA_CONTEXTJ, IDNA_CONTEXTO, IDNA_PVALID};
 
@@ -35,10 +37,18 @@ fn in_ranges(cp: u32, table: &[(u32, u32)]) -> bool {
         .is_ok()
 }
 
+/// Chunk index over the (large) PVALID range table: near-constant lookups on
+/// the per-character hot path. The CONTEXTJ/CONTEXTO tables are a handful of
+/// rows each and stay binary-searched.
+fn pvalid_index() -> &'static ChunkIndex {
+    static INDEX: OnceLock<ChunkIndex> = OnceLock::new();
+    INDEX.get_or_init(|| ChunkIndex::build(IDNA_PVALID, |&(lo, hi)| (lo, hi)))
+}
+
 /// The RFC 5892 derived property of `ch` (exact IDNA2008 tables).
 pub fn idna_class(ch: char) -> IdnaClass {
     let cp = ch as u32;
-    if in_ranges(cp, IDNA_PVALID) {
+    if pvalid_index().find(IDNA_PVALID, cp, |&(lo, hi)| (lo, hi)).is_some() {
         IdnaClass::Pvalid
     } else if in_ranges(cp, IDNA_CONTEXTJ) {
         IdnaClass::ContextJ
@@ -186,11 +196,15 @@ pub fn validate_u_label(label: &str) -> Result<(), LabelError> {
     if label.starts_with('-') || label.ends_with('-') {
         return Err(LabelError::BadHyphenPlacement);
     }
-    let chars: Vec<char> = label.chars().collect();
-    if chars.len() >= 4 && chars[2] == '-' && chars[3] == '-' {
-        return Err(LabelError::ReservedHyphenPositions);
+    {
+        let mut it = label.chars();
+        if it.nth(2) == Some('-') && it.next() == Some('-') {
+            return Err(LabelError::ReservedHyphenPositions);
+        }
     }
-    for (i, &ch) in chars.iter().enumerate() {
+    let mut prev: Option<char> = None;
+    let mut iter = label.chars().peekable();
+    while let Some(ch) = iter.next() {
         match idna_class(ch) {
             IdnaClass::Pvalid => {}
             IdnaClass::Disallowed => return Err(LabelError::DisallowedCharacter { ch }),
@@ -199,24 +213,22 @@ pub fn validate_u_label(label: &str) -> Result<(), LabelError> {
             // sides; other CONTEXTO characters are accepted when surrounded
             // by PVALID (a documented approximation of RFC 5892 App. A).
             IdnaClass::ContextJ => {
-                let prev_ok = i
-                    .checked_sub(1)
-                    .and_then(|p| chars.get(p))
-                    .is_some_and(|&prev| unicert_unicode::nfc::combining_class(prev) == 9);
+                let prev_ok =
+                    prev.is_some_and(|p| unicert_unicode::nfc::combining_class(p) == 9);
                 if !prev_ok {
                     return Err(LabelError::BadContext { ch });
                 }
             }
             IdnaClass::ContextO => {
                 if ch == '\u{B7}' {
-                    let ok = i.checked_sub(1).and_then(|p| chars.get(p)) == Some(&'l')
-                        && chars.get(i + 1) == Some(&'l');
+                    let ok = prev == Some('l') && iter.peek() == Some(&'l');
                     if !ok {
                         return Err(LabelError::BadContext { ch });
                     }
                 }
             }
         }
+        prev = Some(ch);
     }
     if !crate::bidi::satisfies_bidi_rule(label) {
         return Err(LabelError::BidiViolation);

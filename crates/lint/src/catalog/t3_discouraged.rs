@@ -17,7 +17,7 @@ pub fn lints() -> Vec<Lint> {
             "CABF BR §7.1.4.2.2(a) (CN is discouraged; multiples compound it)",
             CabfBr, Warning, DiscouragedField, new = false,
             |ctx| {
-                let n = ctx.dn(Which::Subject).count_of(&known::common_name());
+                let n = ctx.count_of(Which::Subject, &known::common_name());
                 match n {
                     0 => LintStatus::NotApplicable,
                     1 => LintStatus::Pass,

@@ -112,7 +112,7 @@ pub fn lints() -> Vec<Lint> {
             "RFC 5280 §4.1.2.2, CABF BR §7.1",
             CabfBr, Error, IllegalFormat, new = false,
             |ctx| {
-                if ctx.cert().tbs.serial.len() <= 20 {
+                if ctx.serial().len() <= 20 {
                     crate::framework::LintStatus::Pass
                 } else {
                     crate::framework::LintStatus::Violation
@@ -125,7 +125,7 @@ pub fn lints() -> Vec<Lint> {
             "RFC 5280 §4.1.2.2",
             Rfc5280, Error, IllegalFormat, new = false,
             |ctx| {
-                if ctx.cert().tbs.serial.iter().any(|&b| b != 0) {
+                if ctx.serial().iter().any(|&b| b != 0) {
                     crate::framework::LintStatus::Pass
                 } else {
                     crate::framework::LintStatus::Violation
@@ -138,7 +138,7 @@ pub fn lints() -> Vec<Lint> {
             "RFC 5280 §4.1.2.5",
             Rfc5280, Error, IllegalFormat, new = false,
             |ctx| {
-                let v = &ctx.cert().tbs.validity;
+                let v = ctx.validity();
                 let ok = |year: i32, kind: TimeKind| {
                     if (1950..=2049).contains(&year) {
                         kind == TimeKind::Utc

@@ -52,12 +52,11 @@ pub fn lints() -> Vec<Lint> {
             "RFC 5280 §4.1.2.6 / X.501 DN uniqueness",
             Rfc5280, Error, InvalidStructure, new = false,
             |ctx| {
-                let dn = &ctx.cert().tbs.subject;
-                if dn.is_empty() {
+                if ctx.dn_is_empty(Which::Subject) {
                     return LintStatus::NotApplicable;
                 }
                 let mut seen = std::collections::HashSet::new();
-                for attr in dn.attributes() {
+                for attr in ctx.dn_attrs(Which::Subject) {
                     // Repeated CNs are reported by
                     // w_cab_subject_contain_extra_common_name (T3d).
                     if attr.oid == known::common_name() {

@@ -32,8 +32,10 @@ use unicert_asn1::{Oid, Span, StringKind};
 use unicert_idna::label::{has_ace_prefix, validate_ldh, ALabelStatus, LabelError};
 use unicert_idna::punycode;
 use unicert_unicode::nfc;
-use unicert_x509::extensions::{ParsedExtension, PolicyQualifier};
-use unicert_x509::{CertSpans, Certificate, DistinguishedName, GeneralName, RawValue};
+use unicert_x509::extensions::{parse_extension_value, ParsedExtension, PolicyQualifier};
+use unicert_x509::{
+    CertSpans, CertView, Certificate, DistinguishedName, GeneralName, RawValue, Validity,
+};
 
 /// Hit/miss tally for one cached field family.
 #[derive(Debug, Default)]
@@ -296,14 +298,30 @@ fn decode_payload_lowercased(payload: &str) -> Option<String> {
     }
 }
 
+/// Where the certificate under analysis lives: the owned model or the
+/// zero-copy borrowed view. Every context accessor reads through this, so
+/// the whole catalog, the classify stage, and the field matrix run
+/// unchanged on either representation.
+enum Source<'c> {
+    /// The owned [`Certificate`] model (build/encode/evidence paths).
+    Owned(&'c Certificate),
+    /// The borrowed [`CertView`] (the survey hot path).
+    View(&'c CertView<'c>),
+}
+
 /// The memoized per-certificate analysis context.
 ///
-/// Built once per certificate ([`LintContext::new`]) and handed to every
-/// lint `check`, to the survey classify stage, and to the field matrix.
-/// All accessors are lazy: a certificate with no SAN never pays for SAN
-/// parsing, and a lint that never runs never triggers its inputs.
+/// Built once per certificate ([`LintContext::new`] /
+/// [`LintContext::from_view`]) and handed to every lint `check`, to the
+/// survey classify stage, and to the field matrix. All accessors are lazy:
+/// a certificate with no SAN never pays for SAN parsing, and a lint that
+/// never runs never triggers its inputs.
 pub struct LintContext<'c> {
-    cert: &'c Certificate,
+    source: Source<'c>,
+    /// Owned materialization of a view source, built only if a consumer
+    /// insists on `&Certificate` (off the hot path; lints use the typed
+    /// accessors instead).
+    owned: OnceCell<Box<Certificate>>,
     stats: Rc<CacheStats>,
     /// Parse results parallel to `cert.tbs.extensions` (`None` = malformed
     /// body). Iterating *all* entries preserves duplicate-extension
@@ -331,7 +349,15 @@ pub struct LintContext<'c> {
 impl<'c> LintContext<'c> {
     /// A fresh (everything-lazy) context for one certificate.
     pub fn new(cert: &'c Certificate) -> LintContext<'c> {
-        Self::build(cert, None)
+        Self::build(Source::Owned(cert), None)
+    }
+
+    /// A fresh context over a zero-copy [`CertView`]: the survey hot path.
+    /// Identical analysis results to [`LintContext::new`] on the owned
+    /// parse of the same DER; evidence capture is not available here (use
+    /// the owned constructor for evidence runs).
+    pub fn from_view(view: &'c CertView<'c>) -> LintContext<'c> {
+        Self::build(Source::View(view), None)
     }
 
     /// A context that additionally captures byte-range provenance: the
@@ -345,12 +371,13 @@ impl<'c> LintContext<'c> {
             spans: CertSpans::capture(&cert.raw).ok(),
             touched: Rc::new(RefCell::new(Vec::new())),
         };
-        Self::build(cert, Some(state))
+        Self::build(Source::Owned(cert), Some(state))
     }
 
-    fn build(cert: &'c Certificate, evidence: Option<EvidenceState>) -> LintContext<'c> {
+    fn build(source: Source<'c>, evidence: Option<EvidenceState>) -> LintContext<'c> {
         LintContext {
-            cert,
+            source,
+            owned: OnceCell::new(),
             stats: Rc::new(CacheStats::default()),
             parsed_exts: OnceCell::new(),
             subject: OnceCell::new(),
@@ -371,9 +398,83 @@ impl<'c> LintContext<'c> {
         }
     }
 
-    /// The certificate under analysis.
-    pub fn cert(&self) -> &'c Certificate {
-        self.cert
+    /// The certificate under analysis, as the owned model. For an owned
+    /// source this is free; for a view source the owned tree is
+    /// materialized once and cached (off the hot path — prefer the typed
+    /// accessors below, which read the view directly).
+    pub fn cert(&self) -> &Certificate {
+        match self.source {
+            Source::Owned(cert) => cert,
+            Source::View(view) => self.owned.get_or_init(|| Box::new(view.to_owned())),
+        }
+    }
+
+    /// Length of the raw certificate DER (whole-certificate span fallback).
+    fn raw_len(&self) -> usize {
+        match self.source {
+            Source::Owned(cert) => cert.raw.len(),
+            Source::View(view) => view.raw.len(),
+        }
+    }
+
+    /// The serial number magnitude.
+    pub fn serial(&self) -> &[u8] {
+        match self.source {
+            Source::Owned(cert) => &cert.tbs.serial,
+            Source::View(view) => view.serial,
+        }
+    }
+
+    /// The validity window.
+    pub fn validity(&self) -> &Validity {
+        match self.source {
+            Source::Owned(cert) => &cert.tbs.validity,
+            Source::View(view) => &view.validity,
+        }
+    }
+
+    /// Index of the first extension carrying `oid`, in wire order — the
+    /// extension `TbsCertificate::extension` selects.
+    pub fn extension_position(&self, oid: &Oid) -> Option<usize> {
+        match self.source {
+            Source::Owned(cert) => cert.tbs.extensions.iter().position(|e| &e.oid == oid),
+            Source::View(view) => view.extensions.iter().position(|e| &e.oid == oid),
+        }
+    }
+
+    /// Is an extension with `oid` present?
+    pub fn has_extension(&self, oid: &Oid) -> bool {
+        self.extension_position(oid).is_some()
+    }
+
+    /// The criticality flag of the first extension carrying `oid`, if
+    /// present.
+    pub fn extension_critical(&self, oid: &Oid) -> Option<bool> {
+        let idx = self.extension_position(oid)?;
+        match self.source {
+            Source::Owned(cert) => cert.tbs.extensions.get(idx).map(|e| e.critical),
+            Source::View(view) => view.extensions.get(idx).map(|e| e.critical),
+        }
+    }
+
+    /// True if the DN has no RDNs (an "empty subject"). Distinct from
+    /// having no *attributes*: an RDN with an empty SET still counts.
+    pub fn dn_is_empty(&self, which: Which) -> bool {
+        match self.source {
+            Source::Owned(cert) => match which {
+                Which::Subject => cert.tbs.subject.is_empty(),
+                Which::Issuer => cert.tbs.issuer.is_empty(),
+            },
+            Source::View(view) => match which {
+                Which::Subject => view.subject.is_empty(),
+                Which::Issuer => view.issuer.is_empty(),
+            },
+        }
+    }
+
+    /// Number of attributes of type `oid` in a DN (duplicate detection).
+    pub fn count_of(&self, which: Which, oid: &Oid) -> usize {
+        self.dn_attrs(which).iter().filter(|a| &a.oid == oid).count()
     }
 
     /// This context's cache hit/miss tallies (flushed to telemetry on drop).
@@ -428,7 +529,7 @@ impl<'c> LintContext<'c> {
         if out.is_empty() {
             let span = match &ev.spans {
                 Some(s) => s.tbs,
-                None => Span { offset: 0, len: self.cert.raw.len() },
+                None => Span { offset: 0, len: self.raw_len() },
             };
             out.push(Evidence {
                 span,
@@ -469,7 +570,7 @@ impl<'c> LintContext<'c> {
             // Span map unavailable (hostile DER the walker refused):
             // anchor to the whole certificate rather than dropping
             // provenance entirely.
-            None => (Span { offset: 0, len: self.cert.raw.len() }, "certificate".to_string()),
+            None => (Span { offset: 0, len: self.raw_len() }, "certificate".to_string()),
         };
         Some((self.make_origin(raw, span, path), Rc::clone(&ev.touched)))
     }
@@ -484,7 +585,7 @@ impl<'c> LintContext<'c> {
     ) -> impl FnOnce(&CertSpans) -> Option<(Span, String)> + '_ {
         let oid = oid.clone();
         move |spans: &CertSpans| {
-            let idx = self.cert.tbs.extensions.iter().position(|e| e.oid == oid)?;
+            let idx = self.extension_position(&oid)?;
             let ext = spans.extension(idx)?;
             match ext.children.get(child) {
                 Some(span) => Some((*span, spans.ext_child_path(idx, child))),
@@ -514,11 +615,14 @@ impl<'c> LintContext<'c> {
 
     // --- DNs ------------------------------------------------------------
 
-    /// Select a DN directly (no caching needed: the DN is already parsed).
-    pub fn dn(&self, which: Which) -> &'c DistinguishedName {
+    /// Select a DN as the owned model (materializes a view source —
+    /// prefer [`LintContext::dn_attrs`] and the typed DN accessors, which
+    /// read either source directly).
+    pub fn dn(&self, which: Which) -> &DistinguishedName {
+        let cert = self.cert();
         match which {
-            Which::Subject => &self.cert.tbs.subject,
-            Which::Issuer => &self.cert.tbs.issuer,
+            Which::Subject => &cert.tbs.subject,
+            Which::Issuer => &cert.tbs.issuer,
         }
     }
 
@@ -529,15 +633,33 @@ impl<'c> LintContext<'c> {
             Which::Issuer => &self.issuer,
         };
         self.stats.dn_text.touch(cell.get().is_some());
-        cell.get_or_init(|| {
-            self.dn(which)
-                .attributes()
-                .enumerate()
-                .map(|(i, a)| DnAttr {
-                    oid: a.oid.clone(),
-                    val: self.cached_dn(a.value.clone(), which, i),
-                })
-                .collect()
+        cell.get_or_init(|| match self.source {
+            Source::Owned(cert) => {
+                let dn = match which {
+                    Which::Subject => &cert.tbs.subject,
+                    Which::Issuer => &cert.tbs.issuer,
+                };
+                dn.attributes()
+                    .enumerate()
+                    .map(|(i, a)| DnAttr {
+                        oid: a.oid.clone(),
+                        val: self.cached_dn(a.value.clone(), which, i),
+                    })
+                    .collect()
+            }
+            Source::View(view) => {
+                let dn = match which {
+                    Which::Subject => &view.subject,
+                    Which::Issuer => &view.issuer,
+                };
+                dn.attributes()
+                    .enumerate()
+                    .map(|(i, a)| DnAttr {
+                        oid: a.oid.clone(),
+                        val: self.cached_dn(a.raw_value(), which, i),
+                    })
+                    .collect()
+            }
         })
     }
 
@@ -553,14 +675,20 @@ impl<'c> LintContext<'c> {
     /// `cert.tbs.extensions`; `None` marks a malformed body.
     pub fn parsed_extensions(&self) -> &[Option<ParsedExtension>] {
         self.stats.san.touch(self.parsed_exts.get().is_some());
-        self.parsed_exts
-            .get_or_init(|| self.cert.tbs.extensions.iter().map(|e| e.parse().ok()).collect())
+        self.parsed_exts.get_or_init(|| match self.source {
+            Source::Owned(cert) => cert.tbs.extensions.iter().map(|e| e.parse().ok()).collect(),
+            Source::View(view) => view
+                .extensions
+                .iter()
+                .map(|e| parse_extension_value(&e.oid, e.value).ok())
+                .collect(),
+        })
     }
 
     /// The parse result of the first extension carrying `oid` — the same
     /// extension `TbsCertificate::extension` selects.
     fn first_parsed(&self, oid: &Oid) -> Option<&ParsedExtension> {
-        let index = self.cert.tbs.extensions.iter().position(|e| &e.oid == oid)?;
+        let index = self.extension_position(oid)?;
         self.parsed_extensions().get(index)?.as_ref()
     }
 
@@ -782,7 +910,7 @@ impl<'c> LintContext<'c> {
 impl std::fmt::Debug for LintContext<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LintContext")
-            .field("serial", &self.cert.tbs.serial)
+            .field("serial", &self.serial())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }

@@ -641,7 +641,7 @@ impl Registry {
             return self.run_instrumented(ctx, opts);
         }
         let mut report = CertReport::default();
-        let issued = ctx.cert().tbs.validity.not_before;
+        let issued = ctx.validity().not_before;
         let evidence_on = ctx.evidence_enabled();
         let flight = unicert_telemetry::flight::flight_enabled();
         for lint in &self.lints {
@@ -693,7 +693,7 @@ impl Registry {
         let timed = sample <= 1 || sequence % sample == 0;
 
         let mut report = CertReport::default();
-        let issued = ctx.cert().tbs.validity.not_before;
+        let issued = ctx.validity().not_before;
         let evidence_on = ctx.evidence_enabled();
         let flight = unicert_telemetry::flight::flight_enabled();
         let mut previous = timed.then(Instant::now);
@@ -787,7 +787,7 @@ impl Registry {
         // Fast path for the 15-in-16 untimed certificates: no clocks, no
         // span guards — just local count bumps next to the check calls.
         let mut report = CertReport::default();
-        let issued = ctx.cert().tbs.validity.not_before;
+        let issued = ctx.validity().not_before;
         let evidence_on = ctx.evidence_enabled();
         let flight = unicert_telemetry::flight::flight_enabled();
         for (lint, count) in self.lints.iter().zip(&mut tally.counts) {
@@ -838,7 +838,7 @@ impl Registry {
         use std::time::Instant;
         let instruments = self.instruments();
         let mut report = CertReport::default();
-        let issued = ctx.cert().tbs.validity.not_before;
+        let issued = ctx.validity().not_before;
         let evidence_on = ctx.evidence_enabled();
         let flight = unicert_telemetry::flight::flight_enabled();
         let mut previous = timed.then(Instant::now);

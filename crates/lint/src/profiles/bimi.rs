@@ -33,7 +33,7 @@ const SHARED_WEBPKI_LINTS: [&str; 2] =
 /// rule as `TbsCertificate::extension`, but through the context's memoized
 /// parse table.
 fn first_parsed<'a>(ctx: &'a LintContext<'_>, oid: &Oid) -> Option<&'a ParsedExtension> {
-    let index = ctx.cert().tbs.extensions.iter().position(|e| &e.oid == oid)?;
+    let index = ctx.extension_position(oid)?;
     ctx.parsed_extensions().get(index)?.as_ref()
 }
 
@@ -112,9 +112,9 @@ pub fn all_lints() -> Vec<Lint> {
             Severity::Error,
             NoncomplianceType::InvalidStructure,
             new = false,
-            |ctx: &LintContext<'_>| match ctx.cert().tbs.extension(&known::logotype()) {
-                Some(_) => LintStatus::Pass,
-                None => LintStatus::Violation,
+            |ctx: &LintContext<'_>| match ctx.has_extension(&known::logotype()) {
+                true => LintStatus::Pass,
+                false => LintStatus::Violation,
             }
         ),
         lint!(
@@ -125,10 +125,10 @@ pub fn all_lints() -> Vec<Lint> {
             Severity::Error,
             NoncomplianceType::IllegalFormat,
             new = false,
-            |ctx: &LintContext<'_>| match ctx.cert().tbs.extension(&known::logotype()) {
+            |ctx: &LintContext<'_>| match ctx.extension_critical(&known::logotype()) {
                 None => LintStatus::NotApplicable,
-                Some(ext) if ext.critical => LintStatus::Violation,
-                Some(_) => LintStatus::Pass,
+                Some(true) => LintStatus::Violation,
+                Some(false) => LintStatus::Pass,
             }
         ),
         lint!(

@@ -6,8 +6,10 @@
 //! 1. tries the shard's checkpoint — if one exists and fully validates
 //!    (see `checkpoint.rs`), its report is reused and the shard's
 //!    certificates are never touched;
-//! 2. otherwise loads and verifies the segment, surveys it with
-//!    [`run_parallel_slice_from`] at the shard's global base index, and
+//! 2. otherwise loads and verifies the segment, surveys its records
+//!    straight from the read buffer — [`run_parallel_records_from`] lints
+//!    each certificate through a zero-copy `CertView` of the borrowed DER,
+//!    no per-certificate copy — at the shard's global base index, and
 //!    commits a fresh checkpoint via [`crate::atomic_write`] *before*
 //!    moving on — so after a crash, every finished shard is either fully
 //!    committed or invisible;
@@ -36,7 +38,7 @@ use crate::checkpoint::{checkpoint_path, decode_checkpoint, encode_checkpoint, o
 use crate::store::CorpusStore;
 use crate::{atomic_write, StoreError};
 use std::path::Path;
-use unicert::survey::{run_parallel_slice_from, QuarantineEntry, SurveyOptions, SurveyReport};
+use unicert::survey::{run_parallel_records_from, QuarantineEntry, SurveyOptions, SurveyReport};
 
 /// Options for [`survey_incremental`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -136,10 +138,10 @@ pub fn survey_incremental(
                 }
                 ShardStatus::Resumed
             }
-            None => match store.load_shard(shard) {
-                Ok(entries) => {
-                    let shard_report =
-                        run_parallel_slice_from(registry, &entries, opts.survey, shard.start);
+            None => match store.with_shard_records(shard, |records| {
+                run_parallel_records_from(registry, records, opts.survey, shard.start)
+            }) {
+                Ok(shard_report) => {
                     atomic_write(&ckpt, &encode_checkpoint(shard, &opts_key, &shard_report))?;
                     report.merge(shard_report);
                     surveyed += 1;

@@ -29,8 +29,8 @@
 
 use crate::{escape, fnv64, unescape, Corruption};
 use unicert_asn1::{DateTime, ParseBudget};
-use unicert_corpus::{CertMeta, CorpusEntry, TrustStatus};
-use unicert_x509::Certificate;
+use unicert_corpus::{CertMeta, CorpusEntry, RawEntry, TrustStatus};
+use unicert_x509::{CertView, Certificate};
 
 /// The exact header line every version-1 segment file starts with.
 pub const SEGMENT_HEADER: &str = "unicert-store segment v1\n";
@@ -95,6 +95,52 @@ pub fn decode_segment(
     expected_bytes: Option<u64>,
     expected_fingerprint: Option<u64>,
 ) -> Result<Vec<CorpusEntry>, Corruption> {
+    let budget = ParseBudget::default();
+    let records =
+        decode_segment_with(data, expected_index, expected_bytes, expected_fingerprint, |der| {
+            Certificate::parse_der_budgeted(der, &budget)
+        })?;
+    Ok(records.into_iter().map(|(cert, meta)| CorpusEntry { cert, meta }).collect())
+}
+
+/// Zero-copy twin of [`decode_segment`]: the same validation, in the same
+/// classification priority order — including the per-record proof that
+/// every certificate parses — but the returned records *borrow* their DER
+/// from `data` instead of copying it into an owned [`Certificate`].
+///
+/// The parse proof runs through [`CertView`], whose error values are
+/// byte-identical to the owned parser on the same input, so a segment
+/// classifies exactly the same through either decoder. This is the survey
+/// resume path's decoder: a shard is validated once, then linted straight
+/// out of its read buffer.
+pub fn decode_segment_records<'a>(
+    data: &'a [u8],
+    expected_index: usize,
+    expected_bytes: Option<u64>,
+    expected_fingerprint: Option<u64>,
+) -> Result<Vec<RawEntry<'a>>, Corruption> {
+    let budget = ParseBudget::default();
+    let records =
+        decode_segment_with(data, expected_index, expected_bytes, expected_fingerprint, |der| {
+            // The view only has to exist long enough to prove the record
+            // parses; what the caller keeps is the borrowed DER itself.
+            let state = budget.start();
+            CertView::parse_der_budgeted(der, &state).map(|_| der)
+        })?;
+    Ok(records.into_iter().map(|(der, meta)| RawEntry { der, meta }).collect())
+}
+
+/// The shared validation core of [`decode_segment`] and
+/// [`decode_segment_records`]: runs checks 1–6 in the fixed classification
+/// priority order, delegating only the per-record certificate proof to
+/// `parse_cert` so the owned and borrowed decoders cannot drift.
+fn decode_segment_with<'a, T>(
+    data: &'a [u8],
+    expected_index: usize,
+    expected_bytes: Option<u64>,
+    expected_fingerprint: Option<u64>,
+    mut parse_cert: impl FnMut(&'a [u8]) -> Result<T, unicert_asn1::Error>,
+) -> Result<Vec<(T, CertMeta)>, Corruption> {
     let header_len = SEGMENT_HEADER.len();
     // 1. Gross framing: header + index + count + trailer minimum.
     if data.len() < header_len + 4 + 4 + 8 {
@@ -173,7 +219,6 @@ pub fn decode_segment(
             "segment carries shard index {index}, expected {expected_index}"
         )));
     }
-    let budget = ParseBudget::default();
     let mut entries = Vec::new();
     for record in 0..count {
         let frame_err = || {
@@ -189,7 +234,7 @@ pub fn decode_segment(
         let Some(meta_bytes) = take(body, &mut pos, meta_len as usize) else {
             return Err(frame_err());
         };
-        let cert = Certificate::parse_der_budgeted(der, &budget).map_err(|e| {
+        let cert = parse_cert(der).map_err(|e| {
             Corruption::FingerprintMismatch(format!(
                 "record {record}: certificate does not parse ({})",
                 e.class()
@@ -201,7 +246,7 @@ pub fn decode_segment(
         let meta = decode_meta(meta_text).map_err(|detail| {
             Corruption::FingerprintMismatch(format!("record {record}: {detail}"))
         })?;
-        entries.push(CorpusEntry { cert, meta });
+        entries.push((cert, meta));
     }
     if pos != body_len {
         return Err(Corruption::FingerprintMismatch(format!(

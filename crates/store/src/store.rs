@@ -1,10 +1,12 @@
 //! [`CorpusStore`]: the directory-level API over segments and manifest.
 
 use crate::manifest::{Manifest, ShardInfo, MANIFEST_FILE};
-use crate::segment::{decode_segment, encode_segment, peek_header, segment_file_name};
+use crate::segment::{
+    decode_segment, decode_segment_records, encode_segment, peek_header, segment_file_name,
+};
 use crate::{atomic_write, fnv64, Corruption, StoreError};
 use std::path::{Path, PathBuf};
-use unicert_corpus::CorpusEntry;
+use unicert_corpus::{CorpusEntry, RawEntry};
 
 /// Per-shard result of [`CorpusStore::verify`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,27 +161,75 @@ impl CorpusStore {
     }
 
     fn load_shard_inner(&self, shard: &ShardInfo) -> Result<Vec<CorpusEntry>, Corruption> {
-        let path = self.dir.join(&shard.file);
-        let Ok(data) = std::fs::read(&path) else {
-            return Err(Corruption::TornWrite(format!(
-                "segment file {} is missing or unreadable",
-                shard.file
-            )));
-        };
+        let data = self.read_segment(shard)?;
         let entries = decode_segment(
             &data,
             shard.index,
             Some(shard.bytes),
             Some(shard.fingerprint),
         )?;
-        if entries.len() != shard.count {
+        Self::check_count(entries.len(), shard)?;
+        Ok(entries)
+    }
+
+    /// Load and fully validate one shard, then hand its records — DER
+    /// borrowed straight from the segment read buffer, nothing copied per
+    /// certificate — to `f`. Validation (and its corruption
+    /// classification) is identical to [`CorpusStore::load_shard`]; only
+    /// the representation differs. This is the zero-copy survey path: the
+    /// incremental survey lints each record through a
+    /// [`unicert_x509::CertView`] of the borrowed DER.
+    ///
+    /// Ticks the same `store.shard` telemetry counter as `load_shard`.
+    pub fn with_shard_records<T>(
+        &self,
+        shard: &ShardInfo,
+        f: impl FnOnce(&[RawEntry<'_>]) -> T,
+    ) -> Result<T, Corruption> {
+        let result = self.with_shard_records_inner(shard, f);
+        if unicert_telemetry::metrics_enabled() {
+            let outcome = if result.is_ok() { "verified" } else { "corrupt" };
+            unicert_telemetry::global().counter("store.shard", outcome).inc();
+        }
+        result
+    }
+
+    fn with_shard_records_inner<T>(
+        &self,
+        shard: &ShardInfo,
+        f: impl FnOnce(&[RawEntry<'_>]) -> T,
+    ) -> Result<T, Corruption> {
+        let data = self.read_segment(shard)?;
+        let records = decode_segment_records(
+            &data,
+            shard.index,
+            Some(shard.bytes),
+            Some(shard.fingerprint),
+        )?;
+        Self::check_count(records.len(), shard)?;
+        Ok(f(&records))
+    }
+
+    /// Read a shard's segment file, classifying a missing or unreadable
+    /// file as a torn write with a deterministic detail string.
+    fn read_segment(&self, shard: &ShardInfo) -> Result<Vec<u8>, Corruption> {
+        std::fs::read(self.dir.join(&shard.file)).map_err(|_| {
+            Corruption::TornWrite(format!(
+                "segment file {} is missing or unreadable",
+                shard.file
+            ))
+        })
+    }
+
+    /// The decoded-record count must match the manifest's promise.
+    fn check_count(decoded: usize, shard: &ShardInfo) -> Result<(), Corruption> {
+        if decoded != shard.count {
             return Err(Corruption::FingerprintMismatch(format!(
-                "segment holds {} records, manifest promises {}",
-                entries.len(),
+                "segment holds {decoded} records, manifest promises {}",
                 shard.count
             )));
         }
-        Ok(entries)
+        Ok(())
     }
 
     /// The manifest (parsed from disk, or rebuilt in memory).

@@ -109,48 +109,55 @@ impl Extension {
     /// Interpret the body according to the OID. Malformed bodies yield
     /// `Err`, which callers treat as a finding, not a fatal error.
     pub fn parse(&self) -> Result<ParsedExtension> {
-        let oid = &self.oid;
-        if oid == &known::subject_alt_name() {
-            Ok(ParsedExtension::SubjectAltName(parse_general_names(&self.value)?))
-        } else if oid == &known::issuer_alt_name() {
-            Ok(ParsedExtension::IssuerAltName(parse_general_names(&self.value)?))
-        } else if oid == &known::authority_info_access() {
-            Ok(ParsedExtension::AuthorityInfoAccess(parse_access_descriptions(&self.value)?))
-        } else if oid == &known::subject_info_access() {
-            Ok(ParsedExtension::SubjectInfoAccess(parse_access_descriptions(&self.value)?))
-        } else if oid == &known::crl_distribution_points() {
-            Ok(ParsedExtension::CrlDistributionPoints(parse_crl_dps(&self.value)?))
-        } else if oid == &known::certificate_policies() {
-            Ok(ParsedExtension::CertificatePolicies(parse_policies(&self.value)?))
-        } else if oid == &known::basic_constraints() {
-            parse_basic_constraints(&self.value)
-        } else if oid == &known::key_usage() {
-            let mut r = Reader::new(&self.value);
-            let tlv = r.read_expected(tags::BIT_STRING)?;
-            r.finish()?;
-            Ok(ParsedExtension::KeyUsage(BitString::from_der_value(tlv.value)?))
-        } else if oid == &known::ext_key_usage() {
-            let mut r = Reader::new(&self.value);
-            let ekus = r.read_sequence(|seq| {
-                let mut out = Vec::new();
-                while !seq.is_empty() {
-                    let tlv = seq.read_expected(tags::OBJECT_IDENTIFIER)?;
-                    out.push(Oid::from_der_value(tlv.value)?);
-                }
-                Ok(out)
-            })?;
-            r.finish()?;
-            Ok(ParsedExtension::ExtKeyUsage(ekus))
-        } else if oid == &known::subject_key_identifier() {
-            let mut r = Reader::new(&self.value);
-            let tlv = r.read_expected(tags::OCTET_STRING)?;
-            r.finish()?;
-            Ok(ParsedExtension::SubjectKeyIdentifier(tlv.value.to_vec()))
-        } else if oid == &known::ct_poison() {
-            Ok(ParsedExtension::CtPoison)
-        } else {
-            Ok(ParsedExtension::Unknown)
-        }
+        parse_extension_value(&self.oid, &self.value)
+    }
+}
+
+/// Interpret an extension body given its OID and raw inner value — the
+/// borrowed form of [`Extension::parse`], shared by the zero-copy
+/// certificate view (`ExtensionView`) so both parse paths are one code
+/// path by construction.
+pub fn parse_extension_value(oid: &Oid, value: &[u8]) -> Result<ParsedExtension> {
+    if oid == &known::subject_alt_name() {
+        Ok(ParsedExtension::SubjectAltName(parse_general_names(value)?))
+    } else if oid == &known::issuer_alt_name() {
+        Ok(ParsedExtension::IssuerAltName(parse_general_names(value)?))
+    } else if oid == &known::authority_info_access() {
+        Ok(ParsedExtension::AuthorityInfoAccess(parse_access_descriptions(value)?))
+    } else if oid == &known::subject_info_access() {
+        Ok(ParsedExtension::SubjectInfoAccess(parse_access_descriptions(value)?))
+    } else if oid == &known::crl_distribution_points() {
+        Ok(ParsedExtension::CrlDistributionPoints(parse_crl_dps(value)?))
+    } else if oid == &known::certificate_policies() {
+        Ok(ParsedExtension::CertificatePolicies(parse_policies(value)?))
+    } else if oid == &known::basic_constraints() {
+        parse_basic_constraints(value)
+    } else if oid == &known::key_usage() {
+        let mut r = Reader::new(value);
+        let tlv = r.read_expected(tags::BIT_STRING)?;
+        r.finish()?;
+        Ok(ParsedExtension::KeyUsage(BitString::from_der_value(tlv.value)?))
+    } else if oid == &known::ext_key_usage() {
+        let mut r = Reader::new(value);
+        let ekus = r.read_sequence(|seq| {
+            let mut out = Vec::new();
+            while !seq.is_empty() {
+                let tlv = seq.read_expected(tags::OBJECT_IDENTIFIER)?;
+                out.push(Oid::from_der_value(tlv.value)?);
+            }
+            Ok(out)
+        })?;
+        r.finish()?;
+        Ok(ParsedExtension::ExtKeyUsage(ekus))
+    } else if oid == &known::subject_key_identifier() {
+        let mut r = Reader::new(value);
+        let tlv = r.read_expected(tags::OCTET_STRING)?;
+        r.finish()?;
+        Ok(ParsedExtension::SubjectKeyIdentifier(tlv.value.to_vec()))
+    } else if oid == &known::ct_poison() {
+        Ok(ParsedExtension::CtPoison)
+    } else {
+        Ok(ParsedExtension::Unknown)
     }
 }
 

@@ -23,6 +23,7 @@ pub mod sha256;
 pub mod sign;
 pub mod spans;
 pub mod value;
+pub mod view;
 
 pub use builder::CertificateBuilder;
 pub use certificate::{AlgorithmIdentifier, Certificate, TbsCertificate, Validity};
@@ -35,3 +36,4 @@ pub use name::{AttributeTypeAndValue, DistinguishedName, Rdn};
 pub use sign::SimKey;
 pub use spans::{CertSpans, ExtensionSpans};
 pub use value::RawValue;
+pub use view::{AttrView, CertView, DnView, ExtensionView};
